@@ -1,0 +1,151 @@
+//! Ablation benchmarks for the design decisions called out in DESIGN.md:
+//!
+//! * **D1** — weighted percentile vs the paper's materialized `𝔻_C` list.
+//! * **D5** — pruning + proportional bundling heuristics vs the exact
+//!   solve, with the cost gap printed alongside the speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multipub_bench::uniform_workload;
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::delivery::{materialized_percentile, weighted_percentile, WeightedSample};
+use multipub_core::optimizer::Optimizer;
+use multipub_core::scaling::{bundle_clients, prune_regions, BundleOptions, PruneOptions};
+use multipub_data::ec2;
+use std::hint::black_box;
+
+fn percentile_samples(pairs: usize, per_pair_weight: u64) -> Vec<WeightedSample> {
+    (0..pairs)
+        .map(|i| WeightedSample {
+            time_ms: ((i * 7919) % 400) as f64,
+            weight: per_pair_weight,
+        })
+        .collect()
+}
+
+fn bench_d1_percentile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_d1/percentile");
+    // 100 pubs × 100 subs = 10 000 pairs; 60 messages per pair.
+    let samples = percentile_samples(10_000, 60);
+    let total: u64 = samples.iter().map(|s| s.weight).sum();
+    let rank = (0.75 * total as f64).ceil() as u64;
+    group.bench_function("weighted_(ours)", |b| {
+        b.iter_batched(
+            || samples.clone(),
+            |mut s| black_box(weighted_percentile(&mut s, rank)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    // The materialized variant expands to 600 000 entries; keep the pair
+    // count smaller so the bench completes, and report per-pair work.
+    let small = percentile_samples(1_000, 60);
+    let small_total: u64 = small.iter().map(|s| s.weight).sum();
+    let small_rank = (0.75 * small_total as f64).ceil() as u64;
+    group.bench_function("materialized_(paper)_1k_pairs", |b| {
+        b.iter(|| black_box(materialized_percentile(&small, small_rank)));
+    });
+    group.finish();
+}
+
+fn bench_d5_scaling_heuristics(c: &mut Criterion) {
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let workload = uniform_workload(40, 2017); // 400 + 400 clients
+    let constraint = DeliveryConstraint::new(75.0, 150.0).unwrap();
+
+    // Report the quality gap once, outside the timing loops.
+    let exact = Optimizer::new(&regions, &inter, &workload).unwrap().solve(&constraint);
+    let bundled = bundle_clients(&workload, &BundleOptions { epsilon_ms: 10.0 });
+    let allowed = prune_regions(&regions, &bundled, &PruneOptions::default()).unwrap();
+    let approx = Optimizer::new(&regions, &inter, &bundled)
+        .unwrap()
+        .with_allowed_regions(allowed)
+        .solve(&constraint);
+    println!(
+        "\n== Ablation D5: exact ${:.4} vs heuristic ${:.4} ({} -> {} subscriber entries, {} -> {} regions) ==\n",
+        exact.evaluation().cost_dollars(),
+        approx.evaluation().cost_dollars(),
+        workload.subscriber_count(),
+        bundled.subscriber_count(),
+        regions.len(),
+        allowed.count(),
+    );
+
+    let mut group = c.benchmark_group("ablation_d5/scaling");
+    group.sample_size(10);
+    group.bench_function("exact_solve", |b| {
+        b.iter(|| {
+            let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+            black_box(optimizer.solve(&constraint))
+        });
+    });
+    group.bench_function("bundled_and_pruned_solve", |b| {
+        b.iter(|| {
+            let bundled = bundle_clients(&workload, &BundleOptions { epsilon_ms: 10.0 });
+            let allowed =
+                prune_regions(&regions, &bundled, &PruneOptions::default()).unwrap();
+            let optimizer = Optimizer::new(&regions, &inter, &bundled)
+                .unwrap()
+                .with_allowed_regions(allowed);
+            black_box(optimizer.solve(&constraint))
+        });
+    });
+    group.finish();
+}
+
+fn bench_beam_search(c: &mut Criterion) {
+    use multipub_core::heuristic::{solve_heuristic, HeuristicOptions};
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let workload = uniform_workload(10, 2017); // the Fig. 3 population
+    let constraint = DeliveryConstraint::new(75.0, 150.0).unwrap();
+
+    let exact = Optimizer::new(&regions, &inter, &workload).unwrap().solve(&constraint);
+    let beam = solve_heuristic(
+        &regions,
+        &inter,
+        &workload,
+        &constraint,
+        &HeuristicOptions::default(),
+    )
+    .unwrap();
+    println!(
+        "\n== Beam search (§VII future work): exact ${:.4} in {} evals vs beam ${:.4} in {} evals ==\n",
+        exact.evaluation().cost_dollars(),
+        exact.configurations_considered(),
+        beam.evaluation().cost_dollars(),
+        beam.configurations_considered(),
+    );
+
+    let mut group = c.benchmark_group("ablation_beam/10regions_100x100");
+    group.sample_size(10);
+    group.bench_function("exact_exponential", |b| {
+        b.iter(|| {
+            let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+            black_box(optimizer.solve(&constraint))
+        });
+    });
+    group.bench_function("beam_width_3", |b| {
+        b.iter(|| {
+            black_box(
+                solve_heuristic(
+                    &regions,
+                    &inter,
+                    &workload,
+                    &constraint,
+                    &HeuristicOptions::default(),
+                )
+                .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    bench_d1_percentile(c);
+    bench_d5_scaling_heuristics(c);
+    bench_beam_search(c);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 3 (experiment 1): MultiPub vs *All Regions (Routed)* vs *One
+//! Region*. Prints the full paper-scale sweep (3a delivery times, 3b
+//! $/day, 3c regions + mode), then times one full 10-region optimal solve
+//! at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multipub_bench::uniform_workload;
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::optimizer::Optimizer;
+use multipub_data::ec2;
+use multipub_sim::experiments::exp1;
+use std::hint::black_box;
+
+fn print_figure3() {
+    let result = exp1::run(&exp1::Exp1Params::default());
+    println!("\n== Figure 3: MultiPub vs other approaches (100 pubs, 100 subs, ratio 75%) ==");
+    println!("{}", result.table().to_markdown());
+    println!(
+        "All-Regions: {:.1} ms at ${:.2}/day | One-Region: {:.1} ms at ${:.2}/day",
+        result.all_regions_delivery_ms,
+        result.all_regions_cost_per_day,
+        result.one_region_delivery_ms,
+        result.one_region_cost_per_day,
+    );
+    println!(
+        "Peak MultiPub saving vs All Regions: {:.0}% (paper: 28%)\n",
+        result.peak_saving_vs_all_regions() * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure3();
+
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let workload = uniform_workload(10, 2017);
+    let constraint = DeliveryConstraint::new(75.0, 150.0).unwrap();
+
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    group.bench_function("optimal_solve_100x100_10regions", |b| {
+        b.iter(|| {
+            let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+            black_box(optimizer.solve(black_box(&constraint)))
+        });
+    });
+    group.bench_function("baselines_only", |b| {
+        let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+        b.iter(|| {
+            let all = optimizer.solve_all_regions(
+                multipub_core::assignment::DeliveryMode::Routed,
+                &constraint,
+            );
+            let one = optimizer.solve_one_region(&constraint);
+            black_box((all, one))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 4 (experiment 2): direct vs routed delivery. Prints the
+//! paper-scale sweep (4a delivery, 4b cost), then times the three solver
+//! variants (Any / DirectOnly / RoutedOnly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multipub_core::assignment::ModePolicy;
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::optimizer::Optimizer;
+use multipub_data::ec2;
+use multipub_sim::experiments::exp2;
+use multipub_sim::population::{Population, PopulationSpec};
+use std::hint::black_box;
+
+fn print_figure4() {
+    let result = exp2::run(&exp2::Exp2Params::default());
+    println!("\n== Figure 4: direct vs routed (100 pubs Asia, 25 subs Asia + 25 subs USA) ==");
+    println!("{}", result.table().to_markdown());
+    println!(
+        "Min delivery: MultiPub-R {:.0} ms vs MultiPub-D {:.0} ms (paper: 94 vs 110)\n",
+        result.min_delivery_ms(|r| r.routed_only),
+        result.min_delivery_ms(|r| r.direct_only),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure4();
+
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let mut spec = PopulationSpec::uniform(10, 0, 0, 1.0, 1024);
+    spec.pubs_per_region[ec2::regions::AP_NORTHEAST_1.index()] = 100;
+    spec.subs_per_region[ec2::regions::AP_NORTHEAST_1.index()] = 25;
+    spec.subs_per_region[ec2::regions::US_EAST_1.index()] = 25;
+    let workload = Population::generate(&spec, &inter, 2017).workload(60.0);
+    let constraint = DeliveryConstraint::new(75.0, 120.0).unwrap();
+
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("multipub", ModePolicy::Any),
+        ("multipub_d", ModePolicy::DirectOnly),
+        ("multipub_r", ModePolicy::RoutedOnly),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let optimizer = Optimizer::new(&regions, &inter, &workload)
+                    .unwrap()
+                    .with_policy(policy);
+                black_box(optimizer.solve(black_box(&constraint)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

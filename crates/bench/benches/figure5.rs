@@ -1,0 +1,59 @@
+//! Figure 5 (experiment 3): localized pub/sub delivery in an expensive
+//! region. Prints the paper-scale Tokyo (5a) and São Paulo (5b) sweeps,
+//! then times the localized solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::optimizer::Optimizer;
+use multipub_data::ec2;
+use multipub_sim::experiments::exp3;
+use multipub_sim::population::{Population, PopulationSpec};
+use std::hint::black_box;
+
+fn print_figure5() {
+    for (label, params, paper_saving) in [
+        ("5a: Asia (Tokyo)", exp3::Exp3Params::asia(), 36),
+        ("5b: South America (São Paulo)", exp3::Exp3Params::south_america(), 65),
+    ] {
+        let result = exp3::run(&params);
+        println!("\n== Figure {label}: 100 local pubs + 100 local subs, ratio 95% ==");
+        println!("{}", result.table().to_markdown());
+        println!(
+            "Local-only: {:.1} ms at ${:.2}/day | peak saving {:.0}% (paper: {paper_saving}%)",
+            result.local_only_delivery_ms,
+            result.local_only_cost_per_day,
+            result.peak_saving() * 100.0,
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure5();
+
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let spec = PopulationSpec::localized(
+        10,
+        ec2::regions::SA_EAST_1,
+        100,
+        100,
+        1.0,
+        1024,
+    );
+    let workload = Population::generate(&spec, &inter, 2017).workload(60.0);
+    let constraint = DeliveryConstraint::new(95.0, 200.0).unwrap();
+
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    group.bench_function("localized_solve_sao_paulo", |b| {
+        b.iter(|| {
+            let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+            black_box(optimizer.solve(black_box(&constraint)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Figure 6 (experiment 4): solver runtime analysis — the paper's own
+//! measured quantity. Criterion times the optimal solve while the client
+//! count scales (Fig. 6a: 10→100 pubs+subs, 10 regions), while the region
+//! count scales (Fig. 6b: 2→10 regions, 100+100 clients), and for the
+//! paper's asymmetric settings (10×1000, 1000×10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::optimizer::Optimizer;
+use multipub_data::ec2;
+use multipub_sim::experiments::exp4;
+use multipub_sim::population::{Population, PopulationSpec};
+use std::hint::black_box;
+
+fn print_figure6_tables() {
+    let params = exp4::Exp4Params::default();
+    println!("\n== Figure 6a: runtime vs clients (10 regions) ==");
+    println!("{}", exp4::run_scaling_clients(&params, 10, 100, 10).table().to_markdown());
+    println!("== Figure 6b: runtime vs regions (100 pubs + 100 subs) ==");
+    println!("{}", exp4::run_scaling_regions(&params, 100, 2, 10).table().to_markdown());
+    println!("== Asymmetric settings (paper §V.F text) ==");
+    println!(
+        "{}",
+        exp4::run_asymmetric(&params, &[(10, 1000), (1000, 10)]).table().to_markdown()
+    );
+}
+
+fn workload_for(n_regions: usize, pubs: usize, subs: usize) -> (
+    multipub_core::region::RegionSet,
+    multipub_core::latency::InterRegionMatrix,
+    multipub_core::workload::TopicWorkload,
+) {
+    let (regions, inter) = ec2::restricted_deployment(n_regions);
+    let spread = |total: usize| -> Vec<usize> {
+        (0..n_regions)
+            .map(|i| total / n_regions + usize::from(i < total % n_regions))
+            .collect()
+    };
+    let spec = PopulationSpec {
+        pubs_per_region: spread(pubs),
+        subs_per_region: spread(subs),
+        rate_per_sec: 1.0,
+        size_bytes: 1024,
+    };
+    let workload = Population::generate(&spec, &inter, 2017).workload(60.0);
+    (regions, inter, workload)
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure6_tables();
+    let constraint = DeliveryConstraint::new(75.0, 150.0).unwrap();
+
+    let mut group = c.benchmark_group("figure6a/clients");
+    group.sample_size(10);
+    for n in [10usize, 40, 70, 100] {
+        let (regions, inter, workload) = workload_for(10, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+                black_box(optimizer.solve(black_box(&constraint)))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("figure6b/regions");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8, 10] {
+        let (regions, inter, workload) = workload_for(n, 100, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+                black_box(optimizer.solve(black_box(&constraint)))
+            });
+        });
+    }
+    group.finish();
+
+    // §IV.C: topics are independent, so multi-topic optimization
+    // parallelizes; compare sequential vs scoped-thread fan-out.
+    let mut group = c.benchmark_group("figure6/topics_parallel");
+    group.sample_size(10);
+    {
+        use multipub_core::optimizer::{solve_topics, Optimizer, TopicProblem};
+        let (regions, inter, _) = workload_for(10, 10, 10);
+        let topics: Vec<TopicProblem> = (0..8)
+            .map(|i| TopicProblem {
+                workload: {
+                    let (_, _, w) = workload_for(10, 30, 30);
+                    let _ = i;
+                    w
+                },
+                constraint,
+            })
+            .collect();
+        group.bench_function("8_topics_parallel", |b| {
+            b.iter(|| black_box(solve_topics(&regions, &inter, &topics).unwrap()));
+        });
+        group.bench_function("8_topics_sequential", |b| {
+            b.iter(|| {
+                let solutions: Vec<_> = topics
+                    .iter()
+                    .map(|t| {
+                        Optimizer::new(&regions, &inter, &t.workload)
+                            .unwrap()
+                            .solve(&t.constraint)
+                    })
+                    .collect();
+                black_box(solutions)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("figure6/asymmetric");
+    group.sample_size(10);
+    for (pubs, subs) in [(10usize, 1000usize), (1000, 10)] {
+        let (regions, inter, workload) = workload_for(10, pubs, subs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pubs}x{subs}")),
+            &(pubs, subs),
+            |b, _| {
+                b.iter(|| {
+                    let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+                    black_box(optimizer.solve(black_box(&constraint)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table I: EC2 outgoing bandwidth costs, plus micro-benchmarks of the
+//! cost-model kernels (Eq. 3–4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multipub_bench::uniform_workload;
+use multipub_core::assignment::{AssignmentVector, Configuration, DeliveryMode};
+use multipub_core::cost::topic_cost_dollars;
+use multipub_data::ec2;
+use multipub_sim::table::Table;
+use std::hint::black_box;
+
+fn print_table_i() {
+    let regions = ec2::region_set();
+    let mut table = Table::new(["R", "Region", "Location", "$EC2", "$Inet"]);
+    for (id, region) in regions.iter() {
+        table.push_row([
+            format!("R{}", id.index() + 1),
+            region.name().to_string(),
+            region.location().to_string(),
+            format!("{}", region.inter_region_cost_per_gb()),
+            format!("{}", region.internet_cost_per_gb()),
+        ]);
+    }
+    println!("\n== Table I: EC2 outgoing bandwidth costs ($/GB) ==");
+    println!("{}", table.to_markdown());
+}
+
+fn bench(c: &mut Criterion) {
+    print_table_i();
+    let regions = ec2::region_set();
+    let workload = uniform_workload(10, 2017);
+    let all = AssignmentVector::all(10).unwrap();
+
+    let mut group = c.benchmark_group("table1/cost_model");
+    group.bench_function("direct_cost_eq3", |b| {
+        let config = Configuration::new(all, DeliveryMode::Direct);
+        b.iter(|| black_box(topic_cost_dollars(&regions, &workload, black_box(config))));
+    });
+    group.bench_function("routed_cost_eq4", |b| {
+        let config = Configuration::new(all, DeliveryMode::Routed);
+        b.iter(|| black_box(topic_cost_dollars(&regions, &workload, black_box(config))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,573 @@
+//! The per-region broker.
+//!
+//! One broker serves one cloud region (the paper's single-server-per-region
+//! simplification). It plays two roles:
+//!
+//! * **Pub/sub matching engine** — tracks local subscriptions, delivers
+//!   publications to local subscribers, and under routed delivery forwards
+//!   first-hop publications to the peer brokers of the topic's other
+//!   serving regions.
+//! * **Region manager** (paper §III.A3) — collects per-topic statistics
+//!   (publishers, message counts and bytes, local subscribers) over the
+//!   current interval, hands them to the controller on request, and fans
+//!   controller configuration updates out to its connected clients.
+//!
+//! Topics without an installed configuration default to *all regions,
+//! routed* — the safe bootstrap that guarantees delivery everywhere until
+//! the controller optimizes the topic down.
+
+use crate::conn::{read_frame, BrokerError};
+use crate::delay::{DelayTable, Outbound};
+use crate::frame::{Frame, Role, WireMode};
+use bytes::{Bytes, BytesMut};
+use multipub_core::ids::RegionId;
+use multipub_filter::{Headers, Predicate};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::task::JoinHandle;
+
+/// Per-publisher statistics within one topic and interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PublisherStats {
+    /// Number of publications observed.
+    pub messages: u64,
+    /// Total payload bytes observed.
+    pub bytes: u64,
+}
+
+/// Per-topic statistics within one region and interval.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TopicReport {
+    /// Statistics per publishing client id.
+    pub publishers: BTreeMap<u64, PublisherStats>,
+    /// Client ids of local subscribers.
+    pub subscribers: Vec<u64>,
+}
+
+/// One region manager's interval report (paper §III.A3), sent to the
+/// controller as JSON in a [`Frame::StatsReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionReport {
+    /// The reporting broker's region index.
+    pub region: u16,
+    /// Per-topic statistics.
+    pub topics: BTreeMap<String, TopicReport>,
+}
+
+/// A topic's installed configuration as the broker stores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstalledConfig {
+    /// Assignment bitmask, bit `i` ↔ region `i`.
+    pub mask: u32,
+    /// Delivery mode.
+    pub mode: WireMode,
+}
+
+#[derive(Debug)]
+struct ConnectedClient {
+    client_id: u64,
+    role: Role,
+    outbound: Outbound,
+}
+
+#[derive(Debug, Default)]
+struct TopicState {
+    /// Local subscribers by connection id, each with its content filter
+    /// ([`Predicate::True`] for plain topic subscriptions).
+    subscriber_conns: HashMap<u64, Predicate>,
+}
+
+#[derive(Debug, Default)]
+struct TopicStats {
+    publishers: HashMap<u64, PublisherStats>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    region: RegionId,
+    delays: DelayTable,
+    /// Addresses of peer brokers by region index.
+    peer_addrs: Mutex<HashMap<u16, SocketAddr>>,
+    /// Established outbound connections to peer brokers.
+    peer_conns: tokio::sync::Mutex<HashMap<u16, Outbound>>,
+    /// Connected clients by connection id.
+    clients: Mutex<HashMap<u64, ConnectedClient>>,
+    /// Local subscription state per topic.
+    topics: Mutex<HashMap<String, TopicState>>,
+    /// Installed configurations per topic.
+    configs: Mutex<HashMap<String, InstalledConfig>>,
+    /// Interval statistics per topic.
+    stats: Mutex<HashMap<String, TopicStats>>,
+    next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    /// The default configuration for topics the controller has not placed
+    /// yet: every known region (self + peers), routed delivery.
+    fn default_config(&self) -> InstalledConfig {
+        let mut mask = 1u32 << self.region.0;
+        for region in self.peer_addrs.lock().keys() {
+            mask |= 1u32 << *region;
+        }
+        InstalledConfig { mask, mode: WireMode::Routed }
+    }
+
+    fn config_for(&self, topic: &str) -> InstalledConfig {
+        self.configs.lock().get(topic).copied().unwrap_or_else(|| self.default_config())
+    }
+}
+
+/// Builder for a [`Broker`]. See [`Broker::builder`].
+#[derive(Debug)]
+pub struct BrokerBuilder {
+    region: RegionId,
+    bind: SocketAddr,
+    peers: Vec<(RegionId, SocketAddr)>,
+    delays: DelayTable,
+}
+
+impl BrokerBuilder {
+    /// The address to listen on (use port 0 for an ephemeral port).
+    pub fn bind(mut self, addr: SocketAddr) -> Self {
+        self.bind = addr;
+        self
+    }
+
+    /// Registers a peer broker for another region. Peers may also be added
+    /// after startup with [`Broker::add_peer`].
+    pub fn peer(mut self, region: RegionId, addr: SocketAddr) -> Self {
+        self.peers.push((region, addr));
+        self
+    }
+
+    /// Installs a WAN-emulation delay table (see [`DelayTable`]).
+    pub fn delays(mut self, delays: DelayTable) -> Self {
+        self.delays = delays;
+        self
+    }
+
+    /// Binds the listener and spawns the broker's accept loop on the
+    /// current tokio runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Io`] if the listener cannot be bound.
+    pub async fn spawn(self) -> Result<Broker, BrokerError> {
+        let listener = TcpListener::bind(self.bind).await?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            region: self.region,
+            delays: self.delays,
+            peer_addrs: Mutex::new(
+                self.peers.into_iter().map(|(r, a)| (u16::from(r.0), a)).collect(),
+            ),
+            peer_conns: tokio::sync::Mutex::new(HashMap::new()),
+            clients: Mutex::new(HashMap::new()),
+            topics: Mutex::new(HashMap::new()),
+            configs: Mutex::new(HashMap::new()),
+            stats: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_task = tokio::spawn(async move {
+            loop {
+                match listener.accept().await {
+                    Ok((stream, _)) => {
+                        let shared = Arc::clone(&accept_shared);
+                        tokio::spawn(async move {
+                            // Connection errors only affect that peer.
+                            let _ = handle_connection(shared, stream).await;
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Broker { local_addr, shared, accept_task })
+    }
+}
+
+/// A running per-region broker. Dropping the handle shuts the broker down.
+#[derive(Debug)]
+pub struct Broker {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_task: JoinHandle<()>,
+}
+
+impl Broker {
+    /// Starts building a broker for `region`.
+    pub fn builder(region: RegionId) -> BrokerBuilder {
+        BrokerBuilder {
+            region,
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            peers: Vec::new(),
+            delays: DelayTable::none(),
+        }
+    }
+
+    /// The address the broker is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The broker's region.
+    pub fn region(&self) -> RegionId {
+        self.shared.region
+    }
+
+    /// Registers (or replaces) a peer broker after startup.
+    pub fn add_peer(&self, region: RegionId, addr: SocketAddr) {
+        self.shared.peer_addrs.lock().insert(u16::from(region.0), addr);
+    }
+
+    /// Installs a topic configuration locally, exactly as a controller
+    /// [`Frame::ConfigUpdate`] would, including the client fan-out.
+    pub fn install_config(&self, topic: &str, mask: u32, mode: WireMode) {
+        apply_config_update(&self.shared, topic, mask, mode);
+    }
+
+    /// The topic configuration currently in force (installed or default).
+    pub fn config_for(&self, topic: &str) -> InstalledConfig {
+        self.shared.config_for(topic)
+    }
+
+    /// Snapshots and **clears** the interval statistics — the region
+    /// manager's report for the elapsed collection interval.
+    pub fn take_report(&self) -> RegionReport {
+        take_report(&self.shared)
+    }
+
+    /// Current number of connected clients (all roles).
+    pub fn client_count(&self) -> usize {
+        self.shared.clients.lock().len()
+    }
+
+    /// Shuts the broker down: stops accepting; existing connections are
+    /// dropped as their tasks notice closed sockets.
+    pub fn shutdown(self) {
+        self.accept_task.abort();
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+fn take_report(shared: &Shared) -> RegionReport {
+    let mut topics: BTreeMap<String, TopicReport> = BTreeMap::new();
+    {
+        let mut stats = shared.stats.lock();
+        for (topic, topic_stats) in stats.drain() {
+            topics.entry(topic).or_default().publishers =
+                topic_stats.publishers.into_iter().collect();
+        }
+    }
+    {
+        let topic_states = shared.topics.lock();
+        let clients = shared.clients.lock();
+        for (topic, state) in topic_states.iter() {
+            if state.subscriber_conns.is_empty() {
+                continue;
+            }
+            let entry = topics.entry(topic.clone()).or_default();
+            let mut subscriber_ids: Vec<u64> = state
+                .subscriber_conns
+                .keys()
+                .filter_map(|conn| clients.get(conn).map(|c| c.client_id))
+                .collect();
+            subscriber_ids.sort_unstable();
+            subscriber_ids.dedup();
+            entry.subscribers = subscriber_ids;
+        }
+    }
+    RegionReport { region: u16::from(shared.region.0), topics }
+}
+
+fn apply_config_update(shared: &Shared, topic: &str, mask: u32, mode: WireMode) {
+    shared.configs.lock().insert(topic.to_string(), InstalledConfig { mask, mode });
+    // Fan the update out to every connected client so publishers and
+    // subscribers can re-steer. (The paper narrows this to the clients
+    // closest to this region; broadcasting is correct and simpler — remote
+    // clients ignore updates for topics they do not use.)
+    let update = Frame::ConfigUpdate { topic: topic.to_string(), mask, mode };
+    let clients = shared.clients.lock();
+    for client in clients.values() {
+        if matches!(client.role, Role::Publisher | Role::Subscriber) {
+            client.outbound.send(&update);
+        }
+    }
+}
+
+/// Obtains (establishing on demand) the outbound connection to a peer
+/// broker.
+async fn peer_outbound(shared: &Arc<Shared>, region: u16) -> Option<Outbound> {
+    {
+        let conns = shared.peer_conns.lock().await;
+        if let Some(out) = conns.get(&region) {
+            if out.is_open() {
+                return Some(out.clone());
+            }
+        }
+    }
+    let addr = *shared.peer_addrs.lock().get(&region)?;
+    let stream = TcpStream::connect(addr).await.ok()?;
+    let (mut read_half, write_half) = stream.into_split();
+    let outbound = Outbound::spawn(write_half, shared.delays.to_region(region));
+    outbound.send(&Frame::Connect {
+        client_id: u64::from(shared.region.0),
+        role: Role::Peer,
+    });
+    // Drain (and discard) whatever the peer sends on this channel — it is
+    // write-mostly, but the ConnectAck must be consumed.
+    tokio::spawn(async move {
+        let mut buf = BytesMut::new();
+        while let Ok(Some(_)) = read_frame(&mut read_half, &mut buf).await {}
+    });
+    let mut conns = shared.peer_conns.lock().await;
+    conns.insert(region, outbound.clone());
+    Some(outbound)
+}
+
+fn record_publish(shared: &Shared, topic: &str, publisher: u64, payload_len: usize) {
+    let mut stats = shared.stats.lock();
+    let entry = stats
+        .entry(topic.to_string())
+        .or_default()
+        .publishers
+        .entry(publisher)
+        .or_default();
+    entry.messages += 1;
+    entry.bytes += payload_len as u64;
+}
+
+fn deliver_locally(
+    shared: &Shared,
+    topic: &str,
+    publisher: u64,
+    publish_micros: u64,
+    headers_json: &str,
+    payload: &Bytes,
+) {
+    let recipients: Vec<(u64, Predicate)> = match shared.topics.lock().get(topic) {
+        Some(state) => state
+            .subscriber_conns
+            .iter()
+            .map(|(conn, filter)| (*conn, filter.clone()))
+            .collect(),
+        None => return,
+    };
+    if recipients.is_empty() {
+        return;
+    }
+    // Parse the headers once per message, and only when some local
+    // subscriber actually filters on content.
+    let needs_headers = recipients.iter().any(|(_, f)| *f != Predicate::True);
+    let headers = if needs_headers && !headers_json.is_empty() {
+        Headers::from_json(headers_json).unwrap_or_default()
+    } else {
+        Headers::new()
+    };
+    let frame = Frame::Deliver {
+        topic: topic.to_string(),
+        publisher,
+        publish_micros,
+        headers: headers_json.to_string(),
+        payload: payload.clone(),
+    };
+    let clients = shared.clients.lock();
+    for (conn_id, filter) in recipients {
+        if !filter.matches(&headers) {
+            continue;
+        }
+        if let Some(client) = clients.get(&conn_id) {
+            client.outbound.send(&frame);
+        }
+    }
+}
+
+async fn handle_publish_from_client(
+    shared: &Arc<Shared>,
+    topic: String,
+    publisher: u64,
+    publish_micros: u64,
+    single_target: bool,
+    headers: String,
+    payload: Bytes,
+) {
+    record_publish(shared, &topic, publisher, payload.len());
+    deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload);
+
+    // Forward to the topic's other serving regions when (a) the publisher
+    // sent to us alone (routed delivery, or a stale routed view during the
+    // reconfiguration window), or (b) we are no longer a serving region —
+    // then a stale direct fan-out may have missed the real serving set and
+    // we act as ingress. The installed configuration, not the publisher's
+    // view, decides the serving set; transient duplicates during a
+    // reconfiguration are accepted (at-least-once across config changes).
+    let config = shared.config_for(&topic);
+    let self_serving = config.mask & (1u32 << shared.region.0) != 0;
+    if !single_target && self_serving {
+        return;
+    }
+    let frame = Frame::Forward {
+        topic: topic.clone(),
+        publisher,
+        publish_micros,
+        origin_region: u16::from(shared.region.0),
+        headers,
+        payload,
+    };
+    for region in 0..32u16 {
+        let bit = 1u32 << region;
+        if config.mask & bit == 0 || region == u16::from(shared.region.0) {
+            continue;
+        }
+        if let Some(outbound) = peer_outbound(shared, region).await {
+            outbound.send(&frame);
+        }
+    }
+}
+
+async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(), BrokerError> {
+    stream.set_nodelay(true).ok();
+    let (mut read_half, write_half) = stream.into_split();
+    let mut buf = BytesMut::new();
+
+    // Handshake.
+    let (client_id, role) = match read_frame(&mut read_half, &mut buf).await? {
+        Some(Frame::Connect { client_id, role }) => (client_id, role),
+        Some(_) => return Err(BrokerError::UnexpectedFrame { expected: "Connect" }),
+        None => return Ok(()),
+    };
+    let delay = match role {
+        Role::Publisher | Role::Subscriber => shared.delays.to_client(client_id),
+        Role::Peer => shared.delays.to_region(client_id as u16),
+        Role::Controller => std::time::Duration::ZERO,
+    };
+    let outbound = Outbound::spawn(write_half, delay);
+    outbound.send(&Frame::ConnectAck { region: u16::from(shared.region.0) });
+
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    if matches!(role, Role::Publisher | Role::Subscriber) {
+        shared
+            .clients
+            .lock()
+            .insert(conn_id, ConnectedClient { client_id, role, outbound: outbound.clone() });
+        // Replay the installed configurations so late-joining clients
+        // steer correctly from their first operation.
+        let configs: Vec<(String, InstalledConfig)> = shared
+            .configs
+            .lock()
+            .iter()
+            .map(|(topic, config)| (topic.clone(), *config))
+            .collect();
+        for (topic, config) in configs {
+            outbound.send(&Frame::ConfigUpdate {
+                topic,
+                mask: config.mask,
+                mode: config.mode,
+            });
+        }
+    }
+
+    let result = connection_loop(&shared, conn_id, role, &mut read_half, &mut buf, &outbound).await;
+
+    // Unregister.
+    if matches!(role, Role::Publisher | Role::Subscriber) {
+        shared.clients.lock().remove(&conn_id);
+        let mut topics = shared.topics.lock();
+        for state in topics.values_mut() {
+            state.subscriber_conns.remove(&conn_id);
+        }
+    }
+    result
+}
+
+async fn connection_loop(
+    shared: &Arc<Shared>,
+    conn_id: u64,
+    role: Role,
+    read_half: &mut tokio::net::tcp::OwnedReadHalf,
+    buf: &mut BytesMut,
+    outbound: &Outbound,
+) -> Result<(), BrokerError> {
+    while let Some(frame) = read_frame(read_half, buf).await? {
+        match frame {
+            Frame::Subscribe { topic, filter } => {
+                // An unparseable filter falls back to match-all: the
+                // client library validates before sending, so this only
+                // triggers for foreign clients — better to over-deliver
+                // than to silently drop a subscription.
+                let predicate = if filter.is_empty() {
+                    Predicate::True
+                } else {
+                    Predicate::parse(&filter).unwrap_or(Predicate::True)
+                };
+                shared
+                    .topics
+                    .lock()
+                    .entry(topic)
+                    .or_default()
+                    .subscriber_conns
+                    .insert(conn_id, predicate);
+            }
+            Frame::Unsubscribe { topic } => {
+                if let Some(state) = shared.topics.lock().get_mut(&topic) {
+                    state.subscriber_conns.remove(&conn_id);
+                }
+            }
+            Frame::Publish {
+                topic,
+                publisher,
+                publish_micros,
+                single_target,
+                headers,
+                payload,
+            } => {
+                handle_publish_from_client(
+                    shared,
+                    topic,
+                    publisher,
+                    publish_micros,
+                    single_target,
+                    headers,
+                    payload,
+                )
+                .await;
+            }
+            Frame::Forward { topic, publisher, publish_micros, headers, payload, .. } => {
+                // Second hop of routed delivery: local fan-out only.
+                deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload);
+            }
+            Frame::StatsRequest => {
+                let report = take_report(shared);
+                let json = serde_json::to_string(&report).expect("report serializes");
+                outbound.send(&Frame::StatsReport { json });
+            }
+            Frame::ConfigUpdate { topic, mask, mode } => {
+                if matches!(role, Role::Controller) {
+                    apply_config_update(shared, &topic, mask, mode);
+                }
+            }
+            Frame::Ping { nonce } => {
+                outbound.send(&Frame::Pong { nonce });
+            }
+            // Frames a broker never expects inbound are ignored rather
+            // than fatal: forward compatibility over strictness.
+            Frame::Connect { .. }
+            | Frame::ConnectAck { .. }
+            | Frame::Deliver { .. }
+            | Frame::StatsReport { .. }
+            | Frame::Pong { .. } => {}
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,609 @@
+//! Publisher and subscriber client handles.
+//!
+//! Clients know their one-way latency towards every region (measured out
+//! of band; here supplied up front) and the address of each region's
+//! broker. They track per-topic configurations pushed by the brokers
+//! ([`Frame::ConfigUpdate`]) and re-steer automatically:
+//!
+//! * a **subscriber** keeps each topic subscribed at the *closest serving
+//!   region*, resubscribing (make-before-break) when a reconfiguration
+//!   changes that region;
+//! * a **publisher** sends each publication to *all* serving regions under
+//!   direct delivery, or only to its closest serving region under routed
+//!   delivery.
+//!
+//! Topics with no installed configuration yet are treated as served by all
+//! regions with routed delivery, matching the brokers' bootstrap default.
+
+use crate::broker::InstalledConfig;
+use crate::conn::{read_frame, BrokerError};
+use crate::delay::{duration_from_ms, Outbound};
+use crate::frame::{Frame, Role, WireMode};
+use bytes::{Bytes, BytesMut};
+use multipub_core::ids::RegionId;
+use multipub_filter::{Headers, Predicate};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::TcpStream;
+use tokio::sync::mpsc;
+
+/// Connection settings shared by publishers and subscribers.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// This client's id (unique per deployment).
+    pub client_id: u64,
+    /// Broker address per region, indexed by region id.
+    pub region_addrs: Vec<SocketAddr>,
+    /// One-way latency towards each region, milliseconds. Drives the
+    /// "closest region" choice; leave empty for all-zero (first region
+    /// wins ties).
+    pub latencies_ms: Vec<f64>,
+    /// When `true`, the client delays its own outbound frames by
+    /// `latencies_ms[region]`, emulating its WAN uplink on loopback.
+    pub emulate_wan: bool,
+}
+
+impl ClientConfig {
+    /// A configuration with no latency information and no WAN emulation.
+    pub fn new(client_id: u64, region_addrs: Vec<SocketAddr>) -> Self {
+        ClientConfig { client_id, region_addrs, latencies_ms: Vec::new(), emulate_wan: false }
+    }
+
+    fn latency(&self, region: usize) -> f64 {
+        self.latencies_ms.get(region).copied().unwrap_or(0.0)
+    }
+
+    fn validate(&self) -> Result<(), BrokerError> {
+        if self.region_addrs.is_empty() {
+            return Err(BrokerError::UnknownRegion { region: 0 });
+        }
+        Ok(())
+    }
+}
+
+/// A publication received by a subscriber.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The topic the publication was sent on.
+    pub topic: String,
+    /// The publishing client's id.
+    pub publisher: u64,
+    /// Publisher-side timestamp, microseconds since the Unix epoch.
+    pub publish_micros: u64,
+    /// Receipt timestamp, microseconds since the Unix epoch.
+    pub received_micros: u64,
+    /// Content headers the publication carried (empty when none).
+    pub headers: Headers,
+    /// Message payload.
+    pub payload: Bytes,
+}
+
+impl Delivery {
+    /// End-to-end delivery time in milliseconds (meaningful when publisher
+    /// and subscriber clocks agree, e.g. on one host).
+    pub fn latency_ms(&self) -> f64 {
+        (self.received_micros.saturating_sub(self.publish_micros)) as f64 / 1000.0
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Delivery(Delivery),
+    Config { topic: String },
+    Disconnected { region: u16 },
+}
+
+/// Per-region connection management shared by both client kinds.
+#[derive(Debug)]
+struct Links {
+    config: ClientConfig,
+    role: Role,
+    conns: HashMap<u16, Outbound>,
+    topic_configs: Arc<Mutex<HashMap<String, InstalledConfig>>>,
+    events_tx: mpsc::UnboundedSender<Event>,
+}
+
+impl Links {
+    fn new(config: ClientConfig, role: Role, events_tx: mpsc::UnboundedSender<Event>) -> Self {
+        Links {
+            config,
+            role,
+            conns: HashMap::new(),
+            topic_configs: Arc::new(Mutex::new(HashMap::new())),
+            events_tx,
+        }
+    }
+
+    fn n_regions(&self) -> usize {
+        self.config.region_addrs.len()
+    }
+
+    /// The configuration to use for `topic`: installed, or the all-regions
+    /// routed bootstrap default.
+    fn config_for(&self, topic: &str) -> InstalledConfig {
+        self.topic_configs.lock().get(topic).copied().unwrap_or(InstalledConfig {
+            mask: if self.n_regions() >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << self.n_regions()) - 1
+            },
+            mode: WireMode::Routed,
+        })
+    }
+
+    /// The closest region among the serving set of `mask`.
+    fn closest_serving(&self, mask: u32) -> u16 {
+        let mut best: Option<(f64, u16)> = None;
+        for region in 0..self.n_regions() as u16 {
+            if mask & (1u32 << region) == 0 {
+                continue;
+            }
+            let lat = self.config.latency(region as usize);
+            if best.is_none_or(|(b, _)| lat < b) {
+                best = Some((lat, region));
+            }
+        }
+        best.map(|(_, r)| r).unwrap_or(0)
+    }
+
+    /// Returns the outbound handle for a region, connecting on demand.
+    async fn connect(&mut self, region: u16) -> Result<Outbound, BrokerError> {
+        if let Some(out) = self.conns.get(&region) {
+            if out.is_open() {
+                return Ok(out.clone());
+            }
+        }
+        let addr = *self
+            .config
+            .region_addrs
+            .get(region as usize)
+            .ok_or(BrokerError::UnknownRegion { region })?;
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true).ok();
+        let (mut read_half, write_half) = stream.into_split();
+        let delay = if self.config.emulate_wan {
+            duration_from_ms(self.config.latency(region as usize))
+        } else {
+            Duration::ZERO
+        };
+        let outbound = Outbound::spawn(write_half, delay);
+        outbound.send(&Frame::Connect { client_id: self.config.client_id, role: self.role });
+
+        // Reader task: funnel deliveries and config updates into the
+        // client's event queue.
+        let events_tx = self.events_tx.clone();
+        let topic_configs = Arc::clone(&self.topic_configs);
+        tokio::spawn(async move {
+            let mut buf = BytesMut::new();
+            loop {
+                match read_frame(&mut read_half, &mut buf).await {
+                    Ok(Some(Frame::Deliver {
+                        topic,
+                        publisher,
+                        publish_micros,
+                        headers,
+                        payload,
+                    })) => {
+                        let headers = if headers.is_empty() {
+                            Headers::new()
+                        } else {
+                            Headers::from_json(&headers).unwrap_or_default()
+                        };
+                        let delivery = Delivery {
+                            topic,
+                            publisher,
+                            publish_micros,
+                            received_micros: now_micros(),
+                            headers,
+                            payload,
+                        };
+                        if events_tx.send(Event::Delivery(delivery)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(Some(Frame::ConfigUpdate { topic, mask, mode })) => {
+                        topic_configs
+                            .lock()
+                            .insert(topic.clone(), InstalledConfig { mask, mode });
+                        if events_tx.send(Event::Config { topic }).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(Some(_)) => {} // ConnectAck, Pong, …
+                    Ok(None) | Err(_) => {
+                        let _ = events_tx.send(Event::Disconnected { region });
+                        break;
+                    }
+                }
+            }
+        });
+        self.conns.insert(region, outbound.clone());
+        Ok(outbound)
+    }
+}
+
+/// Microseconds since the Unix epoch.
+pub(crate) fn now_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+#[derive(Debug)]
+enum Command {
+    Subscribe {
+        topic: String,
+        filter: String,
+        ack: tokio::sync::oneshot::Sender<Result<(), BrokerError>>,
+    },
+    Unsubscribe { topic: String, ack: tokio::sync::oneshot::Sender<Result<(), BrokerError>> },
+}
+
+/// A subscribing client. See the module docs for the steering rules.
+///
+/// Subscription steering runs in a background actor task: configuration
+/// updates are applied (make-before-break resubscription) the moment they
+/// arrive, even while the application is not waiting in
+/// [`SubscriberClient::next_delivery`] — otherwise publications sent right
+/// after a reconfiguration could slip past a subscriber that has not yet
+/// moved to the new serving region.
+#[derive(Debug)]
+pub struct SubscriberClient {
+    commands_tx: mpsc::UnboundedSender<Command>,
+    deliveries_rx: mpsc::UnboundedReceiver<Delivery>,
+    /// topic → (region currently subscribed at, filter source) — shared
+    /// with the actor.
+    subscriptions: Arc<Mutex<HashMap<String, (u16, String)>>>,
+}
+
+impl SubscriberClient {
+    /// Creates a subscriber handle and spawns its steering actor on the
+    /// current tokio runtime. Connections are opened lazily on the first
+    /// subscribe touching each region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownRegion`] if `config` lists no regions.
+    pub fn new(config: ClientConfig) -> Result<Self, BrokerError> {
+        config.validate()?;
+        let (events_tx, events_rx) = mpsc::unbounded_channel();
+        let (commands_tx, commands_rx) = mpsc::unbounded_channel();
+        let (deliveries_tx, deliveries_rx) = mpsc::unbounded_channel();
+        let subscriptions = Arc::new(Mutex::new(HashMap::new()));
+        let actor = SubscriberActor {
+            links: Links::new(config, Role::Subscriber, events_tx),
+            events_rx,
+            commands_rx,
+            deliveries_tx,
+            subscriptions: Arc::clone(&subscriptions),
+        };
+        tokio::spawn(actor.run());
+        Ok(SubscriberClient { commands_tx, deliveries_rx, subscriptions })
+    }
+
+    /// Subscribes to `topic` at the closest serving region.
+    ///
+    /// # Errors
+    ///
+    /// Returns a connection error if the serving broker is unreachable.
+    pub async fn subscribe(&mut self, topic: &str) -> Result<(), BrokerError> {
+        self.send_subscribe(topic, String::new()).await
+    }
+
+    /// Subscribes to `topic` restricted by a content filter (the
+    /// `multipub-filter` predicate language) — the paper's future-work
+    /// content-based extension. Only publications whose headers satisfy
+    /// the predicate are delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::BadFilter`] when the predicate does not
+    /// parse, or a connection error if the serving broker is unreachable.
+    pub async fn subscribe_filtered(
+        &mut self,
+        topic: &str,
+        filter: &str,
+    ) -> Result<(), BrokerError> {
+        Predicate::parse(filter)
+            .map_err(|e| BrokerError::BadFilter { message: e.to_string() })?;
+        self.send_subscribe(topic, filter.to_string()).await
+    }
+
+    async fn send_subscribe(&mut self, topic: &str, filter: String) -> Result<(), BrokerError> {
+        let (ack, done) = tokio::sync::oneshot::channel();
+        self.commands_tx
+            .send(Command::Subscribe { topic: topic.to_string(), filter, ack })
+            .map_err(|_| BrokerError::ConnectionClosed)?;
+        done.await.map_err(|_| BrokerError::ConnectionClosed)?
+    }
+
+    /// Drops the subscription to `topic`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a connection error if the serving broker is unreachable.
+    pub async fn unsubscribe(&mut self, topic: &str) -> Result<(), BrokerError> {
+        let (ack, done) = tokio::sync::oneshot::channel();
+        self.commands_tx
+            .send(Command::Unsubscribe { topic: topic.to_string(), ack })
+            .map_err(|_| BrokerError::ConnectionClosed)?;
+        done.await.map_err(|_| BrokerError::ConnectionClosed)?
+    }
+
+    /// The region a topic is currently subscribed at, if any.
+    pub fn subscribed_region(&self, topic: &str) -> Option<RegionId> {
+        self.subscriptions.lock().get(topic).map(|&(r, _)| RegionId(r as u8))
+    }
+
+    /// Waits for the next delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::ConnectionClosed`] when the steering actor
+    /// has terminated.
+    pub async fn next_delivery(&mut self) -> Result<Delivery, BrokerError> {
+        self.deliveries_rx.recv().await.ok_or(BrokerError::ConnectionClosed)
+    }
+}
+
+struct SubscriberActor {
+    links: Links,
+    events_rx: mpsc::UnboundedReceiver<Event>,
+    commands_rx: mpsc::UnboundedReceiver<Command>,
+    deliveries_tx: mpsc::UnboundedSender<Delivery>,
+    subscriptions: Arc<Mutex<HashMap<String, (u16, String)>>>,
+}
+
+impl SubscriberActor {
+    async fn run(mut self) {
+        loop {
+            tokio::select! {
+                command = self.commands_rx.recv() => match command {
+                    Some(Command::Subscribe { topic, filter, ack }) => {
+                        let _ = ack.send(self.subscribe(&topic, filter).await);
+                    }
+                    Some(Command::Unsubscribe { topic, ack }) => {
+                        let _ = ack.send(self.unsubscribe(&topic).await);
+                    }
+                    None => break, // handle dropped
+                },
+                event = self.events_rx.recv() => match event {
+                    Some(Event::Delivery(delivery)) => {
+                        if self.deliveries_tx.send(delivery).is_err() {
+                            break;
+                        }
+                    }
+                    Some(Event::Config { topic }) => {
+                        // Steering failures (unreachable broker) leave the
+                        // old subscription in place; the next update
+                        // retries.
+                        let _ = self.handle_config_update(&topic).await;
+                    }
+                    Some(Event::Disconnected { region }) => {
+                        // Drop the dead handle so the next use reconnects.
+                        self.links.conns.remove(&region);
+                    }
+                    None => break,
+                },
+            }
+        }
+    }
+
+    async fn subscribe(&mut self, topic: &str, filter: String) -> Result<(), BrokerError> {
+        let config = self.links.config_for(topic);
+        let region = self.links.closest_serving(config.mask);
+        let outbound = self.links.connect(region).await?;
+        outbound.send(&Frame::Subscribe { topic: topic.to_string(), filter: filter.clone() });
+        self.subscriptions.lock().insert(topic.to_string(), (region, filter));
+        Ok(())
+    }
+
+    async fn unsubscribe(&mut self, topic: &str) -> Result<(), BrokerError> {
+        let entry = self.subscriptions.lock().remove(topic);
+        if let Some((region, _)) = entry {
+            let outbound = self.links.connect(region).await?;
+            outbound.send(&Frame::Unsubscribe { topic: topic.to_string() });
+        }
+        Ok(())
+    }
+
+    async fn handle_config_update(&mut self, topic: &str) -> Result<(), BrokerError> {
+        let (current, filter) = match self.subscriptions.lock().get(topic) {
+            Some((region, filter)) => (*region, filter.clone()),
+            None => return Ok(()), // not subscribed to this topic
+        };
+        let config = self.links.config_for(topic);
+        let target = self.links.closest_serving(config.mask);
+        if target == current {
+            return Ok(());
+        }
+        // Make before break: subscribe at the new region first, carrying
+        // the same content filter.
+        let new_outbound = self.links.connect(target).await?;
+        new_outbound
+            .send(&Frame::Subscribe { topic: topic.to_string(), filter: filter.clone() });
+        if let Ok(old_outbound) = self.links.connect(current).await {
+            old_outbound.send(&Frame::Unsubscribe { topic: topic.to_string() });
+        }
+        self.subscriptions.lock().insert(topic.to_string(), (target, filter));
+        Ok(())
+    }
+}
+
+/// A publishing client. See the module docs for the steering rules.
+#[derive(Debug)]
+pub struct PublisherClient {
+    links: Links,
+    events_rx: mpsc::UnboundedReceiver<Event>,
+}
+
+impl PublisherClient {
+    /// Creates a publisher handle. Connections are opened lazily on the
+    /// first publish touching each region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownRegion`] if `config` lists no regions.
+    pub fn new(config: ClientConfig) -> Result<Self, BrokerError> {
+        config.validate()?;
+        let (events_tx, events_rx) = mpsc::unbounded_channel();
+        Ok(PublisherClient { links: Links::new(config, Role::Publisher, events_tx), events_rx })
+    }
+
+    /// Publishes `payload` on `topic`, steering by the topic's current
+    /// configuration: to every serving region under direct delivery, to
+    /// the closest serving region under routed delivery.
+    ///
+    /// Returns the number of regions the publication was sent to.
+    ///
+    /// # Errors
+    ///
+    /// Returns a connection error if a serving broker is unreachable.
+    pub async fn publish(
+        &mut self,
+        topic: &str,
+        payload: impl Into<Bytes>,
+    ) -> Result<usize, BrokerError> {
+        self.publish_with_headers(topic, &Headers::new(), payload).await
+    }
+
+    /// Publishes `payload` on `topic` with content headers attached, so
+    /// filtered subscribers (see
+    /// [`SubscriberClient::subscribe_filtered`]) can match on them.
+    ///
+    /// Returns the number of regions the publication was sent to.
+    ///
+    /// # Errors
+    ///
+    /// Returns a connection error if a serving broker is unreachable.
+    pub async fn publish_with_headers(
+        &mut self,
+        topic: &str,
+        headers: &Headers,
+        payload: impl Into<Bytes>,
+    ) -> Result<usize, BrokerError> {
+        self.drain_events();
+        let payload = payload.into();
+        let config = self.links.config_for(topic);
+        let publisher_id = self.links.config.client_id;
+        let headers_json =
+            if headers.is_empty() { String::new() } else { headers.to_json() };
+        let frame = move |payload: Bytes, single_target: bool| Frame::Publish {
+            topic: topic.to_string(),
+            publisher: publisher_id,
+            publish_micros: now_micros(),
+            single_target,
+            headers: headers_json.clone(),
+            payload,
+        };
+        match config.mode {
+            WireMode::Routed => {
+                let region = self.links.closest_serving(config.mask);
+                let outbound = self.links.connect(region).await?;
+                outbound.send(&frame(payload, true));
+                Ok(1)
+            }
+            WireMode::Direct => {
+                let mut sent = 0;
+                let message = frame(payload, false);
+                for region in 0..self.links.n_regions() as u16 {
+                    if config.mask & (1u32 << region) == 0 {
+                        continue;
+                    }
+                    let outbound = self.links.connect(region).await?;
+                    outbound.send(&message);
+                    sent += 1;
+                }
+                Ok(sent)
+            }
+        }
+    }
+
+    /// The configuration this publisher currently holds for a topic.
+    pub fn config_for(&self, topic: &str) -> (u32, WireMode) {
+        let config = self.links.config_for(topic);
+        (config.mask, config.mode)
+    }
+
+    /// Applies any queued configuration updates without blocking.
+    pub fn drain_events(&mut self) {
+        while let Ok(event) = self.events_rx.try_recv() {
+            // Config updates already landed in the shared map; Delivery
+            // events cannot occur on a publisher connection.
+            let _ = event;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config(latencies: Vec<f64>) -> ClientConfig {
+        let n = latencies.len();
+        ClientConfig {
+            client_id: 1,
+            region_addrs: (0..n)
+                .map(|i| SocketAddr::from(([127, 0, 0, 1], 10_000 + i as u16)))
+                .collect(),
+            latencies_ms: latencies,
+            emulate_wan: false,
+        }
+    }
+
+    #[test]
+    fn closest_serving_respects_mask_and_latency() {
+        let (tx, _rx) = mpsc::unbounded_channel();
+        let links = Links::new(test_config(vec![30.0, 10.0, 20.0]), Role::Subscriber, tx);
+        assert_eq!(links.closest_serving(0b111), 1);
+        assert_eq!(links.closest_serving(0b101), 2);
+        assert_eq!(links.closest_serving(0b001), 0);
+    }
+
+    #[test]
+    fn default_topic_config_is_all_regions_routed() {
+        let (tx, _rx) = mpsc::unbounded_channel();
+        let links = Links::new(test_config(vec![1.0, 2.0]), Role::Publisher, tx);
+        let config = links.config_for("unknown");
+        assert_eq!(config.mask, 0b11);
+        assert_eq!(config.mode, WireMode::Routed);
+    }
+
+    #[test]
+    fn empty_region_list_rejected() {
+        let config = ClientConfig::new(1, vec![]);
+        assert!(SubscriberClient::new(config.clone()).is_err());
+        assert!(PublisherClient::new(config).is_err());
+    }
+
+    #[test]
+    fn delivery_latency_computation() {
+        let delivery = Delivery {
+            topic: "t".into(),
+            publisher: 1,
+            publish_micros: 1_000,
+            received_micros: 43_500,
+            headers: Headers::new(),
+            payload: Bytes::new(),
+        };
+        assert!((delivery.latency_ms() - 42.5).abs() < 1e-9);
+        // Clock skew never yields negative latency.
+        let skewed = Delivery { received_micros: 0, ..delivery };
+        assert_eq!(skewed.latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn missing_latencies_default_to_zero() {
+        let mut config = test_config(vec![]);
+        config.region_addrs =
+            vec![SocketAddr::from(([127, 0, 0, 1], 1)), SocketAddr::from(([127, 0, 0, 1], 2))];
+        let (tx, _rx) = mpsc::unbounded_channel();
+        let links = Links::new(config, Role::Subscriber, tx);
+        assert_eq!(links.closest_serving(0b10), 1);
+        assert_eq!(links.closest_serving(0b11), 0);
+    }
+}

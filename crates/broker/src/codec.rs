@@ -1,0 +1,429 @@
+//! Binary framing: `[u32 length][u8 tag][fields…]`, all integers
+//! big-endian, strings as `u16` length + UTF-8, payloads as `u32` length +
+//! bytes.
+//!
+//! [`encode`] appends one frame to a buffer; [`decode`] incrementally
+//! consumes complete frames from a receive buffer, returning `Ok(None)`
+//! while a frame is still partial — the natural shape for reading from a
+//! TCP stream.
+
+use crate::frame::{Frame, Role, WireMode};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Upper bound on a frame's body size; larger lengths indicate stream
+/// corruption and abort decoding.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Errors produced while decoding a frame stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The advertised body length.
+        len: usize,
+    },
+    /// An unknown frame tag was encountered.
+    UnknownTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A frame body ended before all declared fields were read.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum field carried an unknown discriminant.
+    InvalidEnum {
+        /// The offending discriminant.
+        value: u8,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Oversized { len } => write!(f, "frame of {len} bytes exceeds limit"),
+            CodecError::UnknownTag { tag } => write!(f, "unknown frame tag {tag:#04x}"),
+            CodecError::Truncated => write!(f, "frame body ended early"),
+            CodecError::InvalidUtf8 => write!(f, "string field is not valid utf-8"),
+            CodecError::InvalidEnum { value } => write!(f, "invalid enum discriminant {value}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "topic names are short");
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_payload(buf: &mut BytesMut, payload: &Bytes) {
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+}
+
+fn put_long_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Appends the wire encoding of `frame` to `buf`.
+pub fn encode(frame: &Frame, buf: &mut BytesMut) {
+    let start = buf.len();
+    buf.put_u32(0); // length placeholder
+    buf.put_u8(frame.tag());
+    match frame {
+        Frame::Connect { client_id, role } => {
+            buf.put_u64(*client_id);
+            buf.put_u8(role.to_u8());
+        }
+        Frame::ConnectAck { region } => {
+            buf.put_u16(*region);
+        }
+        Frame::Subscribe { topic, filter } => {
+            put_string(buf, topic);
+            put_long_string(buf, filter);
+        }
+        Frame::Unsubscribe { topic } => {
+            put_string(buf, topic);
+        }
+        Frame::Publish { topic, publisher, publish_micros, single_target, headers, payload } => {
+            put_string(buf, topic);
+            buf.put_u64(*publisher);
+            buf.put_u64(*publish_micros);
+            buf.put_u8(u8::from(*single_target));
+            put_long_string(buf, headers);
+            put_payload(buf, payload);
+        }
+        Frame::Deliver { topic, publisher, publish_micros, headers, payload } => {
+            put_string(buf, topic);
+            buf.put_u64(*publisher);
+            buf.put_u64(*publish_micros);
+            put_long_string(buf, headers);
+            put_payload(buf, payload);
+        }
+        Frame::Forward { topic, publisher, publish_micros, origin_region, headers, payload } => {
+            put_string(buf, topic);
+            buf.put_u64(*publisher);
+            buf.put_u64(*publish_micros);
+            buf.put_u16(*origin_region);
+            put_long_string(buf, headers);
+            put_payload(buf, payload);
+        }
+        Frame::StatsRequest => {}
+        Frame::StatsReport { json } => {
+            put_long_string(buf, json);
+        }
+        Frame::ConfigUpdate { topic, mask, mode } => {
+            put_string(buf, topic);
+            buf.put_u32(*mask);
+            buf.put_u8(mode.to_u8());
+        }
+        Frame::Ping { nonce } | Frame::Pong { nonce } => {
+            buf.put_u64(*nonce);
+        }
+    }
+    let body_len = (buf.len() - start - 4) as u32;
+    buf[start..start + 4].copy_from_slice(&body_len.to_be_bytes());
+}
+
+struct Reader<'a> {
+    body: &'a mut Bytes,
+}
+
+impl Reader<'_> {
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        if self.body.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(self.body.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        if self.body.remaining() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(self.body.get_u16())
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        if self.body.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(self.body.get_u32())
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        if self.body.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(self.body.get_u64())
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.u16()? as usize;
+        self.utf8(len)
+    }
+
+    fn long_string(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        self.utf8(len)
+    }
+
+    fn utf8(&mut self, len: usize) -> Result<String, CodecError> {
+        if self.body.remaining() < len {
+            return Err(CodecError::Truncated);
+        }
+        let raw = self.body.split_to(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    fn payload(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.u32()? as usize;
+        if self.body.remaining() < len {
+            return Err(CodecError::Truncated);
+        }
+        Ok(self.body.split_to(len))
+    }
+}
+
+/// Attempts to decode one complete frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only part of a frame — read
+/// more bytes and call again. Consumed bytes are removed from `buf`.
+///
+/// # Errors
+///
+/// Any [`CodecError`] indicates an unrecoverable protocol violation; the
+/// connection should be dropped.
+pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let body_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if body_len > MAX_FRAME_BYTES {
+        return Err(CodecError::Oversized { len: body_len });
+    }
+    if buf.len() < 4 + body_len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let mut body = buf.split_to(body_len).freeze();
+    let mut reader = Reader { body: &mut body };
+    let tag = reader.u8()?;
+    let frame = match tag {
+        0x01 => {
+            let client_id = reader.u64()?;
+            let role_byte = reader.u8()?;
+            let role =
+                Role::from_u8(role_byte).ok_or(CodecError::InvalidEnum { value: role_byte })?;
+            Frame::Connect { client_id, role }
+        }
+        0x02 => Frame::ConnectAck { region: reader.u16()? },
+        0x03 => {
+            let topic = reader.string()?;
+            let filter = reader.long_string()?;
+            Frame::Subscribe { topic, filter }
+        }
+        0x04 => Frame::Unsubscribe { topic: reader.string()? },
+        0x05 => {
+            let topic = reader.string()?;
+            let publisher = reader.u64()?;
+            let publish_micros = reader.u64()?;
+            let single_target = reader.u8()? != 0;
+            let headers = reader.long_string()?;
+            let payload = reader.payload()?;
+            Frame::Publish { topic, publisher, publish_micros, single_target, headers, payload }
+        }
+        0x07 => {
+            let topic = reader.string()?;
+            let publisher = reader.u64()?;
+            let publish_micros = reader.u64()?;
+            let headers = reader.long_string()?;
+            let payload = reader.payload()?;
+            Frame::Deliver { topic, publisher, publish_micros, headers, payload }
+        }
+        0x06 => {
+            let topic = reader.string()?;
+            let publisher = reader.u64()?;
+            let publish_micros = reader.u64()?;
+            let origin_region = reader.u16()?;
+            let headers = reader.long_string()?;
+            let payload = reader.payload()?;
+            Frame::Forward { topic, publisher, publish_micros, origin_region, headers, payload }
+        }
+        0x08 => Frame::StatsRequest,
+        0x09 => Frame::StatsReport { json: reader.long_string()? },
+        0x0A => {
+            let topic = reader.string()?;
+            let mask = reader.u32()?;
+            let mode_byte = reader.u8()?;
+            let mode = WireMode::from_u8(mode_byte)
+                .ok_or(CodecError::InvalidEnum { value: mode_byte })?;
+            Frame::ConfigUpdate { topic, mask, mode }
+        }
+        0x0B => Frame::Ping { nonce: reader.u64()? },
+        0x0C => Frame::Pong { nonce: reader.u64()? },
+        other => return Err(CodecError::UnknownTag { tag: other }),
+    };
+    Ok(Some(frame))
+}
+
+/// Encodes a frame into a fresh buffer — convenience for writers that send
+/// one frame at a time.
+pub fn encode_to_bytes(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    encode(frame, &mut buf);
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Connect { client_id: 77, role: Role::Subscriber },
+            Frame::ConnectAck { region: 9 },
+            Frame::Subscribe { topic: "games/eu/chat".into(), filter: "price < 10".into() },
+            Frame::Unsubscribe { topic: "t".into() },
+            Frame::Publish {
+                topic: "scores".into(),
+                publisher: 12,
+                publish_micros: 123_456_789,
+                single_target: true,
+                headers: "{\"price\":9.5}".into(),
+                payload: Bytes::from_static(b"hello world"),
+            },
+            Frame::Forward {
+                topic: "scores".into(),
+                publisher: 12,
+                publish_micros: 42,
+                origin_region: 3,
+                headers: String::new(),
+                payload: Bytes::from_static(&[0, 1, 2, 255]),
+            },
+            Frame::Deliver {
+                topic: "scores".into(),
+                publisher: 12,
+                publish_micros: 42,
+                headers: String::new(),
+                payload: Bytes::new(),
+            },
+            Frame::StatsRequest,
+            Frame::StatsReport { json: "{\"topics\":{}}".into() },
+            Frame::ConfigUpdate { topic: "scores".into(), mask: 0b1011, mode: WireMode::Routed },
+            Frame::Ping { nonce: u64::MAX },
+            Frame::Pong { nonce: 0 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_frame() {
+        for frame in all_frames() {
+            let mut buf = BytesMut::new();
+            encode(&frame, &mut buf);
+            let decoded = decode(&mut buf).unwrap().unwrap();
+            assert_eq!(decoded, frame);
+            assert!(buf.is_empty(), "no residue after {frame:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_back_to_back_frames() {
+        let frames = all_frames();
+        let mut buf = BytesMut::new();
+        for frame in &frames {
+            encode(frame, &mut buf);
+        }
+        for frame in &frames {
+            assert_eq!(decode(&mut buf).unwrap().as_ref(), Some(frame));
+        }
+        assert!(decode(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let frame = Frame::Publish {
+            topic: "t".into(),
+            publisher: 1,
+            publish_micros: 2,
+            single_target: false,
+            headers: String::new(),
+            payload: Bytes::from_static(b"abc"),
+        };
+        let full = encode_to_bytes(&frame);
+        for cut in 0..full.len() {
+            let mut buf = BytesMut::from(&full[..cut]);
+            assert_eq!(decode(&mut buf).unwrap(), None, "cut at {cut}");
+        }
+        let mut buf = BytesMut::from(&full[..]);
+        assert_eq!(decode(&mut buf).unwrap(), Some(frame));
+    }
+
+    #[test]
+    fn byte_by_byte_feed() {
+        let frame = Frame::ConfigUpdate { topic: "x".into(), mask: 7, mode: WireMode::Direct };
+        let full = encode_to_bytes(&frame);
+        let mut buf = BytesMut::new();
+        let mut decoded = None;
+        for byte in full.iter() {
+            buf.put_u8(*byte);
+            if let Some(f) = decode(&mut buf).unwrap() {
+                decoded = Some(f);
+            }
+        }
+        assert_eq!(decoded, Some(frame));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32((MAX_FRAME_BYTES + 1) as u32);
+        assert_eq!(
+            decode(&mut buf),
+            Err(CodecError::Oversized { len: MAX_FRAME_BYTES + 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u8(0xEE);
+        assert_eq!(decode(&mut buf), Err(CodecError::UnknownTag { tag: 0xEE }));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        // Declared body of 3 bytes: tag + u16, but Connect needs 9 more.
+        let mut buf = BytesMut::new();
+        buf.put_u32(3);
+        buf.put_u8(0x01);
+        buf.put_u16(0);
+        assert_eq!(decode(&mut buf), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn invalid_role_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(10);
+        buf.put_u8(0x01);
+        buf.put_u64(5);
+        buf.put_u8(200);
+        assert_eq!(decode(&mut buf), Err(CodecError::InvalidEnum { value: 200 }));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(4);
+        buf.put_u8(0x04); // Unsubscribe
+        buf.put_u16(1);
+        buf.put_u8(0xFF);
+        assert_eq!(decode(&mut buf), Err(CodecError::InvalidUtf8));
+    }
+}

@@ -1,0 +1,163 @@
+//! Shared connection plumbing: framed reads and the broker error type.
+
+use crate::codec::{decode, CodecError};
+use crate::frame::Frame;
+use bytes::BytesMut;
+use std::fmt;
+use tokio::io::AsyncReadExt;
+
+/// Errors surfaced by brokers, clients and the controller.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BrokerError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The peer violated the wire protocol.
+    Codec(CodecError),
+    /// The peer closed the connection mid-handshake or mid-request.
+    ConnectionClosed,
+    /// The peer answered the handshake with an unexpected frame.
+    UnexpectedFrame {
+        /// Description of what was expected.
+        expected: &'static str,
+    },
+    /// A stats report could not be parsed.
+    BadReport(serde_json::Error),
+    /// The requested region index is not part of this deployment.
+    UnknownRegion {
+        /// The offending region index.
+        region: u16,
+    },
+    /// A content filter failed to parse.
+    BadFilter {
+        /// The parser's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::Io(e) => write!(f, "i/o failure: {e}"),
+            BrokerError::Codec(e) => write!(f, "protocol violation: {e}"),
+            BrokerError::ConnectionClosed => write!(f, "connection closed by peer"),
+            BrokerError::UnexpectedFrame { expected } => {
+                write!(f, "unexpected frame, expected {expected}")
+            }
+            BrokerError::BadReport(e) => write!(f, "malformed stats report: {e}"),
+            BrokerError::UnknownRegion { region } => {
+                write!(f, "region {region} is not part of this deployment")
+            }
+            BrokerError::BadFilter { message } => {
+                write!(f, "invalid content filter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BrokerError::Io(e) => Some(e),
+            BrokerError::Codec(e) => Some(e),
+            BrokerError::BadReport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BrokerError {
+    fn from(e: std::io::Error) -> Self {
+        BrokerError::Io(e)
+    }
+}
+
+impl From<CodecError> for BrokerError {
+    fn from(e: CodecError) -> Self {
+        BrokerError::Codec(e)
+    }
+}
+
+/// Reads one frame from `read`, buffering partial data in `buf`.
+/// Returns `Ok(None)` on clean EOF at a frame boundary.
+pub(crate) async fn read_frame<R: AsyncReadExt + Unpin>(
+    read: &mut R,
+    buf: &mut BytesMut,
+) -> Result<Option<Frame>, BrokerError> {
+    loop {
+        if let Some(frame) = decode(buf)? {
+            return Ok(Some(frame));
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        let n = read.read(&mut chunk).await?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(BrokerError::ConnectionClosed);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_to_bytes;
+    use tokio::io::AsyncWriteExt;
+    use tokio::net::{TcpListener, TcpStream};
+
+    #[tokio::test]
+    async fn reads_across_chunk_boundaries() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).await.unwrap();
+        let (mut server, _) = listener.accept().await.unwrap();
+
+        let frame = Frame::Subscribe { topic: "abc".into(), filter: String::new() };
+        let bytes = encode_to_bytes(&frame);
+        // Write in two pieces with a flush between them.
+        client.write_all(&bytes[..3]).await.unwrap();
+        client.flush().await.unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        client.write_all(&bytes[3..]).await.unwrap();
+
+        let mut buf = BytesMut::new();
+        let got = read_frame(&mut server, &mut buf).await.unwrap();
+        assert_eq!(got, Some(frame));
+    }
+
+    #[tokio::test]
+    async fn clean_eof_returns_none() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).await.unwrap();
+        let (mut server, _) = listener.accept().await.unwrap();
+        drop(client);
+        let mut buf = BytesMut::new();
+        assert!(read_frame(&mut server, &mut buf).await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn eof_mid_frame_is_an_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).await.unwrap();
+        let (mut server, _) = listener.accept().await.unwrap();
+        let bytes = encode_to_bytes(&Frame::Ping { nonce: 3 });
+        client.write_all(&bytes[..bytes.len() - 1]).await.unwrap();
+        drop(client);
+        let mut buf = BytesMut::new();
+        let err = read_frame(&mut server, &mut buf).await.unwrap_err();
+        assert!(matches!(err, BrokerError::ConnectionClosed));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error as _;
+        let err = BrokerError::Codec(CodecError::Truncated);
+        assert!(err.to_string().contains("protocol violation"));
+        assert!(err.source().is_some());
+        assert!(BrokerError::ConnectionClosed.source().is_none());
+    }
+}

@@ -1,0 +1,420 @@
+//! The MultiPub controller (paper §III.A4–A5).
+//!
+//! The controller connects to every region broker, periodically pulls the
+//! region managers' interval reports, reassembles per-topic workloads
+//! (using its client↔region latency knowledge), re-runs the optimizer for
+//! each topic, and deploys improved configurations with
+//! [`Frame::ConfigUpdate`] — which the brokers apply and fan out to their
+//! clients.
+//!
+//! Client latencies are registered explicitly here ([`
+//! Controller::register_client`]); in a production deployment the same
+//! table would be fed by continuous out-of-band latency probes (the paper
+//! measures pings from every region).
+
+use crate::broker::{RegionReport, TopicReport};
+use crate::conn::{read_frame, BrokerError};
+use crate::delay::Outbound;
+use crate::frame::{Frame, Role};
+use bytes::BytesMut;
+use multipub_core::assignment::Configuration;
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::ids::RegionId;
+use multipub_core::latency::InterRegionMatrix;
+use multipub_core::mitigation::{mitigate, retract_unneeded, MitigationPolicy};
+use multipub_core::optimizer::Optimizer;
+use multipub_core::region::RegionSet;
+use multipub_core::workload::{MessageBatch, Publisher, Subscriber, TopicWorkload};
+use std::collections::{BTreeMap, HashMap};
+use std::net::SocketAddr;
+use std::time::Duration;
+use tokio::net::TcpStream;
+use tokio::sync::mpsc;
+
+/// One per-topic decision taken by [`Controller::optimize_once`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicDecision {
+    /// The topic.
+    pub topic: String,
+    /// The configuration selected (and deployed, unless unchanged).
+    pub configuration: Configuration,
+    /// Whether the topic's constraint is met by the selection.
+    pub feasible: bool,
+    /// Expected delivery-time percentile of the selection, ms.
+    pub percentile_ms: f64,
+    /// Expected interval cost of the selection, dollars.
+    pub cost_dollars: f64,
+    /// Whether a [`Frame::ConfigUpdate`] was actually sent (false when the
+    /// chosen configuration was already installed).
+    pub deployed: bool,
+    /// Clients seen in the reports but unknown to the latency table; they
+    /// were ignored during optimization.
+    pub unknown_clients: usize,
+    /// Regions force-added by the §IV.D straggler mitigation this round
+    /// (already part of `configuration`).
+    pub forced_regions: Vec<RegionId>,
+}
+
+struct BrokerLink {
+    outbound: Outbound,
+    reports_rx: mpsc::UnboundedReceiver<RegionReport>,
+}
+
+impl std::fmt::Debug for BrokerLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerLink").finish_non_exhaustive()
+    }
+}
+
+/// The MultiPub controller. See the module docs.
+#[derive(Debug)]
+pub struct Controller {
+    regions: RegionSet,
+    inter: InterRegionMatrix,
+    links: Vec<BrokerLink>,
+    client_latencies: HashMap<u64, Vec<f64>>,
+    constraints: HashMap<String, DeliveryConstraint>,
+    default_constraint: DeliveryConstraint,
+    installed: HashMap<String, Configuration>,
+    report_timeout: Duration,
+    mitigation: Option<MitigationPolicy>,
+    /// Regions force-added per topic by the straggler scan, retracted when
+    /// no longer needed.
+    forced: HashMap<String, Vec<RegionId>>,
+}
+
+impl Controller {
+    /// Connects to every region broker (one address per region, in region
+    /// order). `default_constraint` applies to topics without an explicit
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a connection error if any broker is unreachable, and
+    /// [`BrokerError::UnknownRegion`] if the address count does not match
+    /// the region set.
+    pub async fn connect(
+        regions: RegionSet,
+        inter: InterRegionMatrix,
+        broker_addrs: &[SocketAddr],
+        default_constraint: DeliveryConstraint,
+    ) -> Result<Self, BrokerError> {
+        if broker_addrs.len() != regions.len() {
+            return Err(BrokerError::UnknownRegion { region: broker_addrs.len() as u16 });
+        }
+        let mut links = Vec::with_capacity(broker_addrs.len());
+        for addr in broker_addrs {
+            let stream = TcpStream::connect(addr).await?;
+            stream.set_nodelay(true).ok();
+            let (mut read_half, write_half) = stream.into_split();
+            let outbound = Outbound::spawn(write_half, Duration::ZERO);
+            outbound.send(&Frame::Connect { client_id: 0, role: Role::Controller });
+            let (reports_tx, reports_rx) = mpsc::unbounded_channel();
+            tokio::spawn(async move {
+                let mut buf = BytesMut::new();
+                loop {
+                    match read_frame(&mut read_half, &mut buf).await {
+                        Ok(Some(Frame::StatsReport { json })) => {
+                            if let Ok(report) = serde_json::from_str::<RegionReport>(&json) {
+                                if reports_tx.send(report).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                        Ok(Some(_)) => {}
+                        Ok(None) | Err(_) => break,
+                    }
+                }
+            });
+            links.push(BrokerLink { outbound, reports_rx });
+        }
+        Ok(Controller {
+            regions,
+            inter,
+            links,
+            client_latencies: HashMap::new(),
+            constraints: HashMap::new(),
+            default_constraint,
+            installed: HashMap::new(),
+            report_timeout: Duration::from_secs(5),
+            mitigation: None,
+            forced: HashMap::new(),
+        })
+    }
+
+    /// Enables the §IV.D straggler scan: after each optimization round the
+    /// controller checks for clients whose *every* delivery exceeds the
+    /// bound and force-adds regions that help them, retracting those
+    /// regions once they stop being needed.
+    pub fn enable_mitigation(&mut self, policy: MitigationPolicy) {
+        self.mitigation = Some(policy);
+    }
+
+    /// Registers (or refreshes) a client's one-way latency row towards
+    /// every region — the controller's copy of matrix `L` (paper §III.C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the region count.
+    pub fn register_client(&mut self, client_id: u64, latencies_ms: Vec<f64>) {
+        assert_eq!(
+            latencies_ms.len(),
+            self.regions.len(),
+            "latency row must cover every region"
+        );
+        self.client_latencies.insert(client_id, latencies_ms);
+    }
+
+    /// Sets a topic's delivery constraint `<ratio_T, max_T>`.
+    pub fn set_constraint(&mut self, topic: impl Into<String>, constraint: DeliveryConstraint) {
+        self.constraints.insert(topic.into(), constraint);
+    }
+
+    /// Adjusts how long [`Controller::collect_reports`] waits per broker.
+    pub fn set_report_timeout(&mut self, timeout: Duration) {
+        self.report_timeout = timeout;
+    }
+
+    /// The configuration currently installed for a topic, if any.
+    pub fn installed(&self, topic: &str) -> Option<Configuration> {
+        self.installed.get(topic).copied()
+    }
+
+    /// Requests and gathers one interval report from every region manager.
+    /// Brokers that fail to answer within the report timeout are skipped
+    /// (their interval data simply misses this round).
+    pub async fn collect_reports(&mut self) -> Vec<RegionReport> {
+        for link in &self.links {
+            link.outbound.send(&Frame::StatsRequest);
+        }
+        let mut reports = Vec::with_capacity(self.links.len());
+        for link in &mut self.links {
+            match tokio::time::timeout(self.report_timeout, link.reports_rx.recv()).await {
+                Ok(Some(report)) => reports.push(report),
+                Ok(None) | Err(_) => {}
+            }
+        }
+        reports
+    }
+
+    /// One full control round: collect reports, rebuild per-topic
+    /// workloads, optimize every topic, and deploy improved
+    /// configurations.
+    pub async fn optimize_once(&mut self) -> Vec<TopicDecision> {
+        let reports = self.collect_reports().await;
+        let merged = merge_reports(&reports);
+        let mut decisions = Vec::new();
+        for (topic, report) in merged {
+            let constraint =
+                self.constraints.get(&topic).copied().unwrap_or(self.default_constraint);
+            let (workload, unknown_clients) = self.build_workload(&report);
+            if workload.publisher_count() == 0 || workload.subscriber_count() == 0 {
+                continue; // nothing to optimize this interval
+            }
+            let optimizer = Optimizer::new(&self.regions, &self.inter, &workload)
+                .expect("workload validated non-empty");
+            let solution = optimizer.solve(&constraint);
+            let mut configuration = solution.configuration();
+
+            // §IV.D: help stragglers the percentile constraint cannot see.
+            let mut forced_regions = Vec::new();
+            if let Some(policy) = self.mitigation {
+                let evaluator = optimizer.evaluator();
+                // Retract previously forced regions that no longer help.
+                let previous = self.forced.remove(&topic).unwrap_or_default();
+                let retained =
+                    retract_unneeded(evaluator, configuration, &previous, &constraint);
+                let mut assignment = configuration.assignment();
+                for &region in &retained {
+                    assignment = assignment.with(region);
+                }
+                configuration = Configuration::new(assignment, configuration.mode());
+                // Scan for (new) stragglers and force-add helpful regions.
+                let outcome = mitigate(evaluator, configuration, &constraint, &policy);
+                configuration = outcome.configuration;
+                forced_regions = retained;
+                forced_regions.extend(outcome.added);
+                if !forced_regions.is_empty() {
+                    self.forced.insert(topic.clone(), forced_regions.clone());
+                }
+            }
+
+            let deployed = self.installed.get(&topic) != Some(&configuration);
+            if deployed {
+                self.deploy(&topic, configuration);
+            }
+            decisions.push(TopicDecision {
+                topic,
+                configuration,
+                feasible: solution.is_feasible(),
+                percentile_ms: solution.evaluation().percentile_ms(),
+                cost_dollars: solution.evaluation().cost_dollars(),
+                deployed,
+                unknown_clients,
+                forced_regions,
+            });
+        }
+        decisions
+    }
+
+    /// Pushes a configuration to every broker (which fan it out to their
+    /// clients) and records it as installed.
+    pub fn deploy(&mut self, topic: &str, configuration: Configuration) {
+        let update = Frame::ConfigUpdate {
+            topic: topic.to_string(),
+            mask: configuration.assignment().mask(),
+            mode: configuration.mode().into(),
+        };
+        for link in &self.links {
+            link.outbound.send(&update);
+        }
+        self.installed.insert(topic.to_string(), configuration);
+    }
+
+    /// Builds the analytic workload for one topic from the merged report,
+    /// returning it plus the number of clients skipped for lack of latency
+    /// data.
+    fn build_workload(&self, report: &TopicReport) -> (TopicWorkload, usize) {
+        let mut workload = TopicWorkload::new(self.regions.len());
+        let mut unknown = 0usize;
+        for (&publisher_id, stats) in &report.publishers {
+            match self.client_latencies.get(&publisher_id) {
+                Some(latencies) => {
+                    let publisher = Publisher::new(
+                        multipub_core::ids::ClientId(publisher_id),
+                        latencies.clone(),
+                        MessageBatch::uniform(stats.messages, average_size(stats)),
+                    )
+                    .expect("registered latencies are valid");
+                    workload.add_publisher(publisher).expect("publisher ids unique in report");
+                }
+                None => unknown += 1,
+            }
+        }
+        for &subscriber_id in &report.subscribers {
+            match self.client_latencies.get(&subscriber_id) {
+                Some(latencies) => {
+                    let subscriber = Subscriber::new(
+                        multipub_core::ids::ClientId(subscriber_id),
+                        latencies.clone(),
+                    )
+                    .expect("registered latencies are valid");
+                    workload
+                        .add_subscriber(subscriber)
+                        .expect("subscriber ids deduplicated in report");
+                }
+                None => unknown += 1,
+            }
+        }
+        (workload, unknown)
+    }
+}
+
+fn average_size(stats: &crate::broker::PublisherStats) -> u64 {
+    if stats.messages == 0 {
+        0
+    } else {
+        stats.bytes / stats.messages
+    }
+}
+
+/// Merges the per-region reports into one per-topic view.
+///
+/// Publisher statistics are **deduplicated by maximum**: under direct
+/// delivery every serving region observes the same publications, and under
+/// routed delivery only the first-hop region does — taking the per-region
+/// maximum recovers the true per-publisher counts in both cases.
+/// Subscriber lists are unioned (a subscriber is attached to exactly one
+/// region at a time; unions also tolerate the reconfiguration window).
+pub fn merge_reports(reports: &[RegionReport]) -> BTreeMap<String, TopicReport> {
+    let mut merged: BTreeMap<String, TopicReport> = BTreeMap::new();
+    for report in reports {
+        for (topic, topic_report) in &report.topics {
+            let entry = merged.entry(topic.clone()).or_default();
+            for (&publisher, stats) in &topic_report.publishers {
+                let slot = entry.publishers.entry(publisher).or_default();
+                if stats.messages > slot.messages {
+                    *slot = *stats;
+                }
+            }
+            entry.subscribers.extend(topic_report.subscribers.iter().copied());
+        }
+    }
+    for report in merged.values_mut() {
+        report.subscribers.sort_unstable();
+        report.subscribers.dedup();
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::PublisherStats;
+
+    fn report(region: u16, topic: &str, pubs: &[(u64, u64, u64)], subs: &[u64]) -> RegionReport {
+        let mut topics = BTreeMap::new();
+        topics.insert(
+            topic.to_string(),
+            TopicReport {
+                publishers: pubs
+                    .iter()
+                    .map(|&(id, messages, bytes)| (id, PublisherStats { messages, bytes }))
+                    .collect(),
+                subscribers: subs.to_vec(),
+            },
+        );
+        RegionReport { region, topics }
+    }
+
+    #[test]
+    fn merge_dedups_direct_mode_double_counting() {
+        // Direct delivery: both regions saw the same 10 messages of P1.
+        let reports = vec![
+            report(0, "t", &[(1, 10, 10_000)], &[5]),
+            report(1, "t", &[(1, 10, 10_000)], &[6]),
+        ];
+        let merged = merge_reports(&reports);
+        let t = &merged["t"];
+        assert_eq!(t.publishers[&1].messages, 10);
+        assert_eq!(t.subscribers, vec![5, 6]);
+    }
+
+    #[test]
+    fn merge_keeps_max_when_regions_disagree() {
+        // Reconfiguration window: one region missed some messages.
+        let reports = vec![
+            report(0, "t", &[(1, 7, 7_000)], &[]),
+            report(1, "t", &[(1, 10, 10_000)], &[]),
+        ];
+        let merged = merge_reports(&reports);
+        assert_eq!(merged["t"].publishers[&1].messages, 10);
+        assert_eq!(merged["t"].publishers[&1].bytes, 10_000);
+    }
+
+    #[test]
+    fn merge_unions_topics_across_regions() {
+        let reports = vec![
+            report(0, "a", &[(1, 1, 100)], &[2]),
+            report(1, "b", &[(3, 2, 200)], &[4]),
+        ];
+        let merged = merge_reports(&reports);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.contains_key("a") && merged.contains_key("b"));
+    }
+
+    #[test]
+    fn merge_dedups_subscribers_seen_twice() {
+        // A subscriber mid-resubscription appears in two regions.
+        let reports =
+            vec![report(0, "t", &[], &[9, 5]), report(1, "t", &[], &[5])];
+        let merged = merge_reports(&reports);
+        assert_eq!(merged["t"].subscribers, vec![5, 9]);
+    }
+
+    #[test]
+    fn average_size_handles_empty() {
+        assert_eq!(average_size(&PublisherStats { messages: 0, bytes: 0 }), 0);
+        assert_eq!(average_size(&PublisherStats { messages: 4, bytes: 1000 }), 250);
+    }
+}

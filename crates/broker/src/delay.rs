@@ -1,0 +1,207 @@
+//! Outbound frame channels with optional WAN latency injection.
+//!
+//! Every connection owns an [`Outbound`] handle: frames pushed into it are
+//! written to the socket by a dedicated writer task, after an optional
+//! fixed one-way delay. Running every endpoint with the delays of a real
+//! latency matrix turns a loopback deployment into a faithful WAN
+//! emulation — the same trick the discrete-event simulator plays, but on
+//! real sockets.
+
+use crate::codec::encode_to_bytes;
+use crate::frame::Frame;
+use bytes::Bytes;
+use std::time::Duration;
+use tokio::io::AsyncWriteExt;
+use tokio::net::tcp::OwnedWriteHalf;
+use tokio::sync::mpsc;
+use tokio::time::Instant;
+
+/// A handle for sending frames on one connection.
+///
+/// Cloneable; all clones feed the same writer task. Frames are written in
+/// send order; with a non-zero delay each frame is held for the configured
+/// one-way latency first, preserving order (FIFO with constant delay).
+#[derive(Debug, Clone)]
+pub struct Outbound {
+    tx: mpsc::UnboundedSender<(Instant, Bytes)>,
+    delay: Duration,
+}
+
+impl Outbound {
+    /// Wraps a socket write-half, spawning the writer task on the current
+    /// runtime. All frames sent through the handle are delayed by `delay`
+    /// before hitting the socket.
+    pub fn spawn(write_half: OwnedWriteHalf, delay: Duration) -> Outbound {
+        let (tx, rx) = mpsc::unbounded_channel();
+        tokio::spawn(writer_task(write_half, rx));
+        Outbound { tx, delay }
+    }
+
+    /// Queues one frame. Returns `false` if the connection's writer task
+    /// has already terminated (peer gone).
+    pub fn send(&self, frame: &Frame) -> bool {
+        let deliver_at = Instant::now() + self.delay;
+        self.tx.send((deliver_at, encode_to_bytes(frame))).is_ok()
+    }
+
+    /// The configured one-way delay.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+
+    /// Whether the writer task is still alive.
+    pub fn is_open(&self) -> bool {
+        !self.tx.is_closed()
+    }
+}
+
+async fn writer_task(
+    mut write_half: OwnedWriteHalf,
+    mut rx: mpsc::UnboundedReceiver<(Instant, Bytes)>,
+) {
+    while let Some((deliver_at, bytes)) = rx.recv().await {
+        tokio::time::sleep_until(deliver_at).await;
+        if write_half.write_all(&bytes).await.is_err() {
+            break; // peer closed; drain and exit
+        }
+    }
+}
+
+/// A one-way delay table for a broker: how long frames take to reach each
+/// peer region and each known client. Used to emulate WAN latencies when a
+/// whole deployment runs on one host; production deployments leave it
+/// empty (all zeros).
+#[derive(Debug, Clone, Default)]
+pub struct DelayTable {
+    /// One-way delay towards each region, indexed by region id.
+    region_delays: Vec<Duration>,
+    /// One-way delay towards specific clients.
+    client_delays: std::collections::HashMap<u64, Duration>,
+}
+
+impl DelayTable {
+    /// No delays anywhere — production behaviour.
+    pub fn none() -> Self {
+        DelayTable::default()
+    }
+
+    /// Builds a table with per-region one-way delays in milliseconds.
+    pub fn with_region_delays_ms(delays_ms: &[f64]) -> Self {
+        DelayTable {
+            region_delays: delays_ms.iter().map(|&ms| duration_from_ms(ms)).collect(),
+            client_delays: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Sets the one-way delay towards one client, in milliseconds.
+    pub fn set_client_delay_ms(&mut self, client_id: u64, ms: f64) {
+        self.client_delays.insert(client_id, duration_from_ms(ms));
+    }
+
+    /// Delay towards a region (zero when unknown).
+    pub fn to_region(&self, region: u16) -> Duration {
+        self.region_delays.get(region as usize).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Delay towards a client (zero when unknown).
+    pub fn to_client(&self, client_id: u64) -> Duration {
+        self.client_delays.get(&client_id).copied().unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Converts non-negative milliseconds to a [`Duration`].
+pub fn duration_from_ms(ms: f64) -> Duration {
+    Duration::from_secs_f64((ms.max(0.0)) / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode;
+    use bytes::BytesMut;
+    use tokio::io::AsyncReadExt;
+    use tokio::net::{TcpListener, TcpStream};
+
+    async fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).await.unwrap();
+        let (server, _) = listener.accept().await.unwrap();
+        (client, server)
+    }
+
+    #[tokio::test]
+    async fn frames_arrive_in_order() {
+        let (client, mut server) = socket_pair().await;
+        let (_read, write) = client.into_split();
+        let outbound = Outbound::spawn(write, Duration::ZERO);
+        for nonce in 0..50u64 {
+            assert!(outbound.send(&Frame::Ping { nonce }));
+        }
+        let mut buf = BytesMut::new();
+        let mut seen = Vec::new();
+        while seen.len() < 50 {
+            let mut chunk = [0u8; 256];
+            let n = server.read(&mut chunk).await.unwrap();
+            buf.extend_from_slice(&chunk[..n]);
+            while let Some(frame) = decode(&mut buf).unwrap() {
+                match frame {
+                    Frame::Ping { nonce } => seen.push(nonce),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[tokio::test]
+    async fn delay_holds_frames_back() {
+        let (client, mut server) = socket_pair().await;
+        let (_read, write) = client.into_split();
+        let outbound = Outbound::spawn(write, Duration::from_millis(50));
+        let sent_at = std::time::Instant::now();
+        outbound.send(&Frame::Ping { nonce: 1 });
+        let mut chunk = [0u8; 64];
+        let n = server.read(&mut chunk).await.unwrap();
+        assert!(n > 0);
+        let elapsed = sent_at.elapsed();
+        assert!(elapsed >= Duration::from_millis(45), "arrived after {elapsed:?}");
+    }
+
+    #[tokio::test]
+    async fn send_after_peer_close_reports_failure() {
+        let (client, server) = socket_pair().await;
+        drop(server);
+        let (_read, write) = client.into_split();
+        let outbound = Outbound::spawn(write, Duration::ZERO);
+        // The writer task discovers the closed peer on first write;
+        // subsequent sends eventually fail once the task exits.
+        let mut closed = false;
+        for _ in 0..100 {
+            if !outbound.send(&Frame::Ping { nonce: 0 }) {
+                closed = true;
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+        assert!(closed, "outbound should notice the closed peer");
+        assert!(!outbound.is_open());
+    }
+
+    #[test]
+    fn delay_table_lookup() {
+        let mut table = DelayTable::with_region_delays_ms(&[10.0, 20.0]);
+        table.set_client_delay_ms(7, 35.0);
+        assert_eq!(table.to_region(0), Duration::from_millis(10));
+        assert_eq!(table.to_region(1), Duration::from_millis(20));
+        assert_eq!(table.to_region(9), Duration::ZERO);
+        assert_eq!(table.to_client(7), Duration::from_millis(35));
+        assert_eq!(table.to_client(8), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_conversion_clamps_negative() {
+        assert_eq!(duration_from_ms(-5.0), Duration::ZERO);
+        assert_eq!(duration_from_ms(1.5), Duration::from_micros(1500));
+    }
+}

@@ -1,0 +1,288 @@
+//! Wire-protocol frames exchanged between clients, brokers and the
+//! controller.
+//!
+//! The protocol is a flat set of frames over a length-prefixed binary
+//! encoding (see [`crate::codec`]). Publications travel as [`Frame::Publish`]
+//! (client → broker), [`Frame::Forward`] (broker → peer broker, routed
+//! delivery) and [`Frame::Deliver`] (broker → subscriber); the control
+//! plane uses [`Frame::StatsReport`] (region manager → controller) and
+//! [`Frame::ConfigUpdate`] (controller → broker → clients).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Who is opening a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// A publishing client.
+    Publisher,
+    /// A subscribing client.
+    Subscriber,
+    /// A peer broker in another region (forwarding channel).
+    Peer,
+    /// The MultiPub controller's control-plane connection.
+    Controller,
+}
+
+impl Role {
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            Role::Publisher => 0,
+            Role::Subscriber => 1,
+            Role::Peer => 2,
+            Role::Controller => 3,
+        }
+    }
+
+    pub(crate) fn from_u8(value: u8) -> Option<Role> {
+        Some(match value {
+            0 => Role::Publisher,
+            1 => Role::Subscriber,
+            2 => Role::Peer,
+            3 => Role::Controller,
+            _ => return None,
+        })
+    }
+}
+
+/// Delivery mode carried in configuration updates (mirrors
+/// [`multipub_core::assignment::DeliveryMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WireMode {
+    /// Publishers send to every serving region.
+    Direct,
+    /// Publishers send to their closest serving region, which forwards.
+    Routed,
+}
+
+impl WireMode {
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            WireMode::Direct => 0,
+            WireMode::Routed => 1,
+        }
+    }
+
+    pub(crate) fn from_u8(value: u8) -> Option<WireMode> {
+        Some(match value {
+            0 => WireMode::Direct,
+            1 => WireMode::Routed,
+            _ => return None,
+        })
+    }
+}
+
+impl From<multipub_core::assignment::DeliveryMode> for WireMode {
+    fn from(mode: multipub_core::assignment::DeliveryMode) -> Self {
+        match mode {
+            multipub_core::assignment::DeliveryMode::Direct => WireMode::Direct,
+            multipub_core::assignment::DeliveryMode::Routed => WireMode::Routed,
+        }
+    }
+}
+
+impl From<WireMode> for multipub_core::assignment::DeliveryMode {
+    fn from(mode: WireMode) -> Self {
+        match mode {
+            WireMode::Direct => multipub_core::assignment::DeliveryMode::Direct,
+            WireMode::Routed => multipub_core::assignment::DeliveryMode::Routed,
+        }
+    }
+}
+
+/// A protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Opens a connection, declaring the sender's identity and role.
+    Connect {
+        /// The connecting client/peer id.
+        client_id: u64,
+        /// The sender's role.
+        role: Role,
+    },
+    /// Accepts a connection, telling the sender which region it reached.
+    ConnectAck {
+        /// The broker's region index.
+        region: u16,
+    },
+    /// Registers interest in a topic, optionally restricted by a
+    /// content filter (a `multipub-filter` predicate in textual form).
+    Subscribe {
+        /// Topic name.
+        topic: String,
+        /// Content filter source, empty for plain topic subscription.
+        filter: String,
+    },
+    /// Removes interest in a topic.
+    Unsubscribe {
+        /// Topic name.
+        topic: String,
+    },
+    /// A publication sent by a publishing client.
+    Publish {
+        /// Topic name.
+        topic: String,
+        /// Publishing client id.
+        publisher: u64,
+        /// Publisher-side timestamp, microseconds since an arbitrary epoch
+        /// (used for end-to-end latency measurements).
+        publish_micros: u64,
+        /// `true` when the publisher sent this message to **only this**
+        /// broker (routed delivery), `false` when it fanned out to every
+        /// serving region itself (direct delivery). The broker forwards
+        /// single-target publications to the topic's other serving
+        /// regions, which also closes the reconfiguration window where a
+        /// publisher's configuration view is stale.
+        single_target: bool,
+        /// JSON-encoded content headers (see `multipub-filter`), empty
+        /// when the publication carries none.
+        headers: String,
+        /// Message payload.
+        payload: Bytes,
+    },
+    /// A publication forwarded between brokers (routed delivery).
+    Forward {
+        /// Topic name.
+        topic: String,
+        /// Publishing client id.
+        publisher: u64,
+        /// Publisher-side timestamp (microseconds).
+        publish_micros: u64,
+        /// Region the forwarding broker lives in.
+        origin_region: u16,
+        /// JSON-encoded content headers, empty when none.
+        headers: String,
+        /// Message payload.
+        payload: Bytes,
+    },
+    /// A publication delivered to a subscriber.
+    Deliver {
+        /// Topic name.
+        topic: String,
+        /// Publishing client id.
+        publisher: u64,
+        /// Publisher-side timestamp (microseconds).
+        publish_micros: u64,
+        /// JSON-encoded content headers, empty when none.
+        headers: String,
+        /// Message payload.
+        payload: Bytes,
+    },
+    /// Controller → broker: asks the region manager for its statistics.
+    StatsRequest,
+    /// Broker → controller: one region manager's interval report,
+    /// JSON-encoded (see [`crate::broker::RegionReport`]).
+    StatsReport {
+        /// JSON body of the report.
+        json: String,
+    },
+    /// Controller → broker, and broker → affected clients: a topic's new
+    /// configuration (assignment bitmask + delivery mode).
+    ConfigUpdate {
+        /// Topic name.
+        topic: String,
+        /// Assignment bitmask, bit `i` ↔ region `i`.
+        mask: u32,
+        /// Delivery mode.
+        mode: WireMode,
+    },
+    /// Latency probe.
+    Ping {
+        /// Echoed back in the matching [`Frame::Pong`].
+        nonce: u64,
+    },
+    /// Latency probe response.
+    Pong {
+        /// The nonce of the [`Frame::Ping`] being answered.
+        nonce: u64,
+    },
+}
+
+impl Frame {
+    /// The discriminant byte used on the wire.
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            Frame::Connect { .. } => 0x01,
+            Frame::ConnectAck { .. } => 0x02,
+            Frame::Subscribe { .. } => 0x03,
+            Frame::Unsubscribe { .. } => 0x04,
+            Frame::Publish { .. } => 0x05,
+            Frame::Forward { .. } => 0x06,
+            Frame::Deliver { .. } => 0x07,
+            Frame::StatsRequest => 0x08,
+            Frame::StatsReport { .. } => 0x09,
+            Frame::ConfigUpdate { .. } => 0x0A,
+            Frame::Ping { .. } => 0x0B,
+            Frame::Pong { .. } => 0x0C,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_roundtrip() {
+        for role in [Role::Publisher, Role::Subscriber, Role::Peer, Role::Controller] {
+            assert_eq!(Role::from_u8(role.to_u8()), Some(role));
+        }
+        assert_eq!(Role::from_u8(42), None);
+    }
+
+    #[test]
+    fn mode_roundtrip() {
+        for mode in [WireMode::Direct, WireMode::Routed] {
+            assert_eq!(WireMode::from_u8(mode.to_u8()), Some(mode));
+        }
+        assert_eq!(WireMode::from_u8(9), None);
+    }
+
+    #[test]
+    fn mode_converts_to_core() {
+        use multipub_core::assignment::DeliveryMode;
+        assert_eq!(DeliveryMode::from(WireMode::Routed), DeliveryMode::Routed);
+        assert_eq!(WireMode::from(DeliveryMode::Direct), WireMode::Direct);
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        use std::collections::HashSet;
+        let frames = [
+            Frame::Connect { client_id: 1, role: Role::Publisher },
+            Frame::ConnectAck { region: 0 },
+            Frame::Subscribe { topic: "t".into(), filter: String::new() },
+            Frame::Unsubscribe { topic: "t".into() },
+            Frame::Publish {
+                topic: "t".into(),
+                publisher: 1,
+                publish_micros: 0,
+                single_target: true,
+                headers: String::new(),
+                payload: Bytes::new(),
+            },
+            Frame::Forward {
+                topic: "t".into(),
+                publisher: 1,
+                publish_micros: 0,
+                origin_region: 0,
+                headers: String::new(),
+                payload: Bytes::new(),
+            },
+            Frame::Deliver {
+                topic: "t".into(),
+                publisher: 1,
+                publish_micros: 0,
+                headers: String::new(),
+                payload: Bytes::new(),
+            },
+            Frame::StatsRequest,
+            Frame::StatsReport { json: "{}".into() },
+            Frame::ConfigUpdate { topic: "t".into(), mask: 1, mode: WireMode::Direct },
+            Frame::Ping { nonce: 0 },
+            Frame::Pong { nonce: 0 },
+        ];
+        let tags: HashSet<u8> = frames.iter().map(Frame::tag).collect();
+        assert_eq!(tags.len(), frames.len());
+    }
+}

@@ -1,0 +1,61 @@
+//! # multipub-broker
+//!
+//! The MultiPub middleware itself: a deployable, reconfigurable,
+//! topic-based pub/sub service spanning multiple cloud regions
+//! (paper §III.A).
+//!
+//! ## Components
+//!
+//! * [`frame`] / [`codec`] — the binary wire protocol shared by clients,
+//!   brokers and the controller.
+//! * [`broker`] — the per-region broker: topic matching, local delivery,
+//!   routed forwarding to peer regions, per-topic statistics collection
+//!   (the *region manager* role) and config-update fan-out to clients.
+//! * [`controller`] — the MultiPub controller: aggregates the region
+//!   managers' reports, re-runs the optimizer per topic, and deploys new
+//!   configurations.
+//! * [`client`] — publisher/subscriber handles that follow configuration
+//!   changes transparently (connecting to the closest serving region,
+//!   publishing to one or all regions depending on the delivery mode).
+//! * [`delay`] — a WAN latency injector so a whole multi-region
+//!   deployment can run on loopback with realistic one-way delays.
+//!
+//! The paper's simplification is kept: one broker per region (Dynamoth
+//! handles intra-region scale-out in the original system; see DESIGN.md
+//! §3). Everything else — direct and routed delivery, the assignment
+//! matrix, stat collection intervals, client re-steering on
+//! reconfiguration — is implemented.
+//!
+//! ## A two-region deployment on loopback
+//!
+//! ```no_run
+//! use multipub_broker::broker::Broker;
+//! use multipub_broker::client::{ClientConfig, PublisherClient, SubscriberClient};
+//! use multipub_core::ids::RegionId;
+//!
+//! # async fn demo() -> Result<(), Box<dyn std::error::Error>> {
+//! let broker = Broker::builder(RegionId(0)).spawn().await?;
+//! let addrs = vec![broker.local_addr()];
+//! let mut subscriber = SubscriberClient::new(ClientConfig::new(11, addrs.clone()))?;
+//! subscriber.subscribe("scores").await?;
+//! let mut publisher = PublisherClient::new(ClientConfig::new(12, addrs))?;
+//! publisher.publish("scores", &b"3:1"[..]).await?;
+//! let delivery = subscriber.next_delivery().await?;
+//! assert_eq!(&delivery.payload[..], b"3:1");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod broker;
+pub mod client;
+pub mod codec;
+mod conn;
+pub mod controller;
+pub mod delay;
+pub mod frame;
+pub mod probe;
+
+pub use conn::BrokerError;

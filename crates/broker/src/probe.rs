@@ -1,0 +1,123 @@
+//! Latency probing.
+//!
+//! The MultiPub controller "keeps track of the latencies between every
+//! client and each of the cloud regions, as well as the latency between
+//! each pair of cloud regions" (paper §III.A4). This module provides the
+//! measurement primitive: a [`Frame::Ping`]/[`Frame::Pong`] exchange over
+//! a short-lived connection, yielding the estimated **one-way** latency
+//! (half the median round trip, exactly how the paper derives `L^R` from
+//! `ping`).
+
+use crate::conn::{read_frame, BrokerError};
+use crate::delay::Outbound;
+use crate::frame::{Frame, Role};
+use bytes::BytesMut;
+use std::net::SocketAddr;
+use std::time::Duration;
+use tokio::net::TcpStream;
+
+/// Measures the one-way latency towards a broker by timing `samples`
+/// ping/pong round trips and halving the median, mirroring the paper's
+/// methodology for `L^R` (§V.A1).
+///
+/// # Errors
+///
+/// Returns a connection or protocol error if the broker is unreachable or
+/// misbehaves.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub async fn probe_one_way(
+    addr: SocketAddr,
+    client_id: u64,
+    samples: usize,
+) -> Result<Duration, BrokerError> {
+    assert!(samples > 0, "at least one sample is required");
+    let stream = TcpStream::connect(addr).await?;
+    stream.set_nodelay(true).ok();
+    let (mut read_half, write_half) = stream.into_split();
+    let outbound = Outbound::spawn(write_half, Duration::ZERO);
+    outbound.send(&Frame::Connect { client_id, role: Role::Publisher });
+
+    let mut buf = BytesMut::new();
+    // Consume the ConnectAck.
+    match read_frame(&mut read_half, &mut buf).await? {
+        Some(Frame::ConnectAck { .. }) => {}
+        Some(_) => return Err(BrokerError::UnexpectedFrame { expected: "ConnectAck" }),
+        None => return Err(BrokerError::ConnectionClosed),
+    }
+
+    let mut round_trips = Vec::with_capacity(samples);
+    for nonce in 0..samples as u64 {
+        let sent = tokio::time::Instant::now();
+        outbound.send(&Frame::Ping { nonce });
+        loop {
+            match read_frame(&mut read_half, &mut buf).await? {
+                Some(Frame::Pong { nonce: echoed }) if echoed == nonce => {
+                    round_trips.push(sent.elapsed());
+                    break;
+                }
+                Some(Frame::Pong { .. }) | Some(_) => continue, // stale pong or config replay
+                None => return Err(BrokerError::ConnectionClosed),
+            }
+        }
+    }
+    round_trips.sort_unstable();
+    Ok(round_trips[round_trips.len() / 2] / 2)
+}
+
+/// Probes every broker of a deployment, returning the client's one-way
+/// latency row in milliseconds — ready for
+/// [`crate::controller::Controller::register_client`] or
+/// [`crate::client::ClientConfig::latencies_ms`].
+///
+/// # Errors
+///
+/// Fails on the first unreachable broker.
+pub async fn probe_latency_row(
+    addrs: &[SocketAddr],
+    client_id: u64,
+    samples: usize,
+) -> Result<Vec<f64>, BrokerError> {
+    let mut row = Vec::with_capacity(addrs.len());
+    for &addr in addrs {
+        let one_way = probe_one_way(addr, client_id, samples).await?;
+        row.push(one_way.as_secs_f64() * 1000.0);
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::Broker;
+    use crate::delay::DelayTable;
+    use multipub_core::ids::RegionId;
+
+    #[tokio::test]
+    async fn probe_measures_injected_delay() {
+        let mut delays = DelayTable::none();
+        delays.set_client_delay_ms(77, 30.0); // downlink only → RTT ≈ 30 ms
+        let broker = Broker::builder(RegionId(0)).delays(delays).spawn().await.unwrap();
+        let one_way = probe_one_way(broker.local_addr(), 77, 5).await.unwrap();
+        let ms = one_way.as_secs_f64() * 1000.0;
+        // Half of a ~30 ms round trip, plus scheduling noise.
+        assert!((10.0..25.0).contains(&ms), "measured {ms:.1} ms one-way");
+    }
+
+    #[tokio::test]
+    async fn probe_row_covers_every_region() {
+        let a = Broker::builder(RegionId(0)).spawn().await.unwrap();
+        let b = Broker::builder(RegionId(1)).spawn().await.unwrap();
+        let row = probe_latency_row(&[a.local_addr(), b.local_addr()], 5, 3).await.unwrap();
+        assert_eq!(row.len(), 2);
+        assert!(row.iter().all(|ms| *ms >= 0.0 && *ms < 100.0));
+    }
+
+    #[tokio::test]
+    async fn probe_unreachable_broker_fails() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(probe_one_way(addr, 1, 1).await.is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests of the wire codec: arbitrary frames round-trip through
+//! encode/decode, under arbitrary buffer fragmentation, and the decoder
+//! never panics on garbage.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use multipub_broker::codec::{decode, encode, encode_to_bytes};
+use multipub_broker::frame::{Frame, Role, WireMode};
+use proptest::prelude::*;
+
+fn arb_topic() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9/_.-]{1,24}"
+}
+
+fn arb_payload() -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..256).prop_map(Bytes::from)
+}
+
+fn arb_role() -> impl Strategy<Value = Role> {
+    prop_oneof![
+        Just(Role::Publisher),
+        Just(Role::Subscriber),
+        Just(Role::Peer),
+        Just(Role::Controller),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u64>(), arb_role())
+            .prop_map(|(client_id, role)| Frame::Connect { client_id, role }),
+        any::<u16>().prop_map(|region| Frame::ConnectAck { region }),
+        (arb_topic(), "[a-z <>=0-9&|!()._\"^-]{0,40}")
+            .prop_map(|(topic, filter)| Frame::Subscribe { topic, filter }),
+        arb_topic().prop_map(|topic| Frame::Unsubscribe { topic }),
+        (arb_topic(), any::<u64>(), any::<u64>(), any::<bool>(), "[ -~]{0,64}", arb_payload())
+            .prop_map(|(topic, publisher, publish_micros, single_target, headers, payload)| {
+                Frame::Publish { topic, publisher, publish_micros, single_target, headers, payload }
+            }),
+        (arb_topic(), any::<u64>(), any::<u64>(), any::<u16>(), "[ -~]{0,64}", arb_payload())
+            .prop_map(|(topic, publisher, publish_micros, origin_region, headers, payload)| {
+                Frame::Forward { topic, publisher, publish_micros, origin_region, headers, payload }
+            }),
+        (arb_topic(), any::<u64>(), any::<u64>(), "[ -~]{0,64}", arb_payload())
+            .prop_map(|(topic, publisher, publish_micros, headers, payload)| {
+                Frame::Deliver { topic, publisher, publish_micros, headers, payload }
+            }),
+        Just(Frame::StatsRequest),
+        "[ -~]{0,128}".prop_map(|json| Frame::StatsReport { json }),
+        (arb_topic(), any::<u32>(), prop_oneof![Just(WireMode::Direct), Just(WireMode::Routed)])
+            .prop_map(|(topic, mask, mode)| Frame::ConfigUpdate { topic, mask, mode }),
+        any::<u64>().prop_map(|nonce| Frame::Ping { nonce }),
+        any::<u64>().prop_map(|nonce| Frame::Pong { nonce }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip(frame in arb_frame()) {
+        let mut buf = BytesMut::new();
+        encode(&frame, &mut buf);
+        let decoded = decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(decoded, frame);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_of_frame_sequences(frames in proptest::collection::vec(arb_frame(), 1..8)) {
+        let mut buf = BytesMut::new();
+        for frame in &frames {
+            encode(frame, &mut buf);
+        }
+        let mut decoded = Vec::new();
+        while let Some(frame) = decode(&mut buf).unwrap() {
+            decoded.push(frame);
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Feeding the encoder output in arbitrary chunk sizes yields the same
+    /// frames — no frame boundary assumptions leak into the decoder.
+    #[test]
+    fn roundtrip_under_fragmentation(
+        frames in proptest::collection::vec(arb_frame(), 1..5),
+        chunk in 1usize..17,
+    ) {
+        let mut wire = BytesMut::new();
+        for frame in &frames {
+            encode(frame, &mut wire);
+        }
+        let wire = wire.freeze();
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            buf.put_slice(piece);
+            while let Some(frame) = decode(&mut buf).unwrap() {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// The decoder never panics on arbitrary bytes: it either waits for
+    /// more input, produces a frame, or reports a codec error.
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        // Iterate until the decoder stops making progress.
+        loop {
+            let before = buf.len();
+            match decode(&mut buf) {
+                Ok(Some(_)) => {
+                    if buf.len() == before {
+                        break;
+                    }
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// A truncated valid frame never decodes to anything.
+    #[test]
+    fn truncation_never_yields_a_frame(frame in arb_frame(), cut_fraction in 0.0f64..1.0) {
+        let full = encode_to_bytes(&frame);
+        let cut = ((full.len() as f64) * cut_fraction) as usize;
+        if cut < full.len() {
+            let mut buf = BytesMut::from(&full[..cut]);
+            prop_assert_eq!(decode(&mut buf).unwrap(), None);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! `multipub-broker` — run one per-region MultiPub broker.
+//!
+//! ```text
+//! multipub-broker --region 0 --bind 0.0.0.0:9000 \
+//!     --peer 1=10.0.1.5:9000 --peer 2=10.0.2.5:9000 \
+//!     [--region-delays 0,40,90]           # WAN emulation (ms, testing)
+//! ```
+//!
+//! The broker serves pub/sub clients, forwards routed publications to its
+//! peers, collects region-manager statistics and applies controller
+//! configuration updates. It runs until Ctrl-C.
+
+use multipub_broker::broker::Broker;
+use multipub_broker::delay::DelayTable;
+use multipub_cli::{parse_f64_list, parse_pair, Args};
+use multipub_core::ids::RegionId;
+use std::net::SocketAddr;
+
+const USAGE: &str = "usage: multipub-broker --region <idx> [--bind <addr>] \
+                     [--peer <idx>=<addr>]... [--region-delays <ms,ms,...>] \
+                     [--client-delay <id>=<ms>]...";
+
+async fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let region: u8 = args.require("region")?.parse().map_err(|_| "bad --region".to_string())?;
+    let bind: SocketAddr = args
+        .get("bind")
+        .unwrap_or("127.0.0.1:0")
+        .parse()
+        .map_err(|_| "bad --bind address".to_string())?;
+
+    let mut delays = match args.get("region-delays") {
+        Some(list) => DelayTable::with_region_delays_ms(&parse_f64_list(list)?),
+        None => DelayTable::none(),
+    };
+    for spec in args.get_all("client-delay") {
+        let (client, ms) = parse_pair::<u64>(spec)?;
+        let ms: f64 = ms.parse().map_err(|_| format!("bad delay in {spec:?}"))?;
+        delays.set_client_delay_ms(client, ms);
+    }
+
+    let mut builder = Broker::builder(RegionId(region)).bind(bind).delays(delays);
+    for spec in args.get_all("peer") {
+        let (peer_region, addr) = parse_pair::<u8>(spec)?;
+        let addr: SocketAddr =
+            addr.parse().map_err(|_| format!("bad peer address in {spec:?}"))?;
+        builder = builder.peer(RegionId(peer_region), addr);
+    }
+
+    let broker = builder.spawn().await.map_err(|e| e.to_string())?;
+    println!("multipub-broker: region R{region} listening on {}", broker.local_addr());
+    tokio::signal::ctrl_c().await.map_err(|e| e.to_string())?;
+    println!("multipub-broker: shutting down");
+    broker.shutdown();
+    Ok(())
+}
+
+#[tokio::main]
+async fn main() {
+    if let Err(message) = run().await {
+        eprintln!("error: {message}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+}

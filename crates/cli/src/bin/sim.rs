@@ -1,0 +1,58 @@
+//! `multipub-sim` — run a JSON simulation spec through the optimizer.
+//!
+//! ```text
+//! multipub-sim --spec experiment.json [--format markdown|csv]
+//! multipub-sim --example true           # print a sample spec and exit
+//! ```
+//!
+//! The spec format is documented on
+//! [`multipub_sim::spec::SimulationSpec`]; topics run against the built-in
+//! 10-region EC2 deployment and are solved in parallel.
+
+use multipub_cli::Args;
+use multipub_sim::spec::{parse_spec, run_spec};
+
+const USAGE: &str =
+    "usage: multipub-sim --spec <path.json> [--format markdown|csv] | --example true";
+
+const EXAMPLE: &str = r#"{
+  "interval_secs": 60,
+  "seed": 2017,
+  "topics": [
+    {
+      "name": "game/scores",
+      "ratio_percent": 75,
+      "max_ms": 150,
+      "pubs_per_region": [10,10,10,10,10,10,10,10,10,10],
+      "subs_per_region": [10,10,10,10,10,10,10,10,10,10],
+      "rate_per_sec": 1.0,
+      "size_bytes": 1024
+    }
+  ]
+}"#;
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    if args.get_parsed_or("example", false)? {
+        println!("{EXAMPLE}");
+        return Ok(());
+    }
+    let path = args.require("spec")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = parse_spec(&text)?;
+    let outcome = run_spec(&spec).map_err(|e| e.to_string())?;
+    match args.get("format").unwrap_or("markdown") {
+        "markdown" => print!("{}", outcome.table().to_markdown()),
+        "csv" => print!("{}", outcome.table().to_csv()),
+        other => return Err(format!("unknown format {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("error: {message}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,164 @@
+//! # multipub-cli
+//!
+//! Command-line front ends for a MultiPub deployment:
+//!
+//! * `multipub-broker` — run one per-region broker.
+//! * `multipub-controller` — run the optimizing controller against a set
+//!   of brokers.
+//! * `multipub-sim` — run a JSON simulation spec through the optimizer.
+//!
+//! The argument parser is deliberately dependency-free: flags are
+//! `--name value` pairs, repeatable where documented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Minimal `--flag value` argument collector with repeatable flags.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    values: BTreeMap<String, Vec<String>>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Result<Self, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a `--flag` is not followed by a value.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                out.values.entry(name.to_string()).or_default().push(value);
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The last value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// All values of a repeatable flag.
+    pub fn get_all(&self, name: &str) -> &[String] {
+        self.values.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// A required flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the flag is missing.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// A flag parsed into any `FromStr` type, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value fails to parse.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse {text:?}")),
+        }
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// Parses `key=value` pairs like `3=127.0.0.1:9000`.
+///
+/// # Errors
+///
+/// Returns a message when the `=` separator is missing or the key fails
+/// to parse.
+pub fn parse_pair<K: std::str::FromStr>(text: &str) -> Result<(K, &str), String> {
+    let (key, value) = text
+        .split_once('=')
+        .ok_or_else(|| format!("expected key=value, got {text:?}"))?;
+    let key = key.parse().map_err(|_| format!("cannot parse key in {text:?}"))?;
+    Ok((key, value))
+}
+
+/// Parses a comma-separated list of floats (`10,20.5,0`).
+///
+/// # Errors
+///
+/// Returns a message naming the offending element.
+pub fn parse_f64_list(text: &str) -> Result<Vec<f64>, String> {
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("cannot parse number {part:?}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = args(&["--region", "3", "run", "--peer", "0=x", "--peer", "1=y"]);
+        assert_eq!(a.get("region"), Some("3"));
+        assert_eq!(a.get_all("peer"), &["0=x".to_string(), "1=y".to_string()]);
+        assert_eq!(a.positional(), &["run".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(["--region".to_string()]).is_err());
+    }
+
+    #[test]
+    fn require_and_parse() {
+        let a = args(&["--interval", "2.5"]);
+        assert_eq!(a.require("interval").unwrap(), "2.5");
+        assert!(a.require("missing").is_err());
+        assert_eq!(a.get_parsed_or("interval", 1.0).unwrap(), 2.5);
+        assert_eq!(a.get_parsed_or("absent", 9.0).unwrap(), 9.0);
+        let bad = args(&["--interval", "zzz"]);
+        assert!(bad.get_parsed_or("interval", 1.0).is_err());
+    }
+
+    #[test]
+    fn pair_and_list_parsing() {
+        let (k, v) = parse_pair::<u8>("4=10.0.0.1:9").unwrap();
+        assert_eq!((k, v), (4u8, "10.0.0.1:9"));
+        assert!(parse_pair::<u8>("no-separator").is_err());
+        assert_eq!(parse_f64_list("1, 2.5,3").unwrap(), vec![1.0, 2.5, 3.0]);
+        assert!(parse_f64_list("1,x").is_err());
+    }
+}

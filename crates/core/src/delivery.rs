@@ -1,0 +1,237 @@
+//! Delivery-time equations (paper Eq. 1–2) and the delivery-time
+//! percentile `D̃_C` (Eq. 5–6).
+//!
+//! For a publication from publisher `P` to subscriber `S`:
+//!
+//! * **Direct** (Eq. 1): `D = L[P][R^S] + L[R^S][S]` — the publisher sends
+//!   straight to the subscriber's region.
+//! * **Routed** (Eq. 2): `D = L[P][R^P] + L^R[R^P][R^S] + L[R^S][S]` — the
+//!   publisher sends to its own closest region, which forwards across the
+//!   inter-cloud link.
+//!
+//! The constraint check needs the `n^T`-th smallest delivery time out of
+//! all `N_S × Σ N_M` deliveries of the interval. Instead of materializing
+//! that list (the paper's approach), we compute the same value from the
+//! `N_P × N_S` pair latencies, each weighted by
+//! `N_M^P × weight(S)` — design decision **D1** in DESIGN.md. A
+//! materializing reference implementation is kept for differential testing.
+
+use crate::assignment::AssignmentVector;
+use crate::ids::RegionId;
+use crate::latency::InterRegionMatrix;
+
+/// The closest (latency-wise) region to a client among the regions of an
+/// assignment; ties broken by lowest region id.
+///
+/// This is `R^S` / `R^P` of the paper (§III.C).
+///
+/// # Panics
+///
+/// Panics if `latencies` is narrower than the highest region in the
+/// assignment.
+///
+/// ```
+/// use multipub_core::delivery::closest_region;
+/// use multipub_core::assignment::AssignmentVector;
+/// use multipub_core::ids::RegionId;
+/// # fn main() -> Result<(), multipub_core::Error> {
+/// let assignment = AssignmentVector::from_mask(0b110, 3)?;
+/// // Region 0 is closest overall but not assigned.
+/// assert_eq!(closest_region(&[1.0, 9.0, 4.0], assignment), RegionId(2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn closest_region(latencies: &[f64], assignment: AssignmentVector) -> RegionId {
+    let mut best: Option<(f64, RegionId)> = None;
+    for region in assignment.iter() {
+        let lat = latencies[region.index()];
+        match best {
+            Some((b, _)) if b <= lat => {}
+            _ => best = Some((lat, region)),
+        }
+    }
+    best.expect("assignment vectors are non-empty by construction").1
+}
+
+/// Direct delivery time (Eq. 1): publisher → subscriber's region →
+/// subscriber.
+pub fn direct_delivery_ms(
+    publisher_latencies: &[f64],
+    subscriber_latencies: &[f64],
+    subscriber_region: RegionId,
+) -> f64 {
+    publisher_latencies[subscriber_region.index()]
+        + subscriber_latencies[subscriber_region.index()]
+}
+
+/// Routed delivery time (Eq. 2): publisher → its own region → subscriber's
+/// region → subscriber. When `publisher_region == subscriber_region` the
+/// inter-region hop is zero and this reduces to Eq. 1.
+pub fn routed_delivery_ms(
+    publisher_latencies: &[f64],
+    subscriber_latencies: &[f64],
+    publisher_region: RegionId,
+    subscriber_region: RegionId,
+    inter: &InterRegionMatrix,
+) -> f64 {
+    publisher_latencies[publisher_region.index()]
+        + inter.latency(publisher_region, subscriber_region)
+        + subscriber_latencies[subscriber_region.index()]
+}
+
+/// One delivery-time sample with a multiplicity: `weight` deliveries all
+/// experienced `time_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedSample {
+    /// Delivery time in milliseconds.
+    pub time_ms: f64,
+    /// How many (message, subscriber) deliveries share this time.
+    pub weight: u64,
+}
+
+/// The `rank`-th smallest delivery time (1-based) of a weighted sample
+/// multiset — the delivery-time percentile `D̃_C` of Eq. 6.
+///
+/// `samples` is reordered in place. Returns 0.0 when `rank` is 0 (an empty
+/// interval is trivially feasible) and the overall maximum when `rank`
+/// exceeds the total weight.
+pub fn weighted_percentile(samples: &mut [WeightedSample], rank: u64) -> f64 {
+    if rank == 0 || samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable_by(|a, b| a.time_ms.total_cmp(&b.time_ms));
+    let mut cumulative = 0u64;
+    for sample in samples.iter() {
+        cumulative += sample.weight;
+        if cumulative >= rank {
+            return sample.time_ms;
+        }
+    }
+    samples.last().expect("samples non-empty").time_ms
+}
+
+/// Reference implementation of the percentile that materializes every
+/// delivery time, exactly as the paper describes building `𝔻_C`
+/// (§IV.A). Quadratic in memory; used only for differential testing and as
+/// an ablation bench baseline.
+pub fn materialized_percentile(samples: &[WeightedSample], rank: u64) -> f64 {
+    if rank == 0 {
+        return 0.0;
+    }
+    let mut all: Vec<f64> = Vec::new();
+    for sample in samples {
+        for _ in 0..sample.weight {
+            all.push(sample.time_ms);
+        }
+    }
+    if all.is_empty() {
+        return 0.0;
+    }
+    all.sort_unstable_by(f64::total_cmp);
+    let idx = (rank as usize).min(all.len()) - 1;
+    all[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::AssignmentVector;
+
+    fn sample_inter() -> InterRegionMatrix {
+        InterRegionMatrix::from_rows(vec![
+            vec![0.0, 40.0, 90.0],
+            vec![40.0, 0.0, 120.0],
+            vec![90.0, 120.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn closest_region_ignores_unassigned() {
+        let a = AssignmentVector::from_mask(0b100, 3).unwrap();
+        assert_eq!(closest_region(&[0.0, 1.0, 50.0], a), RegionId(2));
+    }
+
+    #[test]
+    fn closest_region_breaks_ties_by_id() {
+        let a = AssignmentVector::from_mask(0b111, 3).unwrap();
+        assert_eq!(closest_region(&[5.0, 5.0, 5.0], a), RegionId(0));
+    }
+
+    #[test]
+    fn direct_matches_equation_1() {
+        // L[P][R^S] = 30, L[R^S][S] = 12.
+        let d = direct_delivery_ms(&[10.0, 30.0], &[40.0, 12.0], RegionId(1));
+        assert_eq!(d, 42.0);
+    }
+
+    #[test]
+    fn routed_matches_equation_2() {
+        let inter = sample_inter();
+        // L[P][R^P]=10 + L^R[0][2]=90 + L[R^S][S]=7.
+        let d = routed_delivery_ms(
+            &[10.0, 50.0, 80.0],
+            &[99.0, 99.0, 7.0],
+            RegionId(0),
+            RegionId(2),
+            &inter,
+        );
+        assert_eq!(d, 107.0);
+    }
+
+    #[test]
+    fn routed_same_region_reduces_to_direct() {
+        let inter = sample_inter();
+        let pubs = [10.0, 50.0, 80.0];
+        let subs = [9.0, 99.0, 7.0];
+        let routed = routed_delivery_ms(&pubs, &subs, RegionId(0), RegionId(0), &inter);
+        let direct = direct_delivery_ms(&pubs, &subs, RegionId(0));
+        assert_eq!(routed, direct);
+    }
+
+    #[test]
+    fn weighted_percentile_basic() {
+        let mut s = vec![
+            WeightedSample { time_ms: 10.0, weight: 3 },
+            WeightedSample { time_ms: 20.0, weight: 2 },
+            WeightedSample { time_ms: 30.0, weight: 1 },
+        ];
+        // Sorted multiset: 10,10,10,20,20,30. Rank 4 → 20.
+        assert_eq!(weighted_percentile(&mut s, 4), 20.0);
+        assert_eq!(weighted_percentile(&mut s, 1), 10.0);
+        assert_eq!(weighted_percentile(&mut s, 6), 30.0);
+    }
+
+    #[test]
+    fn weighted_percentile_rank_overflow_returns_max() {
+        let mut s = vec![WeightedSample { time_ms: 5.0, weight: 2 }];
+        assert_eq!(weighted_percentile(&mut s, 100), 5.0);
+    }
+
+    #[test]
+    fn weighted_percentile_rank_zero() {
+        let mut s = vec![WeightedSample { time_ms: 5.0, weight: 2 }];
+        assert_eq!(weighted_percentile(&mut s, 0), 0.0);
+        let mut empty: Vec<WeightedSample> = vec![];
+        assert_eq!(weighted_percentile(&mut empty, 3), 0.0);
+    }
+
+    #[test]
+    fn weighted_matches_materialized() {
+        let samples = vec![
+            WeightedSample { time_ms: 42.0, weight: 5 },
+            WeightedSample { time_ms: 13.0, weight: 1 },
+            WeightedSample { time_ms: 99.0, weight: 4 },
+            WeightedSample { time_ms: 42.0, weight: 2 },
+        ];
+        let total: u64 = samples.iter().map(|s| s.weight).sum();
+        for rank in 1..=total {
+            let mut w = samples.clone();
+            assert_eq!(
+                weighted_percentile(&mut w, rank),
+                materialized_percentile(&samples, rank),
+                "rank {rank}"
+            );
+        }
+    }
+}

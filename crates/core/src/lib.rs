@@ -1,0 +1,115 @@
+//! # multipub-core
+//!
+//! Core model and optimizer of **MultiPub**, a latency- and cost-aware
+//! global-scale cloud publish/subscribe middleware (Gascon-Samson, Kienzle,
+//! Kemme — ICDCS 2017).
+//!
+//! Topic-based pub/sub decouples publishers from subscribers: publishers tag
+//! each publication with a topic, and the middleware disseminates it to every
+//! subscriber of that topic. When clients are spread across the world, the
+//! middleware can serve a topic from one or several cloud *regions*. Region
+//! choice trades **delivery latency** against **outgoing-bandwidth cost**,
+//! which varies widely between regions (see the EC2 table in
+//! `multipub-data`).
+//!
+//! For every topic `T`, MultiPub picks the cheapest *configuration* — a set
+//! of regions plus a delivery mode ([`assignment::DeliveryMode::Direct`] or
+//! [`assignment::DeliveryMode::Routed`]) — whose delivery-time percentile satisfies the
+//! per-topic constraint `<ratio_T, max_T>` ("`ratio_T` percent of messages
+//! delivered within `max_T` milliseconds"). If no configuration is feasible,
+//! it picks the most latency-minimizing one.
+//!
+//! ## Crate map
+//!
+//! * [`region`] — cloud regions and their bandwidth cost rates (α, β).
+//! * [`latency`] — the client↔region matrix `L` and inter-region matrix `L^R`.
+//! * [`workload`] — publishers, subscribers and their observed message logs.
+//! * [`assignment`] — region bitmasks and configuration enumeration.
+//! * [`delivery`] — delivery-time equations (paper Eq. 1–2) and the
+//!   delivery-time percentile (Eq. 5–6).
+//! * [`cost`] — the bandwidth cost model (Eq. 3–4).
+//! * [`evaluate`] — evaluation of a single configuration against a workload.
+//! * [`optimizer`] — brute-force optimal search with the paper's
+//!   tie-breaking rules, plus the *One Region* and *All Regions* baselines.
+//! * [`mitigation`] — high-latency client handling (paper §IV.D).
+//! * [`scaling`] — region pruning and proportional client bundling
+//!   heuristics for extra-large settings (paper §V.F).
+//! * [`topics`] — the topics × regions assignment matrix and
+//!   reconfiguration planning (paper §III.A2, §III.A5).
+//! * [`heuristic`] — beam-search solving for extra-large region counts
+//!   (the paper's §VII future work).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multipub_core::prelude::*;
+//!
+//! # fn main() -> Result<(), multipub_core::Error> {
+//! // Two regions: a cheap one and an expensive one.
+//! let regions = RegionSet::new(vec![
+//!     Region::new("us-east-1", "N. Virginia", 0.02, 0.09),
+//!     Region::new("ap-northeast-1", "Tokyo", 0.09, 0.14),
+//! ])?;
+//! // One-way inter-region latency (ms).
+//! let inter = InterRegionMatrix::from_rows(vec![
+//!     vec![0.0, 80.0],
+//!     vec![80.0, 0.0],
+//! ])?;
+//!
+//! // A publisher near us-east-1 that sent 60 messages of 1 KiB,
+//! // and one subscriber near each region.
+//! let mut topic = TopicWorkload::new(2);
+//! topic.add_publisher(Publisher::new(
+//!     ClientId(0), vec![10.0, 90.0], MessageBatch::uniform(60, 1024),
+//! )?)?;
+//! topic.add_subscriber(Subscriber::new(ClientId(1), vec![12.0, 95.0])?)?;
+//! topic.add_subscriber(Subscriber::new(ClientId(2), vec![92.0, 9.0])?)?;
+//!
+//! // 95 % of messages within 120 ms.
+//! let constraint = DeliveryConstraint::new(95.0, 120.0)?;
+//! let solution = Optimizer::new(&regions, &inter, &topic)?.solve(&constraint);
+//!
+//! assert!(solution.is_feasible());
+//! println!(
+//!     "chosen regions: {:?}, mode {:?}, cost ${:.4}",
+//!     solution.configuration().assignment(),
+//!     solution.configuration().mode(),
+//!     solution.evaluation().cost_dollars(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod assignment;
+pub mod constraint;
+pub mod cost;
+pub mod delivery;
+pub mod error;
+pub mod evaluate;
+pub mod heuristic;
+pub mod ids;
+pub mod latency;
+pub mod mitigation;
+pub mod optimizer;
+pub mod region;
+pub mod scaling;
+pub mod topics;
+pub mod workload;
+
+pub use error::Error;
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::assignment::{AssignmentVector, Configuration, DeliveryMode, ModePolicy};
+    pub use crate::constraint::DeliveryConstraint;
+    pub use crate::error::Error;
+    pub use crate::evaluate::{ConfigEvaluation, TopicEvaluator};
+    pub use crate::ids::{ClientId, RegionId, TopicId};
+    pub use crate::latency::InterRegionMatrix;
+    pub use crate::optimizer::{Optimizer, Solution};
+    pub use crate::region::{Region, RegionSet};
+    pub use crate::workload::{MessageBatch, Publisher, Subscriber, TopicWorkload};
+}

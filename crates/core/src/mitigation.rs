@@ -1,0 +1,348 @@
+//! Handling clients experiencing high latencies (paper §IV.D).
+//!
+//! The delivery constraint protects a *percentile* of deliveries, so a
+//! client whose connection degrades can end up with **all** of its
+//! deliveries above `max_T` without making the chosen configuration
+//! infeasible. The controller periodically scans for such *stragglers* and
+//! checks whether force-adding a region to the topic's assignment would
+//! meet — or significantly improve — their delivery times. Forced regions
+//! are tracked and retracted once no straggler needs them anymore.
+
+use crate::assignment::Configuration;
+use crate::constraint::DeliveryConstraint;
+use crate::evaluate::TopicEvaluator;
+use crate::ids::RegionId;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the straggler scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationPolicy {
+    /// Minimum relative improvement of a straggler's best delivery time for
+    /// a forced region to be worth adding even when the bound still cannot
+    /// be met (e.g. `0.2` = 20 % faster). The paper asks for the needs to
+    /// be "met (if possible), or improved significantly".
+    pub min_improvement: f64,
+}
+
+impl Default for MitigationPolicy {
+    fn default() -> Self {
+        MitigationPolicy { min_improvement: 0.2 }
+    }
+}
+
+/// A straggler found by [`find_stragglers`]: a subscriber whose *every*
+/// delivery in the interval exceeded the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Straggler {
+    /// Index of the subscriber within the workload's subscriber list.
+    pub subscriber_index: usize,
+    /// The straggler's best (fastest) delivery time under the current
+    /// configuration, in milliseconds.
+    pub best_delivery_ms: f64,
+}
+
+/// The outcome of one mitigation round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MitigationOutcome {
+    /// Regions force-added this round (possibly empty).
+    pub added: Vec<RegionId>,
+    /// Stragglers that remain unhelped even after additions.
+    pub unresolved: Vec<Straggler>,
+    /// The configuration after applying the additions.
+    pub configuration: Configuration,
+}
+
+/// Fastest delivery a subscriber can observe under `configuration`,
+/// across all publishers with traffic. `None` when no publisher sent
+/// anything.
+fn best_delivery_for_subscriber(
+    evaluator: &TopicEvaluator<'_>,
+    subscriber_index: usize,
+    configuration: Configuration,
+) -> Option<f64> {
+    use crate::assignment::DeliveryMode;
+    use crate::delivery::closest_region;
+    let workload = evaluator.workload();
+    let sub = &workload.subscribers()[subscriber_index];
+    let assignment = configuration.assignment();
+    let sub_region = closest_region(sub.latencies(), assignment);
+    let sub_lat = sub.latencies()[sub_region.index()];
+    let mut best: Option<f64> = None;
+    for publisher in workload.publishers() {
+        if publisher.batch().count() == 0 {
+            continue;
+        }
+        let time = match configuration.mode() {
+            DeliveryMode::Direct => publisher.latencies()[sub_region.index()] + sub_lat,
+            DeliveryMode::Routed => {
+                let home = closest_region(publisher.latencies(), assignment);
+                publisher.latencies()[home.index()]
+                    + evaluator.inter().latency(home, sub_region)
+                    + sub_lat
+            }
+        };
+        best = Some(best.map_or(time, |b: f64| b.min(time)));
+    }
+    best
+}
+
+/// Scans for subscribers whose **best** delivery time under
+/// `configuration` already exceeds the bound — every message they receive
+/// is late, yet the percentile constraint cannot see them.
+pub fn find_stragglers(
+    evaluator: &TopicEvaluator<'_>,
+    configuration: Configuration,
+    constraint: &DeliveryConstraint,
+) -> Vec<Straggler> {
+    let mut out = Vec::new();
+    for index in 0..evaluator.workload().subscriber_count() {
+        if let Some(best) = best_delivery_for_subscriber(evaluator, index, configuration) {
+            if best > constraint.max_ms() {
+                out.push(Straggler { subscriber_index: index, best_delivery_ms: best });
+            }
+        }
+    }
+    out
+}
+
+/// One mitigation round (§IV.D): for every straggler, tries force-adding
+/// each unused region and keeps the addition that best serves the
+/// straggler, provided it meets the bound or improves the straggler's best
+/// delivery by at least [`MitigationPolicy::min_improvement`].
+///
+/// Returns the (possibly unchanged) configuration, the regions added, and
+/// any stragglers that could not be helped.
+pub fn mitigate(
+    evaluator: &TopicEvaluator<'_>,
+    configuration: Configuration,
+    constraint: &DeliveryConstraint,
+    policy: &MitigationPolicy,
+) -> MitigationOutcome {
+    let n_regions = evaluator.regions().len();
+    let mut current = configuration;
+    let mut added = Vec::new();
+    let mut unresolved = Vec::new();
+
+    for straggler in find_stragglers(evaluator, current, constraint) {
+        // Re-check under the configuration as amended so far.
+        let Some(best_now) =
+            best_delivery_for_subscriber(evaluator, straggler.subscriber_index, current)
+        else {
+            continue;
+        };
+        if best_now <= constraint.max_ms() {
+            continue; // an earlier addition already fixed this one
+        }
+        let mut best_candidate: Option<(f64, RegionId)> = None;
+        for idx in 0..n_regions {
+            let region = RegionId(idx as u8);
+            if current.assignment().contains(region) {
+                continue;
+            }
+            let trial = Configuration::new(current.assignment().with(region), current.mode());
+            let Some(best_with) =
+                best_delivery_for_subscriber(evaluator, straggler.subscriber_index, trial)
+            else {
+                continue;
+            };
+            let meets = best_with <= constraint.max_ms();
+            let improves =
+                best_with <= best_now * (1.0 - policy.min_improvement);
+            if (meets || improves)
+                && best_candidate.is_none_or(|(b, _)| best_with < b)
+            {
+                best_candidate = Some((best_with, region));
+            }
+        }
+        match best_candidate {
+            Some((_, region)) => {
+                current = Configuration::new(current.assignment().with(region), current.mode());
+                added.push(region);
+            }
+            None => unresolved.push(straggler),
+        }
+    }
+
+    MitigationOutcome { added, unresolved, configuration: current }
+}
+
+/// Retraction pass: removes forced regions that no longer help any
+/// straggler — i.e. dropping the region leaves every subscriber that was
+/// within the bound still within the bound. Returns the regions retained.
+pub fn retract_unneeded(
+    evaluator: &TopicEvaluator<'_>,
+    base: Configuration,
+    forced: &[RegionId],
+    constraint: &DeliveryConstraint,
+) -> Vec<RegionId> {
+    let mut retained: Vec<RegionId> = forced.to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..retained.len() {
+            let candidate = retained[i];
+            // Configuration with every retained forced region except `candidate`.
+            let mut assignment = base.assignment();
+            for &r in &retained {
+                if r != candidate {
+                    assignment = assignment.with(r);
+                }
+            }
+            let without = Configuration::new(assignment, base.mode());
+            let with = Configuration::new(assignment.with(candidate), base.mode());
+            let needed = (0..evaluator.workload().subscriber_count()).any(|idx| {
+                let ok_with = best_delivery_for_subscriber(evaluator, idx, with)
+                    .is_some_and(|b| b <= constraint.max_ms());
+                let ok_without = best_delivery_for_subscriber(evaluator, idx, without)
+                    .is_some_and(|b| b <= constraint.max_ms());
+                ok_with && !ok_without
+            });
+            if !needed {
+                retained.remove(i);
+                changed = true;
+                break;
+            }
+        }
+    }
+    retained
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{AssignmentVector, DeliveryMode};
+    use crate::constraint::DeliveryConstraint;
+    use crate::ids::ClientId;
+    use crate::latency::InterRegionMatrix;
+    use crate::region::{Region, RegionSet};
+    use crate::workload::{MessageBatch, Publisher, Subscriber, TopicWorkload};
+
+    fn regions2() -> (RegionSet, InterRegionMatrix) {
+        (
+            RegionSet::new(vec![
+                Region::new("r0", "A", 0.02, 0.09),
+                Region::new("r1", "B", 0.09, 0.14),
+            ])
+            .unwrap(),
+            InterRegionMatrix::from_rows(vec![vec![0.0, 30.0], vec![30.0, 0.0]]).unwrap(),
+        )
+    }
+
+    /// One publisher near R0; one healthy subscriber near R0; one straggler
+    /// near R1 (far from R0).
+    fn straggler_workload() -> TopicWorkload {
+        let mut w = TopicWorkload::new(2);
+        w.add_publisher(
+            Publisher::new(ClientId(0), vec![5.0, 60.0], MessageBatch::uniform(10, 100))
+                .unwrap(),
+        )
+        .unwrap();
+        w.add_subscriber(Subscriber::new(ClientId(1), vec![5.0, 60.0]).unwrap()).unwrap();
+        w.add_subscriber(Subscriber::new(ClientId(2), vec![90.0, 4.0]).unwrap()).unwrap();
+        w
+    }
+
+    #[test]
+    fn detects_straggler_under_single_region() {
+        let (regions, inter) = regions2();
+        let w = straggler_workload();
+        let eval = TopicEvaluator::new(&regions, &inter, &w).unwrap();
+        let config = Configuration::new(
+            AssignmentVector::single(RegionId(0), 2).unwrap(),
+            DeliveryMode::Direct,
+        );
+        let constraint = DeliveryConstraint::new(75.0, 50.0).unwrap();
+        let stragglers = find_stragglers(&eval, config, &constraint);
+        assert_eq!(stragglers.len(), 1);
+        assert_eq!(stragglers[0].subscriber_index, 1);
+        // 5 (pub→R0) + 90 (R0→sub) = 95 ms.
+        assert_eq!(stragglers[0].best_delivery_ms, 95.0);
+    }
+
+    #[test]
+    fn mitigation_adds_the_helpful_region() {
+        let (regions, inter) = regions2();
+        let w = straggler_workload();
+        let eval = TopicEvaluator::new(&regions, &inter, &w).unwrap();
+        let config = Configuration::new(
+            AssignmentVector::single(RegionId(0), 2).unwrap(),
+            DeliveryMode::Direct,
+        );
+        let constraint = DeliveryConstraint::new(75.0, 70.0).unwrap();
+        let outcome = mitigate(&eval, config, &constraint, &MitigationPolicy::default());
+        assert_eq!(outcome.added, vec![RegionId(1)]);
+        assert!(outcome.unresolved.is_empty());
+        // Straggler now served by R1: 60 (pub→R1) + 4 = 64 ≤ 70.
+        assert!(outcome.configuration.assignment().contains(RegionId(1)));
+    }
+
+    #[test]
+    fn mitigation_reports_unhelpable_stragglers() {
+        let (regions, inter) = regions2();
+        let mut w = straggler_workload();
+        // Replace the straggler with one that is far from everything.
+        let far = Subscriber::new(ClientId(9), vec![500.0, 500.0]).unwrap();
+        w.add_subscriber(far).unwrap();
+        let eval = TopicEvaluator::new(&regions, &inter, &w).unwrap();
+        let config =
+            Configuration::new(AssignmentVector::all(2).unwrap(), DeliveryMode::Direct);
+        let constraint = DeliveryConstraint::new(75.0, 70.0).unwrap();
+        let outcome = mitigate(&eval, config, &constraint, &MitigationPolicy::default());
+        // All regions already assigned: nothing to add. The original
+        // "straggler" is now served locally (64 ms ≤ 70), so only the far
+        // subscriber remains unresolved.
+        assert!(outcome.added.is_empty());
+        assert_eq!(outcome.unresolved.len(), 1);
+        assert_eq!(outcome.unresolved[0].best_delivery_ms, 505.0);
+    }
+
+    #[test]
+    fn no_stragglers_no_change() {
+        let (regions, inter) = regions2();
+        let w = straggler_workload();
+        let eval = TopicEvaluator::new(&regions, &inter, &w).unwrap();
+        let config =
+            Configuration::new(AssignmentVector::all(2).unwrap(), DeliveryMode::Direct);
+        let constraint = DeliveryConstraint::new(75.0, 200.0).unwrap();
+        let outcome = mitigate(&eval, config, &constraint, &MitigationPolicy::default());
+        assert!(outcome.added.is_empty());
+        assert!(outcome.unresolved.is_empty());
+        assert_eq!(outcome.configuration, config);
+    }
+
+    #[test]
+    fn retraction_drops_region_once_unneeded() {
+        let (regions, inter) = regions2();
+        // Straggler recovered: now close to R0 as well.
+        let mut w = TopicWorkload::new(2);
+        w.add_publisher(
+            Publisher::new(ClientId(0), vec![5.0, 60.0], MessageBatch::uniform(10, 100))
+                .unwrap(),
+        )
+        .unwrap();
+        w.add_subscriber(Subscriber::new(ClientId(1), vec![5.0, 60.0]).unwrap()).unwrap();
+        w.add_subscriber(Subscriber::new(ClientId(2), vec![8.0, 4.0]).unwrap()).unwrap();
+        let eval = TopicEvaluator::new(&regions, &inter, &w).unwrap();
+        let base = Configuration::new(
+            AssignmentVector::single(RegionId(0), 2).unwrap(),
+            DeliveryMode::Direct,
+        );
+        let constraint = DeliveryConstraint::new(75.0, 70.0).unwrap();
+        let retained = retract_unneeded(&eval, base, &[RegionId(1)], &constraint);
+        assert!(retained.is_empty());
+    }
+
+    #[test]
+    fn retraction_keeps_needed_region() {
+        let (regions, inter) = regions2();
+        let w = straggler_workload();
+        let eval = TopicEvaluator::new(&regions, &inter, &w).unwrap();
+        let base = Configuration::new(
+            AssignmentVector::single(RegionId(0), 2).unwrap(),
+            DeliveryMode::Direct,
+        );
+        let constraint = DeliveryConstraint::new(75.0, 70.0).unwrap();
+        let retained = retract_unneeded(&eval, base, &[RegionId(1)], &constraint);
+        assert_eq!(retained, vec![RegionId(1)]);
+    }
+}

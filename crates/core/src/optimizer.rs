@@ -1,0 +1,772 @@
+//! The MultiPub configuration optimizer (paper §IV).
+//!
+//! For each topic, the controller enumerates every configuration — each
+//! non-empty subset of the allowed regions, with direct and (for
+//! multi-region subsets) routed delivery — evaluates its delivery-time
+//! percentile and bandwidth cost against the last observation interval, and
+//! picks (paper §IV.B):
+//!
+//! 1. among all configurations meeting the delivery constraint, the one
+//!    with the **lowest cost**;
+//! 2. ties broken per [`TieBreaking`] (by default **fewest regions**, then
+//!    lowest percentile — see the [`TieBreaking`] docs for why this
+//!    deviates from the paper's §IV.B wording);
+//! 3. if *no* configuration is feasible, the one with the lowest
+//!    delivery-time percentile irrespective of cost.
+//!
+//! Topics are independent (§IV.C), so [`solve_topics`] solves many topics
+//! in parallel with scoped threads.
+
+use crate::assignment::{
+    enumerate_configurations, AssignmentVector, Configuration, DeliveryMode, ModePolicy,
+};
+use crate::constraint::DeliveryConstraint;
+use crate::error::Error;
+use crate::evaluate::{ConfigEvaluation, EvalScratch, TopicEvaluator};
+use crate::latency::InterRegionMatrix;
+use crate::region::RegionSet;
+use crate::workload::TopicWorkload;
+use serde::{Deserialize, Serialize};
+
+/// The optimizer's answer for one topic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    evaluation: ConfigEvaluation,
+    feasible: bool,
+    configurations_considered: u64,
+}
+
+impl Solution {
+    /// Assembles a solution from its parts — used by the alternative
+    /// solvers ([`crate::heuristic`]) so they can return the same shape.
+    pub(crate) fn from_parts(
+        evaluation: ConfigEvaluation,
+        feasible: bool,
+        configurations_considered: u64,
+    ) -> Self {
+        Solution { evaluation, feasible, configurations_considered }
+    }
+
+    /// The selected configuration.
+    pub fn configuration(&self) -> Configuration {
+        self.evaluation.configuration()
+    }
+
+    /// Percentile and cost of the selected configuration.
+    pub fn evaluation(&self) -> &ConfigEvaluation {
+        &self.evaluation
+    }
+
+    /// Whether the selected configuration meets the delivery constraint.
+    /// When `false`, the solution is the most latency-minimizing
+    /// configuration instead (§IV.B).
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// How many configurations the solver evaluated.
+    pub fn configurations_considered(&self) -> u64 {
+        self.configurations_considered
+    }
+}
+
+/// How ties between equal-cost feasible configurations are broken.
+///
+/// The paper's §IV.B text orders ties by *lowest percentile, then fewest
+/// regions*; its Figure 3c, however, shows MultiPub converging to a
+/// **single** region for loose bounds even though several equal-cost
+/// multi-region configurations have strictly lower percentiles (all US/EU
+/// regions share the same $0.09/GB rate, so their direct-delivery
+/// configurations tie exactly). [`TieBreaking::FewestRegions`] reproduces
+/// the figures and avoids paying for idle servers; `LowestPercentile`
+/// follows the text verbatim. See DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TieBreaking {
+    /// Equal cost → fewest regions, then lowest percentile (default;
+    /// matches the paper's observed behaviour in Fig. 3c).
+    #[default]
+    FewestRegions,
+    /// Equal cost → lowest percentile, then fewest regions (the paper's
+    /// §IV.B wording).
+    LowestPercentile,
+}
+
+/// Relative tolerance when comparing two costs or percentiles.
+///
+/// Equal-cost configurations (e.g. any subset of the $0.09/GB US/EU
+/// regions under direct delivery) compute the *same* total through
+/// different float summation orders, which differ by a few ulps. Without a
+/// tolerance those phantom differences would defeat the tie-breaking
+/// rules; a 1e-9 relative band treats them as the ties they really are
+/// while never confusing genuinely different prices.
+const TIE_EPSILON: f64 = 1e-9;
+
+/// Three-way comparison with a relative tolerance band.
+fn approx_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    let scale = a.abs().max(b.abs());
+    if (a - b).abs() <= scale * TIE_EPSILON {
+        std::cmp::Ordering::Equal
+    } else {
+        a.total_cmp(&b)
+    }
+}
+
+/// Lexicographic preference for feasible configurations: lowest cost
+/// first, ties broken per [`TieBreaking`].
+fn better_feasible(a: &ConfigEvaluation, b: &ConfigEvaluation, tie: TieBreaking) -> bool {
+    let by_cost = approx_cmp(a.cost_dollars(), b.cost_dollars());
+    let by_percentile = approx_cmp(a.percentile_ms(), b.percentile_ms());
+    let by_regions = a.region_count().cmp(&b.region_count());
+    let order = match tie {
+        TieBreaking::FewestRegions => by_cost.then(by_regions).then(by_percentile),
+        TieBreaking::LowestPercentile => by_cost.then(by_percentile).then(by_regions),
+    };
+    order == std::cmp::Ordering::Less
+}
+
+/// Lexicographic preference when nothing is feasible:
+/// (percentile, cost, region count).
+fn better_infeasible(a: &ConfigEvaluation, b: &ConfigEvaluation) -> bool {
+    approx_cmp(a.percentile_ms(), b.percentile_ms())
+        .then(approx_cmp(a.cost_dollars(), b.cost_dollars()))
+        .then(a.region_count().cmp(&b.region_count()))
+        == std::cmp::Ordering::Less
+}
+
+/// Brute-force optimal configuration search for a single topic.
+///
+/// See the crate-level docs for a complete example.
+#[derive(Debug)]
+pub struct Optimizer<'a> {
+    evaluator: TopicEvaluator<'a>,
+    allowed: AssignmentVector,
+    policy: ModePolicy,
+    tie_breaking: TieBreaking,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer considering **all** regions under
+    /// [`ModePolicy::Any`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptyWorkload`] when the workload has no publishers or no
+    ///   subscribers.
+    /// * [`Error::LatencyDimension`] when region set, inter-region matrix
+    ///   and workload disagree on the region count.
+    pub fn new(
+        regions: &'a RegionSet,
+        inter: &'a InterRegionMatrix,
+        workload: &'a TopicWorkload,
+    ) -> Result<Self, Error> {
+        workload.ensure_non_empty()?;
+        let evaluator = TopicEvaluator::new(regions, inter, workload)?;
+        let allowed = AssignmentVector::all(regions.len())?;
+        Ok(Optimizer {
+            evaluator,
+            allowed,
+            policy: ModePolicy::Any,
+            tie_breaking: TieBreaking::default(),
+        })
+    }
+
+    /// Selects how equal-cost ties are broken (see [`TieBreaking`]).
+    pub fn with_tie_breaking(mut self, tie_breaking: TieBreaking) -> Self {
+        self.tie_breaking = tie_breaking;
+        self
+    }
+
+    /// Restricts the delivery modes the solver may use (MultiPub-D /
+    /// MultiPub-R of experiment 2).
+    pub fn with_policy(mut self, policy: ModePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Restricts the search to a subset of regions — the hook used by the
+    /// pruning heuristics of [`crate::scaling`] (§V.F).
+    pub fn with_allowed_regions(mut self, allowed: AssignmentVector) -> Self {
+        self.allowed = allowed;
+        self
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &TopicEvaluator<'a> {
+        &self.evaluator
+    }
+
+    /// The regions the solver may assign.
+    pub fn allowed_regions(&self) -> AssignmentVector {
+        self.allowed
+    }
+
+    /// The mode policy in force.
+    pub fn policy(&self) -> ModePolicy {
+        self.policy
+    }
+
+    /// Runs the exhaustive search and returns the optimal solution under
+    /// the paper's selection rules.
+    pub fn solve(&self, constraint: &DeliveryConstraint) -> Solution {
+        let mut scratch = EvalScratch::default();
+        let mut best_feasible: Option<ConfigEvaluation> = None;
+        let mut best_any: Option<ConfigEvaluation> = None;
+        let mut considered = 0u64;
+
+        for config in enumerate_configurations(self.allowed, self.policy) {
+            let eval = self.evaluator.evaluate_into(config, constraint, &mut scratch);
+            considered += 1;
+            if eval.is_feasible(constraint)
+                && best_feasible.as_ref().is_none_or(|b| better_feasible(&eval, b, self.tie_breaking))
+            {
+                best_feasible = Some(eval);
+            }
+            if best_any.as_ref().is_none_or(|b| better_infeasible(&eval, b)) {
+                best_any = Some(eval);
+            }
+        }
+
+        match best_feasible {
+            Some(evaluation) => Solution {
+                evaluation,
+                feasible: true,
+                configurations_considered: considered,
+            },
+            None => Solution {
+                evaluation: best_any.expect("at least one configuration exists"),
+                feasible: false,
+                configurations_considered: considered,
+            },
+        }
+    }
+
+    /// The *One Region* baseline (paper §II-B1): the cheapest single region
+    /// (ties broken by delivery-time percentile), **ignoring** the
+    /// constraint when picking. The returned feasibility still records
+    /// whether the pick happens to meet the constraint.
+    pub fn solve_one_region(&self, constraint: &DeliveryConstraint) -> Solution {
+        let mut scratch = EvalScratch::default();
+        let mut best: Option<ConfigEvaluation> = None;
+        let mut considered = 0u64;
+        for region in self.allowed.iter() {
+            let assignment = AssignmentVector::single(region, self.evaluator.regions().len())
+                .expect("allowed regions are in bounds");
+            let config = Configuration::new(assignment, DeliveryMode::Direct);
+            let eval = self.evaluator.evaluate_into(config, constraint, &mut scratch);
+            considered += 1;
+            if best.as_ref().is_none_or(|b| better_feasible(&eval, b, self.tie_breaking)) {
+                best = Some(eval);
+            }
+        }
+        let evaluation = best.expect("allowed region set is non-empty");
+        Solution {
+            feasible: evaluation.is_feasible(constraint),
+            evaluation,
+            configurations_considered: considered,
+        }
+    }
+
+    /// The *All Regions* baseline (paper §II-B2): every allowed region
+    /// serves the topic, with the given delivery mode.
+    pub fn solve_all_regions(
+        &self,
+        mode: DeliveryMode,
+        constraint: &DeliveryConstraint,
+    ) -> Solution {
+        let config = Configuration::new(self.allowed, mode);
+        let evaluation = self.evaluator.evaluate(config, constraint);
+        Solution {
+            feasible: evaluation.is_feasible(constraint),
+            evaluation,
+            configurations_considered: 1,
+        }
+    }
+}
+
+/// Amortized solving across a `max_T` sweep.
+///
+/// For a fixed ratio, a configuration's delivery-time percentile `D̃_C`
+/// does **not** depend on the bound `max_T` — only the feasibility test
+/// `D̃_C ≤ max_T` does (Eq. 6). A sweep over bounds (the x-axis of the
+/// paper's Figures 3–5) therefore needs each configuration evaluated only
+/// once; every sweep point is then a linear scan over the cached
+/// evaluations. This turns an `O(points × 2^N × pairs log pairs)` sweep
+/// into `O(2^N × pairs log pairs + points × 2^N)`.
+///
+/// ```
+/// use multipub_core::prelude::*;
+/// use multipub_core::optimizer::SweepSolver;
+/// # fn main() -> Result<(), multipub_core::Error> {
+/// # let regions = RegionSet::new(vec![
+/// #     Region::new("a", "A", 0.02, 0.09),
+/// #     Region::new("b", "B", 0.09, 0.14),
+/// # ])?;
+/// # let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]])?;
+/// # let mut workload = TopicWorkload::new(2);
+/// # workload.add_publisher(Publisher::new(
+/// #     ClientId(0), vec![5.0, 60.0], MessageBatch::uniform(10, 1024))?)?;
+/// # workload.add_subscriber(Subscriber::new(ClientId(1), vec![60.0, 5.0])?)?;
+/// let sweep = SweepSolver::new(&regions, &inter, &workload, 75.0)?;
+/// for max_t in [100.0, 150.0, 200.0] {
+///     let solution = sweep.solve_at(max_t)?;
+///     println!("{max_t} ms -> {}", solution.configuration());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SweepSolver {
+    evaluations: Vec<ConfigEvaluation>,
+    ratio_percent: f64,
+    tie_breaking: TieBreaking,
+}
+
+impl SweepSolver {
+    /// Evaluates every configuration once at the given delivery ratio.
+    ///
+    /// # Errors
+    ///
+    /// Same construction errors as [`Optimizer::new`], plus
+    /// [`Error::InvalidRatio`] for a ratio outside `(0, 100]`.
+    pub fn new(
+        regions: &RegionSet,
+        inter: &InterRegionMatrix,
+        workload: &TopicWorkload,
+        ratio_percent: f64,
+    ) -> Result<Self, Error> {
+        Self::with_options(regions, inter, workload, ratio_percent, ModePolicy::Any, None)
+    }
+
+    /// Like [`SweepSolver::new`] with a mode policy and region restriction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SweepSolver::new`].
+    pub fn with_options(
+        regions: &RegionSet,
+        inter: &InterRegionMatrix,
+        workload: &TopicWorkload,
+        ratio_percent: f64,
+        policy: ModePolicy,
+        allowed: Option<AssignmentVector>,
+    ) -> Result<Self, Error> {
+        workload.ensure_non_empty()?;
+        let evaluator = TopicEvaluator::new(regions, inter, workload)?;
+        // The percentile depends on the ratio only; any finite bound works.
+        let probe = DeliveryConstraint::new(ratio_percent, 1.0)?;
+        let allowed = match allowed {
+            Some(mask) => mask,
+            None => AssignmentVector::all(regions.len())?,
+        };
+        let mut scratch = EvalScratch::default();
+        let evaluations = enumerate_configurations(allowed, policy)
+            .map(|config| evaluator.evaluate_into(config, &probe, &mut scratch))
+            .collect();
+        Ok(SweepSolver { evaluations, ratio_percent, tie_breaking: TieBreaking::default() })
+    }
+
+    /// Selects how equal-cost ties are broken (see [`TieBreaking`]).
+    pub fn with_tie_breaking(mut self, tie_breaking: TieBreaking) -> Self {
+        self.tie_breaking = tie_breaking;
+        self
+    }
+
+    /// Number of cached configuration evaluations.
+    pub fn configurations(&self) -> usize {
+        self.evaluations.len()
+    }
+
+    /// The ratio the percentiles were computed at.
+    pub fn ratio_percent(&self) -> f64 {
+        self.ratio_percent
+    }
+
+    /// Solves for one bound, exactly like [`Optimizer::solve`] with
+    /// `<ratio, max_t_ms>`, but in one linear scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBound`] for a non-positive or non-finite
+    /// bound.
+    pub fn solve_at(&self, max_t_ms: f64) -> Result<Solution, Error> {
+        let constraint = DeliveryConstraint::new(self.ratio_percent, max_t_ms)?;
+        let mut best_feasible: Option<&ConfigEvaluation> = None;
+        let mut best_any: Option<&ConfigEvaluation> = None;
+        for eval in &self.evaluations {
+            if eval.is_feasible(&constraint)
+                && best_feasible.is_none_or(|b| better_feasible(eval, b, self.tie_breaking))
+            {
+                best_feasible = Some(eval);
+            }
+            if best_any.is_none_or(|b| better_infeasible(eval, b)) {
+                best_any = Some(eval);
+            }
+        }
+        let (evaluation, feasible) = match best_feasible {
+            Some(eval) => (*eval, true),
+            None => (*best_any.expect("at least one configuration exists"), false),
+        };
+        Ok(Solution {
+            evaluation,
+            feasible,
+            configurations_considered: self.evaluations.len() as u64,
+        })
+    }
+}
+
+/// A topic to be solved by [`solve_topics`]: its workload snapshot and its
+/// delivery constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicProblem {
+    /// The observation-interval snapshot for the topic.
+    pub workload: TopicWorkload,
+    /// The topic's delivery constraint `<ratio_T, max_T>`.
+    pub constraint: DeliveryConstraint,
+}
+
+/// Solves many topics in parallel. Topics are independent optimization
+/// problems (§IV.C), so this is an embarrassingly parallel fan-out over
+/// scoped threads (design decision **D4**).
+///
+/// Results are returned in input order.
+///
+/// # Errors
+///
+/// Returns the first construction error (empty workload, dimension
+/// mismatch) encountered; all topics are validated before any is solved.
+pub fn solve_topics(
+    regions: &RegionSet,
+    inter: &InterRegionMatrix,
+    topics: &[TopicProblem],
+) -> Result<Vec<Solution>, Error> {
+    // Validate everything up front so the parallel phase cannot fail.
+    for topic in topics {
+        topic.workload.ensure_non_empty()?;
+        if topic.workload.n_regions() != regions.len() {
+            return Err(Error::LatencyDimension {
+                expected: regions.len(),
+                got: topic.workload.n_regions(),
+            });
+        }
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(topics.len().max(1));
+    let mut results: Vec<Option<Solution>> = vec![None; topics.len()];
+    std::thread::scope(|scope| {
+        for (chunk_index, (topic_chunk, result_chunk)) in topics
+            .chunks(topics.len().div_ceil(threads))
+            .zip(results.chunks_mut(topics.len().div_ceil(threads)))
+            .enumerate()
+        {
+            let _ = chunk_index;
+            scope.spawn(move || {
+                for (topic, slot) in topic_chunk.iter().zip(result_chunk.iter_mut()) {
+                    let optimizer = Optimizer::new(regions, inter, &topic.workload)
+                        .expect("validated above");
+                    *slot = Some(optimizer.solve(&topic.constraint));
+                }
+            });
+        }
+    });
+    Ok(results.into_iter().map(|s| s.expect("all slots filled")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, RegionId};
+    use crate::region::Region;
+    use crate::workload::{MessageBatch, Publisher, Subscriber};
+
+    /// Two regions: region 0 cheap, region 1 fast-but-expensive for the
+    /// subscriber population.
+    fn setup() -> (RegionSet, InterRegionMatrix) {
+        let regions = RegionSet::new(vec![
+            Region::new("cheap", "A", 0.02, 0.09),
+            Region::new("pricey", "B", 0.16, 0.25),
+        ])
+        .unwrap();
+        let inter =
+            InterRegionMatrix::from_rows(vec![vec![0.0, 50.0], vec![50.0, 0.0]]).unwrap();
+        (regions, inter)
+    }
+
+    /// Publisher and subscribers all near the expensive region 1:
+    /// serving locally is fast (10 ms) but costly; serving from region 0 is
+    /// slow (140 ms) but cheap.
+    fn local_expensive_workload() -> TopicWorkload {
+        let mut w = TopicWorkload::new(2);
+        w.add_publisher(
+            Publisher::new(ClientId(0), vec![70.0, 5.0], MessageBatch::uniform(10, 1000))
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..4u64 {
+            w.add_subscriber(
+                Subscriber::new(ClientId(1 + i), vec![70.0, 5.0]).unwrap(),
+            )
+            .unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn tight_bound_selects_fast_expensive_region() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let opt = Optimizer::new(&regions, &inter, &w).unwrap();
+        let constraint = DeliveryConstraint::new(95.0, 20.0).unwrap();
+        let solution = opt.solve(&constraint);
+        assert!(solution.is_feasible());
+        assert!(solution.configuration().assignment().contains(RegionId(1)));
+        assert_eq!(solution.configuration().region_count(), 1);
+    }
+
+    #[test]
+    fn loose_bound_selects_cheap_remote_region() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let opt = Optimizer::new(&regions, &inter, &w).unwrap();
+        let constraint = DeliveryConstraint::new(95.0, 200.0).unwrap();
+        let solution = opt.solve(&constraint);
+        assert!(solution.is_feasible());
+        // Serving everyone from the cheap region: 70+70 = 140 ms ≤ 200.
+        assert_eq!(
+            solution.configuration().assignment(),
+            AssignmentVector::single(RegionId(0), 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn impossible_bound_falls_back_to_latency_minimizer() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let opt = Optimizer::new(&regions, &inter, &w).unwrap();
+        let constraint = DeliveryConstraint::new(95.0, 1.0).unwrap();
+        let solution = opt.solve(&constraint);
+        assert!(!solution.is_feasible());
+        // Fastest possible: local region 1 at 10 ms.
+        assert_eq!(solution.evaluation().percentile_ms(), 10.0);
+    }
+
+    #[test]
+    fn considered_count_matches_formula() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let opt = Optimizer::new(&regions, &inter, &w).unwrap();
+        let constraint = DeliveryConstraint::new(95.0, 100.0).unwrap();
+        let solution = opt.solve(&constraint);
+        assert_eq!(
+            solution.configurations_considered(),
+            crate::assignment::configuration_count(2)
+        );
+    }
+
+    #[test]
+    fn optimal_cost_is_minimal_over_feasible_configs() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let opt = Optimizer::new(&regions, &inter, &w).unwrap();
+        let constraint = DeliveryConstraint::new(95.0, 150.0).unwrap();
+        let solution = opt.solve(&constraint);
+        assert!(solution.is_feasible());
+        // Exhaustively verify optimality.
+        for config in enumerate_configurations(
+            AssignmentVector::all(2).unwrap(),
+            ModePolicy::Any,
+        ) {
+            let eval = opt.evaluator().evaluate(config, &constraint);
+            if eval.is_feasible(&constraint) {
+                assert!(eval.cost_dollars() >= solution.evaluation().cost_dollars());
+            }
+        }
+    }
+
+    #[test]
+    fn one_region_baseline_picks_cheapest() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let opt = Optimizer::new(&regions, &inter, &w).unwrap();
+        let constraint = DeliveryConstraint::new(95.0, 20.0).unwrap();
+        let baseline = opt.solve_one_region(&constraint);
+        // Cheapest single region is region 0 even though it violates 20 ms.
+        assert_eq!(
+            baseline.configuration().assignment(),
+            AssignmentVector::single(RegionId(0), 2).unwrap()
+        );
+        assert!(!baseline.is_feasible());
+    }
+
+    #[test]
+    fn all_regions_baseline_uses_every_region() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let opt = Optimizer::new(&regions, &inter, &w).unwrap();
+        let constraint = DeliveryConstraint::new(95.0, 20.0).unwrap();
+        let baseline = opt.solve_all_regions(DeliveryMode::Routed, &constraint);
+        assert_eq!(baseline.configuration().region_count(), 2);
+        assert_eq!(baseline.configuration().mode(), DeliveryMode::Routed);
+    }
+
+    #[test]
+    fn policy_restriction_is_respected() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let constraint = DeliveryConstraint::new(95.0, 100.0).unwrap();
+        let direct_only = Optimizer::new(&regions, &inter, &w)
+            .unwrap()
+            .with_policy(ModePolicy::DirectOnly)
+            .solve(&constraint);
+        assert_eq!(direct_only.configuration().mode(), DeliveryMode::Direct);
+    }
+
+    #[test]
+    fn allowed_region_restriction_is_respected() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let constraint = DeliveryConstraint::new(95.0, 10.0).unwrap();
+        let only_cheap = AssignmentVector::single(RegionId(0), 2).unwrap();
+        let solution = Optimizer::new(&regions, &inter, &w)
+            .unwrap()
+            .with_allowed_regions(only_cheap)
+            .solve(&constraint);
+        assert!(solution.configuration().assignment().is_subset_of(only_cheap));
+        assert!(!solution.is_feasible());
+    }
+
+    /// Two regions with identical prices and a workload where both (and
+    /// their union, under direct delivery) cost exactly the same.
+    #[test]
+    fn tie_breaking_modes_differ_on_equal_cost_configs() {
+        let regions = RegionSet::new(vec![
+            Region::new("r0", "A", 0.02, 0.09),
+            Region::new("r1", "B", 0.02, 0.09),
+        ])
+        .unwrap();
+        let inter =
+            InterRegionMatrix::from_rows(vec![vec![0.0, 50.0], vec![50.0, 0.0]]).unwrap();
+        let mut w = TopicWorkload::new(2);
+        w.add_publisher(
+            Publisher::new(ClientId(0), vec![10.0, 30.0], MessageBatch::uniform(10, 1000))
+                .unwrap(),
+        )
+        .unwrap();
+        w.add_subscriber(Subscriber::new(ClientId(1), vec![10.0, 60.0]).unwrap()).unwrap();
+        w.add_subscriber(Subscriber::new(ClientId(2), vec![60.0, 10.0]).unwrap()).unwrap();
+        let constraint = DeliveryConstraint::new(100.0, 1000.0).unwrap();
+
+        // Default: fewest regions wins the cost tie.
+        let fewest = Optimizer::new(&regions, &inter, &w).unwrap().solve(&constraint);
+        assert_eq!(fewest.configuration().region_count(), 1);
+
+        // Paper-text ordering: the lower-percentile two-region config wins.
+        let fastest = Optimizer::new(&regions, &inter, &w)
+            .unwrap()
+            .with_tie_breaking(TieBreaking::LowestPercentile)
+            .solve(&constraint);
+        assert_eq!(fastest.configuration().region_count(), 2);
+        assert!(
+            fastest.evaluation().percentile_ms() < fewest.evaluation().percentile_ms()
+        );
+        assert_eq!(
+            fastest.evaluation().cost_dollars(),
+            fewest.evaluation().cost_dollars()
+        );
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let (regions, inter) = setup();
+        let w = TopicWorkload::new(2);
+        assert!(matches!(
+            Optimizer::new(&regions, &inter, &w),
+            Err(Error::EmptyWorkload)
+        ));
+    }
+
+    #[test]
+    fn solve_topics_parallel_matches_sequential() {
+        let (regions, inter) = setup();
+        let topics: Vec<TopicProblem> = (0..8)
+            .map(|i| TopicProblem {
+                workload: local_expensive_workload(),
+                constraint: DeliveryConstraint::new(95.0, 20.0 + 30.0 * i as f64).unwrap(),
+            })
+            .collect();
+        let parallel = solve_topics(&regions, &inter, &topics).unwrap();
+        for (topic, solution) in topics.iter().zip(&parallel) {
+            let sequential = Optimizer::new(&regions, &inter, &topic.workload)
+                .unwrap()
+                .solve(&topic.constraint);
+            assert_eq!(&sequential, solution);
+        }
+    }
+
+    #[test]
+    fn sweep_solver_matches_full_solves_point_by_point() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let sweep = SweepSolver::new(&regions, &inter, &w, 95.0).unwrap();
+        assert_eq!(
+            sweep.configurations() as u64,
+            crate::assignment::configuration_count(2)
+        );
+        let optimizer = Optimizer::new(&regions, &inter, &w).unwrap();
+        for max_t in [1.0, 15.0, 50.0, 140.0, 200.0, 500.0] {
+            let constraint = DeliveryConstraint::new(95.0, max_t).unwrap();
+            let full = optimizer.solve(&constraint);
+            let fast = sweep.solve_at(max_t).unwrap();
+            assert_eq!(fast.configuration(), full.configuration(), "max_t {max_t}");
+            assert_eq!(fast.is_feasible(), full.is_feasible(), "max_t {max_t}");
+            assert_eq!(
+                fast.evaluation().percentile_ms(),
+                full.evaluation().percentile_ms(),
+                "max_t {max_t}"
+            );
+            assert_eq!(
+                fast.evaluation().cost_dollars(),
+                full.evaluation().cost_dollars(),
+                "max_t {max_t}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_solver_respects_policy_and_allowed_regions() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        let only_cheap = AssignmentVector::single(RegionId(0), 2).unwrap();
+        let sweep = SweepSolver::with_options(
+            &regions,
+            &inter,
+            &w,
+            95.0,
+            ModePolicy::DirectOnly,
+            Some(only_cheap),
+        )
+        .unwrap();
+        assert_eq!(sweep.configurations(), 1);
+        let solution = sweep.solve_at(10.0).unwrap();
+        assert!(solution.configuration().assignment().is_subset_of(only_cheap));
+        assert!(!solution.is_feasible());
+    }
+
+    #[test]
+    fn sweep_solver_rejects_bad_inputs() {
+        let (regions, inter) = setup();
+        let w = local_expensive_workload();
+        assert!(SweepSolver::new(&regions, &inter, &w, 0.0).is_err());
+        let sweep = SweepSolver::new(&regions, &inter, &w, 95.0).unwrap();
+        assert!(sweep.solve_at(-1.0).is_err());
+        assert!(SweepSolver::new(&regions, &inter, &TopicWorkload::new(2), 95.0).is_err());
+    }
+
+    #[test]
+    fn solve_topics_validates_everything_first() {
+        let (regions, inter) = setup();
+        let topics = vec![TopicProblem {
+            workload: TopicWorkload::new(2),
+            constraint: DeliveryConstraint::new(95.0, 100.0).unwrap(),
+        }];
+        assert!(solve_topics(&regions, &inter, &topics).is_err());
+    }
+}

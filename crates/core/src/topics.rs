@@ -1,0 +1,316 @@
+//! The assignment matrix and reconfiguration planning.
+//!
+//! The mapping of topics to regions is a bit matrix (paper §III.A2):
+//! rows are topics, columns are regions. [`AssignmentMatrix`] stores one
+//! [`Configuration`] per topic (the row plus its delivery mode) and
+//! [`ReconfigurationPlan`] computes, for a row change, exactly which
+//! clients must act (paper §III.A5): subscribers whose closest serving
+//! region changes must resubscribe, and publishers must re-steer whenever
+//! the serving set or mode changes.
+
+use crate::assignment::{Configuration, DeliveryMode};
+use crate::delivery::closest_region;
+use crate::error::Error;
+use crate::ids::{ClientId, RegionId, TopicId};
+use crate::workload::TopicWorkload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The topics × regions assignment matrix with per-topic delivery modes.
+///
+/// ```
+/// use multipub_core::prelude::*;
+/// use multipub_core::topics::AssignmentMatrix;
+/// # fn main() -> Result<(), multipub_core::Error> {
+/// let mut matrix = AssignmentMatrix::new(10);
+/// let config = Configuration::new(
+///     AssignmentVector::from_mask(0b10001, 10)?, DeliveryMode::Routed);
+/// matrix.set(TopicId::new("chat"), config)?;
+/// assert_eq!(matrix.get(&TopicId::new("chat")), Some(config));
+/// assert_eq!(matrix.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentMatrix {
+    n_regions: usize,
+    rows: BTreeMap<TopicId, Configuration>,
+}
+
+impl AssignmentMatrix {
+    /// An empty matrix over `n_regions` regions.
+    pub fn new(n_regions: usize) -> Self {
+        AssignmentMatrix { n_regions, rows: BTreeMap::new() }
+    }
+
+    /// Number of regions (columns).
+    pub fn n_regions(&self) -> usize {
+        self.n_regions
+    }
+
+    /// Number of topics with an installed row.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no topic has a row yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Installs (or replaces) a topic's row, returning the previous
+    /// configuration if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAssignment`] if the configuration
+    /// references regions outside the matrix.
+    pub fn set(
+        &mut self,
+        topic: TopicId,
+        configuration: Configuration,
+    ) -> Result<Option<Configuration>, Error> {
+        let valid =
+            if self.n_regions >= 32 { u32::MAX } else { (1u32 << self.n_regions) - 1 };
+        if configuration.assignment().mask() & !valid != 0 {
+            return Err(Error::InvalidAssignment {
+                mask: configuration.assignment().mask(),
+                n_regions: self.n_regions,
+            });
+        }
+        Ok(self.rows.insert(topic, configuration))
+    }
+
+    /// The row for a topic, if installed.
+    pub fn get(&self, topic: &TopicId) -> Option<Configuration> {
+        self.rows.get(topic).copied()
+    }
+
+    /// Removes a topic's row.
+    pub fn remove(&mut self, topic: &TopicId) -> Option<Configuration> {
+        self.rows.remove(topic)
+    }
+
+    /// Iterates over `(topic, configuration)` rows in topic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TopicId, Configuration)> {
+        self.rows.iter().map(|(t, c)| (t, *c))
+    }
+
+    /// The topics currently served by `region` — the column view that a
+    /// region manager needs.
+    pub fn topics_served_by(&self, region: RegionId) -> Vec<&TopicId> {
+        self.rows
+            .iter()
+            .filter(|(_, c)| c.assignment().contains(region))
+            .map(|(t, _)| t)
+            .collect()
+    }
+}
+
+/// The client notifications required by one row change (paper §III.A5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigurationPlan {
+    /// Subscribers that must resubscribe, with their moves.
+    pub subscriber_moves: Vec<(ClientId, RegionId, RegionId)>,
+    /// Publishers whose publish target set changes.
+    pub publisher_changes: Vec<ClientId>,
+    /// Regions added to the serving set.
+    pub added_regions: Vec<RegionId>,
+    /// Regions removed from the serving set.
+    pub removed_regions: Vec<RegionId>,
+    /// Whether the delivery mode changed.
+    pub mode_changed: bool,
+}
+
+impl ReconfigurationPlan {
+    /// Computes the plan for moving `workload`'s clients from `old` to
+    /// `new`.
+    pub fn compute(workload: &TopicWorkload, old: Configuration, new: Configuration) -> Self {
+        let mut subscriber_moves = Vec::new();
+        for subscriber in workload.subscribers() {
+            let from = closest_region(subscriber.latencies(), old.assignment());
+            let to = closest_region(subscriber.latencies(), new.assignment());
+            if from != to {
+                subscriber_moves.push((subscriber.id(), from, to));
+            }
+        }
+
+        let mut publisher_changes = Vec::new();
+        for publisher in workload.publishers() {
+            let old_targets = publish_targets(publisher.latencies(), old);
+            let new_targets = publish_targets(publisher.latencies(), new);
+            if old_targets != new_targets {
+                publisher_changes.push(publisher.id());
+            }
+        }
+
+        let added_regions = new
+            .assignment()
+            .iter()
+            .filter(|r| !old.assignment().contains(*r))
+            .collect();
+        let removed_regions = old
+            .assignment()
+            .iter()
+            .filter(|r| !new.assignment().contains(*r))
+            .collect();
+
+        ReconfigurationPlan {
+            subscriber_moves,
+            publisher_changes,
+            added_regions,
+            removed_regions,
+            mode_changed: old.mode() != new.mode(),
+        }
+    }
+
+    /// Total number of clients that must be notified.
+    pub fn notified_clients(&self) -> usize {
+        self.subscriber_moves.len() + self.publisher_changes.len()
+    }
+
+    /// Whether the change is a no-op for every client.
+    pub fn is_noop(&self) -> bool {
+        self.notified_clients() == 0
+            && self.added_regions.is_empty()
+            && self.removed_regions.is_empty()
+            && !self.mode_changed
+    }
+}
+
+/// The set of regions a publisher sends to under a configuration, as a
+/// bitmask: every serving region under direct delivery, only the closest
+/// one under routed delivery.
+fn publish_targets(latencies: &[f64], configuration: Configuration) -> u32 {
+    match configuration.mode() {
+        DeliveryMode::Direct => configuration.assignment().mask(),
+        DeliveryMode::Routed => {
+            1u32 << closest_region(latencies, configuration.assignment()).0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::AssignmentVector;
+    use crate::workload::{MessageBatch, Publisher, Subscriber};
+
+    fn config(mask: u32, mode: DeliveryMode) -> Configuration {
+        Configuration::new(AssignmentVector::from_mask(mask, 3).unwrap(), mode)
+    }
+
+    fn workload() -> TopicWorkload {
+        let mut w = TopicWorkload::new(3);
+        w.add_publisher(
+            Publisher::new(ClientId(0), vec![5.0, 50.0, 90.0], MessageBatch::uniform(1, 1))
+                .unwrap(),
+        )
+        .unwrap();
+        w.add_subscriber(Subscriber::new(ClientId(1), vec![4.0, 60.0, 99.0]).unwrap()).unwrap();
+        w.add_subscriber(Subscriber::new(ClientId(2), vec![80.0, 6.0, 70.0]).unwrap()).unwrap();
+        w
+    }
+
+    #[test]
+    fn matrix_set_get_remove() {
+        let mut m = AssignmentMatrix::new(3);
+        let t = TopicId::new("a");
+        assert!(m.is_empty());
+        assert_eq!(m.set(t.clone(), config(0b101, DeliveryMode::Direct)).unwrap(), None);
+        assert_eq!(m.get(&t), Some(config(0b101, DeliveryMode::Direct)));
+        let old = m.set(t.clone(), config(0b001, DeliveryMode::Direct)).unwrap();
+        assert_eq!(old, Some(config(0b101, DeliveryMode::Direct)));
+        assert_eq!(m.remove(&t), Some(config(0b001, DeliveryMode::Direct)));
+        assert!(m.get(&t).is_none());
+    }
+
+    #[test]
+    fn matrix_rejects_out_of_range_regions() {
+        let mut m = AssignmentMatrix::new(2);
+        let bad = Configuration::new(
+            AssignmentVector::from_mask(0b100, 3).unwrap(),
+            DeliveryMode::Direct,
+        );
+        assert!(m.set(TopicId::new("t"), bad).is_err());
+    }
+
+    #[test]
+    fn column_view_lists_serving_topics() {
+        let mut m = AssignmentMatrix::new(3);
+        m.set(TopicId::new("a"), config(0b001, DeliveryMode::Direct)).unwrap();
+        m.set(TopicId::new("b"), config(0b011, DeliveryMode::Routed)).unwrap();
+        let served = m.topics_served_by(RegionId(1));
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].as_str(), "b");
+        assert_eq!(m.topics_served_by(RegionId(0)).len(), 2);
+        assert!(m.topics_served_by(RegionId(2)).is_empty());
+    }
+
+    #[test]
+    fn plan_moves_subscribers_whose_region_changes() {
+        let w = workload();
+        // Region 1 removed: subscriber 2 (home R1) must move to R0.
+        let plan = ReconfigurationPlan::compute(
+            &w,
+            config(0b011, DeliveryMode::Direct),
+            config(0b001, DeliveryMode::Direct),
+        );
+        assert_eq!(plan.subscriber_moves, vec![(ClientId(2), RegionId(1), RegionId(0))]);
+        assert_eq!(plan.removed_regions, vec![RegionId(1)]);
+        assert!(plan.added_regions.is_empty());
+        assert!(!plan.mode_changed);
+    }
+
+    #[test]
+    fn plan_flags_publishers_on_direct_mask_growth() {
+        let w = workload();
+        let plan = ReconfigurationPlan::compute(
+            &w,
+            config(0b001, DeliveryMode::Direct),
+            config(0b011, DeliveryMode::Direct),
+        );
+        // Direct: the publisher must now also send to region 1.
+        assert_eq!(plan.publisher_changes, vec![ClientId(0)]);
+        assert_eq!(plan.added_regions, vec![RegionId(1)]);
+    }
+
+    #[test]
+    fn plan_routed_publisher_unchanged_when_home_stays() {
+        let w = workload();
+        // Routed: the publisher's closest region (R0) is in both sets, so
+        // it keeps publishing to R0 only.
+        let plan = ReconfigurationPlan::compute(
+            &w,
+            config(0b001, DeliveryMode::Routed),
+            config(0b011, DeliveryMode::Routed),
+        );
+        assert!(plan.publisher_changes.is_empty());
+        // But the subscriber near R1 moves.
+        assert_eq!(plan.subscriber_moves.len(), 1);
+    }
+
+    #[test]
+    fn plan_mode_change_resteers_publishers() {
+        let w = workload();
+        let plan = ReconfigurationPlan::compute(
+            &w,
+            config(0b011, DeliveryMode::Routed),
+            config(0b011, DeliveryMode::Direct),
+        );
+        assert!(plan.mode_changed);
+        assert_eq!(plan.publisher_changes, vec![ClientId(0)]);
+        // Same regions → no subscriber moves.
+        assert!(plan.subscriber_moves.is_empty());
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn identical_configs_are_a_noop() {
+        let w = workload();
+        let c = config(0b011, DeliveryMode::Routed);
+        let plan = ReconfigurationPlan::compute(&w, c, c);
+        assert!(plan.is_noop());
+        assert_eq!(plan.notified_clients(), 0);
+    }
+}

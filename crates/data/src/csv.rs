@@ -1,0 +1,209 @@
+//! Plain-text (CSV) loaders and writers for region sets and latency
+//! matrices, so deployments other than the built-in EC2 snapshot can be
+//! described in files.
+//!
+//! Formats are deliberately simple, comma-separated, `#`-comment-friendly:
+//!
+//! * **Region sets** — one region per line:
+//!   `name,location,inter_region_cost_per_gb,internet_cost_per_gb`
+//! * **Matrices** — one row per line of comma-separated milliseconds;
+//!   square, zero diagonal.
+
+use multipub_core::latency::InterRegionMatrix;
+use multipub_core::region::{Region, RegionSet};
+use std::fmt;
+
+/// Errors produced when parsing CSV region or latency data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// A line did not have the expected number of fields.
+    FieldCount {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Number of fields expected.
+        expected: usize,
+        /// Number of fields found.
+        got: usize,
+    },
+    /// A numeric field failed to parse.
+    Number {
+        /// 1-based line number within the input.
+        line: usize,
+        /// The text that failed to parse.
+        text: String,
+    },
+    /// The parsed data failed model validation.
+    Model(multipub_core::Error),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::FieldCount { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::Number { line, text } => {
+                write!(f, "line {line}: cannot parse number from {text:?}")
+            }
+            CsvError::Model(e) => write!(f, "invalid model data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<multipub_core::Error> for CsvError {
+    fn from(e: multipub_core::Error) -> Self {
+        CsvError::Model(e)
+    }
+}
+
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// Parses a region set from CSV text.
+///
+/// ```
+/// let text = "\
+/// us-east-1,N. Virginia,0.02,0.09
+/// sa-east-1,Sao Paulo,0.16,0.25
+/// ";
+/// let set = multipub_data::csv::parse_region_set(text)?;
+/// assert_eq!(set.len(), 2);
+/// # Ok::<(), multipub_data::csv::CsvError>(())
+/// ```
+pub fn parse_region_set(text: &str) -> Result<RegionSet, CsvError> {
+    let mut regions = Vec::new();
+    for (line, content) in content_lines(text) {
+        let fields: Vec<&str> = content.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(CsvError::FieldCount { line, expected: 4, got: fields.len() });
+        }
+        let parse = |text: &str| -> Result<f64, CsvError> {
+            text.parse::<f64>()
+                .map_err(|_| CsvError::Number { line, text: text.to_string() })
+        };
+        regions.push(Region::new(fields[0], fields[1], parse(fields[2])?, parse(fields[3])?));
+    }
+    Ok(RegionSet::new(regions)?)
+}
+
+/// Serializes a region set to the CSV format accepted by
+/// [`parse_region_set`].
+pub fn write_region_set(set: &RegionSet) -> String {
+    let mut out = String::from("# name,location,inter_region_cost_per_gb,internet_cost_per_gb\n");
+    for (_, region) in set.iter() {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            region.name(),
+            region.location(),
+            region.inter_region_cost_per_gb(),
+            region.internet_cost_per_gb()
+        ));
+    }
+    out
+}
+
+/// Parses an inter-region latency matrix from CSV text (one row per line).
+///
+/// ```
+/// let m = multipub_data::csv::parse_inter_region_matrix("0,40\n40,0\n")?;
+/// assert_eq!(m.len(), 2);
+/// # Ok::<(), multipub_data::csv::CsvError>(())
+/// ```
+pub fn parse_inter_region_matrix(text: &str) -> Result<InterRegionMatrix, CsvError> {
+    let mut rows = Vec::new();
+    for (line, content) in content_lines(text) {
+        let mut row = Vec::new();
+        for field in content.split(',').map(str::trim) {
+            row.push(
+                field
+                    .parse::<f64>()
+                    .map_err(|_| CsvError::Number { line, text: field.to_string() })?,
+            );
+        }
+        rows.push(row);
+    }
+    Ok(InterRegionMatrix::from_rows(rows)?)
+}
+
+/// Serializes a matrix to the CSV format accepted by
+/// [`parse_inter_region_matrix`].
+pub fn write_inter_region_matrix(matrix: &InterRegionMatrix) -> String {
+    let mut out = String::new();
+    for i in 0..matrix.len() {
+        let row = matrix.row(multipub_core::ids::RegionId(i as u8));
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ec2;
+
+    #[test]
+    fn region_set_roundtrip() {
+        let original = ec2::region_set();
+        let text = write_region_set(&original);
+        let parsed = parse_region_set(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let original = ec2::inter_region_latencies();
+        let text = write_inter_region_matrix(&original);
+        let parsed = parse_inter_region_matrix(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\nus-east-1,V,0.02,0.09\n  # trailing comment\n";
+        let set = parse_region_set(text).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn reports_field_count_with_line_number() {
+        let err = parse_region_set("a,b,0.1\n").unwrap_err();
+        assert_eq!(err, CsvError::FieldCount { line: 1, expected: 4, got: 3 });
+    }
+
+    #[test]
+    fn reports_bad_number() {
+        let err = parse_region_set("a,b,zero,0.1\n").unwrap_err();
+        assert!(matches!(err, CsvError::Number { line: 1, .. }));
+    }
+
+    #[test]
+    fn matrix_validation_errors_propagate() {
+        let err = parse_inter_region_matrix("0,1\n1,5\n").unwrap_err();
+        assert!(matches!(err, CsvError::Model(_)));
+        // Source chain is preserved.
+        use std::error::Error as _;
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn matrix_non_square_rejected() {
+        let err = parse_inter_region_matrix("0,1\n1\n").unwrap_err();
+        assert!(matches!(err, CsvError::Model(_)));
+    }
+}

@@ -1,0 +1,308 @@
+//! Synthetic client↔region latencies standing in for the King dataset
+//! (paper §V.A2).
+//!
+//! The paper pinged ~700 geo-distributed DNS servers of the King dataset
+//! from every EC2 region to build the client latency matrix `L`. We do not
+//! have those hosts, so we synthesize clients with the properties the
+//! model needs (DESIGN.md §3):
+//!
+//! * each client has a **home region** it is close to;
+//! * its latency to other regions grows with the inter-region distance
+//!   from its home, **inflated** by a factor > 1: clients reach remote
+//!   regions over the public Internet, which is less optimized than the
+//!   dedicated inter-cloud links (this is exactly why the paper's routed
+//!   delivery can beat direct delivery — §II-B2, Fig. 4);
+//! * the **last mile** is heavy-tailed (log-normal, median a few tens of
+//!   milliseconds, like King's DNS-server measurements), producing the
+//!   occasional straggler that §IV.D mitigation targets.
+//!
+//! All sampling is deterministic given the caller's seeded RNG.
+
+use multipub_core::ids::RegionId;
+use multipub_core::latency::InterRegionMatrix;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+
+/// Generates client latency rows relative to a home region.
+///
+/// ```
+/// use multipub_data::{ec2, king::ClientLatencyModel};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inter = ec2::inter_region_latencies();
+/// let model = ClientLatencyModel::new(&inter);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let row = model.sample(ec2::regions::EU_WEST_1, &mut rng);
+/// assert_eq!(row.len(), 10);
+/// // The home region is (close to) the nearest one.
+/// let home = row[ec2::regions::EU_WEST_1.index()];
+/// assert!(row.iter().all(|&l| l + 1e-9 >= home - model.jitter_ms()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientLatencyModel<'a> {
+    inter: &'a InterRegionMatrix,
+    last_mile: LogNormal<f64>,
+    last_mile_median_ms: f64,
+    jitter_ms: f64,
+    remote_path_inflation: f64,
+}
+
+impl<'a> ClientLatencyModel<'a> {
+    /// Default last-mile median (ms), in line with King's residential
+    /// DNS-server latencies.
+    pub const DEFAULT_LAST_MILE_MEDIAN_MS: f64 = 15.0;
+    /// Default log-normal shape parameter for the last mile.
+    pub const DEFAULT_LAST_MILE_SIGMA: f64 = 0.45;
+    /// Default per-region jitter amplitude (ms).
+    pub const DEFAULT_JITTER_MS: f64 = 5.0;
+    /// Default inflation of the backbone distance when a client reaches a
+    /// *remote* region over the public Internet instead of the optimized
+    /// inter-cloud links (paper §II-B2: "inter-cloud links are often more
+    /// optimized").
+    pub const DEFAULT_REMOTE_PATH_INFLATION: f64 = 1.3;
+
+    /// Creates a model with the default last-mile distribution
+    /// (median 15 ms, σ = 0.45), ±5 ms per-region jitter and 1.3×
+    /// remote-path inflation.
+    pub fn new(inter: &'a InterRegionMatrix) -> Self {
+        Self::with_parameters(
+            inter,
+            Self::DEFAULT_LAST_MILE_MEDIAN_MS,
+            Self::DEFAULT_LAST_MILE_SIGMA,
+            Self::DEFAULT_JITTER_MS,
+        )
+    }
+
+    /// Creates a model with explicit last-mile median, log-normal sigma
+    /// and jitter amplitude (all milliseconds except `sigma`), using the
+    /// default remote-path inflation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median_ms` is not positive or `sigma` is negative.
+    pub fn with_parameters(
+        inter: &'a InterRegionMatrix,
+        median_ms: f64,
+        sigma: f64,
+        jitter_ms: f64,
+    ) -> Self {
+        assert!(median_ms > 0.0, "last-mile median must be positive");
+        let last_mile =
+            LogNormal::new(median_ms.ln(), sigma).expect("sigma validated non-negative");
+        ClientLatencyModel {
+            inter,
+            last_mile,
+            last_mile_median_ms: median_ms,
+            jitter_ms,
+            remote_path_inflation: Self::DEFAULT_REMOTE_PATH_INFLATION,
+        }
+    }
+
+    /// Returns a copy with a different remote-path inflation factor.
+    /// `1.0` makes client paths exactly as fast as the cloud backbone
+    /// (direct and routed delivery then tie on cross-ocean pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is below 1.0 or not finite.
+    pub fn with_remote_path_inflation(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 1.0, "inflation must be >= 1");
+        self.remote_path_inflation = factor;
+        self
+    }
+
+    /// The configured remote-path inflation factor.
+    pub fn remote_path_inflation(&self) -> f64 {
+        self.remote_path_inflation
+    }
+
+    /// The configured jitter amplitude in milliseconds.
+    pub fn jitter_ms(&self) -> f64 {
+        self.jitter_ms
+    }
+
+    /// The configured last-mile median in milliseconds.
+    pub fn last_mile_median_ms(&self) -> f64 {
+        self.last_mile_median_ms
+    }
+
+    /// Samples the latency row of one client whose home is `home`:
+    /// `L[C][r] = last_mile + inflation × L^R[home][r] + jitter_r`.
+    pub fn sample<R: Rng + ?Sized>(&self, home: RegionId, rng: &mut R) -> Vec<f64> {
+        let last_mile = self.last_mile.sample(rng);
+        self.row_with_last_mile(home, last_mile, rng)
+    }
+
+    /// Samples a *straggler*: a client whose last mile is `factor`× the
+    /// usual sample — modelling the temporarily degraded connections of
+    /// paper §IV.D.
+    pub fn sample_straggler<R: Rng + ?Sized>(
+        &self,
+        home: RegionId,
+        factor: f64,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let last_mile = self.last_mile.sample(rng) * factor;
+        self.row_with_last_mile(home, last_mile, rng)
+    }
+
+    fn row_with_last_mile<R: Rng + ?Sized>(
+        &self,
+        home: RegionId,
+        last_mile: f64,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let n = self.inter.len();
+        assert!(home.index() < n, "home region out of bounds");
+        (0..n)
+            .map(|r| {
+                let backbone =
+                    self.remote_path_inflation * self.inter.latency(home, RegionId(r as u8));
+                let jitter = if self.jitter_ms > 0.0 {
+                    rng.random_range(0.0..self.jitter_ms)
+                } else {
+                    0.0
+                };
+                last_mile + backbone + jitter
+            })
+            .collect()
+    }
+}
+
+/// A generated client: its home region and its latency row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticClient {
+    /// The region the client is closest to.
+    pub home: RegionId,
+    /// One-way latency towards each region, in milliseconds.
+    pub latencies: Vec<f64>,
+}
+
+/// Generates `per_region[i]` clients homed at region `i`.
+///
+/// Clients come out grouped by home region, in region order — callers that
+/// need interleaving can shuffle with their own RNG.
+pub fn generate_population<R: Rng + ?Sized>(
+    model: &ClientLatencyModel<'_>,
+    per_region: &[usize],
+    rng: &mut R,
+) -> Vec<SyntheticClient> {
+    let mut clients = Vec::with_capacity(per_region.iter().sum());
+    for (region_index, &count) in per_region.iter().enumerate() {
+        let home = RegionId(region_index as u8);
+        for _ in 0..count {
+            clients.push(SyntheticClient { home, latencies: model.sample(home, rng) });
+        }
+    }
+    clients
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ec2;
+    use multipub_core::delivery::closest_region;
+    use multipub_core::prelude::AssignmentVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_have_region_width() {
+        let inter = ec2::inter_region_latencies();
+        let model = ClientLatencyModel::new(&inter);
+        let mut rng = StdRng::seed_from_u64(1);
+        let row = model.sample(ec2::regions::US_EAST_1, &mut rng);
+        assert_eq!(row.len(), 10);
+        assert!(row.iter().all(|l| l.is_finite() && *l >= 0.0));
+    }
+
+    #[test]
+    fn home_region_is_usually_closest() {
+        let inter = ec2::inter_region_latencies();
+        let model = ClientLatencyModel::new(&inter);
+        let mut rng = StdRng::seed_from_u64(42);
+        let all = AssignmentVector::all(10).unwrap();
+        let mut matches = 0;
+        for _ in 0..200 {
+            let row = model.sample(ec2::regions::AP_NORTHEAST_1, &mut rng);
+            if closest_region(&row, all) == ec2::regions::AP_NORTHEAST_1 {
+                matches += 1;
+            }
+        }
+        // Jitter (±5 ms) can only flip ties with Seoul (17 ms away), so
+        // the home region should win essentially always.
+        assert!(matches >= 190, "home matched only {matches}/200 times");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inter = ec2::inter_region_latencies();
+        let model = ClientLatencyModel::new(&inter);
+        let a = model.sample(ec2::regions::EU_WEST_1, &mut StdRng::seed_from_u64(9));
+        let b = model.sample(ec2::regions::EU_WEST_1, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn straggler_is_slower() {
+        let inter = ec2::inter_region_latencies();
+        let model = ClientLatencyModel::new(&inter);
+        let normal = model.sample(ec2::regions::US_WEST_2, &mut StdRng::seed_from_u64(3));
+        let slow =
+            model.sample_straggler(ec2::regions::US_WEST_2, 10.0, &mut StdRng::seed_from_u64(3));
+        assert!(slow[0] > normal[0]);
+    }
+
+    #[test]
+    fn population_counts_and_homes() {
+        let inter = ec2::inter_region_latencies();
+        let model = ClientLatencyModel::new(&inter);
+        let mut rng = StdRng::seed_from_u64(5);
+        let clients = generate_population(&model, &[2, 0, 3, 0, 0, 0, 0, 0, 0, 1], &mut rng);
+        assert_eq!(clients.len(), 6);
+        assert_eq!(clients.iter().filter(|c| c.home == RegionId(2)).count(), 3);
+        assert_eq!(clients.last().unwrap().home, ec2::regions::SA_EAST_1);
+    }
+
+    #[test]
+    fn zero_jitter_is_exactly_backbone_plus_last_mile() {
+        let inter = ec2::inter_region_latencies();
+        let model = ClientLatencyModel::with_parameters(&inter, 10.0, 0.0, 0.0)
+            .with_remote_path_inflation(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let row = model.sample(ec2::regions::US_EAST_1, &mut rng);
+        // σ = 0 ⇒ last mile is exactly the median.
+        assert!((row[ec2::regions::US_EAST_1.index()] - 10.0).abs() < 1e-9);
+        assert!(
+            (row[ec2::regions::EU_WEST_1.index()]
+                - (10.0
+                    + inter.latency(ec2::regions::US_EAST_1, ec2::regions::EU_WEST_1)))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn remote_paths_are_slower_than_the_backbone() {
+        let inter = ec2::inter_region_latencies();
+        let model = ClientLatencyModel::with_parameters(&inter, 10.0, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let row = model.sample(ec2::regions::AP_NORTHEAST_1, &mut rng);
+        let backbone =
+            inter.latency(ec2::regions::AP_NORTHEAST_1, ec2::regions::US_EAST_1);
+        let remote = row[ec2::regions::US_EAST_1.index()] - 10.0;
+        // Default 1.3× inflation: the client's own cross-ocean path is
+        // slower than the inter-cloud link — the reason routed delivery
+        // can win (paper Fig. 4).
+        assert!((remote - 1.3 * backbone).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "inflation must be >= 1")]
+    fn sub_unity_inflation_rejected() {
+        let inter = ec2::inter_region_latencies();
+        let _ = ClientLatencyModel::new(&inter).with_remote_path_inflation(0.5);
+    }
+}

@@ -1,0 +1,25 @@
+//! # multipub-data
+//!
+//! Datasets backing the MultiPub experiments:
+//!
+//! * [`ec2`] — the 10 Amazon EC2 regions of the paper's Table I with their
+//!   outgoing-bandwidth prices, and a realistic one-way inter-region
+//!   latency matrix `L^R` (paper §V.A1).
+//! * [`king`] — a synthetic replacement for the King dataset used to derive
+//!   client↔region latencies `L` (paper §V.A2): clients get a "home"
+//!   region, a heavy-tailed last-mile latency, and distances to the other
+//!   regions derived from the inter-region matrix.
+//! * [`csv`] — plain-text loaders/writers so custom region sets and
+//!   latency matrices can be supplied without recompiling.
+//!
+//! The substitution rationale is documented in DESIGN.md §3: the optimizer
+//! consumes *matrices*, so any realistic matrix exercises the same code
+//! paths; what matters is preserving the cheap-vs-expensive region tension
+//! and the near-one-region-far-from-others structure of client latencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod csv;
+pub mod ec2;
+pub mod king;

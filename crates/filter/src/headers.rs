@@ -1,0 +1,168 @@
+//! Typed message headers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A header value: number, string or boolean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit float (all numeric headers are floats).
+    Num(f64),
+    /// A UTF-8 string.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(value: bool) -> Self {
+        Value::Bool(value)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(value: f64) -> Self {
+        Value::Num(value)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(value: i64) -> Self {
+        Value::Num(value as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(value: &str) -> Self {
+        Value::Str(value.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(value: String) -> Self {
+        Value::Str(value)
+    }
+}
+
+/// A publication's headers: an ordered map from field name to [`Value`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Headers {
+    fields: BTreeMap<String, Value>,
+}
+
+impl Headers {
+    /// An empty header set.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Sets a field (replacing any existing value).
+    pub fn set(&mut self, field: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.fields.insert(field.into(), value.into());
+        self
+    }
+
+    /// The value of a field, if present.
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        self.fields.get(field)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterates over `(field, value)` pairs in field order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serializes to a compact JSON object (used on the wire).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.fields).expect("headers serialize")
+    }
+
+    /// Parses the JSON produced by [`Headers::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let fields: BTreeMap<String, Value> =
+            serde_json::from_str(text).map_err(|e| e.to_string())?;
+        Ok(Headers { fields })
+    }
+}
+
+impl FromIterator<(String, Value)> for Headers {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Headers { fields: iter.into_iter().collect() }
+    }
+}
+
+// `serde_json` is only needed for the wire helpers; keep the dependency
+// internal to this module.
+use serde_json;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_len() {
+        let mut h = Headers::new();
+        assert!(h.is_empty());
+        h.set("price", 10.5).set("symbol", "X").set("halted", false);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.get("price"), Some(&Value::Num(10.5)));
+        assert_eq!(h.get("symbol"), Some(&Value::Str("X".into())));
+        assert_eq!(h.get("halted"), Some(&Value::Bool(false)));
+        assert_eq!(h.get("missing"), None);
+    }
+
+    #[test]
+    fn integer_values_become_numbers() {
+        let mut h = Headers::new();
+        h.set("count", 42i64);
+        assert_eq!(h.get("count"), Some(&Value::Num(42.0)));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut h = Headers::new();
+        h.set("price", 10.5).set("symbol", "ACME").set("live", true);
+        let json = h.to_json();
+        let back = Headers::from_json(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn bad_json_reports_error() {
+        assert!(Headers::from_json("[1,2]").is_err());
+        assert!(Headers::from_json("{").is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Num(1.5).to_string(), "1.5");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Str("a".into()).to_string(), "\"a\"");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: every predicate the AST can express (within the
+//! wire-safe value alphabet) round-trips through its textual form, and
+//! evaluation is consistent under the boolean algebra.
+
+use multipub_filter::{CompareOp, Headers, Predicate, Value};
+use proptest::prelude::*;
+
+fn arb_field() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_./-]{0,8}"
+        .prop_filter("reserved words", |s| s != "true" && s != "exists")
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        // Finite decimals only: the textual grammar has no exponent form.
+        (-1_000_000i64..1_000_000).prop_map(|n| Value::Num(n as f64 / 100.0)),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 _.-]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = CompareOp> {
+    prop_oneof![
+        Just(CompareOp::Eq),
+        Just(CompareOp::Ne),
+        Just(CompareOp::Lt),
+        Just(CompareOp::Le),
+        Just(CompareOp::Gt),
+        Just(CompareOp::Ge),
+        Just(CompareOp::Prefix),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        Just(Predicate::True),
+        arb_field().prop_map(Predicate::Exists),
+        (arb_field(), arb_op(), arb_value())
+            .prop_map(|(field, op, value)| Predicate::Compare { field, op, value }),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|p| Predicate::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn arb_headers() -> impl Strategy<Value = Headers> {
+    proptest::collection::vec((arb_field(), arb_value()), 0..6)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(p in arb_predicate()) {
+        let text = p.to_string();
+        let reparsed = Predicate::parse(&text)
+            .unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        prop_assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn negation_flips_every_outcome(p in arb_predicate(), h in arb_headers()) {
+        let negated = Predicate::Not(Box::new(p.clone()));
+        prop_assert_eq!(negated.matches(&h), !p.matches(&h));
+    }
+
+    #[test]
+    fn and_or_are_consistent(a in arb_predicate(), b in arb_predicate(), h in arb_headers()) {
+        let and = Predicate::And(Box::new(a.clone()), Box::new(b.clone()));
+        let or = Predicate::Or(Box::new(a.clone()), Box::new(b.clone()));
+        prop_assert_eq!(and.matches(&h), a.matches(&h) && b.matches(&h));
+        prop_assert_eq!(or.matches(&h), a.matches(&h) || b.matches(&h));
+        // Absorption: and ⇒ or.
+        if and.matches(&h) {
+            prop_assert!(or.matches(&h));
+        }
+    }
+
+    #[test]
+    fn headers_json_roundtrip(h in arb_headers()) {
+        let json = h.to_json();
+        let back = Headers::from_json(&json).unwrap();
+        prop_assert_eq!(back, h);
+    }
+}

@@ -1,0 +1,525 @@
+//! The discrete-event loop.
+//!
+//! The engine pre-schedules every publication, then processes events in
+//! time order:
+//!
+//! 1. **Publish** — the publisher's message leaves for the serving
+//!    region(s): all of them under direct delivery, only the closest under
+//!    routed delivery.
+//! 2. **RegionReceive** — a broker receives the message. Under routed
+//!    delivery a first-hop broker forwards it to the other serving regions
+//!    (billing inter-region egress); every receiving broker then delivers
+//!    to its local subscribers (billing Internet egress).
+//! 3. **Deliver** — a subscriber receives the message; the delivery record
+//!    is logged.
+//!
+//! Each hop takes its base latency from the matrices plus an optional
+//! jitter sample, so a jitter-free run reproduces the analytic model
+//! exactly.
+
+use crate::jitter::{Jitter, JitterSource};
+use crate::metrics::{DeliveryRecord, SimReport, TrafficLedger};
+use crate::queue::EventQueue;
+use crate::scenario::Scenario;
+use crate::time::SimTime;
+use multipub_core::assignment::DeliveryMode;
+use multipub_core::delivery::closest_region;
+use multipub_core::ids::RegionId;
+
+#[derive(Debug)]
+enum Event {
+    /// Installs a new configuration for a topic — the simulated
+    /// counterpart of a controller `ConfigUpdate` reaching every broker
+    /// and client at once.
+    Reconfigure { topic: usize, configuration: multipub_core::assignment::Configuration },
+    Publish { topic: usize, publisher: usize },
+    RegionReceive {
+        topic: usize,
+        region: RegionId,
+        publisher: usize,
+        published_at: SimTime,
+        /// `true` when this copy arrived via inter-region forwarding (or
+        /// direct fan-out) and must not be forwarded again.
+        deliver_only: bool,
+    },
+    Deliver { topic: usize, subscriber: usize, publisher: usize, published_at: SimTime },
+}
+
+/// Per-topic routing tables precomputed from the topic's configuration.
+#[derive(Debug)]
+struct TopicRouting {
+    serving: Vec<RegionId>,
+    /// Closest serving region per subscriber index.
+    subscriber_region: Vec<RegionId>,
+    /// Subscriber indices grouped by serving region (indexed by region id).
+    local_subscribers: Vec<Vec<usize>>,
+    /// Closest serving region per publisher index (routed mode's `R^P`).
+    publisher_home: Vec<RegionId>,
+    mode: DeliveryMode,
+}
+
+impl TopicRouting {
+    fn new(scenario: &Scenario, topic_index: usize) -> Self {
+        Self::with_configuration(
+            scenario,
+            topic_index,
+            scenario.topics()[topic_index].configuration(),
+        )
+    }
+
+    fn with_configuration(
+        scenario: &Scenario,
+        topic_index: usize,
+        configuration: multipub_core::assignment::Configuration,
+    ) -> Self {
+        let topic = &scenario.topics()[topic_index];
+        let assignment = configuration.assignment();
+        let n_regions = scenario.regions().len();
+        let serving: Vec<RegionId> = assignment.iter().collect();
+        let subscriber_region: Vec<RegionId> = topic
+            .subscribers()
+            .iter()
+            .map(|s| closest_region(s.latencies(), assignment))
+            .collect();
+        let mut local_subscribers = vec![Vec::new(); n_regions];
+        for (index, region) in subscriber_region.iter().enumerate() {
+            local_subscribers[region.index()].push(index);
+        }
+        let publisher_home = topic
+            .publishers()
+            .iter()
+            .map(|p| closest_region(p.latencies(), assignment))
+            .collect();
+        TopicRouting {
+            serving,
+            subscriber_region,
+            local_subscribers,
+            publisher_home,
+            mode: configuration.mode(),
+        }
+    }
+}
+
+/// The simulation engine. Construct with a scenario, run once, read the
+/// report. See the crate-level example.
+#[derive(Debug)]
+pub struct Engine {
+    scenario: Scenario,
+    routing: Vec<TopicRouting>,
+    queue: EventQueue<Event>,
+    jitter: JitterSource,
+    deliveries: Vec<DeliveryRecord>,
+    ledger: TrafficLedger,
+    published_count: u64,
+}
+
+impl Engine {
+    /// Creates an engine for `scenario` with the given jitter model and
+    /// RNG seed (the seed only matters when jitter is enabled).
+    pub fn new(scenario: Scenario, jitter: Jitter, seed: u64) -> Self {
+        let routing =
+            (0..scenario.topics().len()).map(|i| TopicRouting::new(&scenario, i)).collect();
+        let n_regions = scenario.regions().len();
+        Engine {
+            scenario,
+            routing,
+            queue: EventQueue::new(),
+            jitter: JitterSource::new(jitter, seed),
+            deliveries: Vec::new(),
+            ledger: TrafficLedger::new(n_regions),
+            published_count: 0,
+        }
+    }
+
+    /// Schedules a configuration change for a topic at a point in
+    /// simulated time — modelling a controller reconfiguration round
+    /// reaching the whole deployment (paper §III.A5). Publications emitted
+    /// after the change follow the new configuration; messages already in
+    /// flight complete under the routing tables current at each hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic_index` is out of bounds or `at_ms` is negative.
+    pub fn schedule_reconfiguration(
+        &mut self,
+        at_ms: f64,
+        topic_index: usize,
+        configuration: multipub_core::assignment::Configuration,
+    ) {
+        assert!(topic_index < self.scenario.topics().len(), "topic index out of bounds");
+        self.queue.schedule(
+            SimTime::from_ms(at_ms),
+            Event::Reconfigure { topic: topic_index, configuration },
+        );
+    }
+
+    /// Runs the scenario for `duration_ms` of simulated time. Publications
+    /// are emitted strictly before the deadline; messages already in
+    /// flight at the deadline still complete, exactly like a real drain.
+    pub fn run(mut self, duration_ms: f64) -> SimReport {
+        assert!(duration_ms >= 0.0 && duration_ms.is_finite(), "duration must be non-negative");
+        for (topic_index, topic) in self.scenario.topics().iter().enumerate() {
+            for (publisher_index, publisher) in topic.publishers().iter().enumerate() {
+                for t in publisher.publish_times_ms(duration_ms) {
+                    self.queue.schedule(
+                        SimTime::from_ms(t),
+                        Event::Publish { topic: topic_index, publisher: publisher_index },
+                    );
+                }
+            }
+        }
+        while let Some((now, event)) = self.queue.pop() {
+            self.handle(now, event);
+        }
+        SimReport::new(self.deliveries, self.ledger, self.published_count, duration_ms)
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Reconfigure { topic, configuration } => {
+                self.scenario.topics_mut()[topic].set_configuration(configuration);
+                self.routing[topic] =
+                    TopicRouting::with_configuration(&self.scenario, topic, configuration);
+            }
+            Event::Publish { topic, publisher } => self.on_publish(now, topic, publisher),
+            Event::RegionReceive { topic, region, publisher, published_at, deliver_only } => {
+                self.on_region_receive(now, topic, region, publisher, published_at, deliver_only)
+            }
+            Event::Deliver { topic, subscriber, publisher, published_at } => {
+                let record = DeliveryRecord {
+                    topic_index: topic,
+                    publisher: self.scenario.topics()[topic].publishers()[publisher].client(),
+                    subscriber: self.scenario.topics()[topic].subscribers()[subscriber].client(),
+                    published_at,
+                    delivered_at: now,
+                };
+                self.deliveries.push(record);
+            }
+        }
+    }
+
+    fn on_publish(&mut self, now: SimTime, topic: usize, publisher: usize) {
+        self.published_count += 1;
+        let routing = &self.routing[topic];
+        let pub_latencies =
+            self.scenario.topics()[topic].publishers()[publisher].latencies().to_vec();
+        match routing.mode {
+            DeliveryMode::Direct => {
+                // The publisher uploads to every serving region itself;
+                // inbound traffic is free, so nothing is billed here.
+                let targets = routing.serving.clone();
+                for region in targets {
+                    let hop = pub_latencies[region.index()] + self.jitter.sample();
+                    self.queue.schedule(
+                        now + hop,
+                        Event::RegionReceive {
+                            topic,
+                            region,
+                            publisher,
+                            published_at: now,
+                            deliver_only: true,
+                        },
+                    );
+                }
+            }
+            DeliveryMode::Routed => {
+                let home = self.routing[topic].publisher_home[publisher];
+                let hop = pub_latencies[home.index()] + self.jitter.sample();
+                self.queue.schedule(
+                    now + hop,
+                    Event::RegionReceive {
+                        topic,
+                        region: home,
+                        publisher,
+                        published_at: now,
+                        deliver_only: false,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_region_receive(
+        &mut self,
+        now: SimTime,
+        topic: usize,
+        region: RegionId,
+        publisher: usize,
+        published_at: SimTime,
+        deliver_only: bool,
+    ) {
+        let size = self.scenario.topics()[topic].publishers()[publisher].size_bytes();
+
+        // Routed first hop: forward to the other serving regions, billing
+        // inter-region egress at this region's α rate.
+        if !deliver_only {
+            let peers: Vec<RegionId> =
+                self.routing[topic].serving.iter().copied().filter(|&r| r != region).collect();
+            for peer in peers {
+                let hop =
+                    self.scenario.inter().latency(region, peer) + self.jitter.sample();
+                self.ledger.record_inter_region(region, size);
+                self.queue.schedule(
+                    now + hop,
+                    Event::RegionReceive {
+                        topic,
+                        region: peer,
+                        publisher,
+                        published_at,
+                        deliver_only: true,
+                    },
+                );
+            }
+        }
+
+        // Deliver to the subscribers homed at this region, billing
+        // Internet egress at this region's β rate.
+        let locals = self.routing[topic].local_subscribers[region.index()].clone();
+        for subscriber in locals {
+            debug_assert_eq!(self.routing[topic].subscriber_region[subscriber], region);
+            let latency = self.scenario.topics()[topic].subscribers()[subscriber].latencies()
+                [region.index()]
+                + self.jitter.sample();
+            self.ledger.record_internet(region, size);
+            self.queue.schedule(
+                now + latency,
+                Event::Deliver { topic, subscriber, publisher, published_at },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{SimPublisher, SimSubscriber, TopicScenario};
+    use multipub_core::assignment::{AssignmentVector, Configuration};
+    use multipub_core::ids::{ClientId, TopicId};
+    use multipub_core::latency::InterRegionMatrix;
+    use multipub_core::region::{Region, RegionSet};
+
+    fn two_region_scenario(mode: DeliveryMode) -> Scenario {
+        let regions = RegionSet::new(vec![
+            Region::new("a", "A", 0.02, 0.09),
+            Region::new("b", "B", 0.09, 0.14),
+        ])
+        .unwrap();
+        let inter =
+            InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let topic = TopicScenario::new(
+            TopicId::new("t"),
+            Configuration::new(AssignmentVector::all(2).unwrap(), mode),
+            vec![SimPublisher::new(ClientId(0), vec![5.0, 60.0], 10.0, 1000)],
+            vec![
+                SimSubscriber::new(ClientId(1), vec![4.0, 70.0]),
+                SimSubscriber::new(ClientId(2), vec![70.0, 6.0]),
+            ],
+        );
+        Scenario::new(regions, inter, vec![topic])
+    }
+
+    #[test]
+    fn direct_delivery_times_match_equation_1() {
+        let scenario = two_region_scenario(DeliveryMode::Direct);
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        // 10 messages × 2 subscribers.
+        assert_eq!(report.delivery_count(), 20);
+        for d in report.deliveries() {
+            let expected = match d.subscriber {
+                ClientId(1) => 5.0 + 4.0,  // via region 0
+                ClientId(2) => 60.0 + 6.0, // via region 1
+                _ => unreachable!(),
+            };
+            assert!((d.latency_ms() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn routed_delivery_times_match_equation_2() {
+        let scenario = two_region_scenario(DeliveryMode::Routed);
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        for d in report.deliveries() {
+            let expected = match d.subscriber {
+                ClientId(1) => 5.0 + 4.0,        // local region
+                ClientId(2) => 5.0 + 40.0 + 6.0, // forwarded hop
+                _ => unreachable!(),
+            };
+            assert!((d.latency_ms() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn direct_bills_only_internet_egress() {
+        let scenario = two_region_scenario(DeliveryMode::Direct);
+        let regions = scenario.regions().clone();
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        assert_eq!(report.ledger().internet_bytes(RegionId(0)), 10_000);
+        assert_eq!(report.ledger().internet_bytes(RegionId(1)), 10_000);
+        assert_eq!(report.ledger().inter_region_bytes(RegionId(0)), 0);
+        assert_eq!(report.ledger().inter_region_bytes(RegionId(1)), 0);
+        let expected = 10_000.0 * (0.09 + 0.14) / 1e9;
+        assert!((report.cost_dollars(&regions) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn routed_bills_forwarding_at_home_region() {
+        let scenario = two_region_scenario(DeliveryMode::Routed);
+        let regions = scenario.regions().clone();
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        // Publisher home is region 0; 10 messages forwarded to region 1.
+        assert_eq!(report.ledger().inter_region_bytes(RegionId(0)), 10_000);
+        assert_eq!(report.ledger().inter_region_bytes(RegionId(1)), 0);
+        let expected = 10_000.0 * (0.09 + 0.14) / 1e9 + 10_000.0 * 0.02 / 1e9;
+        assert!((report.cost_dollars(&regions) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_only_adds_latency() {
+        let base = Engine::new(two_region_scenario(DeliveryMode::Routed), Jitter::disabled(), 7)
+            .run(1000.0);
+        let noisy = Engine::new(
+            two_region_scenario(DeliveryMode::Routed),
+            Jitter::uniform(5.0),
+            7,
+        )
+        .run(1000.0);
+        assert_eq!(base.delivery_count(), noisy.delivery_count());
+        // Jitter is non-negative, so every percentile can only grow.
+        for ratio in [10.0, 50.0, 95.0] {
+            assert!(noisy.percentile_ms(ratio) >= base.percentile_ms(ratio));
+        }
+        // And bounded: at most 3 hops × 5 ms extra.
+        assert!(noisy.percentile_ms(100.0) <= base.percentile_ms(100.0) + 15.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = Engine::new(two_region_scenario(DeliveryMode::Routed), Jitter::uniform(5.0), 3)
+            .run(1000.0);
+        let b = Engine::new(two_region_scenario(DeliveryMode::Routed), Jitter::uniform(5.0), 3)
+            .run(1000.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_duration_produces_nothing() {
+        let report = Engine::new(two_region_scenario(DeliveryMode::Direct), Jitter::disabled(), 0)
+            .run(0.0);
+        assert_eq!(report.published_count(), 0);
+        assert_eq!(report.delivery_count(), 0);
+    }
+
+    #[test]
+    fn single_region_routed_behaves_like_direct() {
+        let regions = RegionSet::new(vec![
+            Region::new("a", "A", 0.02, 0.09),
+            Region::new("b", "B", 0.09, 0.14),
+        ])
+        .unwrap();
+        let inter =
+            InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let topic = TopicScenario::new(
+            TopicId::new("t"),
+            Configuration::new(
+                AssignmentVector::single(RegionId(0), 2).unwrap(),
+                DeliveryMode::Routed,
+            ),
+            vec![SimPublisher::new(ClientId(0), vec![5.0, 60.0], 10.0, 1000)],
+            vec![SimSubscriber::new(ClientId(1), vec![70.0, 6.0])],
+        );
+        let scenario = Scenario::new(regions.clone(), inter, vec![topic]);
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        assert_eq!(report.delivery_count(), 10);
+        // All deliveries via region 0: 5 + 70.
+        assert_eq!(report.percentile_ms(100.0), 75.0);
+        assert_eq!(report.ledger().inter_region_bytes(RegionId(0)), 0);
+    }
+
+    #[test]
+    fn mid_run_reconfiguration_changes_routing() {
+        // Start with region 0 only; at t = 500 ms switch to region 1 only.
+        let regions = RegionSet::new(vec![
+            Region::new("a", "A", 0.02, 0.09),
+            Region::new("b", "B", 0.09, 0.14),
+        ])
+        .unwrap();
+        let inter =
+            InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let topic = TopicScenario::new(
+            TopicId::new("t"),
+            Configuration::new(
+                AssignmentVector::single(RegionId(0), 2).unwrap(),
+                DeliveryMode::Direct,
+            ),
+            vec![SimPublisher::new(ClientId(0), vec![5.0, 60.0], 10.0, 1000)],
+            // Subscriber near region 1: slow via region 0 (70 ms leg),
+            // fast via region 1 (6 ms leg).
+            vec![SimSubscriber::new(ClientId(1), vec![70.0, 6.0])],
+        );
+        let scenario = Scenario::new(regions, inter, vec![topic]);
+        let mut engine = Engine::new(scenario, Jitter::disabled(), 0);
+        engine.schedule_reconfiguration(
+            500.0,
+            0,
+            Configuration::new(
+                AssignmentVector::single(RegionId(1), 2).unwrap(),
+                DeliveryMode::Direct,
+            ),
+        );
+        let report = engine.run(1000.0);
+        assert_eq!(report.delivery_count(), 10);
+        for d in report.deliveries() {
+            let expected = if d.published_at.as_ms() < 500.0 {
+                5.0 + 70.0 // via region 0
+            } else {
+                60.0 + 6.0 // via region 1
+            };
+            assert!(
+                (d.latency_ms() - expected).abs() < 1e-9,
+                "published at {}: {} vs {expected}",
+                d.published_at,
+                d.latency_ms()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "topic index out of bounds")]
+    fn reconfiguration_validates_topic_index() {
+        let scenario = two_region_scenario(DeliveryMode::Direct);
+        let mut engine = Engine::new(scenario, Jitter::disabled(), 0);
+        engine.schedule_reconfiguration(
+            1.0,
+            9,
+            Configuration::new(AssignmentVector::all(2).unwrap(), DeliveryMode::Direct),
+        );
+    }
+
+    #[test]
+    fn multiple_topics_are_isolated() {
+        let regions = RegionSet::new(vec![
+            Region::new("a", "A", 0.02, 0.09),
+            Region::new("b", "B", 0.09, 0.14),
+        ])
+        .unwrap();
+        let inter =
+            InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let make_topic = |name: &str, region: u8| {
+            TopicScenario::new(
+                TopicId::new(name),
+                Configuration::new(
+                    AssignmentVector::single(RegionId(region), 2).unwrap(),
+                    DeliveryMode::Direct,
+                ),
+                vec![SimPublisher::new(ClientId(0), vec![5.0, 60.0], 5.0, 100)],
+                vec![SimSubscriber::new(ClientId(1), vec![4.0, 70.0])],
+            )
+        };
+        let scenario =
+            Scenario::new(regions, inter, vec![make_topic("t0", 0), make_topic("t1", 1)]);
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        assert_eq!(report.delivery_count(), 10);
+        assert_eq!(report.topic_percentile_ms(0, 100.0), 9.0);
+        assert_eq!(report.topic_percentile_ms(1, 100.0), 130.0);
+    }
+}

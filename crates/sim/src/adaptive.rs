@@ -1,0 +1,264 @@
+//! Closed-loop adaptive simulation: measure → optimize → reconfigure.
+//!
+//! The paper's controller "continuously recomputes an optimal
+//! configuration … and reconfigures whenever conditions change"
+//! (§III.A5). This module drives that loop deterministically: each
+//! *interval* runs the discrete-event simulator under the currently
+//! installed configuration, feeds the observed workload to the optimizer,
+//! and installs the result for the next interval. Population *phases* let
+//! conditions change mid-run — e.g. the paper's running example where a
+//! North-America-only topic suddenly gains European clients and the
+//! controller responds by adding `eu-central-1`.
+
+use crate::population::Population;
+use multipub_core::assignment::{AssignmentVector, Configuration, DeliveryMode};
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::ids::TopicId;
+use multipub_core::latency::InterRegionMatrix;
+use multipub_core::optimizer::Optimizer;
+use multipub_core::region::RegionSet;
+use multipub_netsim::engine::Engine;
+use multipub_netsim::jitter::Jitter;
+use multipub_netsim::scenario::Scenario;
+
+/// One phase of an adaptive run: a client population that stays in place
+/// for `intervals` observation intervals.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// The active client population.
+    pub population: Population,
+    /// Number of observation intervals this phase lasts.
+    pub intervals: usize,
+}
+
+/// The outcome of one observation interval of the control loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalOutcome {
+    /// Zero-based interval index across all phases.
+    pub interval: usize,
+    /// The configuration that was **in force** during the interval.
+    pub configuration: Configuration,
+    /// Measured percentile (at the constraint's ratio) over the interval.
+    pub measured_percentile_ms: f64,
+    /// Measured interval cost, dollars.
+    pub measured_cost_dollars: f64,
+    /// Whether the measured percentile met the bound.
+    pub met_bound: bool,
+    /// The configuration the controller installed **for the next**
+    /// interval (equal to `configuration` when nothing changed).
+    pub next_configuration: Configuration,
+}
+
+/// Drives the measure → optimize → reconfigure loop.
+///
+/// Starts from the all-regions-routed bootstrap (matching the broker
+/// default) unless [`AdaptiveLoop::with_initial`] overrides it.
+#[derive(Debug)]
+pub struct AdaptiveLoop {
+    regions: RegionSet,
+    inter: InterRegionMatrix,
+    constraint: DeliveryConstraint,
+    interval_secs: f64,
+    jitter: Jitter,
+    initial: Configuration,
+    seed: u64,
+}
+
+impl AdaptiveLoop {
+    /// Creates a loop over a deployment with a per-topic constraint and an
+    /// observation interval length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region set and matrix disagree on the region count.
+    pub fn new(
+        regions: RegionSet,
+        inter: InterRegionMatrix,
+        constraint: DeliveryConstraint,
+        interval_secs: f64,
+    ) -> Self {
+        assert_eq!(regions.len(), inter.len(), "deployment dimensions must agree");
+        let initial = Configuration::new(
+            AssignmentVector::all(regions.len()).expect("validated region count"),
+            DeliveryMode::Routed,
+        );
+        AdaptiveLoop {
+            regions,
+            inter,
+            constraint,
+            interval_secs,
+            jitter: Jitter::disabled(),
+            initial,
+            seed: 1,
+        }
+    }
+
+    /// Overrides the bootstrap configuration.
+    pub fn with_initial(mut self, configuration: Configuration) -> Self {
+        self.initial = configuration;
+        self
+    }
+
+    /// Adds per-hop jitter to the measurement intervals.
+    pub fn with_jitter(mut self, jitter: Jitter) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the RNG seed for publisher phases and jitter.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the loop across the given phases, returning one outcome per
+    /// interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has no clients.
+    pub fn run(&self, phases: &[Phase]) -> Vec<IntervalOutcome> {
+        assert!(!phases.is_empty(), "at least one phase is required");
+        let mut outcomes = Vec::new();
+        let mut current = self.initial;
+        let mut interval = 0usize;
+        for phase in phases {
+            for _ in 0..phase.intervals {
+                let outcome = self.run_interval(interval, &phase.population, current);
+                current = outcome.next_configuration;
+                outcomes.push(outcome);
+                interval += 1;
+            }
+        }
+        outcomes
+    }
+
+    fn run_interval(
+        &self,
+        interval: usize,
+        population: &Population,
+        configuration: Configuration,
+    ) -> IntervalOutcome {
+        let duration_ms = self.interval_secs * 1000.0;
+        let topic = population.scenario_topic(
+            TopicId::new("adaptive"),
+            configuration,
+            self.seed + interval as u64,
+        );
+        let scenario = Scenario::new(self.regions.clone(), self.inter.clone(), vec![topic]);
+        let report = Engine::new(scenario, self.jitter, self.seed + interval as u64)
+            .run(duration_ms);
+        let measured_percentile_ms = report.percentile_ms(self.constraint.ratio_percent());
+        let measured_cost_dollars = report.cost_dollars(&self.regions);
+
+        // The controller sees the interval's workload and re-optimizes.
+        let workload = population.workload(self.interval_secs);
+        let next_configuration = Optimizer::new(&self.regions, &self.inter, &workload)
+            .expect("populations are non-empty")
+            .solve(&self.constraint)
+            .configuration();
+
+        IntervalOutcome {
+            interval,
+            configuration,
+            measured_percentile_ms,
+            measured_cost_dollars,
+            met_bound: self.constraint.is_met_by(measured_percentile_ms),
+            next_configuration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationSpec;
+    use multipub_data::ec2;
+
+    fn loop_over_ec2(max_t: f64) -> AdaptiveLoop {
+        AdaptiveLoop::new(
+            ec2::region_set(),
+            ec2::inter_region_latencies(),
+            DeliveryConstraint::new(95.0, max_t).unwrap(),
+            10.0,
+        )
+    }
+
+    fn population(pubs: &[(usize, usize)], subs: &[(usize, usize)], seed: u64) -> Population {
+        let mut spec = PopulationSpec::uniform(10, 0, 0, 2.0, 512);
+        for &(region, count) in pubs {
+            spec.pubs_per_region[region] = count;
+        }
+        for &(region, count) in subs {
+            spec.subs_per_region[region] = count;
+        }
+        Population::generate(&spec, &ec2::inter_region_latencies(), seed)
+    }
+
+    #[test]
+    fn converges_and_stays_stable_under_static_population() {
+        let control = loop_over_ec2(250.0);
+        let phase = Phase {
+            population: population(&[(0, 2)], &[(0, 3), (4, 2)], 7),
+            intervals: 4,
+        };
+        let outcomes = control.run(&[phase]);
+        assert_eq!(outcomes.len(), 4);
+        // After the first optimization the configuration must be stable.
+        let settled = outcomes[0].next_configuration;
+        for outcome in &outcomes[1..] {
+            assert_eq!(outcome.configuration, settled);
+            assert_eq!(outcome.next_configuration, settled);
+            assert!(outcome.met_bound);
+        }
+        // And cheaper than the bootstrap interval.
+        assert!(outcomes[1].measured_cost_dollars <= outcomes[0].measured_cost_dollars);
+    }
+
+    #[test]
+    fn paper_example_na_topic_gains_eu_clients() {
+        // §III.A5: NA-only topic served from us-east-1; then 10 pubs +
+        // 10 subs appear in Europe, EU↔EU messages would cross the
+        // Atlantic twice, and the controller adds a European region.
+        let control = loop_over_ec2(140.0);
+        let na_only = Phase {
+            population: population(&[(0, 3)], &[(0, 3)], 1),
+            intervals: 2,
+        };
+        let na_and_eu = Phase {
+            population: population(&[(0, 3), (4, 3)], &[(0, 3), (4, 3)], 2),
+            intervals: 2,
+        };
+        let outcomes = control.run(&[na_only, na_and_eu]);
+
+        // Settled NA-only configuration is a single US/EU-priced region.
+        let na_config = outcomes[1].configuration;
+        assert_eq!(na_config.region_count(), 1);
+
+        // After the EU clients appear, the next installed configuration
+        // serves Europe too (some EU region joins the assignment).
+        let reacted = outcomes[2].next_configuration;
+        let has_eu_region = reacted.assignment().contains(ec2::regions::EU_WEST_1)
+            || reacted.assignment().contains(ec2::regions::EU_CENTRAL_1);
+        assert!(
+            has_eu_region && reacted.region_count() >= 2,
+            "expected an EU region to be added, got {reacted}"
+        );
+        // And the final interval meets the bound again.
+        assert!(outcomes[3].met_bound, "final interval: {:?}", outcomes[3]);
+    }
+
+    #[test]
+    fn bootstrap_interval_runs_under_all_regions_routed() {
+        let control = loop_over_ec2(200.0);
+        let outcomes = control.run(&[Phase {
+            population: population(&[(0, 1)], &[(9, 1)], 3),
+            intervals: 1,
+        }]);
+        assert_eq!(outcomes[0].configuration.region_count(), 10);
+        assert_eq!(
+            outcomes[0].configuration.mode(),
+            multipub_core::assignment::DeliveryMode::Routed
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Experiment 3 (paper §V.E, Figure 5): localized pub/sub delivery.
+//!
+//! All 100 publishers and 100 subscribers are closest to a single
+//! expensive region (Tokyo in Fig. 5a, São Paulo in Fig. 5b), ratio 95 %.
+//! Serving them locally is fastest but expensive; as `max_T` relaxes,
+//! MultiPub discovers configurations that serve the region's clients from
+//! cheaper remote regions, cutting cost by 36 % (Tokyo) / 65 %
+//! (São Paulo) in the paper.
+
+use crate::horizon::CostHorizon;
+use crate::population::{Population, PopulationSpec};
+use crate::table::{dollars, millis, Table};
+use multipub_core::assignment::{AssignmentVector, DeliveryMode};
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::ids::RegionId;
+use multipub_core::optimizer::{Optimizer, SweepSolver};
+use multipub_data::ec2;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of experiment 3; defaults (apart from the home region)
+/// reproduce the paper's setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp3Params {
+    /// The region all clients are closest to (paper: `ap-northeast-1` or
+    /// `sa-east-1`).
+    pub home: RegionId,
+    /// Number of publishers (paper: 100).
+    pub publishers: usize,
+    /// Number of subscribers (paper: 100).
+    pub subscribers: usize,
+    /// Per-publisher rate in messages/second.
+    pub rate_per_sec: f64,
+    /// Publication size in bytes.
+    pub size_bytes: u64,
+    /// Delivery guarantee ratio in percent (paper: 95).
+    pub ratio_percent: f64,
+    /// Lowest `max_T` of the sweep, ms.
+    pub max_t_start_ms: f64,
+    /// Highest `max_T` of the sweep, ms.
+    pub max_t_end_ms: f64,
+    /// Sweep step, ms.
+    pub step_ms: f64,
+    /// Observation-interval length in seconds.
+    pub interval_secs: f64,
+    /// RNG seed for the client population.
+    pub seed: u64,
+}
+
+impl Exp3Params {
+    /// The Figure 5a setup: clients local to Tokyo.
+    pub fn asia() -> Self {
+        Self::for_home(ec2::regions::AP_NORTHEAST_1, 30.0, 200.0)
+    }
+
+    /// The Figure 5b setup: clients local to São Paulo.
+    pub fn south_america() -> Self {
+        Self::for_home(ec2::regions::SA_EAST_1, 50.0, 250.0)
+    }
+
+    fn for_home(home: RegionId, start: f64, end: f64) -> Self {
+        Exp3Params {
+            home,
+            publishers: 100,
+            subscribers: 100,
+            rate_per_sec: 1.0,
+            size_bytes: 1024,
+            ratio_percent: 95.0,
+            max_t_start_ms: start,
+            max_t_end_ms: end,
+            step_ms: 5.0,
+            interval_secs: 60.0,
+            seed: 2017,
+        }
+    }
+}
+
+/// One sweep point of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exp3Row {
+    /// The delivery bound `max_T` for this point, ms.
+    pub max_t_ms: f64,
+    /// MultiPub's achieved delivery-time percentile, ms.
+    pub delivery_ms: f64,
+    /// MultiPub's cost extrapolated to one day, dollars.
+    pub cost_per_day: f64,
+    /// Number of regions used.
+    pub regions_used: u32,
+    /// Whether the home region is among them.
+    pub uses_home_region: bool,
+    /// Whether the bound was met.
+    pub feasible: bool,
+}
+
+/// Full result of experiment 3 for one home region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp3Result {
+    /// The home region of this run.
+    pub home: RegionId,
+    /// One row per sweep point.
+    pub rows: Vec<Exp3Row>,
+    /// Cost per day of the straightforward approach: serve the clients
+    /// from their local (expensive) region only.
+    pub local_only_cost_per_day: f64,
+    /// Delivery-time percentile of the local-only approach, ms.
+    pub local_only_delivery_ms: f64,
+}
+
+impl Exp3Result {
+    /// Renders the Figure 5 data as one table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new([
+            "max_T (ms)",
+            "delivery (ms)",
+            "MultiPub $/day",
+            "local-only $/day",
+            "#regions",
+            "uses home",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                millis(row.max_t_ms),
+                millis(row.delivery_ms),
+                dollars(row.cost_per_day),
+                dollars(self.local_only_cost_per_day),
+                row.regions_used.to_string(),
+                row.uses_home_region.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Peak cost saving vs the local-only approach across feasible sweep
+    /// points, as a fraction (paper: 0.36 for Tokyo, 0.65 for São Paulo).
+    pub fn peak_saving(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| r.feasible)
+            .map(|r| 1.0 - r.cost_per_day / self.local_only_cost_per_day)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs experiment 3 for the configured home region.
+pub fn run(params: &Exp3Params) -> Exp3Result {
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let spec = PopulationSpec::localized(
+        regions.len(),
+        params.home,
+        params.publishers,
+        params.subscribers,
+        params.rate_per_sec,
+        params.size_bytes,
+    );
+    let population = Population::generate(&spec, &inter, params.seed);
+    let workload = population.workload(params.interval_secs);
+    let horizon = CostHorizon::per_day(params.interval_secs);
+    let optimizer =
+        Optimizer::new(&regions, &inter, &workload).expect("experiment-3 workload is non-empty");
+
+    // The straightforward approach: deploy the topic in the local region.
+    let reference =
+        DeliveryConstraint::new(params.ratio_percent, params.max_t_end_ms).expect("valid");
+    let local_only = optimizer.evaluator().evaluate(
+        multipub_core::assignment::Configuration::new(
+            AssignmentVector::single(params.home, regions.len()).expect("home is in bounds"),
+            DeliveryMode::Direct,
+        ),
+        &reference,
+    );
+
+    let sweep_solver = SweepSolver::new(&regions, &inter, &workload, params.ratio_percent)
+        .expect("validated inputs");
+    let rows = super::sweep(params.max_t_start_ms, params.max_t_end_ms, params.step_ms)
+        .into_iter()
+        .map(|max_t| {
+            let solution = sweep_solver.solve_at(max_t).expect("valid sweep point");
+            Exp3Row {
+                max_t_ms: max_t,
+                delivery_ms: solution.evaluation().percentile_ms(),
+                cost_per_day: horizon.scale(solution.evaluation().cost_dollars()),
+                regions_used: solution.configuration().region_count(),
+                uses_home_region: solution.configuration().assignment().contains(params.home),
+                feasible: solution.is_feasible(),
+            }
+        })
+        .collect();
+
+    Exp3Result {
+        home: params.home,
+        rows,
+        local_only_cost_per_day: horizon.scale(local_only.cost_dollars()),
+        local_only_delivery_ms: local_only.percentile_ms(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(home: RegionId) -> Exp3Params {
+        Exp3Params {
+            publishers: 10,
+            subscribers: 10,
+            step_ms: 25.0,
+            ..Exp3Params::for_home(home, 30.0, 280.0)
+        }
+    }
+
+    #[test]
+    fn tight_bounds_use_the_home_region() {
+        let result = run(&quick(ec2::regions::AP_NORTHEAST_1));
+        let first_feasible = result.rows.iter().find(|r| r.feasible).unwrap();
+        assert!(first_feasible.uses_home_region);
+    }
+
+    #[test]
+    fn loose_bounds_escape_to_cheaper_regions() {
+        let result = run(&quick(ec2::regions::SA_EAST_1));
+        let last = result.rows.last().unwrap();
+        assert!(last.feasible);
+        assert!(!last.uses_home_region, "São Paulo should be abandoned for a cheap region");
+        assert!(last.cost_per_day < result.local_only_cost_per_day);
+    }
+
+    #[test]
+    fn peak_saving_is_substantial_for_sao_paulo() {
+        let result = run(&quick(ec2::regions::SA_EAST_1));
+        assert!(
+            result.peak_saving() > 0.4,
+            "expected >40% savings, got {:.0}%",
+            result.peak_saving() * 100.0
+        );
+    }
+
+    #[test]
+    fn cost_never_exceeds_local_only_when_feasible_locally() {
+        let result = run(&quick(ec2::regions::AP_NORTHEAST_1));
+        for row in result.rows.iter().filter(|r| r.feasible) {
+            if row.max_t_ms >= result.local_only_delivery_ms {
+                // Once local-only is feasible, MultiPub can only be cheaper.
+                assert!(row.cost_per_day <= result.local_only_cost_per_day + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = quick(ec2::regions::AP_NORTHEAST_1);
+        assert_eq!(run(&p), run(&p));
+    }
+}

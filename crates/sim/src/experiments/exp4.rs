@@ -1,0 +1,205 @@
+//! Experiment 4 (paper §V.F, Figure 6): runtime analysis of the solver.
+//!
+//! The search is exponential in the number of regions and linear in the
+//! number of publisher×subscriber pairs. Figure 6a scales publishers and
+//! subscribers together (10→100) over the full 10-region deployment;
+//! Figure 6b fixes 100+100 clients and scales the region count (2→10).
+//! The paper also reports linear scaling when only one side grows
+//! (10×1000 and 1000×10), covered by [`run_asymmetric`].
+
+use crate::population::{Population, PopulationSpec};
+use crate::table::Table;
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::optimizer::Optimizer;
+use multipub_data::ec2;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Parameters of experiment 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp4Params {
+    /// Delivery guarantee ratio in percent.
+    pub ratio_percent: f64,
+    /// Delivery bound handed to the solver (runtime does not depend on it).
+    pub max_t_ms: f64,
+    /// Per-publisher rate in messages/second.
+    pub rate_per_sec: f64,
+    /// Publication size in bytes.
+    pub size_bytes: u64,
+    /// Observation-interval length in seconds.
+    pub interval_secs: f64,
+    /// RNG seed for the client populations.
+    pub seed: u64,
+}
+
+impl Default for Exp4Params {
+    fn default() -> Self {
+        Exp4Params {
+            ratio_percent: 75.0,
+            max_t_ms: 150.0,
+            rate_per_sec: 1.0,
+            size_bytes: 1024,
+            interval_secs: 60.0,
+            seed: 2017,
+        }
+    }
+}
+
+/// One timing measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exp4Row {
+    /// Number of regions in the deployment.
+    pub n_regions: usize,
+    /// Total number of publishers.
+    pub publishers: usize,
+    /// Total number of subscribers.
+    pub subscribers: usize,
+    /// Wall-clock seconds to find the optimal configuration.
+    pub solve_seconds: f64,
+    /// Number of configurations enumerated.
+    pub configurations: u64,
+}
+
+/// A set of timing measurements with a table renderer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp4Result {
+    /// One row per measured setting.
+    pub rows: Vec<Exp4Row>,
+}
+
+impl Exp4Result {
+    /// Renders the timing data as one table.
+    pub fn table(&self) -> Table {
+        let mut table =
+            Table::new(["#regions", "#pubs", "#subs", "solve time (s)", "#configurations"]);
+        for row in &self.rows {
+            table.push_row([
+                row.n_regions.to_string(),
+                row.publishers.to_string(),
+                row.subscribers.to_string(),
+                format!("{:.4}", row.solve_seconds),
+                row.configurations.to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+fn time_solve(
+    n_regions: usize,
+    pubs_total: usize,
+    subs_total: usize,
+    params: &Exp4Params,
+) -> Exp4Row {
+    let (regions, inter) = ec2::restricted_deployment(n_regions);
+    // Spread clients as evenly as possible over the available regions.
+    let spread = |total: usize| -> Vec<usize> {
+        (0..n_regions)
+            .map(|i| total / n_regions + usize::from(i < total % n_regions))
+            .collect()
+    };
+    let spec = PopulationSpec {
+        pubs_per_region: spread(pubs_total),
+        subs_per_region: spread(subs_total),
+        rate_per_sec: params.rate_per_sec,
+        size_bytes: params.size_bytes,
+    };
+    let population = Population::generate(&spec, &inter, params.seed);
+    let workload = population.workload(params.interval_secs);
+    let constraint =
+        DeliveryConstraint::new(params.ratio_percent, params.max_t_ms).expect("valid");
+    let optimizer =
+        Optimizer::new(&regions, &inter, &workload).expect("experiment-4 workload is non-empty");
+    let start = Instant::now();
+    let solution = optimizer.solve(&constraint);
+    Exp4Row {
+        n_regions,
+        publishers: pubs_total,
+        subscribers: subs_total,
+        solve_seconds: start.elapsed().as_secs_f64(),
+        configurations: solution.configurations_considered(),
+    }
+}
+
+/// Figure 6a: publishers = subscribers from `start` to `end` in steps of
+/// `step`, over the full 10-region deployment.
+pub fn run_scaling_clients(params: &Exp4Params, start: usize, end: usize, step: usize) -> Exp4Result {
+    assert!(step > 0 && end >= start);
+    let rows = (start..=end)
+        .step_by(step)
+        .map(|n| time_solve(10, n, n, params))
+        .collect();
+    Exp4Result { rows }
+}
+
+/// Figure 6b: fixed `clients × clients` population, region count from
+/// `start_regions` to `end_regions`.
+pub fn run_scaling_regions(
+    params: &Exp4Params,
+    clients: usize,
+    start_regions: usize,
+    end_regions: usize,
+) -> Exp4Result {
+    assert!((1..=10).contains(&start_regions) && (start_regions..=10).contains(&end_regions));
+    let rows = (start_regions..=end_regions)
+        .map(|n| time_solve(n, clients, clients, params))
+        .collect();
+    Exp4Result { rows }
+}
+
+/// The paper's asymmetric scale checks: `pubs × subs` pairs such as
+/// `(10, 1000)` and `(1000, 10)`.
+pub fn run_asymmetric(params: &Exp4Params, settings: &[(usize, usize)]) -> Exp4Result {
+    let rows = settings
+        .iter()
+        .map(|&(pubs, subs)| time_solve(10, pubs, subs, params))
+        .collect();
+    Exp4Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configuration_counts_follow_the_formula() {
+        let params = Exp4Params::default();
+        let result = run_scaling_regions(&params, 4, 2, 5);
+        for row in &result.rows {
+            assert_eq!(
+                row.configurations,
+                multipub_core::assignment::configuration_count(row.n_regions as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_grows_with_region_count() {
+        let params = Exp4Params::default();
+        let result = run_scaling_regions(&params, 30, 3, 9);
+        // Exponential growth: the 9-region solve must dwarf the 3-region
+        // one (2036/22 configurations ≈ 46×; allow a generous margin).
+        let first = result.rows.first().unwrap().solve_seconds;
+        let last = result.rows.last().unwrap().solve_seconds;
+        assert!(last > first, "expected growth, got {first}s → {last}s");
+    }
+
+    #[test]
+    fn client_scaling_produces_requested_rows() {
+        let params = Exp4Params::default();
+        let result = run_scaling_clients(&params, 10, 30, 10);
+        let sizes: Vec<usize> = result.rows.iter().map(|r| r.publishers).collect();
+        assert_eq!(sizes, vec![10, 20, 30]);
+        assert!(result.rows.iter().all(|r| r.n_regions == 10));
+        assert_eq!(result.table().len(), 3);
+    }
+
+    #[test]
+    fn asymmetric_settings_run() {
+        let params = Exp4Params::default();
+        let result = run_asymmetric(&params, &[(5, 50), (50, 5)]);
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].subscribers, 50);
+        assert_eq!(result.rows[1].publishers, 50);
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's four experiments (§V.C–V.F), each as a deterministic,
+//! parameterized runner returning typed rows.
+//!
+//! | Module | Paper figure | What it shows |
+//! |--------|--------------|---------------|
+//! | [`exp1`] | Fig. 3a–c | MultiPub vs *All Regions* vs *One Region* |
+//! | [`exp2`] | Fig. 4a–b | Direct vs routed delivery |
+//! | [`exp3`] | Fig. 5a–b | Localized pub/sub cost arbitrage |
+//! | [`exp4`] | Fig. 6a–b | Solver runtime scaling |
+
+pub mod exp1;
+pub mod exp2;
+pub mod exp3;
+pub mod exp4;
+
+/// An inclusive sweep of `max_T` values from `start` to `end` in `step`
+/// increments (all milliseconds).
+///
+/// ```
+/// let points = multipub_sim::experiments::sweep(100.0, 112.0, 4.0);
+/// assert_eq!(points, vec![100.0, 104.0, 108.0, 112.0]);
+/// ```
+pub fn sweep(start: f64, end: f64, step: f64) -> Vec<f64> {
+    assert!(step > 0.0, "sweep step must be positive");
+    assert!(end >= start, "sweep end must not precede start");
+    let mut points = Vec::new();
+    let mut k = 0u32;
+    loop {
+        let value = start + f64::from(k) * step;
+        if value > end + 1e-9 {
+            break;
+        }
+        points.push(value);
+        k += 1;
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_includes_both_ends() {
+        let points = sweep(100.0, 200.0, 20.0);
+        assert_eq!(points, vec![100.0, 120.0, 140.0, 160.0, 180.0, 200.0]);
+    }
+
+    #[test]
+    fn sweep_single_point() {
+        assert_eq!(sweep(5.0, 5.0, 1.0), vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn sweep_rejects_zero_step() {
+        let _ = sweep(0.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Declarative experiment specifications (JSON-serializable), so
+//! simulations can be described in files and run from the command line —
+//! the counterpart of the paper's statement that "the simulator can run
+//! simulations with any number of topics" with per-topic populations,
+//! rates, sizes and constraints (§V.B).
+
+use crate::horizon::CostHorizon;
+use crate::population::{Population, PopulationSpec};
+use crate::table::{dollars, millis, Table};
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::error::Error;
+use multipub_core::optimizer::{solve_topics, Solution, TopicProblem};
+use multipub_data::ec2;
+use serde::{Deserialize, Serialize};
+
+/// One topic in a simulation spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicSpec {
+    /// Topic name (reporting only; topics are independent).
+    pub name: String,
+    /// Delivery ratio, percent.
+    pub ratio_percent: f64,
+    /// Delivery bound, milliseconds.
+    pub max_ms: f64,
+    /// Client placement and publisher behaviour.
+    #[serde(flatten)]
+    pub population: PopulationSpec,
+}
+
+/// A complete simulation: deployment defaults to the built-in EC2
+/// snapshot; topics are solved independently (and in parallel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationSpec {
+    /// The topics to optimize.
+    pub topics: Vec<TopicSpec>,
+    /// Observation-interval length in seconds.
+    #[serde(default = "default_interval")]
+    pub interval_secs: f64,
+    /// RNG seed for client populations.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+}
+
+fn default_interval() -> f64 {
+    60.0
+}
+
+fn default_seed() -> u64 {
+    2017
+}
+
+/// The outcome of running a [`SimulationSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationOutcome {
+    /// Per-topic solver results, in spec order.
+    pub solutions: Vec<(String, Solution)>,
+    /// The horizon used to scale costs to $/day.
+    pub horizon: CostHorizon,
+}
+
+impl SimulationOutcome {
+    /// Renders the outcome as a table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new([
+            "topic",
+            "configuration",
+            "delivery (ms)",
+            "feasible",
+            "$/day",
+            "configs considered",
+        ]);
+        for (name, solution) in &self.solutions {
+            table.push_row([
+                name.clone(),
+                solution.configuration().to_string(),
+                millis(solution.evaluation().percentile_ms()),
+                solution.is_feasible().to_string(),
+                dollars(self.horizon.scale(solution.evaluation().cost_dollars())),
+                solution.configurations_considered().to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+/// Parses a spec from JSON text.
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error message.
+pub fn parse_spec(json: &str) -> Result<SimulationSpec, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+/// Runs a spec against the built-in EC2 deployment.
+///
+/// # Errors
+///
+/// Returns a model error when a topic has no publishers or subscribers.
+pub fn run_spec(spec: &SimulationSpec) -> Result<SimulationOutcome, Error> {
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let mut problems = Vec::with_capacity(spec.topics.len());
+    for (index, topic) in spec.topics.iter().enumerate() {
+        let population =
+            Population::generate(&topic.population, &inter, spec.seed.wrapping_add(index as u64));
+        problems.push(TopicProblem {
+            workload: population.workload(spec.interval_secs),
+            constraint: DeliveryConstraint::new(topic.ratio_percent, topic.max_ms)?,
+        });
+    }
+    let solutions = solve_topics(&regions, &inter, &problems)?;
+    Ok(SimulationOutcome {
+        solutions: spec
+            .topics
+            .iter()
+            .map(|t| t.name.clone())
+            .zip(solutions)
+            .collect(),
+        horizon: CostHorizon::per_day(spec.interval_secs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "interval_secs": 30,
+        "seed": 7,
+        "topics": [
+            {
+                "name": "chat",
+                "ratio_percent": 75,
+                "max_ms": 180,
+                "pubs_per_region": [2,0,0,0,0,0,0,0,0,0],
+                "subs_per_region": [2,0,0,0,2,0,0,0,0,0],
+                "rate_per_sec": 1.0,
+                "size_bytes": 512
+            },
+            {
+                "name": "alerts",
+                "ratio_percent": 95,
+                "max_ms": 300,
+                "pubs_per_region": [1,0,0,0,0,0,0,0,0,0],
+                "subs_per_region": [0,0,0,0,0,3,0,0,0,0],
+                "rate_per_sec": 0.5,
+                "size_bytes": 2048
+            }
+        ]
+    }"#;
+
+    #[test]
+    fn parses_and_runs_sample_spec() {
+        let spec = parse_spec(SAMPLE).unwrap();
+        assert_eq!(spec.topics.len(), 2);
+        assert_eq!(spec.interval_secs, 30.0);
+        let outcome = run_spec(&spec).unwrap();
+        assert_eq!(outcome.solutions.len(), 2);
+        assert_eq!(outcome.table().len(), 2);
+        for (_, solution) in &outcome.solutions {
+            assert!(solution.configuration().region_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn defaults_apply_when_fields_missing() {
+        let json = r#"{"topics": [{
+            "name": "t", "ratio_percent": 75, "max_ms": 100,
+            "pubs_per_region": [1], "subs_per_region": [1],
+            "rate_per_sec": 1.0, "size_bytes": 100
+        }]}"#;
+        let spec = parse_spec(json).unwrap();
+        assert_eq!(spec.interval_secs, 60.0);
+        assert_eq!(spec.seed, 2017);
+    }
+
+    #[test]
+    fn bad_json_reports_error() {
+        assert!(parse_spec("{not json").is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = parse_spec(SAMPLE).unwrap();
+        let text = serde_json::to_string(&spec).unwrap();
+        let again = parse_spec(&text).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn invalid_constraint_in_spec_fails_at_run() {
+        let json = r#"{"topics": [{
+            "name": "t", "ratio_percent": 0, "max_ms": 100,
+            "pubs_per_region": [1], "subs_per_region": [1],
+            "rate_per_sec": 1.0, "size_bytes": 100
+        }]}"#;
+        let spec = parse_spec(json).unwrap();
+        assert!(run_spec(&spec).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Plain-text result tables (markdown and CSV) used by the experiment
+//! binaries and benches to print paper-shaped output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+///
+/// ```
+/// use multipub_sim::table::Table;
+/// let mut t = Table::new(["max_T (ms)", "cost ($/day)"]);
+/// t.push_row(["100", "107.2"]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| max_T (ms) | cost ($/day) |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (cell, width) in cells.iter().zip(&widths) {
+                let _ = write!(out, " {cell:<width$} |");
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        out.push('|');
+        for width in &widths {
+            let _ = write!(out, "{}|", "-".repeat(width + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting — callers supply clean cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a dollar amount like the paper's figures (`$107/day` style
+/// magnitudes keep two decimals).
+pub fn dollars(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a millisecond value with one decimal.
+pub fn millis(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_layout() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.push_row(["1", "2"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("| a"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("| 1"));
+    }
+
+    #[test]
+    fn csv_layout() {
+        let mut t = Table::new(["x", "y"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["3", "4"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(["only-one"]);
+        t.push_row(["1", "2"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(dollars(107.236), "107.24");
+        assert_eq!(millis(140.04), "140.0");
+    }
+}

@@ -1,0 +1,87 @@
+//! The paper's §III.A5 running example, closed-loop: a North-America-only
+//! topic is served from one US region; European publishers and
+//! subscribers join; EU↔EU publications start crossing the Atlantic
+//! twice and blow the delivery bound; the controller reacts by adding a
+//! European region, after which every message crosses the Atlantic at
+//! most once.
+//!
+//! Run with `cargo run --release --example adaptive_reconfig`.
+
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_data::ec2;
+use multipub_netsim::jitter::Jitter;
+use multipub_sim::adaptive::{AdaptiveLoop, Phase};
+use multipub_sim::population::{Population, PopulationSpec};
+use multipub_sim::table::{dollars, millis, Table};
+
+fn population(pubs: &[(usize, usize)], subs: &[(usize, usize)], seed: u64) -> Population {
+    let mut spec = PopulationSpec::uniform(10, 0, 0, 2.0, 1024);
+    for &(region, count) in pubs {
+        spec.pubs_per_region[region] = count;
+    }
+    for &(region, count) in subs {
+        spec.subs_per_region[region] = count;
+    }
+    Population::generate(&spec, &ec2::inter_region_latencies(), seed)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let us = ec2::regions::US_EAST_1.index();
+    let eu = ec2::regions::EU_CENTRAL_1.index();
+
+    let constraint = DeliveryConstraint::new(95.0, 150.0)?;
+    let control = AdaptiveLoop::new(
+        ec2::region_set(),
+        ec2::inter_region_latencies(),
+        constraint,
+        30.0, // 30 s observation intervals
+    )
+    .with_jitter(Jitter::uniform(2.0))
+    .with_seed(2017);
+
+    let phases = [
+        // Phase A: 10 publishers + 10 subscribers in North America.
+        Phase { population: population(&[(us, 10)], &[(us, 10)], 1), intervals: 3 },
+        // Phase B: 10 publishers + 10 subscribers appear in Europe.
+        Phase {
+            population: population(&[(us, 10), (eu, 10)], &[(us, 10), (eu, 10)], 2),
+            intervals: 3,
+        },
+    ];
+
+    println!("Adaptive control loop, constraint {constraint}:");
+    let outcomes = control.run(&phases);
+
+    let mut table = Table::new([
+        "interval",
+        "phase",
+        "config in force",
+        "measured p95 (ms)",
+        "met bound",
+        "cost ($/interval)",
+        "installed for next",
+    ]);
+    for outcome in &outcomes {
+        let phase = if outcome.interval < 3 { "NA only" } else { "NA + EU" };
+        table.push_row([
+            outcome.interval.to_string(),
+            phase.to_string(),
+            outcome.configuration.to_string(),
+            millis(outcome.measured_percentile_ms),
+            outcome.met_bound.to_string(),
+            dollars(outcome.measured_cost_dollars * 1e3) + "e-3",
+            outcome.next_configuration.to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    let settled_na = outcomes[1].configuration;
+    let reacted = outcomes[3].next_configuration;
+    println!("Settled NA-only configuration:  {settled_na}");
+    println!("Configuration after EU joins:   {reacted}");
+    let regions = ec2::region_set();
+    let names: Vec<&str> =
+        reacted.assignment().iter().map(|r| regions.region(r).name()).collect();
+    println!("Serving regions now: {names:?}");
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Integration-test host crate for the MultiPub workspace.
+//!
+//! All content lives in the `tests/` directory of this package; the
+//! library itself is intentionally empty.

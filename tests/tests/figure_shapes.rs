@@ -1,0 +1,158 @@
+//! Shape assertions for the paper's figures (quick-scale populations):
+//! who wins, in which order the curves sit, and where the regimes switch.
+//! EXPERIMENTS.md records the full-scale numbers.
+
+use multipub_data::ec2;
+use multipub_sim::experiments::{exp1, exp2, exp3};
+
+fn exp1_quick() -> exp1::Exp1Result {
+    exp1::run(&exp1::Exp1Params {
+        pubs_per_region: 3,
+        subs_per_region: 3,
+        step_ms: 10.0,
+        max_t_start_ms: 100.0,
+        max_t_end_ms: 260.0,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn figure3_ordering_all_regions_fast_one_region_cheap() {
+    let result = exp1_quick();
+    assert!(result.all_regions_delivery_ms < result.one_region_delivery_ms);
+    assert!(result.all_regions_cost_per_day > result.one_region_cost_per_day);
+}
+
+#[test]
+fn figure3_multipub_interpolates_between_the_baselines() {
+    let result = exp1_quick();
+    for row in &result.rows {
+        assert!(row.cost_per_day <= result.all_regions_cost_per_day + 1e-9);
+        assert!(row.cost_per_day >= result.one_region_cost_per_day - 1e-9);
+        if row.feasible {
+            assert!(row.delivery_ms <= row.max_t_ms);
+        }
+    }
+    // Tight end: as fast as the all-regions deployment can be required.
+    let first = result.rows.first().unwrap();
+    assert!(first.delivery_ms <= result.one_region_delivery_ms);
+    // Loose end: converged to the one-region deployment.
+    let last = result.rows.last().unwrap();
+    assert_eq!(last.regions_used, 1);
+    assert!((last.cost_per_day - result.one_region_cost_per_day).abs() < 1e-9);
+}
+
+#[test]
+fn figure3_region_count_decreases_with_the_bound() {
+    let result = exp1_quick();
+    // Not strictly monotone point-to-point (ties can reorder), but the
+    // tight end must use strictly more regions than the loose end.
+    let first = result.rows.first().unwrap();
+    let last = result.rows.last().unwrap();
+    assert!(first.regions_used > last.regions_used);
+    // And MultiPub achieves real savings somewhere along the sweep.
+    assert!(result.peak_saving_vs_all_regions() > 0.10, "expected >10% peak saving");
+}
+
+fn exp2_quick() -> exp2::Exp2Result {
+    exp2::run(&exp2::Exp2Params {
+        publishers: 20,
+        asia_subscribers: 8,
+        usa_subscribers: 8,
+        step_ms: 10.0,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn figure4_routed_reaches_lower_delivery_floor() {
+    let result = exp2_quick();
+    let routed_floor = result.min_delivery_ms(|r| r.routed_only);
+    let direct_floor = result.min_delivery_ms(|r| r.direct_only);
+    assert!(
+        routed_floor < direct_floor,
+        "routed floor {routed_floor} must undercut direct floor {direct_floor} \
+         thanks to optimized inter-cloud links"
+    );
+}
+
+#[test]
+fn figure4_multipub_is_the_lower_cost_envelope() {
+    let result = exp2_quick();
+    for row in &result.rows {
+        assert!(row.multipub.cost_per_day <= row.direct_only.cost_per_day + 1e-9);
+        assert!(row.multipub.cost_per_day <= row.routed_only.cost_per_day + 1e-9);
+        // And never slower than required when a variant is feasible.
+        if row.direct_only.feasible || row.routed_only.feasible {
+            assert!(row.multipub.feasible);
+        }
+    }
+}
+
+#[test]
+fn figure4_mode_switches_from_routed_to_direct_as_bound_relaxes() {
+    let result = exp2_quick();
+    // In the tight-bound regime where only routed is feasible, MultiPub
+    // must pick routed.
+    let tight = result
+        .rows
+        .iter()
+        .find(|r| r.routed_only.feasible && !r.direct_only.feasible);
+    if let Some(row) = tight {
+        assert_eq!(row.multipub.mode, multipub_core::assignment::DeliveryMode::Routed);
+    }
+    // At the loose end the paper observes direct delivery with one region.
+    let last = result.rows.last().unwrap();
+    assert_eq!(last.multipub.mode, multipub_core::assignment::DeliveryMode::Direct);
+}
+
+fn exp3_quick(home: multipub_core::ids::RegionId, end: f64) -> exp3::Exp3Result {
+    exp3::run(&exp3::Exp3Params {
+        publishers: 15,
+        subscribers: 15,
+        step_ms: 20.0,
+        ..exp3::Exp3Params {
+            max_t_end_ms: end,
+            ..if home == ec2::regions::AP_NORTHEAST_1 {
+                exp3::Exp3Params::asia()
+            } else {
+                exp3::Exp3Params::south_america()
+            }
+        }
+    })
+}
+
+#[test]
+fn figure5a_tokyo_cost_arbitrage() {
+    let result = exp3_quick(ec2::regions::AP_NORTHEAST_1, 300.0);
+    // Tight bounds need the local (expensive) region.
+    let first_feasible = result.rows.iter().find(|r| r.feasible).unwrap();
+    assert!(first_feasible.uses_home_region);
+    // Loose bounds find a cheaper remote configuration.
+    let last = result.rows.last().unwrap();
+    assert!(last.feasible);
+    assert!(last.cost_per_day < result.local_only_cost_per_day);
+    assert!(result.peak_saving() > 0.2, "Tokyo peak saving {:.2}", result.peak_saving());
+}
+
+#[test]
+fn figure5b_sao_paulo_saves_more_than_tokyo() {
+    let tokyo = exp3_quick(ec2::regions::AP_NORTHEAST_1, 300.0);
+    let sao_paulo = exp3_quick(ec2::regions::SA_EAST_1, 350.0);
+    assert!(
+        sao_paulo.peak_saving() > tokyo.peak_saving(),
+        "São Paulo ({:.2}) should save more than Tokyo ({:.2}) — its egress is pricier",
+        sao_paulo.peak_saving(),
+        tokyo.peak_saving()
+    );
+    assert!(sao_paulo.peak_saving() > 0.4);
+}
+
+#[test]
+fn figure5_cost_is_monotone_in_the_bound() {
+    let result = exp3_quick(ec2::regions::SA_EAST_1, 350.0);
+    let feasible: Vec<_> = result.rows.iter().filter(|r| r.feasible).collect();
+    for pair in feasible.windows(2) {
+        assert!(pair[1].cost_per_day <= pair[0].cost_per_day + 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-validation of the analytic model (`multipub-core`) against the
+//! discrete-event simulator (`multipub-netsim`).
+//!
+//! With jitter disabled, the simulator must reproduce the model *exactly*:
+//! same delivery-time percentiles (Eq. 1–2, 5–6) and same bandwidth cost
+//! (Eq. 3–4), for every configuration and both delivery modes.
+
+use multipub_core::assignment::{AssignmentVector, Configuration, DeliveryMode};
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::evaluate::TopicEvaluator;
+use multipub_core::ids::TopicId;
+use multipub_data::ec2;
+use multipub_netsim::engine::Engine;
+use multipub_netsim::jitter::Jitter;
+use multipub_netsim::scenario::Scenario;
+use multipub_sim::population::{Population, PopulationSpec};
+
+const DURATION_MS: f64 = 10_000.0;
+
+/// Runs one (population, configuration) pair through both the evaluator
+/// and the simulator and asserts agreement.
+fn assert_agreement(population: &Population, configuration: Configuration, seed: u64) {
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let workload = population.workload(DURATION_MS / 1000.0);
+    let evaluator = TopicEvaluator::new(&regions, &inter, &workload).unwrap();
+
+    let topic = population.scenario_topic(TopicId::new("t"), configuration, seed);
+    let scenario = Scenario::new(regions.clone(), inter.clone(), vec![topic]);
+    let report = Engine::new(scenario, Jitter::disabled(), seed).run(DURATION_MS);
+
+    // Same number of deliveries.
+    assert_eq!(report.delivery_count(), workload.total_deliveries(), "{configuration}");
+
+    // Same percentile at several ratios.
+    for ratio in [25.0, 50.0, 75.0, 95.0, 100.0] {
+        let constraint = DeliveryConstraint::new(ratio, 1000.0).unwrap();
+        let predicted = evaluator.evaluate(configuration, &constraint).percentile_ms();
+        let measured = report.percentile_ms(ratio);
+        assert!(
+            (predicted - measured).abs() < 1e-6,
+            "{configuration} ratio {ratio}: predicted {predicted}, measured {measured}"
+        );
+    }
+
+    // Same cost.
+    let constraint = DeliveryConstraint::new(75.0, 1000.0).unwrap();
+    let predicted_cost = evaluator.evaluate(configuration, &constraint).cost_dollars();
+    let measured_cost = report.cost_dollars(&regions);
+    assert!(
+        (predicted_cost - measured_cost).abs() <= predicted_cost.abs() * 1e-9 + 1e-15,
+        "{configuration}: predicted ${predicted_cost}, measured ${measured_cost}"
+    );
+}
+
+fn small_population(seed: u64) -> Population {
+    let inter = ec2::inter_region_latencies();
+    let mut spec = PopulationSpec::uniform(10, 0, 0, 2.0, 512);
+    spec.pubs_per_region[0] = 2;
+    spec.pubs_per_region[5] = 1;
+    spec.subs_per_region[0] = 2;
+    spec.subs_per_region[4] = 1;
+    spec.subs_per_region[9] = 2;
+    Population::generate(&spec, &inter, seed)
+}
+
+#[test]
+fn direct_all_regions_agrees() {
+    let population = small_population(1);
+    let config =
+        Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Direct);
+    assert_agreement(&population, config, 1);
+}
+
+#[test]
+fn routed_all_regions_agrees() {
+    let population = small_population(2);
+    let config =
+        Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Routed);
+    assert_agreement(&population, config, 2);
+}
+
+#[test]
+fn single_region_agrees() {
+    let population = small_population(3);
+    let config = Configuration::new(
+        AssignmentVector::single(ec2::regions::EU_WEST_1, 10).unwrap(),
+        DeliveryMode::Direct,
+    );
+    assert_agreement(&population, config, 3);
+}
+
+#[test]
+fn sparse_assignments_agree_in_both_modes() {
+    let population = small_population(4);
+    for mask in [0b0000000011u32, 0b1000010001, 0b0000110000, 0b1111111111] {
+        for mode in [DeliveryMode::Direct, DeliveryMode::Routed] {
+            let config =
+                Configuration::new(AssignmentVector::from_mask(mask, 10).unwrap(), mode);
+            assert_agreement(&population, config, u64::from(mask));
+        }
+    }
+}
+
+#[test]
+fn optimizer_choice_agrees_end_to_end() {
+    // The configuration the optimizer picks must behave in simulation
+    // exactly as the optimizer predicted.
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let population = small_population(5);
+    let workload = population.workload(DURATION_MS / 1000.0);
+    let constraint = DeliveryConstraint::new(75.0, 150.0).unwrap();
+    let solution = multipub_core::optimizer::Optimizer::new(&regions, &inter, &workload)
+        .unwrap()
+        .solve(&constraint);
+    assert_agreement(&population, solution.configuration(), 5);
+}
+
+#[test]
+fn jitter_widens_but_never_shrinks_latency() {
+    let population = small_population(6);
+    let config =
+        Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Routed);
+    let regions = ec2::region_set();
+    let inter = ec2::inter_region_latencies();
+    let build = |jitter| {
+        let topic = population.scenario_topic(TopicId::new("t"), config, 6);
+        let scenario = Scenario::new(regions.clone(), inter.clone(), vec![topic]);
+        Engine::new(scenario, jitter, 99).run(DURATION_MS)
+    };
+    let clean = build(Jitter::disabled());
+    let noisy = build(Jitter::uniform(8.0));
+    assert_eq!(clean.delivery_count(), noisy.delivery_count());
+    for ratio in [50.0, 95.0] {
+        assert!(noisy.percentile_ms(ratio) >= clean.percentile_ms(ratio));
+        // ≤ 3 hops × 8 ms of extra delay.
+        assert!(noisy.percentile_ms(ratio) <= clean.percentile_ms(ratio) + 24.0);
+    }
+    // Jitter does not change what is billed.
+    assert!((noisy.cost_dollars(&regions) - clean.cost_dollars(&regions)).abs() < 1e-15);
+}

@@ -1,0 +1,202 @@
+//! Property-based tests over the core model's invariants, driven by
+//! randomly generated workloads and deployments.
+
+use multipub_core::assignment::{
+    enumerate_configurations, AssignmentVector, Configuration, DeliveryMode, ModePolicy,
+};
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::delivery::{materialized_percentile, weighted_percentile, WeightedSample};
+use multipub_core::evaluate::TopicEvaluator;
+use multipub_core::ids::ClientId;
+use multipub_core::latency::InterRegionMatrix;
+use multipub_core::optimizer::Optimizer;
+use multipub_core::region::{Region, RegionSet};
+use multipub_core::workload::{MessageBatch, Publisher, Subscriber, TopicWorkload};
+use proptest::prelude::*;
+
+/// A random deployment of 2–5 regions with random symmetric latencies and
+/// random prices.
+fn arb_deployment() -> impl Strategy<Value = (RegionSet, InterRegionMatrix)> {
+    (2usize..=5).prop_flat_map(|n| {
+        let prices = proptest::collection::vec((0.01f64..0.3, 0.05f64..0.5), n);
+        let pairs = proptest::collection::vec(1.0f64..200.0, n * n);
+        (prices, pairs).prop_map(move |(prices, pairs)| {
+            let regions = RegionSet::new(
+                prices
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(alpha, beta))| Region::new(format!("r{i}"), "x", alpha, beta))
+                    .collect(),
+            )
+            .unwrap();
+            let mut rows = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let v = pairs[i * n + j];
+                    rows[i][j] = v;
+                    rows[j][i] = v;
+                }
+            }
+            (regions, InterRegionMatrix::from_rows(rows).unwrap())
+        })
+    })
+}
+
+/// A random workload over `n` regions: 1–4 publishers, 1–6 subscribers.
+fn arb_workload(n: usize) -> impl Strategy<Value = TopicWorkload> {
+    let publishers = proptest::collection::vec(
+        (proptest::collection::vec(1.0f64..300.0, n), 1u64..20, 64u64..2048),
+        1..=4,
+    );
+    let subscribers = proptest::collection::vec(
+        (proptest::collection::vec(1.0f64..300.0, n), 1u64..4),
+        1..=6,
+    );
+    (publishers, subscribers).prop_map(move |(pubs, subs)| {
+        let mut workload = TopicWorkload::new(n);
+        for (i, (lat, count, size)) in pubs.into_iter().enumerate() {
+            workload
+                .add_publisher(
+                    Publisher::new(ClientId(i as u64), lat, MessageBatch::uniform(count, size))
+                        .unwrap(),
+                )
+                .unwrap();
+        }
+        for (i, (lat, weight)) in subs.into_iter().enumerate() {
+            workload
+                .add_subscriber(
+                    Subscriber::with_weight(ClientId(1000 + i as u64), lat, weight).unwrap(),
+                )
+                .unwrap();
+        }
+        workload
+    })
+}
+
+fn arb_problem() -> impl Strategy<Value = (RegionSet, InterRegionMatrix, TopicWorkload)> {
+    arb_deployment().prop_flat_map(|(regions, inter)| {
+        let n = regions.len();
+        arb_workload(n).prop_map(move |w| (regions.clone(), inter.clone(), w))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// D1: the weighted percentile equals the paper's materialized list.
+    #[test]
+    fn weighted_percentile_matches_materialized(
+        samples in proptest::collection::vec((0.0f64..500.0, 1u64..6), 1..12),
+        ratio in 1.0f64..=100.0,
+    ) {
+        let samples: Vec<WeightedSample> = samples
+            .into_iter()
+            .map(|(time_ms, weight)| WeightedSample { time_ms, weight })
+            .collect();
+        let total: u64 = samples.iter().map(|s| s.weight).sum();
+        let rank = (ratio / 100.0 * total as f64).ceil() as u64;
+        let mut sorted = samples.clone();
+        prop_assert_eq!(
+            weighted_percentile(&mut sorted, rank),
+            materialized_percentile(&samples, rank)
+        );
+    }
+
+    /// The optimizer returns the cheapest feasible configuration — checked
+    /// against independent exhaustive enumeration.
+    #[test]
+    fn optimizer_is_optimal((regions, inter, workload) in arb_problem(), max_t in 20.0f64..400.0) {
+        let constraint = DeliveryConstraint::new(75.0, max_t).unwrap();
+        let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+        let solution = optimizer.solve(&constraint);
+        let evaluator = TopicEvaluator::new(&regions, &inter, &workload).unwrap();
+        let all = AssignmentVector::all(regions.len()).unwrap();
+        let mut any_feasible = false;
+        let mut min_percentile = f64::INFINITY;
+        for config in enumerate_configurations(all, ModePolicy::Any) {
+            let eval = evaluator.evaluate(config, &constraint);
+            min_percentile = min_percentile.min(eval.percentile_ms());
+            if eval.is_feasible(&constraint) {
+                any_feasible = true;
+                prop_assert!(
+                    solution.evaluation().cost_dollars() <= eval.cost_dollars() + 1e-12,
+                    "solution ${} beaten by {} at ${}",
+                    solution.evaluation().cost_dollars(), config, eval.cost_dollars()
+                );
+            }
+        }
+        prop_assert_eq!(solution.is_feasible(), any_feasible);
+        if !any_feasible {
+            // Fallback rule: most latency-minimizing configuration.
+            prop_assert!((solution.evaluation().percentile_ms() - min_percentile).abs() < 1e-9);
+        }
+    }
+
+    /// Percentile and cost are monotone along the mode axis: routed cost ≥
+    /// direct cost for the same assignment (the forwarding term is
+    /// non-negative).
+    #[test]
+    fn routed_cost_dominates_direct((regions, inter, workload) in arb_problem()) {
+        let evaluator = TopicEvaluator::new(&regions, &inter, &workload).unwrap();
+        let constraint = DeliveryConstraint::new(75.0, 100.0).unwrap();
+        let all = AssignmentVector::all(regions.len()).unwrap();
+        for config in enumerate_configurations(all, ModePolicy::DirectOnly) {
+            let routed = Configuration::new(config.assignment(), DeliveryMode::Routed);
+            let direct_cost = evaluator.evaluate(config, &constraint).cost_dollars();
+            let routed_cost = evaluator.evaluate(routed, &constraint).cost_dollars();
+            prop_assert!(routed_cost >= direct_cost - 1e-15);
+        }
+    }
+
+    /// Feasibility is monotone in the bound: if a configuration meets
+    /// `max_T` it meets every looser bound, so the optimizer's cost is
+    /// non-increasing in `max_T`.
+    #[test]
+    fn optimal_cost_monotone_in_bound((regions, inter, workload) in arb_problem()) {
+        let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
+        let mut previous_cost = f64::INFINITY;
+        for max_t in [30.0, 60.0, 120.0, 240.0, 480.0] {
+            let constraint = DeliveryConstraint::new(75.0, max_t).unwrap();
+            let solution = optimizer.solve(&constraint);
+            if solution.is_feasible() {
+                prop_assert!(solution.evaluation().cost_dollars() <= previous_cost + 1e-12);
+                previous_cost = solution.evaluation().cost_dollars();
+            }
+        }
+    }
+
+    /// The delivery-time percentile is non-decreasing in the ratio: a
+    /// stricter coverage requirement can only push the percentile up.
+    /// (Note the tempting stronger claim — "adding a region never raises
+    /// direct-delivery latency" — is FALSE: a subscriber may switch to a
+    /// region nearer to itself but farther from the publisher. That
+    /// non-monotonicity is precisely why the paper enumerates
+    /// configurations instead of greedily growing them.)
+    #[test]
+    fn percentile_monotone_in_ratio((regions, inter, workload) in arb_problem()) {
+        let evaluator = TopicEvaluator::new(&regions, &inter, &workload).unwrap();
+        let all = AssignmentVector::all(regions.len()).unwrap();
+        for mode in [DeliveryMode::Direct, DeliveryMode::Routed] {
+            let config = Configuration::new(all, mode);
+            let mut previous = 0.0f64;
+            for ratio in [10.0, 30.0, 50.0, 75.0, 95.0, 100.0] {
+                let constraint = DeliveryConstraint::new(ratio, 100.0).unwrap();
+                let p = evaluator.evaluate(config, &constraint).percentile_ms();
+                prop_assert!(p >= previous - 1e-12, "ratio {ratio}: {p} < {previous}");
+                previous = p;
+            }
+        }
+    }
+
+    /// Bundling with ε = 0 never changes the optimizer's answer, and any ε
+    /// preserves subscriber weight and message totals.
+    #[test]
+    fn bundling_preserves_totals((regions, inter, workload) in arb_problem(), eps in 0.0f64..20.0) {
+        use multipub_core::scaling::{bundle_clients, BundleOptions};
+        let bundled = bundle_clients(&workload, &BundleOptions { epsilon_ms: eps });
+        prop_assert_eq!(bundled.subscriber_weight(), workload.subscriber_weight());
+        prop_assert_eq!(bundled.total_messages(), workload.total_messages());
+        prop_assert_eq!(bundled.total_deliveries(), workload.total_deliveries());
+        let _ = (regions, inter);
+    }
+}

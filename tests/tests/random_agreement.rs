@@ -1,0 +1,118 @@
+//! Randomized cross-validation: for arbitrary populations, configurations
+//! and rates, the discrete-event simulator must agree exactly with the
+//! analytic evaluator (jitter disabled), and the heuristic solver must
+//! stay within the exact solver's envelope.
+
+use multipub_core::assignment::{AssignmentVector, Configuration, DeliveryMode};
+use multipub_core::constraint::DeliveryConstraint;
+use multipub_core::evaluate::TopicEvaluator;
+use multipub_core::heuristic::{solve_heuristic, HeuristicOptions};
+use multipub_core::ids::TopicId;
+use multipub_core::optimizer::Optimizer;
+use multipub_data::ec2;
+use multipub_netsim::engine::Engine;
+use multipub_netsim::jitter::Jitter;
+use multipub_netsim::scenario::Scenario;
+use multipub_sim::population::{Population, PopulationSpec};
+use proptest::prelude::*;
+
+fn arb_population() -> impl Strategy<Value = (Population, f64)> {
+    // Region-count-10 placement vectors with small totals, plus a rate.
+    let placements = proptest::collection::vec(0usize..3, 10);
+    (placements.clone(), placements, 1u64..1000, 0.5f64..8.0).prop_map(
+        |(mut pubs, mut subs, seed, rate)| {
+            // Guarantee at least one publisher and one subscriber.
+            if pubs.iter().sum::<usize>() == 0 {
+                pubs[3] = 1;
+            }
+            if subs.iter().sum::<usize>() == 0 {
+                subs[7] = 1;
+            }
+            let spec = PopulationSpec {
+                pubs_per_region: pubs,
+                subs_per_region: subs,
+                rate_per_sec: rate,
+                size_bytes: 700,
+            };
+            let inter = ec2::inter_region_latencies();
+            (Population::generate(&spec, &inter, seed), rate)
+        },
+    )
+}
+
+fn arb_configuration() -> impl Strategy<Value = Configuration> {
+    (1u32..1024, any::<bool>()).prop_map(|(mask, routed)| {
+        let mode = if routed { DeliveryMode::Routed } else { DeliveryMode::Direct };
+        Configuration::new(AssignmentVector::from_mask(mask, 10).unwrap(), mode)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn netsim_reproduces_the_analytic_model(
+        (population, _rate) in arb_population(),
+        configuration in arb_configuration(),
+        ratio in 10.0f64..=100.0,
+    ) {
+        const DURATION_MS: f64 = 4_000.0;
+        let regions = ec2::region_set();
+        let inter = ec2::inter_region_latencies();
+        let topic = population.scenario_topic(TopicId::new("t"), configuration, 5);
+        // Use the scenario's own workload bridge: with fractional rates and
+        // random phases, the per-publisher message count depends on the
+        // phase, and `TopicScenario::workload` counts actual emissions.
+        let workload = topic.workload(regions.len(), DURATION_MS);
+        let evaluator = TopicEvaluator::new(&regions, &inter, &workload).unwrap();
+        let constraint = DeliveryConstraint::new(ratio, 500.0).unwrap();
+        let predicted = evaluator.evaluate(configuration, &constraint);
+
+        let scenario = Scenario::new(regions.clone(), inter.clone(), vec![topic]);
+        let report = Engine::new(scenario, Jitter::disabled(), 5).run(DURATION_MS);
+
+        prop_assert_eq!(report.delivery_count(), workload.total_deliveries());
+        let measured = report.percentile_ms(ratio);
+        prop_assert!(
+            (predicted.percentile_ms() - measured).abs() < 1e-6,
+            "percentile: predicted {} vs measured {}",
+            predicted.percentile_ms(), measured
+        );
+        let measured_cost = report.cost_dollars(&regions);
+        prop_assert!(
+            (predicted.cost_dollars() - measured_cost).abs()
+                <= predicted.cost_dollars().abs() * 1e-9 + 1e-15,
+            "cost: predicted {} vs measured {}",
+            predicted.cost_dollars(), measured_cost
+        );
+    }
+
+    #[test]
+    fn heuristic_stays_within_the_exact_envelope(
+        (population, _rate) in arb_population(),
+        max_t in 60.0f64..400.0,
+    ) {
+        let regions = ec2::region_set();
+        let inter = ec2::inter_region_latencies();
+        let workload = population.workload(10.0);
+        let constraint = DeliveryConstraint::new(75.0, max_t).unwrap();
+        let exact = Optimizer::new(&regions, &inter, &workload).unwrap().solve(&constraint);
+        let heuristic = solve_heuristic(
+            &regions, &inter, &workload, &constraint, &HeuristicOptions::default(),
+        ).unwrap();
+        // The heuristic may be suboptimal but never impossibly good.
+        if exact.is_feasible() && heuristic.is_feasible() {
+            prop_assert!(
+                heuristic.evaluation().cost_dollars()
+                    >= exact.evaluation().cost_dollars() - 1e-12
+            );
+        }
+        // If the exact solver says nothing is feasible, the heuristic
+        // cannot claim otherwise (it searches a subset of configurations).
+        if !exact.is_feasible() {
+            prop_assert!(!heuristic.is_feasible());
+        }
+        // And it must evaluate far fewer configurations than 2·(2^10−1)−10.
+        prop_assert!(heuristic.configurations_considered() < 600);
+    }
+}
