@@ -15,10 +15,7 @@ use std::hint::black_box;
 
 fn percentile_samples(pairs: usize, per_pair_weight: u64) -> Vec<WeightedSample> {
     (0..pairs)
-        .map(|i| WeightedSample {
-            time_ms: ((i * 7919) % 400) as f64,
-            weight: per_pair_weight,
-        })
+        .map(|i| WeightedSample { time_ms: ((i * 7919) % 400) as f64, weight: per_pair_weight })
         .collect()
 }
 
@@ -81,11 +78,9 @@ fn bench_d5_scaling_heuristics(c: &mut Criterion) {
     group.bench_function("bundled_and_pruned_solve", |b| {
         b.iter(|| {
             let bundled = bundle_clients(&workload, &BundleOptions { epsilon_ms: 10.0 });
-            let allowed =
-                prune_regions(&regions, &bundled, &PruneOptions::default()).unwrap();
-            let optimizer = Optimizer::new(&regions, &inter, &bundled)
-                .unwrap()
-                .with_allowed_regions(allowed);
+            let allowed = prune_regions(&regions, &bundled, &PruneOptions::default()).unwrap();
+            let optimizer =
+                Optimizer::new(&regions, &inter, &bundled).unwrap().with_allowed_regions(allowed);
             black_box(optimizer.solve(&constraint))
         });
     });
@@ -100,14 +95,9 @@ fn bench_beam_search(c: &mut Criterion) {
     let constraint = DeliveryConstraint::new(75.0, 150.0).unwrap();
 
     let exact = Optimizer::new(&regions, &inter, &workload).unwrap().solve(&constraint);
-    let beam = solve_heuristic(
-        &regions,
-        &inter,
-        &workload,
-        &constraint,
-        &HeuristicOptions::default(),
-    )
-    .unwrap();
+    let beam =
+        solve_heuristic(&regions, &inter, &workload, &constraint, &HeuristicOptions::default())
+            .unwrap();
     println!(
         "\n== Beam search (§VII future work): exact ${:.4} in {} evals vs beam ${:.4} in {} evals ==\n",
         exact.evaluation().cost_dollars(),

@@ -47,10 +47,8 @@ fn bench(c: &mut Criterion) {
     group.bench_function("baselines_only", |b| {
         let optimizer = Optimizer::new(&regions, &inter, &workload).unwrap();
         b.iter(|| {
-            let all = optimizer.solve_all_regions(
-                multipub_core::assignment::DeliveryMode::Routed,
-                &constraint,
-            );
+            let all = optimizer
+                .solve_all_regions(multipub_core::assignment::DeliveryMode::Routed, &constraint);
             let one = optimizer.solve_one_region(&constraint);
             black_box((all, one))
         });

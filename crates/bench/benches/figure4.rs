@@ -43,9 +43,8 @@ fn bench(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let optimizer = Optimizer::new(&regions, &inter, &workload)
-                    .unwrap()
-                    .with_policy(policy);
+                let optimizer =
+                    Optimizer::new(&regions, &inter, &workload).unwrap().with_policy(policy);
                 black_box(optimizer.solve(black_box(&constraint)))
             });
         });

@@ -33,14 +33,7 @@ fn bench(c: &mut Criterion) {
 
     let regions = ec2::region_set();
     let inter = ec2::inter_region_latencies();
-    let spec = PopulationSpec::localized(
-        10,
-        ec2::regions::SA_EAST_1,
-        100,
-        100,
-        1.0,
-        1024,
-    );
+    let spec = PopulationSpec::localized(10, ec2::regions::SA_EAST_1, 100, 100, 1.0, 1024);
     let workload = Population::generate(&spec, &inter, 2017).workload(60.0);
     let constraint = DeliveryConstraint::new(95.0, 200.0).unwrap();
 

@@ -19,22 +19,21 @@ fn print_figure6_tables() {
     println!("== Figure 6b: runtime vs regions (100 pubs + 100 subs) ==");
     println!("{}", exp4::run_scaling_regions(&params, 100, 2, 10).table().to_markdown());
     println!("== Asymmetric settings (paper §V.F text) ==");
-    println!(
-        "{}",
-        exp4::run_asymmetric(&params, &[(10, 1000), (1000, 10)]).table().to_markdown()
-    );
+    println!("{}", exp4::run_asymmetric(&params, &[(10, 1000), (1000, 10)]).table().to_markdown());
 }
 
-fn workload_for(n_regions: usize, pubs: usize, subs: usize) -> (
+fn workload_for(
+    n_regions: usize,
+    pubs: usize,
+    subs: usize,
+) -> (
     multipub_core::region::RegionSet,
     multipub_core::latency::InterRegionMatrix,
     multipub_core::workload::TopicWorkload,
 ) {
     let (regions, inter) = ec2::restricted_deployment(n_regions);
     let spread = |total: usize| -> Vec<usize> {
-        (0..n_regions)
-            .map(|i| total / n_regions + usize::from(i < total % n_regions))
-            .collect()
+        (0..n_regions).map(|i| total / n_regions + usize::from(i < total % n_regions)).collect()
     };
     let spec = PopulationSpec {
         pubs_per_region: spread(pubs),
@@ -101,9 +100,7 @@ fn bench(c: &mut Criterion) {
                 let solutions: Vec<_> = topics
                     .iter()
                     .map(|t| {
-                        Optimizer::new(&regions, &inter, &t.workload)
-                            .unwrap()
-                            .solve(&t.constraint)
+                        Optimizer::new(&regions, &inter, &t.workload).unwrap().solve(&t.constraint)
                     })
                     .collect();
                 black_box(solutions)

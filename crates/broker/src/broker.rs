@@ -292,6 +292,16 @@ fn take_report(shared: &Shared) -> RegionReport {
 }
 
 fn apply_config_update(shared: &Shared, topic: &str, mask: u32, mode: WireMode) {
+    multipub_obs::counter!("multipub_broker_config_updates_total").inc();
+    multipub_obs::event!(
+        Debug,
+        "broker",
+        msg = "config installed",
+        region = shared.region.0,
+        topic = topic,
+        mask = format!("{mask:#b}"),
+        mode = format!("{mode:?}"),
+    );
     shared.configs.lock().insert(topic.to_string(), InstalledConfig { mask, mode });
     // Fan the update out to every connected client so publishers and
     // subscribers can re-steer. (The paper narrows this to the clients
@@ -321,10 +331,7 @@ async fn peer_outbound(shared: &Arc<Shared>, region: u16) -> Option<Outbound> {
     let stream = TcpStream::connect(addr).await.ok()?;
     let (mut read_half, write_half) = stream.into_split();
     let outbound = Outbound::spawn(write_half, shared.delays.to_region(region));
-    outbound.send(&Frame::Connect {
-        client_id: u64::from(shared.region.0),
-        role: Role::Peer,
-    });
+    outbound.send(&Frame::Connect { client_id: u64::from(shared.region.0), role: Role::Peer });
     // Drain (and discard) whatever the peer sends on this channel — it is
     // write-mostly, but the ConnectAck must be consumed.
     tokio::spawn(async move {
@@ -338,12 +345,8 @@ async fn peer_outbound(shared: &Arc<Shared>, region: u16) -> Option<Outbound> {
 
 fn record_publish(shared: &Shared, topic: &str, publisher: u64, payload_len: usize) {
     let mut stats = shared.stats.lock();
-    let entry = stats
-        .entry(topic.to_string())
-        .or_default()
-        .publishers
-        .entry(publisher)
-        .or_default();
+    let entry =
+        stats.entry(topic.to_string()).or_default().publishers.entry(publisher).or_default();
     entry.messages += 1;
     entry.bytes += payload_len as u64;
 }
@@ -357,11 +360,9 @@ fn deliver_locally(
     payload: &Bytes,
 ) {
     let recipients: Vec<(u64, Predicate)> = match shared.topics.lock().get(topic) {
-        Some(state) => state
-            .subscriber_conns
-            .iter()
-            .map(|(conn, filter)| (*conn, filter.clone()))
-            .collect(),
+        Some(state) => {
+            state.subscriber_conns.iter().map(|(conn, filter)| (*conn, filter.clone())).collect()
+        }
         None => return,
     };
     if recipients.is_empty() {
@@ -382,13 +383,30 @@ fn deliver_locally(
         headers: headers_json.to_string(),
         payload: payload.clone(),
     };
-    let clients = shared.clients.lock();
-    for (conn_id, filter) in recipients {
-        if !filter.matches(&headers) {
-            continue;
+    let mut delivered = 0u64;
+    {
+        let clients = shared.clients.lock();
+        for (conn_id, filter) in recipients {
+            if !filter.matches(&headers) {
+                continue;
+            }
+            if let Some(client) = clients.get(&conn_id) {
+                client.outbound.send(&frame);
+                delivered += 1;
+            }
         }
-        if let Some(client) = clients.get(&conn_id) {
-            client.outbound.send(&frame);
+    }
+    if delivered > 0 {
+        multipub_obs::counter!("multipub_broker_deliveries_total").add(delivered);
+        multipub_obs::histogram!("multipub_broker_fanout_subscribers").record(delivered as f64);
+        // Broker-side delivery latency: publisher clock → local fan-out.
+        // Publisher and broker clocks agree in local testing; in a real
+        // WAN deployment this is subject to clock skew, like any
+        // cross-host one-way latency measurement.
+        let now = crate::client::now_micros();
+        let latency_ms = now.saturating_sub(publish_micros) as f64 / 1000.0;
+        for _ in 0..delivered {
+            multipub_obs::histogram!("multipub_broker_delivery_ms").record(latency_ms);
         }
     }
 }
@@ -402,6 +420,12 @@ async fn handle_publish_from_client(
     headers: String,
     payload: Bytes,
 ) {
+    multipub_obs::counter!("multipub_broker_publishes_total").inc();
+    if single_target {
+        multipub_obs::counter!("multipub_broker_publish_routed_total").inc();
+    } else {
+        multipub_obs::counter!("multipub_broker_publish_direct_total").inc();
+    }
     record_publish(shared, &topic, publisher, payload.len());
     deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload);
 
@@ -432,6 +456,7 @@ async fn handle_publish_from_client(
         }
         if let Some(outbound) = peer_outbound(shared, region).await {
             outbound.send(&frame);
+            multipub_obs::counter!("multipub_broker_forwards_total").inc();
         }
     }
 }
@@ -456,6 +481,17 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
     outbound.send(&Frame::ConnectAck { region: u16::from(shared.region.0) });
 
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    multipub_obs::counter!("multipub_broker_connections_total").inc();
+    multipub_obs::gauge!("multipub_broker_connections_active").add(1);
+    multipub_obs::event!(
+        Info,
+        "broker",
+        msg = "connection opened",
+        region = shared.region.0,
+        conn_id = conn_id,
+        client_id = client_id,
+        role = format!("{role:?}"),
+    );
     if matches!(role, Role::Publisher | Role::Subscriber) {
         shared
             .clients
@@ -463,18 +499,10 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
             .insert(conn_id, ConnectedClient { client_id, role, outbound: outbound.clone() });
         // Replay the installed configurations so late-joining clients
         // steer correctly from their first operation.
-        let configs: Vec<(String, InstalledConfig)> = shared
-            .configs
-            .lock()
-            .iter()
-            .map(|(topic, config)| (topic.clone(), *config))
-            .collect();
+        let configs: Vec<(String, InstalledConfig)> =
+            shared.configs.lock().iter().map(|(topic, config)| (topic.clone(), *config)).collect();
         for (topic, config) in configs {
-            outbound.send(&Frame::ConfigUpdate {
-                topic,
-                mask: config.mask,
-                mode: config.mode,
-            });
+            outbound.send(&Frame::ConfigUpdate { topic, mask: config.mask, mode: config.mode });
         }
     }
 
@@ -488,6 +516,15 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
             state.subscriber_conns.remove(&conn_id);
         }
     }
+    multipub_obs::gauge!("multipub_broker_connections_active").sub(1);
+    multipub_obs::event!(
+        Debug,
+        "broker",
+        msg = "connection closed",
+        region = shared.region.0,
+        conn_id = conn_id,
+        clean = result.is_ok(),
+    );
     result
 }
 
@@ -511,6 +548,7 @@ async fn connection_loop(
                 } else {
                     Predicate::parse(&filter).unwrap_or(Predicate::True)
                 };
+                multipub_obs::counter!("multipub_broker_subscribes_total").inc();
                 shared
                     .topics
                     .lock()
@@ -552,6 +590,12 @@ async fn connection_loop(
                 let json = serde_json::to_string(&report).expect("report serializes");
                 outbound.send(&Frame::StatsReport { json });
             }
+            Frame::StatsSnapshotRequest => {
+                // In-band metrics pull: the whole process-wide registry,
+                // as the hand-rolled HTTP endpoint would serve it.
+                let json = multipub_obs::registry().render_json();
+                outbound.send(&Frame::StatsSnapshot { json });
+            }
             Frame::ConfigUpdate { topic, mask, mode } => {
                 if matches!(role, Role::Controller) {
                     apply_config_update(shared, &topic, mask, mode);
@@ -566,6 +610,7 @@ async fn connection_loop(
             | Frame::ConnectAck { .. }
             | Frame::Deliver { .. }
             | Frame::StatsReport { .. }
+            | Frame::StatsSnapshot { .. }
             | Frame::Pong { .. } => {}
         }
     }

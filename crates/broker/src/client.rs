@@ -125,11 +125,7 @@ impl Links {
     /// routed bootstrap default.
     fn config_for(&self, topic: &str) -> InstalledConfig {
         self.topic_configs.lock().get(topic).copied().unwrap_or(InstalledConfig {
-            mask: if self.n_regions() >= 32 {
-                u32::MAX
-            } else {
-                (1u32 << self.n_regions()) - 1
-            },
+            mask: if self.n_regions() >= 32 { u32::MAX } else { (1u32 << self.n_regions()) - 1 },
             mode: WireMode::Routed,
         })
     }
@@ -205,9 +201,7 @@ impl Links {
                         }
                     }
                     Ok(Some(Frame::ConfigUpdate { topic, mask, mode })) => {
-                        topic_configs
-                            .lock()
-                            .insert(topic.clone(), InstalledConfig { mask, mode });
+                        topic_configs.lock().insert(topic.clone(), InstalledConfig { mask, mode });
                         if events_tx.send(Event::Config { topic }).is_err() {
                             break;
                         }
@@ -240,7 +234,10 @@ enum Command {
         filter: String,
         ack: tokio::sync::oneshot::Sender<Result<(), BrokerError>>,
     },
-    Unsubscribe { topic: String, ack: tokio::sync::oneshot::Sender<Result<(), BrokerError>> },
+    Unsubscribe {
+        topic: String,
+        ack: tokio::sync::oneshot::Sender<Result<(), BrokerError>>,
+    },
 }
 
 /// A subscribing client. See the module docs for the steering rules.
@@ -308,8 +305,7 @@ impl SubscriberClient {
         topic: &str,
         filter: &str,
     ) -> Result<(), BrokerError> {
-        Predicate::parse(filter)
-            .map_err(|e| BrokerError::BadFilter { message: e.to_string() })?;
+        Predicate::parse(filter).map_err(|e| BrokerError::BadFilter { message: e.to_string() })?;
         self.send_subscribe(topic, filter.to_string()).await
     }
 
@@ -424,8 +420,7 @@ impl SubscriberActor {
         // Make before break: subscribe at the new region first, carrying
         // the same content filter.
         let new_outbound = self.links.connect(target).await?;
-        new_outbound
-            .send(&Frame::Subscribe { topic: topic.to_string(), filter: filter.clone() });
+        new_outbound.send(&Frame::Subscribe { topic: topic.to_string(), filter: filter.clone() });
         if let Ok(old_outbound) = self.links.connect(current).await {
             old_outbound.send(&Frame::Unsubscribe { topic: topic.to_string() });
         }
@@ -490,8 +485,7 @@ impl PublisherClient {
         let payload = payload.into();
         let config = self.links.config_for(topic);
         let publisher_id = self.links.config.client_id;
-        let headers_json =
-            if headers.is_empty() { String::new() } else { headers.to_json() };
+        let headers_json = if headers.is_empty() { String::new() } else { headers.to_json() };
         let frame = move |payload: Bytes, single_target: bool| Frame::Publish {
             topic: topic.to_string(),
             publisher: publisher_id,

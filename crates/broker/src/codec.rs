@@ -125,9 +125,14 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
         Frame::Ping { nonce } | Frame::Pong { nonce } => {
             buf.put_u64(*nonce);
         }
+        Frame::StatsSnapshotRequest => {}
+        Frame::StatsSnapshot { json } => {
+            put_long_string(buf, json);
+        }
     }
     let body_len = (buf.len() - start - 4) as u32;
     buf[start..start + 4].copy_from_slice(&body_len.to_be_bytes());
+    multipub_obs::counter!("multipub_broker_frames_encoded_total").inc();
 }
 
 struct Reader<'a> {
@@ -200,6 +205,16 @@ impl Reader<'_> {
 /// Any [`CodecError`] indicates an unrecoverable protocol violation; the
 /// connection should be dropped.
 pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
+    let result = decode_inner(buf);
+    match &result {
+        Ok(Some(_)) => multipub_obs::counter!("multipub_broker_frames_decoded_total").inc(),
+        Ok(None) => {}
+        Err(_) => multipub_obs::counter!("multipub_broker_codec_errors_total").inc(),
+    }
+    result
+}
+
+fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
     if buf.len() < 4 {
         return Ok(None);
     }
@@ -261,12 +276,14 @@ pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
             let topic = reader.string()?;
             let mask = reader.u32()?;
             let mode_byte = reader.u8()?;
-            let mode = WireMode::from_u8(mode_byte)
-                .ok_or(CodecError::InvalidEnum { value: mode_byte })?;
+            let mode =
+                WireMode::from_u8(mode_byte).ok_or(CodecError::InvalidEnum { value: mode_byte })?;
             Frame::ConfigUpdate { topic, mask, mode }
         }
         0x0B => Frame::Ping { nonce: reader.u64()? },
         0x0C => Frame::Pong { nonce: reader.u64()? },
+        0x0D => Frame::StatsSnapshotRequest,
+        0x0E => Frame::StatsSnapshot { json: reader.long_string()? },
         other => return Err(CodecError::UnknownTag { tag: other }),
     };
     Ok(Some(frame))
@@ -318,6 +335,8 @@ mod tests {
             Frame::ConfigUpdate { topic: "scores".into(), mask: 0b1011, mode: WireMode::Routed },
             Frame::Ping { nonce: u64::MAX },
             Frame::Pong { nonce: 0 },
+            Frame::StatsSnapshotRequest,
+            Frame::StatsSnapshot { json: "{\"counters\":{}}".into() },
         ]
     }
 
@@ -383,10 +402,7 @@ mod tests {
     fn oversized_length_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u32((MAX_FRAME_BYTES + 1) as u32);
-        assert_eq!(
-            decode(&mut buf),
-            Err(CodecError::Oversized { len: MAX_FRAME_BYTES + 1 })
-        );
+        assert_eq!(decode(&mut buf), Err(CodecError::Oversized { len: MAX_FRAME_BYTES + 1 }));
     }
 
     #[test]

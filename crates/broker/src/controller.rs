@@ -58,6 +58,7 @@ pub struct TopicDecision {
 struct BrokerLink {
     outbound: Outbound,
     reports_rx: mpsc::UnboundedReceiver<RegionReport>,
+    snapshots_rx: mpsc::UnboundedReceiver<String>,
 }
 
 impl std::fmt::Debug for BrokerLink {
@@ -110,6 +111,7 @@ impl Controller {
             let outbound = Outbound::spawn(write_half, Duration::ZERO);
             outbound.send(&Frame::Connect { client_id: 0, role: Role::Controller });
             let (reports_tx, reports_rx) = mpsc::unbounded_channel();
+            let (snapshots_tx, snapshots_rx) = mpsc::unbounded_channel();
             tokio::spawn(async move {
                 let mut buf = BytesMut::new();
                 loop {
@@ -121,12 +123,17 @@ impl Controller {
                                 }
                             }
                         }
+                        Ok(Some(Frame::StatsSnapshot { json })) => {
+                            if snapshots_tx.send(json).is_err() {
+                                break;
+                            }
+                        }
                         Ok(Some(_)) => {}
                         Ok(None) | Err(_) => break,
                     }
                 }
             });
-            links.push(BrokerLink { outbound, reports_rx });
+            links.push(BrokerLink { outbound, reports_rx, snapshots_rx });
         }
         Ok(Controller {
             regions,
@@ -157,11 +164,7 @@ impl Controller {
     ///
     /// Panics if the row width differs from the region count.
     pub fn register_client(&mut self, client_id: u64, latencies_ms: Vec<f64>) {
-        assert_eq!(
-            latencies_ms.len(),
-            self.regions.len(),
-            "latency row must cover every region"
-        );
+        assert_eq!(latencies_ms.len(), self.regions.len(), "latency row must cover every region");
         self.client_latencies.insert(client_id, latencies_ms);
     }
 
@@ -197,10 +200,30 @@ impl Controller {
         reports
     }
 
+    /// Pulls every broker's `multipub-obs` metrics snapshot in-band
+    /// ([`Frame::StatsSnapshotRequest`]), returning one JSON document per
+    /// answering broker, in region order. Brokers that fail to answer
+    /// within the report timeout are skipped.
+    pub async fn collect_metrics(&mut self) -> Vec<String> {
+        for link in &self.links {
+            link.outbound.send(&Frame::StatsSnapshotRequest);
+        }
+        let mut snapshots = Vec::with_capacity(self.links.len());
+        for link in &mut self.links {
+            match tokio::time::timeout(self.report_timeout, link.snapshots_rx.recv()).await {
+                Ok(Some(json)) => snapshots.push(json),
+                Ok(None) | Err(_) => {}
+            }
+        }
+        snapshots
+    }
+
     /// One full control round: collect reports, rebuild per-topic
     /// workloads, optimize every topic, and deploy improved
     /// configurations.
     pub async fn optimize_once(&mut self) -> Vec<TopicDecision> {
+        let _round_timer = multipub_obs::timer!("multipub_controller_round_ms");
+        multipub_obs::counter!("multipub_controller_rounds_total").inc();
         let reports = self.collect_reports().await;
         let merged = merge_reports(&reports);
         let mut decisions = Vec::new();
@@ -222,8 +245,7 @@ impl Controller {
                 let evaluator = optimizer.evaluator();
                 // Retract previously forced regions that no longer help.
                 let previous = self.forced.remove(&topic).unwrap_or_default();
-                let retained =
-                    retract_unneeded(evaluator, configuration, &previous, &constraint);
+                let retained = retract_unneeded(evaluator, configuration, &previous, &constraint);
                 let mut assignment = configuration.assignment();
                 for &region in &retained {
                     assignment = assignment.with(region);
@@ -239,10 +261,31 @@ impl Controller {
                 }
             }
 
+            multipub_obs::counter!("multipub_controller_topics_evaluated_total").inc();
+            if solution.is_feasible() {
+                multipub_obs::counter!("multipub_controller_feasible_total").inc();
+            } else {
+                multipub_obs::counter!("multipub_controller_infeasible_total").inc();
+            }
+            if !forced_regions.is_empty() {
+                multipub_obs::counter!("multipub_controller_mitigations_total").inc();
+            }
             let deployed = self.installed.get(&topic) != Some(&configuration);
             if deployed {
                 self.deploy(&topic, configuration);
+                multipub_obs::counter!("multipub_controller_reconfigurations_total").inc();
             }
+            multipub_obs::event!(
+                Debug,
+                "controller",
+                msg = "topic decided",
+                topic = topic,
+                configuration = configuration,
+                feasible = solution.is_feasible(),
+                deployed = deployed,
+                percentile_ms = solution.evaluation().percentile_ms(),
+                unknown_clients = unknown_clients,
+            );
             decisions.push(TopicDecision {
                 topic,
                 configuration,
@@ -254,6 +297,13 @@ impl Controller {
                 forced_regions,
             });
         }
+        multipub_obs::event!(
+            Info,
+            "controller",
+            msg = "round complete",
+            reports = reports.len(),
+            topics = decisions.len(),
+        );
         decisions
     }
 
@@ -383,10 +433,8 @@ mod tests {
     #[test]
     fn merge_keeps_max_when_regions_disagree() {
         // Reconfiguration window: one region missed some messages.
-        let reports = vec![
-            report(0, "t", &[(1, 7, 7_000)], &[]),
-            report(1, "t", &[(1, 10, 10_000)], &[]),
-        ];
+        let reports =
+            vec![report(0, "t", &[(1, 7, 7_000)], &[]), report(1, "t", &[(1, 10, 10_000)], &[])];
         let merged = merge_reports(&reports);
         assert_eq!(merged["t"].publishers[&1].messages, 10);
         assert_eq!(merged["t"].publishers[&1].bytes, 10_000);
@@ -394,10 +442,8 @@ mod tests {
 
     #[test]
     fn merge_unions_topics_across_regions() {
-        let reports = vec![
-            report(0, "a", &[(1, 1, 100)], &[2]),
-            report(1, "b", &[(3, 2, 200)], &[4]),
-        ];
+        let reports =
+            vec![report(0, "a", &[(1, 1, 100)], &[2]), report(1, "b", &[(3, 2, 200)], &[4])];
         let merged = merge_reports(&reports);
         assert_eq!(merged.len(), 2);
         assert!(merged.contains_key("a") && merged.contains_key("b"));
@@ -406,8 +452,7 @@ mod tests {
     #[test]
     fn merge_dedups_subscribers_seen_twice() {
         // A subscriber mid-resubscription appears in two regions.
-        let reports =
-            vec![report(0, "t", &[], &[9, 5]), report(1, "t", &[], &[5])];
+        let reports = vec![report(0, "t", &[], &[9, 5]), report(1, "t", &[], &[5])];
         let merged = merge_reports(&reports);
         assert_eq!(merged["t"].subscribers, vec![5, 9]);
     }

@@ -196,6 +196,17 @@ pub enum Frame {
         /// The nonce of the [`Frame::Ping`] being answered.
         nonce: u64,
     },
+    /// Controller → broker: asks for the broker's metrics-registry
+    /// snapshot (counters, gauges, latency histograms), as opposed to
+    /// [`Frame::StatsRequest`], which asks the region manager for its
+    /// per-topic interval report.
+    StatsSnapshotRequest,
+    /// Broker → controller: the metrics-registry snapshot, in
+    /// `multipub-obs` JSON form.
+    StatsSnapshot {
+        /// JSON body of the snapshot (see `multipub_obs::RegistrySnapshot::to_json`).
+        json: String,
+    },
 }
 
 impl Frame {
@@ -214,6 +225,8 @@ impl Frame {
             Frame::ConfigUpdate { .. } => 0x0A,
             Frame::Ping { .. } => 0x0B,
             Frame::Pong { .. } => 0x0C,
+            Frame::StatsSnapshotRequest => 0x0D,
+            Frame::StatsSnapshot { .. } => 0x0E,
         }
     }
 }
@@ -281,6 +294,8 @@ mod tests {
             Frame::ConfigUpdate { topic: "t".into(), mask: 1, mode: WireMode::Direct },
             Frame::Ping { nonce: 0 },
             Frame::Pong { nonce: 0 },
+            Frame::StatsSnapshotRequest,
+            Frame::StatsSnapshot { json: "{}".into() },
         ];
         let tags: HashSet<u8> = frames.iter().map(Frame::tag).collect();
         assert_eq!(tags.len(), frames.len());

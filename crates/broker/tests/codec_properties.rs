@@ -26,8 +26,7 @@ fn arb_role() -> impl Strategy<Value = Role> {
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (any::<u64>(), arb_role())
-            .prop_map(|(client_id, role)| Frame::Connect { client_id, role }),
+        (any::<u64>(), arb_role()).prop_map(|(client_id, role)| Frame::Connect { client_id, role }),
         any::<u16>().prop_map(|region| Frame::ConnectAck { region }),
         (arb_topic(), "[a-z <>=0-9&|!()._\"^-]{0,40}")
             .prop_map(|(topic, filter)| Frame::Subscribe { topic, filter }),
@@ -40,16 +39,19 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             .prop_map(|(topic, publisher, publish_micros, origin_region, headers, payload)| {
                 Frame::Forward { topic, publisher, publish_micros, origin_region, headers, payload }
             }),
-        (arb_topic(), any::<u64>(), any::<u64>(), "[ -~]{0,64}", arb_payload())
-            .prop_map(|(topic, publisher, publish_micros, headers, payload)| {
+        (arb_topic(), any::<u64>(), any::<u64>(), "[ -~]{0,64}", arb_payload()).prop_map(
+            |(topic, publisher, publish_micros, headers, payload)| {
                 Frame::Deliver { topic, publisher, publish_micros, headers, payload }
-            }),
+            }
+        ),
         Just(Frame::StatsRequest),
         "[ -~]{0,128}".prop_map(|json| Frame::StatsReport { json }),
         (arb_topic(), any::<u32>(), prop_oneof![Just(WireMode::Direct), Just(WireMode::Routed)])
             .prop_map(|(topic, mask, mode)| Frame::ConfigUpdate { topic, mask, mode }),
         any::<u64>().prop_map(|nonce| Frame::Ping { nonce }),
         any::<u64>().prop_map(|nonce| Frame::Pong { nonce }),
+        Just(Frame::StatsSnapshotRequest),
+        "[ -~]{0,128}".prop_map(|json| Frame::StatsSnapshot { json }),
     ]
 }
 

@@ -242,8 +242,7 @@ async fn controller_optimizes_and_reconfigures_live_clients() {
     let (brokers, addrs) = mesh(2).await;
     let (regions, inter) = two_regions();
     let constraint = DeliveryConstraint::new(95.0, 500.0).unwrap();
-    let mut controller =
-        Controller::connect(regions, inter, &addrs, constraint).await.unwrap();
+    let mut controller = Controller::connect(regions, inter, &addrs, constraint).await.unwrap();
 
     // Everyone is near region 1 (the expensive one); with a loose 500 ms
     // bound the optimizer should pull the topic to cheap region 0.
@@ -317,8 +316,7 @@ async fn controller_mitigation_force_adds_a_region_for_stragglers() {
     let (brokers, addrs) = mesh(2).await;
     let (regions, inter) = two_regions();
     let constraint = DeliveryConstraint::new(75.0, 100.0).unwrap();
-    let mut controller =
-        Controller::connect(regions, inter, &addrs, constraint).await.unwrap();
+    let mut controller = Controller::connect(regions, inter, &addrs, constraint).await.unwrap();
     controller.enable_mitigation(multipub_core::mitigation::MitigationPolicy::default());
 
     // Publisher + two healthy subscribers near cheap region 0; one
@@ -397,10 +395,7 @@ async fn content_filters_restrict_deliveries() {
         emulate_wan: false,
     })
     .unwrap();
-    filtered
-        .subscribe_filtered("ticks", r#"symbol =^ "A" && price < 100"#)
-        .await
-        .unwrap();
+    filtered.subscribe_filtered("ticks", r#"symbol =^ "A" && price < 100"#).await.unwrap();
     tokio::time::sleep(Duration::from_millis(50)).await;
 
     let mut publisher = PublisherClient::new(ClientConfig {
@@ -411,7 +406,8 @@ async fn content_filters_restrict_deliveries() {
     })
     .unwrap();
 
-    let quotes = [("AAPL", 95.0, true), ("AAPL", 130.0, false), ("MSFT", 50.0, false), ("AMZN", 99.0, true)];
+    let quotes =
+        [("AAPL", 95.0, true), ("AAPL", 130.0, false), ("MSFT", 50.0, false), ("AMZN", 99.0, true)];
     for (symbol, price, _) in quotes {
         let mut headers = Headers::new();
         headers.set("symbol", symbol).set("price", price);
@@ -429,10 +425,7 @@ async fn content_filters_restrict_deliveries() {
     // with their headers intact.
     let first = recv(&mut filtered).await;
     assert_eq!(&first.payload[..], b"AAPL@95");
-    assert_eq!(
-        first.headers.get("symbol"),
-        Some(&multipub_filter::Value::Str("AAPL".into()))
-    );
+    assert_eq!(first.headers.get("symbol"), Some(&multipub_filter::Value::Str("AAPL".into())));
     let second = recv(&mut filtered).await;
     assert_eq!(&second.payload[..], b"AMZN@99");
     let extra = timeout(Duration::from_millis(200), filtered.next_delivery()).await;
@@ -485,5 +478,53 @@ async fn reconfiguration_loses_no_messages_during_switch() {
         received += 1;
     }
     assert_eq!(received, 30);
+    drop(brokers);
+}
+
+#[tokio::test]
+async fn stats_snapshot_reports_publish_and_delivery_metrics() {
+    let (brokers, addrs) = mesh(2).await;
+    let (regions, inter) = two_regions();
+    let constraint = DeliveryConstraint::new(95.0, 500.0).unwrap();
+    let mut controller = Controller::connect(regions, inter, &addrs, constraint).await.unwrap();
+
+    let mut subscriber = SubscriberClient::new(ClientConfig {
+        client_id: 100,
+        region_addrs: addrs.clone(),
+        latencies_ms: vec![5.0, 70.0],
+        emulate_wan: false,
+    })
+    .unwrap();
+    subscriber.subscribe("observed").await.unwrap();
+    tokio::time::sleep(Duration::from_millis(50)).await;
+
+    let mut publisher = PublisherClient::new(ClientConfig {
+        client_id: 101,
+        region_addrs: addrs,
+        latencies_ms: vec![5.0, 70.0],
+        emulate_wan: false,
+    })
+    .unwrap();
+    for i in 0..3 {
+        publisher.publish("observed", format!("{i}").into_bytes()).await.unwrap();
+        recv(&mut subscriber).await;
+    }
+
+    // In-band metrics pull: StatsSnapshotRequest → StatsSnapshot per broker.
+    let snapshots = controller.collect_metrics().await;
+    assert_eq!(snapshots.len(), 2);
+    // The registry is process-global (these brokers share it, as do the
+    // other tests in this binary), so assertions are lower bounds.
+    for json in &snapshots {
+        let value: serde_json::Value = serde_json::from_str(json).expect("valid JSON");
+        let publishes = value["counters"]["multipub_broker_publishes_total"]
+            .as_u64()
+            .expect("publish counter present");
+        assert!(publishes >= 3, "expected >= 3 publishes, got {publishes}");
+        let delivery = &value["histograms"]["multipub_broker_delivery_ms"];
+        let count = delivery["count"].as_u64().expect("delivery histogram present");
+        assert!(count >= 3, "expected >= 3 recorded deliveries, got {count}");
+        assert!(delivery["p50"].as_f64().expect("p50 present") >= 0.0);
+    }
     drop(brokers);
 }

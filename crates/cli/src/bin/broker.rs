@@ -3,12 +3,15 @@
 //! ```text
 //! multipub-broker --region 0 --bind 0.0.0.0:9000 \
 //!     --peer 1=10.0.1.5:9000 --peer 2=10.0.2.5:9000 \
-//!     [--region-delays 0,40,90]           # WAN emulation (ms, testing)
+//!     [--region-delays 0,40,90] \         # WAN emulation (ms, testing)
+//!     [--metrics-addr 0.0.0.0:9464]       # Prometheus scrape endpoint
 //! ```
 //!
 //! The broker serves pub/sub clients, forwards routed publications to its
 //! peers, collects region-manager statistics and applies controller
-//! configuration updates. It runs until Ctrl-C.
+//! configuration updates. With `--metrics-addr` it also serves the
+//! process metrics registry in Prometheus text format. It runs until
+//! Ctrl-C.
 
 use multipub_broker::broker::Broker;
 use multipub_broker::delay::DelayTable;
@@ -18,7 +21,7 @@ use std::net::SocketAddr;
 
 const USAGE: &str = "usage: multipub-broker --region <idx> [--bind <addr>] \
                      [--peer <idx>=<addr>]... [--region-delays <ms,ms,...>] \
-                     [--client-delay <id>=<ms>]...";
+                     [--client-delay <id>=<ms>]... [--metrics-addr <addr>]";
 
 async fn run() -> Result<(), String> {
     let args = Args::from_env()?;
@@ -42,13 +45,20 @@ async fn run() -> Result<(), String> {
     let mut builder = Broker::builder(RegionId(region)).bind(bind).delays(delays);
     for spec in args.get_all("peer") {
         let (peer_region, addr) = parse_pair::<u8>(spec)?;
-        let addr: SocketAddr =
-            addr.parse().map_err(|_| format!("bad peer address in {spec:?}"))?;
+        let addr: SocketAddr = addr.parse().map_err(|_| format!("bad peer address in {spec:?}"))?;
         builder = builder.peer(RegionId(peer_region), addr);
     }
 
     let broker = builder.spawn().await.map_err(|e| e.to_string())?;
     println!("multipub-broker: region R{region} listening on {}", broker.local_addr());
+    if let Some(metrics) = args.get("metrics-addr") {
+        let addr: SocketAddr =
+            metrics.parse().map_err(|_| "bad --metrics-addr address".to_string())?;
+        let bound = multipub_cli::metrics::serve_metrics(addr)
+            .await
+            .map_err(|e| format!("--metrics-addr {metrics}: {e}"))?;
+        println!("multipub-broker: metrics on http://{bound}/metrics");
+    }
     tokio::signal::ctrl_c().await.map_err(|e| e.to_string())?;
     println!("multipub-broker: shutting down");
     broker.shutdown();

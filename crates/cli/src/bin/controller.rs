@@ -8,12 +8,15 @@
 //!     --default-constraint 75:200 \
 //!     --constraint game/scores=95:150 \
 //!     --client 42=10,80,120 \                            # client latency rows (ms per region)
-//!     --interval 30 --rounds 0 --mitigate true
+//!     --interval 30 --rounds 0 --mitigate true \
+//!     --metrics-addr 0.0.0.0:9465
 //! ```
 //!
 //! Each round the controller pulls region-manager reports, re-optimizes
 //! every topic and deploys improved configurations. `--rounds 0` runs
-//! until Ctrl-C.
+//! until Ctrl-C. With `--metrics-addr` the controller serves its metrics
+//! registry (round timings, feasibility counts) in Prometheus text
+//! format.
 
 use multipub_broker::controller::Controller;
 use multipub_cli::{parse_f64_list, parse_pair, Args};
@@ -27,12 +30,12 @@ const USAGE: &str = "usage: multipub-controller --broker <addr>... \
                      [--default-constraint <ratio>:<max_ms>] \
                      [--constraint <topic>=<ratio>:<max_ms>]... \
                      [--client <id>=<ms,ms,...>]... \
-                     [--interval <secs>] [--rounds <n>] [--mitigate true]";
+                     [--interval <secs>] [--rounds <n>] [--mitigate true] \
+                     [--metrics-addr <addr>]";
 
 fn parse_constraint(text: &str) -> Result<DeliveryConstraint, String> {
-    let (ratio, max_ms) = text
-        .split_once(':')
-        .ok_or_else(|| format!("expected ratio:max_ms, got {text:?}"))?;
+    let (ratio, max_ms) =
+        text.split_once(':').ok_or_else(|| format!("expected ratio:max_ms, got {text:?}"))?;
     let ratio: f64 = ratio.parse().map_err(|_| format!("bad ratio in {text:?}"))?;
     let max_ms: f64 = max_ms.parse().map_err(|_| format!("bad bound in {text:?}"))?;
     DeliveryConstraint::new(ratio, max_ms).map_err(|e| e.to_string())
@@ -52,12 +55,10 @@ async fn run() -> Result<(), String> {
 
     let (regions, inter) = match (args.get("regions-csv"), args.get("inter-csv")) {
         (Some(regions_path), Some(inter_path)) => {
-            let regions_text =
-                std::fs::read_to_string(regions_path).map_err(|e| e.to_string())?;
+            let regions_text = std::fs::read_to_string(regions_path).map_err(|e| e.to_string())?;
             let inter_text = std::fs::read_to_string(inter_path).map_err(|e| e.to_string())?;
             (
-                multipub_data::csv::parse_region_set(&regions_text)
-                    .map_err(|e| e.to_string())?,
+                multipub_data::csv::parse_region_set(&regions_text).map_err(|e| e.to_string())?,
                 multipub_data::csv::parse_inter_region_matrix(&inter_text)
                     .map_err(|e| e.to_string())?,
             )
@@ -72,8 +73,7 @@ async fn run() -> Result<(), String> {
         _ => return Err("--regions-csv and --inter-csv must be given together".into()),
     };
 
-    let default_constraint =
-        parse_constraint(args.get("default-constraint").unwrap_or("95:200"))?;
+    let default_constraint = parse_constraint(args.get("default-constraint").unwrap_or("95:200"))?;
     let mut controller = Controller::connect(regions, inter, &brokers, default_constraint)
         .await
         .map_err(|e| e.to_string())?;
@@ -90,6 +90,15 @@ async fn run() -> Result<(), String> {
     }
     if args.get_parsed_or("mitigate", false)? {
         controller.enable_mitigation(MitigationPolicy::default());
+    }
+
+    if let Some(metrics) = args.get("metrics-addr") {
+        let addr: SocketAddr =
+            metrics.parse().map_err(|_| "bad --metrics-addr address".to_string())?;
+        let bound = multipub_cli::metrics::serve_metrics(addr)
+            .await
+            .map_err(|e| format!("--metrics-addr {metrics}: {e}"))?;
+        println!("multipub-controller: metrics on http://{bound}/metrics");
     }
 
     let interval_secs: f64 = args.get_parsed_or("interval", 30.0)?;

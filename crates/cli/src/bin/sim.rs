@@ -1,19 +1,23 @@
 //! `multipub-sim` — run a JSON simulation spec through the optimizer.
 //!
 //! ```text
-//! multipub-sim --spec experiment.json [--format markdown|csv]
+//! multipub-sim --spec experiment.json [--format markdown|csv] \
+//!     [--metrics-summary true]          # dump solver metrics at exit
 //! multipub-sim --example true           # print a sample spec and exit
 //! ```
 //!
 //! The spec format is documented on
 //! [`multipub_sim::spec::SimulationSpec`]; topics run against the built-in
-//! 10-region EC2 deployment and are solved in parallel.
+//! 10-region EC2 deployment and are solved in parallel. With
+//! `--metrics-summary true` the run's metrics registry (solve timings,
+//! configurations evaluated) is printed to stderr in Prometheus text
+//! format after the result table.
 
 use multipub_cli::Args;
 use multipub_sim::spec::{parse_spec, run_spec};
 
-const USAGE: &str =
-    "usage: multipub-sim --spec <path.json> [--format markdown|csv] | --example true";
+const USAGE: &str = "usage: multipub-sim --spec <path.json> [--format markdown|csv] \
+     [--metrics-summary true] | --example true";
 
 const EXAMPLE: &str = r#"{
   "interval_secs": 60,
@@ -45,6 +49,9 @@ fn run() -> Result<(), String> {
         "markdown" => print!("{}", outcome.table().to_markdown()),
         "csv" => print!("{}", outcome.table().to_csv()),
         other => return Err(format!("unknown format {other:?}")),
+    }
+    if args.get_parsed_or("metrics-summary", false)? {
+        eprint!("{}", multipub_obs::registry().render_prometheus());
     }
     Ok(())
 }

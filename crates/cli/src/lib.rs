@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
+
 use std::collections::BTreeMap;
 
 /// Minimal `--flag value` argument collector with repeatable flags.
@@ -38,9 +40,7 @@ impl Args {
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                let value = iter.next().ok_or_else(|| format!("flag --{name} expects a value"))?;
                 out.values.entry(name.to_string()).or_default().push(value);
             } else {
                 out.positional.push(arg);
@@ -73,16 +73,10 @@ impl Args {
     /// # Errors
     ///
     /// Returns a message when the value fails to parse.
-    pub fn get_parsed_or<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, String> {
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(text) => text
-                .parse()
-                .map_err(|_| format!("flag --{name}: cannot parse {text:?}")),
+            Some(text) => text.parse().map_err(|_| format!("flag --{name}: cannot parse {text:?}")),
         }
     }
 
@@ -99,9 +93,8 @@ impl Args {
 /// Returns a message when the `=` separator is missing or the key fails
 /// to parse.
 pub fn parse_pair<K: std::str::FromStr>(text: &str) -> Result<(K, &str), String> {
-    let (key, value) = text
-        .split_once('=')
-        .ok_or_else(|| format!("expected key=value, got {text:?}"))?;
+    let (key, value) =
+        text.split_once('=').ok_or_else(|| format!("expected key=value, got {text:?}"))?;
     let key = key.parse().map_err(|_| format!("cannot parse key in {text:?}"))?;
     Ok((key, value))
 }
@@ -113,11 +106,7 @@ pub fn parse_pair<K: std::str::FromStr>(text: &str) -> Result<(K, &str), String>
 /// Returns a message naming the offending element.
 pub fn parse_f64_list(text: &str) -> Result<Vec<f64>, String> {
     text.split(',')
-        .map(|part| {
-            part.trim()
-                .parse::<f64>()
-                .map_err(|_| format!("cannot parse number {part:?}"))
-        })
+        .map(|part| part.trim().parse::<f64>().map_err(|_| format!("cannot parse number {part:?}")))
         .collect()
 }
 

@@ -1,0 +1,87 @@
+//! A minimal HTTP endpoint serving the process-wide metrics registry in
+//! Prometheus text exposition format.
+//!
+//! Hand-rolled on raw `tokio::net::TcpStream`s — one short-lived
+//! connection per scrape, `Connection: close` — so the binaries gain an
+//! observability endpoint without an HTTP framework dependency. Any
+//! request path answers with the full registry dump; scrape agents only
+//! ever ask for one resource.
+
+use std::net::SocketAddr;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+/// Longest request head we bother reading before answering. Scrape
+/// requests are a few hundred bytes; anything larger is cut off.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Binds `addr` and spawns an accept loop that answers every HTTP request
+/// with the current [`multipub_obs::registry`] rendered as Prometheus
+/// text. Returns the actually-bound address (useful with port 0).
+///
+/// # Errors
+///
+/// Returns the bind error when the address is unavailable.
+pub async fn serve_metrics(addr: SocketAddr) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr).await?;
+    let local = listener.local_addr()?;
+    tokio::spawn(async move {
+        loop {
+            let Ok((stream, _peer)) = listener.accept().await else {
+                break;
+            };
+            tokio::spawn(async move {
+                let _ = answer_scrape(stream).await;
+            });
+        }
+    });
+    Ok(local)
+}
+
+/// Reads the request head (until the blank line or the size cap) and
+/// writes one complete response.
+async fn answer_scrape(mut stream: TcpStream) -> std::io::Result<()> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk).await?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD_BYTES {
+            break;
+        }
+    }
+    let body = multipub_obs::registry().render_prometheus();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n\
+         {}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes()).await?;
+    stream.shutdown().await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn scrape_returns_prometheus_text() {
+        multipub_obs::counter!("multipub_cli_scrape_test_total").inc();
+        let addr = serve_metrics("127.0.0.1:0".parse().unwrap()).await.unwrap();
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n").await.unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).await.unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(response.contains("multipub_cli_scrape_test_total"));
+    }
+}

@@ -445,8 +445,7 @@ mod tests {
     #[test]
     fn direct_only_policy() {
         let allowed = AssignmentVector::all(3).unwrap();
-        let configs: Vec<_> =
-            enumerate_configurations(allowed, ModePolicy::DirectOnly).collect();
+        let configs: Vec<_> = enumerate_configurations(allowed, ModePolicy::DirectOnly).collect();
         assert!(configs.iter().all(|c| c.mode() == DeliveryMode::Direct));
         // Every non-empty subset once: 2^3 − 1 = 7.
         assert_eq!(configs.len(), 7);
@@ -455,8 +454,7 @@ mod tests {
     #[test]
     fn routed_only_policy() {
         let allowed = AssignmentVector::all(3).unwrap();
-        let configs: Vec<_> =
-            enumerate_configurations(allowed, ModePolicy::RoutedOnly).collect();
+        let configs: Vec<_> = enumerate_configurations(allowed, ModePolicy::RoutedOnly).collect();
         // Multi-region subsets routed (4) + single regions (3) = 7.
         assert_eq!(configs.len(), 7);
         for c in &configs {

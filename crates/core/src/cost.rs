@@ -35,10 +35,7 @@ pub fn subscriber_counts(workload: &TopicWorkload, assignment: AssignmentVector)
 ///
 /// Multiplying by the total published bytes yields `Z_Direct` (Eq. 3).
 pub fn fanout_rate_per_byte(regions: &RegionSet, subscriber_counts: &[u64]) -> f64 {
-    regions
-        .ids()
-        .map(|r| subscriber_counts[r.index()] as f64 * regions.beta_per_byte(r))
-        .sum()
+    regions.ids().map(|r| subscriber_counts[r.index()] as f64 * regions.beta_per_byte(r)).sum()
 }
 
 /// `Z_Direct` (Eq. 3): total cost of the fan-out from serving regions to
@@ -115,8 +112,7 @@ pub fn topic_cost_dollars(
     match configuration.mode() {
         DeliveryMode::Direct => direct,
         DeliveryMode::Routed => {
-            direct
-                + routed_forwarding_cost_dollars(regions, workload, configuration.assignment())
+            direct + routed_forwarding_cost_dollars(regions, workload, configuration.assignment())
         }
     }
 }
@@ -140,17 +136,14 @@ mod tests {
         let mut w = TopicWorkload::new(2);
         // Publisher near region 0, 10 messages × 1 KB.
         w.add_publisher(
-            Publisher::new(ClientId(0), vec![5.0, 80.0], MessageBatch::uniform(10, 1000))
-                .unwrap(),
+            Publisher::new(ClientId(0), vec![5.0, 80.0], MessageBatch::uniform(10, 1000)).unwrap(),
         )
         .unwrap();
         // Two subscribers near region 0, one (weight 3) near region 1.
         w.add_subscriber(Subscriber::new(ClientId(1), vec![4.0, 70.0]).unwrap()).unwrap();
         w.add_subscriber(Subscriber::new(ClientId(2), vec![6.0, 75.0]).unwrap()).unwrap();
-        w.add_subscriber(
-            Subscriber::with_weight(ClientId(3), vec![90.0, 3.0], 3).unwrap(),
-        )
-        .unwrap();
+        w.add_subscriber(Subscriber::with_weight(ClientId(3), vec![90.0, 3.0], 3).unwrap())
+            .unwrap();
         w
     }
 
@@ -191,10 +184,8 @@ mod tests {
         let w = workload();
         let one = AssignmentVector::single(crate::ids::RegionId(1), 2).unwrap();
         assert_eq!(routed_forwarding_cost_dollars(&r, &w, one), 0.0);
-        let direct =
-            topic_cost_dollars(&r, &w, Configuration::new(one, DeliveryMode::Direct));
-        let routed =
-            topic_cost_dollars(&r, &w, Configuration::new(one, DeliveryMode::Routed));
+        let direct = topic_cost_dollars(&r, &w, Configuration::new(one, DeliveryMode::Direct));
+        let routed = topic_cost_dollars(&r, &w, Configuration::new(one, DeliveryMode::Routed));
         assert_eq!(direct, routed);
     }
 
@@ -220,9 +211,6 @@ mod tests {
         .unwrap();
         w.add_subscriber(Subscriber::new(ClientId(1), vec![1.0, 2.0]).unwrap()).unwrap();
         let both = AssignmentVector::all(2).unwrap();
-        assert_eq!(
-            topic_cost_dollars(&r, &w, Configuration::new(both, DeliveryMode::Routed)),
-            0.0
-        );
+        assert_eq!(topic_cost_dollars(&r, &w, Configuration::new(both, DeliveryMode::Routed)), 0.0);
     }
 }

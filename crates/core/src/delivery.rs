@@ -60,8 +60,7 @@ pub fn direct_delivery_ms(
     subscriber_latencies: &[f64],
     subscriber_region: RegionId,
 ) -> f64 {
-    publisher_latencies[subscriber_region.index()]
-        + subscriber_latencies[subscriber_region.index()]
+    publisher_latencies[subscriber_region.index()] + subscriber_latencies[subscriber_region.index()]
 }
 
 /// Routed delivery time (Eq. 2): publisher → its own region → subscriber's

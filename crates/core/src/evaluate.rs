@@ -196,9 +196,8 @@ impl<'a> TopicEvaluator<'a> {
                 DeliveryMode::Direct => None,
             };
             if let Some(home) = pub_home {
-                forwarding_cost += batch.total_bytes() as f64
-                    * extra_hops
-                    * self.regions.alpha_per_byte(home);
+                forwarding_cost +=
+                    batch.total_bytes() as f64 * extra_hops * self.regions.alpha_per_byte(home);
             }
             if batch.count() == 0 {
                 continue;
@@ -211,15 +210,12 @@ impl<'a> TopicEvaluator<'a> {
                     None => pub_lat[sub_region.index()] + sub_lat,
                     // Eq. 2: routed delivery via the publisher's region.
                     Some(home) => {
-                        pub_lat[home.index()]
-                            + self.inter.latency(home, sub_region)
-                            + sub_lat
+                        pub_lat[home.index()] + self.inter.latency(home, sub_region) + sub_lat
                     }
                 };
-                scratch.samples.push(WeightedSample {
-                    time_ms,
-                    weight: batch.count() * sub.weight(),
-                });
+                scratch
+                    .samples
+                    .push(WeightedSample { time_ms, weight: batch.count() * sub.weight() });
             }
         }
 
@@ -252,9 +248,7 @@ impl<'a> TopicEvaluator<'a> {
                 continue;
             }
             let time = match configuration.mode() {
-                DeliveryMode::Direct => {
-                    publisher.latencies()[sub_region.index()] + sub_lat
-                }
+                DeliveryMode::Direct => publisher.latencies()[sub_region.index()] + sub_lat,
                 DeliveryMode::Routed => {
                     let home = closest_in_prefs(prefs, assignment);
                     publisher.latencies()[home.index()]
@@ -272,11 +266,7 @@ impl<'a> TopicEvaluator<'a> {
 /// preference list of design decision D2.
 pub(crate) fn preference_list(latencies: &[f64]) -> Vec<u8> {
     let mut order: Vec<u8> = (0..latencies.len() as u8).collect();
-    order.sort_by(|&a, &b| {
-        latencies[a as usize]
-            .total_cmp(&latencies[b as usize])
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| latencies[a as usize].total_cmp(&latencies[b as usize]).then(a.cmp(&b)));
     order
 }
 
@@ -331,10 +321,8 @@ mod tests {
         .unwrap();
         w.add_subscriber(Subscriber::new(ClientId(2), vec![8.0, 66.0, 99.0]).unwrap()).unwrap();
         w.add_subscriber(Subscriber::new(ClientId(3), vec![70.0, 9.0, 80.0]).unwrap()).unwrap();
-        w.add_subscriber(
-            Subscriber::with_weight(ClientId(4), vec![88.0, 77.0, 6.0], 2).unwrap(),
-        )
-        .unwrap();
+        w.add_subscriber(Subscriber::with_weight(ClientId(4), vec![88.0, 77.0, 6.0], 2).unwrap())
+            .unwrap();
         w
     }
 

@@ -87,7 +87,11 @@ pub fn solve_heuristic(
         considered += 1;
         beam.push(eval);
     }
-    beam.sort_by(|a, b| candidate_key(a, constraint).partial_cmp(&candidate_key(b, constraint)).expect("finite keys"));
+    beam.sort_by(|a, b| {
+        candidate_key(a, constraint)
+            .partial_cmp(&candidate_key(b, constraint))
+            .expect("finite keys")
+    });
     beam.truncate(beam_width);
     let mut incumbent = beam[0];
 
@@ -171,14 +175,9 @@ mod tests {
         for max_t in [40.0, 80.0, 150.0, 400.0] {
             let constraint = DeliveryConstraint::new(90.0, max_t).unwrap();
             let exact = Optimizer::new(&regions, &inter, &w).unwrap().solve(&constraint);
-            let heuristic = solve_heuristic(
-                &regions,
-                &inter,
-                &w,
-                &constraint,
-                &HeuristicOptions::default(),
-            )
-            .unwrap();
+            let heuristic =
+                solve_heuristic(&regions, &inter, &w, &constraint, &HeuristicOptions::default())
+                    .unwrap();
             if exact.is_feasible() && heuristic.is_feasible() {
                 assert!(
                     heuristic.evaluation().cost_dollars()
@@ -199,14 +198,12 @@ mod tests {
         for max_t in [40.0, 100.0, 200.0, 500.0] {
             let constraint = DeliveryConstraint::new(90.0, max_t).unwrap();
             let exact = Optimizer::new(&regions, &inter, &w).unwrap().solve(&constraint);
-            let heuristic =
-                solve_heuristic(&regions, &inter, &w, &constraint, &options).unwrap();
+            let heuristic = solve_heuristic(&regions, &inter, &w, &constraint, &options).unwrap();
             assert_eq!(heuristic.is_feasible(), exact.is_feasible(), "max_t {max_t}");
             if exact.is_feasible() {
                 assert!(
-                    (heuristic.evaluation().cost_dollars()
-                        - exact.evaluation().cost_dollars())
-                    .abs()
+                    (heuristic.evaluation().cost_dollars() - exact.evaluation().cost_dollars())
+                        .abs()
                         < 1e-12,
                     "max_t {max_t}: heuristic ${} vs exact ${}",
                     heuristic.evaluation().cost_dollars(),
@@ -239,13 +236,7 @@ mod tests {
         let (regions, inter) = deployment();
         let w = TopicWorkload::new(3);
         let constraint = DeliveryConstraint::new(90.0, 100.0).unwrap();
-        assert!(solve_heuristic(
-            &regions,
-            &inter,
-            &w,
-            &constraint,
-            &HeuristicOptions::default()
-        )
-        .is_err());
+        assert!(solve_heuristic(&regions, &inter, &w, &constraint, &HeuristicOptions::default())
+            .is_err());
     }
 }

@@ -131,10 +131,7 @@ impl InterRegionMatrix {
         }
         for id in keep {
             if id.index() >= self.n {
-                return Err(Error::InvalidAssignment {
-                    mask: 1 << id.0,
-                    n_regions: self.n,
-                });
+                return Err(Error::InvalidAssignment { mask: 1 << id.0, n_regions: self.n });
             }
         }
         let m = keep.len();

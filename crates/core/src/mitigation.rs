@@ -146,11 +146,8 @@ pub fn mitigate(
                 continue;
             };
             let meets = best_with <= constraint.max_ms();
-            let improves =
-                best_with <= best_now * (1.0 - policy.min_improvement);
-            if (meets || improves)
-                && best_candidate.is_none_or(|(b, _)| best_with < b)
-            {
+            let improves = best_with <= best_now * (1.0 - policy.min_improvement);
+            if (meets || improves) && best_candidate.is_none_or(|(b, _)| best_with < b) {
                 best_candidate = Some((best_with, region));
             }
         }
@@ -233,8 +230,7 @@ mod tests {
     fn straggler_workload() -> TopicWorkload {
         let mut w = TopicWorkload::new(2);
         w.add_publisher(
-            Publisher::new(ClientId(0), vec![5.0, 60.0], MessageBatch::uniform(10, 100))
-                .unwrap(),
+            Publisher::new(ClientId(0), vec![5.0, 60.0], MessageBatch::uniform(10, 100)).unwrap(),
         )
         .unwrap();
         w.add_subscriber(Subscriber::new(ClientId(1), vec![5.0, 60.0]).unwrap()).unwrap();
@@ -284,8 +280,7 @@ mod tests {
         let far = Subscriber::new(ClientId(9), vec![500.0, 500.0]).unwrap();
         w.add_subscriber(far).unwrap();
         let eval = TopicEvaluator::new(&regions, &inter, &w).unwrap();
-        let config =
-            Configuration::new(AssignmentVector::all(2).unwrap(), DeliveryMode::Direct);
+        let config = Configuration::new(AssignmentVector::all(2).unwrap(), DeliveryMode::Direct);
         let constraint = DeliveryConstraint::new(75.0, 70.0).unwrap();
         let outcome = mitigate(&eval, config, &constraint, &MitigationPolicy::default());
         // All regions already assigned: nothing to add. The original
@@ -301,8 +296,7 @@ mod tests {
         let (regions, inter) = regions2();
         let w = straggler_workload();
         let eval = TopicEvaluator::new(&regions, &inter, &w).unwrap();
-        let config =
-            Configuration::new(AssignmentVector::all(2).unwrap(), DeliveryMode::Direct);
+        let config = Configuration::new(AssignmentVector::all(2).unwrap(), DeliveryMode::Direct);
         let constraint = DeliveryConstraint::new(75.0, 200.0).unwrap();
         let outcome = mitigate(&eval, config, &constraint, &MitigationPolicy::default());
         assert!(outcome.added.is_empty());
@@ -316,8 +310,7 @@ mod tests {
         // Straggler recovered: now close to R0 as well.
         let mut w = TopicWorkload::new(2);
         w.add_publisher(
-            Publisher::new(ClientId(0), vec![5.0, 60.0], MessageBatch::uniform(10, 100))
-                .unwrap(),
+            Publisher::new(ClientId(0), vec![5.0, 60.0], MessageBatch::uniform(10, 100)).unwrap(),
         )
         .unwrap();
         w.add_subscriber(Subscriber::new(ClientId(1), vec![5.0, 60.0]).unwrap()).unwrap();

@@ -208,6 +208,8 @@ impl<'a> Optimizer<'a> {
     /// Runs the exhaustive search and returns the optimal solution under
     /// the paper's selection rules.
     pub fn solve(&self, constraint: &DeliveryConstraint) -> Solution {
+        let _solve_timer = multipub_obs::timer!("multipub_core_solve_ms");
+        multipub_obs::counter!("multipub_core_solves_total").inc();
         let mut scratch = EvalScratch::default();
         let mut best_feasible: Option<ConfigEvaluation> = None;
         let mut best_any: Option<ConfigEvaluation> = None;
@@ -217,7 +219,9 @@ impl<'a> Optimizer<'a> {
             let eval = self.evaluator.evaluate_into(config, constraint, &mut scratch);
             considered += 1;
             if eval.is_feasible(constraint)
-                && best_feasible.as_ref().is_none_or(|b| better_feasible(&eval, b, self.tie_breaking))
+                && best_feasible
+                    .as_ref()
+                    .is_none_or(|b| better_feasible(&eval, b, self.tie_breaking))
             {
                 best_feasible = Some(eval);
             }
@@ -226,12 +230,11 @@ impl<'a> Optimizer<'a> {
             }
         }
 
+        multipub_obs::counter!("multipub_core_configs_evaluated_total").add(considered);
         match best_feasible {
-            Some(evaluation) => Solution {
-                evaluation,
-                feasible: true,
-                configurations_considered: considered,
-            },
+            Some(evaluation) => {
+                Solution { evaluation, feasible: true, configurations_considered: considered }
+            }
             None => Solution {
                 evaluation: best_any.expect("at least one configuration exists"),
                 feasible: false,
@@ -449,7 +452,8 @@ pub fn solve_topics(
             });
         }
     }
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(topics.len().max(1));
+    let threads =
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(topics.len().max(1));
     let mut results: Vec<Option<Solution>> = vec![None; topics.len()];
     std::thread::scope(|scope| {
         for (chunk_index, (topic_chunk, result_chunk)) in topics
@@ -460,8 +464,8 @@ pub fn solve_topics(
             let _ = chunk_index;
             scope.spawn(move || {
                 for (topic, slot) in topic_chunk.iter().zip(result_chunk.iter_mut()) {
-                    let optimizer = Optimizer::new(regions, inter, &topic.workload)
-                        .expect("validated above");
+                    let optimizer =
+                        Optimizer::new(regions, inter, &topic.workload).expect("validated above");
                     *slot = Some(optimizer.solve(&topic.constraint));
                 }
             });
@@ -485,8 +489,7 @@ mod tests {
             Region::new("pricey", "B", 0.16, 0.25),
         ])
         .unwrap();
-        let inter =
-            InterRegionMatrix::from_rows(vec![vec![0.0, 50.0], vec![50.0, 0.0]]).unwrap();
+        let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 50.0], vec![50.0, 0.0]]).unwrap();
         (regions, inter)
     }
 
@@ -496,15 +499,11 @@ mod tests {
     fn local_expensive_workload() -> TopicWorkload {
         let mut w = TopicWorkload::new(2);
         w.add_publisher(
-            Publisher::new(ClientId(0), vec![70.0, 5.0], MessageBatch::uniform(10, 1000))
-                .unwrap(),
+            Publisher::new(ClientId(0), vec![70.0, 5.0], MessageBatch::uniform(10, 1000)).unwrap(),
         )
         .unwrap();
         for i in 0..4u64 {
-            w.add_subscriber(
-                Subscriber::new(ClientId(1 + i), vec![70.0, 5.0]).unwrap(),
-            )
-            .unwrap();
+            w.add_subscriber(Subscriber::new(ClientId(1 + i), vec![70.0, 5.0]).unwrap()).unwrap();
         }
         w
     }
@@ -555,10 +554,7 @@ mod tests {
         let opt = Optimizer::new(&regions, &inter, &w).unwrap();
         let constraint = DeliveryConstraint::new(95.0, 100.0).unwrap();
         let solution = opt.solve(&constraint);
-        assert_eq!(
-            solution.configurations_considered(),
-            crate::assignment::configuration_count(2)
-        );
+        assert_eq!(solution.configurations_considered(), crate::assignment::configuration_count(2));
     }
 
     #[test]
@@ -570,10 +566,7 @@ mod tests {
         let solution = opt.solve(&constraint);
         assert!(solution.is_feasible());
         // Exhaustively verify optimality.
-        for config in enumerate_configurations(
-            AssignmentVector::all(2).unwrap(),
-            ModePolicy::Any,
-        ) {
+        for config in enumerate_configurations(AssignmentVector::all(2).unwrap(), ModePolicy::Any) {
             let eval = opt.evaluator().evaluate(config, &constraint);
             if eval.is_feasible(&constraint) {
                 assert!(eval.cost_dollars() >= solution.evaluation().cost_dollars());
@@ -642,12 +635,10 @@ mod tests {
             Region::new("r1", "B", 0.02, 0.09),
         ])
         .unwrap();
-        let inter =
-            InterRegionMatrix::from_rows(vec![vec![0.0, 50.0], vec![50.0, 0.0]]).unwrap();
+        let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 50.0], vec![50.0, 0.0]]).unwrap();
         let mut w = TopicWorkload::new(2);
         w.add_publisher(
-            Publisher::new(ClientId(0), vec![10.0, 30.0], MessageBatch::uniform(10, 1000))
-                .unwrap(),
+            Publisher::new(ClientId(0), vec![10.0, 30.0], MessageBatch::uniform(10, 1000)).unwrap(),
         )
         .unwrap();
         w.add_subscriber(Subscriber::new(ClientId(1), vec![10.0, 60.0]).unwrap()).unwrap();
@@ -664,23 +655,15 @@ mod tests {
             .with_tie_breaking(TieBreaking::LowestPercentile)
             .solve(&constraint);
         assert_eq!(fastest.configuration().region_count(), 2);
-        assert!(
-            fastest.evaluation().percentile_ms() < fewest.evaluation().percentile_ms()
-        );
-        assert_eq!(
-            fastest.evaluation().cost_dollars(),
-            fewest.evaluation().cost_dollars()
-        );
+        assert!(fastest.evaluation().percentile_ms() < fewest.evaluation().percentile_ms());
+        assert_eq!(fastest.evaluation().cost_dollars(), fewest.evaluation().cost_dollars());
     }
 
     #[test]
     fn empty_workload_rejected() {
         let (regions, inter) = setup();
         let w = TopicWorkload::new(2);
-        assert!(matches!(
-            Optimizer::new(&regions, &inter, &w),
-            Err(Error::EmptyWorkload)
-        ));
+        assert!(matches!(Optimizer::new(&regions, &inter, &w), Err(Error::EmptyWorkload)));
     }
 
     #[test]
@@ -694,9 +677,8 @@ mod tests {
             .collect();
         let parallel = solve_topics(&regions, &inter, &topics).unwrap();
         for (topic, solution) in topics.iter().zip(&parallel) {
-            let sequential = Optimizer::new(&regions, &inter, &topic.workload)
-                .unwrap()
-                .solve(&topic.constraint);
+            let sequential =
+                Optimizer::new(&regions, &inter, &topic.workload).unwrap().solve(&topic.constraint);
             assert_eq!(&sequential, solution);
         }
     }
@@ -706,10 +688,7 @@ mod tests {
         let (regions, inter) = setup();
         let w = local_expensive_workload();
         let sweep = SweepSolver::new(&regions, &inter, &w, 95.0).unwrap();
-        assert_eq!(
-            sweep.configurations() as u64,
-            crate::assignment::configuration_count(2)
-        );
+        assert_eq!(sweep.configurations() as u64, crate::assignment::configuration_count(2));
         let optimizer = Optimizer::new(&regions, &inter, &w).unwrap();
         for max_t in [1.0, 15.0, 50.0, 140.0, 200.0, 500.0] {
             let constraint = DeliveryConstraint::new(95.0, max_t).unwrap();

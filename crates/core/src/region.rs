@@ -152,18 +152,12 @@ impl RegionSet {
 
     /// Looks a region up by provider name.
     pub fn by_name(&self, name: &str) -> Option<RegionId> {
-        self.regions
-            .iter()
-            .position(|r| r.name() == name)
-            .map(|i| RegionId(i as u8))
+        self.regions.iter().position(|r| r.name() == name).map(|i| RegionId(i as u8))
     }
 
     /// Iterates over `(RegionId, &Region)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (RegionId, &Region)> {
-        self.regions
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (RegionId(i as u8), r))
+        self.regions.iter().enumerate().map(|(i, r)| (RegionId(i as u8), r))
     }
 
     /// All region ids in order.
@@ -189,9 +183,7 @@ impl RegionSet {
     pub fn cheapest_internet_region(&self) -> RegionId {
         let mut best = RegionId(0);
         for (id, region) in self.iter() {
-            if region.internet_cost_per_gb()
-                < self.region(best).internet_cost_per_gb()
-            {
+            if region.internet_cost_per_gb() < self.region(best).internet_cost_per_gb() {
                 best = id;
             }
         }
@@ -224,9 +216,8 @@ mod tests {
 
     #[test]
     fn rejects_more_than_32_regions() {
-        let regions: Vec<Region> = (0..33)
-            .map(|i| Region::new(format!("r{i}"), "x", 0.01, 0.02))
-            .collect();
+        let regions: Vec<Region> =
+            (0..33).map(|i| Region::new(format!("r{i}"), "x", 0.01, 0.02)).collect();
         assert_eq!(RegionSet::new(regions), Err(Error::RegionCount { got: 33 }));
     }
 

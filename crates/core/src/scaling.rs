@@ -63,13 +63,10 @@ pub fn prune_regions(
         home_clients[closest_region(publisher.latencies(), all).index()] += 1;
     }
     for subscriber in workload.subscribers() {
-        home_clients[closest_region(subscriber.latencies(), all).index()] +=
-            subscriber.weight();
+        home_clients[closest_region(subscriber.latencies(), all).index()] += subscriber.weight();
     }
-    let mut keep: Vec<RegionId> = regions
-        .ids()
-        .filter(|r| home_clients[r.index()] >= options.min_home_clients)
-        .collect();
+    let mut keep: Vec<RegionId> =
+        regions.ids().filter(|r| home_clients[r.index()] >= options.min_home_clients).collect();
     if options.keep_cheapest {
         let cheapest = regions.cheapest_internet_region();
         if !keep.contains(&cheapest) {
@@ -79,12 +76,12 @@ pub fn prune_regions(
     if keep.is_empty() {
         // Degenerate: threshold too high and cheapest not kept. Fall back
         // to the single most popular region.
-        let most_popular = regions
-            .ids()
-            .max_by_key(|r| home_clients[r.index()])
-            .expect("region set is non-empty");
+        let most_popular =
+            regions.ids().max_by_key(|r| home_clients[r.index()]).expect("region set is non-empty");
         keep.push(most_popular);
     }
+    multipub_obs::counter!("multipub_core_regions_pruned_total")
+        .add((regions.len() - keep.len()) as u64);
     AssignmentVector::from_regions(keep, regions.len())
 }
 
@@ -145,9 +142,10 @@ pub fn bundle_clients(workload: &TopicWorkload, options: &BundleOptions) -> Topi
     // Publishers: merge batches within a cluster.
     let mut pub_reps: Vec<crate::workload::Publisher> = Vec::new();
     for publisher in workload.publishers() {
-        match pub_reps.iter_mut().find(|rep| {
-            within_epsilon(rep.latencies(), publisher.latencies(), options.epsilon_ms)
-        }) {
+        match pub_reps
+            .iter_mut()
+            .find(|rep| within_epsilon(rep.latencies(), publisher.latencies(), options.epsilon_ms))
+        {
             Some(rep) => {
                 let mut merged = rep.batch();
                 merged.merge(publisher.batch());
@@ -199,8 +197,7 @@ mod tests {
             )
             .unwrap();
         }
-        w.add_subscriber(Subscriber::new(ClientId(5), vec![55.0, 4.0, 70.0]).unwrap())
-            .unwrap();
+        w.add_subscriber(Subscriber::new(ClientId(5), vec![55.0, 4.0, 70.0]).unwrap()).unwrap();
         w
     }
 

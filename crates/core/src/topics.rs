@@ -70,8 +70,7 @@ impl AssignmentMatrix {
         topic: TopicId,
         configuration: Configuration,
     ) -> Result<Option<Configuration>, Error> {
-        let valid =
-            if self.n_regions >= 32 { u32::MAX } else { (1u32 << self.n_regions) - 1 };
+        let valid = if self.n_regions >= 32 { u32::MAX } else { (1u32 << self.n_regions) - 1 };
         if configuration.assignment().mask() & !valid != 0 {
             return Err(Error::InvalidAssignment {
                 mask: configuration.assignment().mask(),
@@ -99,11 +98,7 @@ impl AssignmentMatrix {
     /// The topics currently served by `region` — the column view that a
     /// region manager needs.
     pub fn topics_served_by(&self, region: RegionId) -> Vec<&TopicId> {
-        self.rows
-            .iter()
-            .filter(|(_, c)| c.assignment().contains(region))
-            .map(|(t, _)| t)
-            .collect()
+        self.rows.iter().filter(|(_, c)| c.assignment().contains(region)).map(|(t, _)| t).collect()
     }
 }
 
@@ -144,16 +139,10 @@ impl ReconfigurationPlan {
             }
         }
 
-        let added_regions = new
-            .assignment()
-            .iter()
-            .filter(|r| !old.assignment().contains(*r))
-            .collect();
-        let removed_regions = old
-            .assignment()
-            .iter()
-            .filter(|r| !new.assignment().contains(*r))
-            .collect();
+        let added_regions =
+            new.assignment().iter().filter(|r| !old.assignment().contains(*r)).collect();
+        let removed_regions =
+            old.assignment().iter().filter(|r| !new.assignment().contains(*r)).collect();
 
         ReconfigurationPlan {
             subscriber_moves,
@@ -184,9 +173,7 @@ impl ReconfigurationPlan {
 fn publish_targets(latencies: &[f64], configuration: Configuration) -> u32 {
     match configuration.mode() {
         DeliveryMode::Direct => configuration.assignment().mask(),
-        DeliveryMode::Routed => {
-            1u32 << closest_region(latencies, configuration.assignment()).0
-        }
+        DeliveryMode::Routed => 1u32 << closest_region(latencies, configuration.assignment()).0,
     }
 }
 

@@ -334,20 +334,14 @@ mod tests {
 
     #[test]
     fn subscriber_rejects_zero_weight() {
-        assert_eq!(
-            Subscriber::with_weight(ClientId(0), vec![1.0], 0),
-            Err(Error::ZeroWeight)
-        );
+        assert_eq!(Subscriber::with_weight(ClientId(0), vec![1.0], 0), Err(Error::ZeroWeight));
     }
 
     #[test]
     fn workload_rejects_wrong_width() {
         let mut w = TopicWorkload::new(3);
         let p = Publisher::new(ClientId(0), vec![1.0, 2.0], MessageBatch::empty()).unwrap();
-        assert_eq!(
-            w.add_publisher(p),
-            Err(Error::LatencyDimension { expected: 3, got: 2 })
-        );
+        assert_eq!(w.add_publisher(p), Err(Error::LatencyDimension { expected: 3, got: 2 }));
     }
 
     #[test]
@@ -372,10 +366,7 @@ mod tests {
             Publisher::new(ClientId(1), vec![1.0, 2.0], MessageBatch::uniform(6, 100)).unwrap(),
         )
         .unwrap();
-        w.add_subscriber(
-            Subscriber::with_weight(ClientId(2), vec![1.0, 2.0], 3).unwrap(),
-        )
-        .unwrap();
+        w.add_subscriber(Subscriber::with_weight(ClientId(2), vec![1.0, 2.0], 3).unwrap()).unwrap();
         w.add_subscriber(Subscriber::new(ClientId(3), vec![1.0, 2.0]).unwrap()).unwrap();
         assert_eq!(w.total_messages(), 10);
         assert_eq!(w.subscriber_weight(), 4);

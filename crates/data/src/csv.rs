@@ -92,8 +92,7 @@ pub fn parse_region_set(text: &str) -> Result<RegionSet, CsvError> {
             return Err(CsvError::FieldCount { line, expected: 4, got: fields.len() });
         }
         let parse = |text: &str| -> Result<f64, CsvError> {
-            text.parse::<f64>()
-                .map_err(|_| CsvError::Number { line, text: text.to_string() })
+            text.parse::<f64>().map_err(|_| CsvError::Number { line, text: text.to_string() })
         };
         regions.push(Region::new(fields[0], fields[1], parse(fields[2])?, parse(fields[3])?));
     }

@@ -173,7 +173,10 @@ mod tests {
         for i in 0..10u8 {
             assert_eq!(m.latency(RegionId(i), RegionId(i)), 0.0);
             for j in 0..10u8 {
-                assert_eq!(m.latency(RegionId(i), RegionId(j)), m.latency(RegionId(j), RegionId(i)));
+                assert_eq!(
+                    m.latency(RegionId(i), RegionId(j)),
+                    m.latency(RegionId(j), RegionId(i))
+                );
             }
         }
     }

@@ -160,11 +160,8 @@ impl<'a> ClientLatencyModel<'a> {
             .map(|r| {
                 let backbone =
                     self.remote_path_inflation * self.inter.latency(home, RegionId(r as u8));
-                let jitter = if self.jitter_ms > 0.0 {
-                    rng.random_range(0.0..self.jitter_ms)
-                } else {
-                    0.0
-                };
+                let jitter =
+                    if self.jitter_ms > 0.0 { rng.random_range(0.0..self.jitter_ms) } else { 0.0 };
                 last_mile + backbone + jitter
             })
             .collect()
@@ -277,8 +274,7 @@ mod tests {
         assert!((row[ec2::regions::US_EAST_1.index()] - 10.0).abs() < 1e-9);
         assert!(
             (row[ec2::regions::EU_WEST_1.index()]
-                - (10.0
-                    + inter.latency(ec2::regions::US_EAST_1, ec2::regions::EU_WEST_1)))
+                - (10.0 + inter.latency(ec2::regions::US_EAST_1, ec2::regions::EU_WEST_1)))
             .abs()
                 < 1e-9
         );
@@ -290,8 +286,7 @@ mod tests {
         let model = ClientLatencyModel::with_parameters(&inter, 10.0, 0.0, 0.0);
         let mut rng = StdRng::seed_from_u64(0);
         let row = model.sample(ec2::regions::AP_NORTHEAST_1, &mut rng);
-        let backbone =
-            inter.latency(ec2::regions::AP_NORTHEAST_1, ec2::regions::US_EAST_1);
+        let backbone = inter.latency(ec2::regions::AP_NORTHEAST_1, ec2::regions::US_EAST_1);
         let remote = row[ec2::regions::US_EAST_1.index()] - 10.0;
         // Default 1.3× inflation: the client's own cross-ocean path is
         // slower than the inter-cloud link — the reason routed delivery

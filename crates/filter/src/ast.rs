@@ -199,11 +199,8 @@ mod tests {
 
     #[test]
     fn display_roundtrips_through_parse() {
-        let texts = [
-            r#"(symbol =^ "AA" && (price < 50 || price > 100))"#,
-            "!exists(volume)",
-            "price >= 3",
-        ];
+        let texts =
+            [r#"(symbol =^ "AA" && (price < 50 || price > 100))"#, "!exists(volume)", "price >= 3"];
         for text in texts {
             let p = Predicate::parse(text).unwrap();
             let reparsed = Predicate::parse(&p.to_string()).unwrap();

@@ -123,9 +123,7 @@ impl<'a> Parser<'a> {
 
     fn peek_op(&mut self) -> bool {
         self.skip_ws();
-        ["==", "!=", "<=", ">=", "=^", "<", ">"]
-            .iter()
-            .any(|op| self.rest().starts_with(op))
+        ["==", "!=", "<=", ">=", "=^", "<", ">"].iter().any(|op| self.rest().starts_with(op))
     }
 
     fn identifier(&mut self) -> Result<String, ParseError> {
@@ -230,9 +228,7 @@ impl<'a> Parser<'a> {
                 '\\' => match chars.next() {
                     Some((_, escaped @ ('"' | '\\'))) => out.push(escaped),
                     Some((_, 'n')) => out.push('\n'),
-                    Some((_, other)) => {
-                        return Err(self.error(format!("unknown escape \\{other}")))
-                    }
+                    Some((_, other)) => return Err(self.error(format!("unknown escape \\{other}"))),
                     None => return Err(self.error("unterminated escape")),
                 },
                 other => out.push(other),

@@ -6,8 +6,7 @@ use multipub_filter::{CompareOp, Headers, Predicate, Value};
 use proptest::prelude::*;
 
 fn arb_field() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_./-]{0,8}"
-        .prop_filter("reserved words", |s| s != "true" && s != "exists")
+    "[a-z][a-z0-9_./-]{0,8}".prop_filter("reserved words", |s| s != "true" && s != "exists")
 }
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -32,12 +31,13 @@ fn arb_op() -> impl Strategy<Value = CompareOp> {
 }
 
 fn arb_predicate() -> impl Strategy<Value = Predicate> {
-    let leaf = prop_oneof![
-        Just(Predicate::True),
-        arb_field().prop_map(Predicate::Exists),
-        (arb_field(), arb_op(), arb_value())
-            .prop_map(|(field, op, value)| Predicate::Compare { field, op, value }),
-    ];
+    let leaf =
+        prop_oneof![
+            Just(Predicate::True),
+            arb_field().prop_map(Predicate::Exists),
+            (arb_field(), arb_op(), arb_value())
+                .prop_map(|(field, op, value)| Predicate::Compare { field, op, value }),
+        ];
     leaf.prop_recursive(4, 32, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone())

@@ -31,8 +31,14 @@ enum Event {
     /// Installs a new configuration for a topic — the simulated
     /// counterpart of a controller `ConfigUpdate` reaching every broker
     /// and client at once.
-    Reconfigure { topic: usize, configuration: multipub_core::assignment::Configuration },
-    Publish { topic: usize, publisher: usize },
+    Reconfigure {
+        topic: usize,
+        configuration: multipub_core::assignment::Configuration,
+    },
+    Publish {
+        topic: usize,
+        publisher: usize,
+    },
     RegionReceive {
         topic: usize,
         region: RegionId,
@@ -42,7 +48,12 @@ enum Event {
         /// direct fan-out) and must not be forwarded again.
         deliver_only: bool,
     },
-    Deliver { topic: usize, subscriber: usize, publisher: usize, published_at: SimTime },
+    Deliver {
+        topic: usize,
+        subscriber: usize,
+        publisher: usize,
+        published_at: SimTime,
+    },
 }
 
 /// Per-topic routing tables precomputed from the topic's configuration.
@@ -76,20 +87,14 @@ impl TopicRouting {
         let assignment = configuration.assignment();
         let n_regions = scenario.regions().len();
         let serving: Vec<RegionId> = assignment.iter().collect();
-        let subscriber_region: Vec<RegionId> = topic
-            .subscribers()
-            .iter()
-            .map(|s| closest_region(s.latencies(), assignment))
-            .collect();
+        let subscriber_region: Vec<RegionId> =
+            topic.subscribers().iter().map(|s| closest_region(s.latencies(), assignment)).collect();
         let mut local_subscribers = vec![Vec::new(); n_regions];
         for (index, region) in subscriber_region.iter().enumerate() {
             local_subscribers[region.index()].push(index);
         }
-        let publisher_home = topic
-            .publishers()
-            .iter()
-            .map(|p| closest_region(p.latencies(), assignment))
-            .collect();
+        let publisher_home =
+            topic.publishers().iter().map(|p| closest_region(p.latencies(), assignment)).collect();
         TopicRouting {
             serving,
             subscriber_region,
@@ -175,6 +180,7 @@ impl Engine {
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {
+        multipub_obs::counter!("multipub_netsim_events_total").inc();
         match event {
             Event::Reconfigure { topic, configuration } => {
                 self.scenario.topics_mut()[topic].set_configuration(configuration);
@@ -193,6 +199,7 @@ impl Engine {
                     published_at,
                     delivered_at: now,
                 };
+                multipub_obs::histogram!("multipub_netsim_delivery_ms").record(record.latency_ms());
                 self.deliveries.push(record);
             }
         }
@@ -256,8 +263,7 @@ impl Engine {
             let peers: Vec<RegionId> =
                 self.routing[topic].serving.iter().copied().filter(|&r| r != region).collect();
             for peer in peers {
-                let hop =
-                    self.scenario.inter().latency(region, peer) + self.jitter.sample();
+                let hop = self.scenario.inter().latency(region, peer) + self.jitter.sample();
                 self.ledger.record_inter_region(region, size);
                 self.queue.schedule(
                     now + hop,
@@ -304,8 +310,7 @@ mod tests {
             Region::new("b", "B", 0.09, 0.14),
         ])
         .unwrap();
-        let inter =
-            InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
         let topic = TopicScenario::new(
             TopicId::new("t"),
             Configuration::new(AssignmentVector::all(2).unwrap(), mode),
@@ -377,12 +382,8 @@ mod tests {
     fn jitter_only_adds_latency() {
         let base = Engine::new(two_region_scenario(DeliveryMode::Routed), Jitter::disabled(), 7)
             .run(1000.0);
-        let noisy = Engine::new(
-            two_region_scenario(DeliveryMode::Routed),
-            Jitter::uniform(5.0),
-            7,
-        )
-        .run(1000.0);
+        let noisy = Engine::new(two_region_scenario(DeliveryMode::Routed), Jitter::uniform(5.0), 7)
+            .run(1000.0);
         assert_eq!(base.delivery_count(), noisy.delivery_count());
         // Jitter is non-negative, so every percentile can only grow.
         for ratio in [10.0, 50.0, 95.0] {
@@ -403,8 +404,8 @@ mod tests {
 
     #[test]
     fn zero_duration_produces_nothing() {
-        let report = Engine::new(two_region_scenario(DeliveryMode::Direct), Jitter::disabled(), 0)
-            .run(0.0);
+        let report =
+            Engine::new(two_region_scenario(DeliveryMode::Direct), Jitter::disabled(), 0).run(0.0);
         assert_eq!(report.published_count(), 0);
         assert_eq!(report.delivery_count(), 0);
     }
@@ -416,8 +417,7 @@ mod tests {
             Region::new("b", "B", 0.09, 0.14),
         ])
         .unwrap();
-        let inter =
-            InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
         let topic = TopicScenario::new(
             TopicId::new("t"),
             Configuration::new(
@@ -443,8 +443,7 @@ mod tests {
             Region::new("b", "B", 0.09, 0.14),
         ])
         .unwrap();
-        let inter =
-            InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
         let topic = TopicScenario::new(
             TopicId::new("t"),
             Configuration::new(
@@ -502,8 +501,7 @@ mod tests {
             Region::new("b", "B", 0.09, 0.14),
         ])
         .unwrap();
-        let inter =
-            InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
         let make_topic = |name: &str, region: u8| {
             TopicScenario::new(
                 TopicId::new(name),

@@ -38,10 +38,7 @@ pub struct TrafficLedger {
 impl TrafficLedger {
     /// An empty ledger over `n_regions` regions.
     pub fn new(n_regions: usize) -> Self {
-        TrafficLedger {
-            internet_bytes: vec![0; n_regions],
-            inter_region_bytes: vec![0; n_regions],
-        }
+        TrafficLedger { internet_bytes: vec![0; n_regions], inter_region_bytes: vec![0; n_regions] }
     }
 
     /// Records `bytes` sent from `region` to an Internet client.
@@ -160,20 +157,14 @@ impl SimReport {
         if self.deliveries.is_empty() {
             return 1.0;
         }
-        let within =
-            self.deliveries.iter().filter(|d| d.latency_ms() <= bound_ms).count();
+        let within = self.deliveries.iter().filter(|d| d.latency_ms() <= bound_ms).count();
         within as f64 / self.deliveries.len() as f64
     }
 }
 
 fn percentile_of(latencies: impl Iterator<Item = f64>, ratio_percent: f64) -> f64 {
     let mut values: Vec<f64> = latencies.collect();
-    if values.is_empty() {
-        return 0.0;
-    }
-    values.sort_unstable_by(f64::total_cmp);
-    let rank = (ratio_percent / 100.0 * values.len() as f64).ceil() as usize;
-    values[rank.clamp(1, values.len()) - 1]
+    multipub_obs::quantile::percentile_exact(&mut values, ratio_percent)
 }
 
 #[cfg(test)]
@@ -237,8 +228,7 @@ mod tests {
 
     #[test]
     fn cost_extrapolation() {
-        let regions =
-            RegionSet::new(vec![Region::new("a", "A", 0.02, 0.09)]).unwrap();
+        let regions = RegionSet::new(vec![Region::new("a", "A", 0.02, 0.09)]).unwrap();
         let mut ledger = TrafficLedger::new(1);
         ledger.record_internet(RegionId(0), 1_000_000_000);
         let report = SimReport::new(vec![], ledger, 0, 60_000.0);
@@ -251,8 +241,7 @@ mod tests {
         let report = SimReport::new(vec![], TrafficLedger::new(1), 0, 0.0);
         assert_eq!(report.percentile_ms(95.0), 0.0);
         assert_eq!(report.fraction_within(1.0), 1.0);
-        let regions =
-            RegionSet::new(vec![Region::new("a", "A", 0.02, 0.09)]).unwrap();
+        let regions = RegionSet::new(vec![Region::new("a", "A", 0.02, 0.09)]).unwrap();
         assert_eq!(report.cost_dollars_per(&regions, 1000.0), 0.0);
     }
 }

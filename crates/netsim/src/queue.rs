@@ -29,10 +29,7 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .at
-            .total_cmp(self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.total_cmp(self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

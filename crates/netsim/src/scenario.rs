@@ -234,11 +234,7 @@ impl Scenario {
     /// count, or any client latency row has the wrong width or invalid
     /// entries — scenario construction bugs, not runtime conditions.
     pub fn new(regions: RegionSet, inter: InterRegionMatrix, topics: Vec<TopicScenario>) -> Self {
-        assert_eq!(
-            regions.len(),
-            inter.len(),
-            "inter-region matrix must cover every region"
-        );
+        assert_eq!(regions.len(), inter.len(), "inter-region matrix must cover every region");
         for topic in &topics {
             for publisher in topic.publishers() {
                 assert_eq!(
@@ -289,11 +285,8 @@ mod tests {
     use multipub_core::region::Region;
 
     fn regions2() -> RegionSet {
-        RegionSet::new(vec![
-            Region::new("a", "A", 0.02, 0.09),
-            Region::new("b", "B", 0.09, 0.14),
-        ])
-        .unwrap()
+        RegionSet::new(vec![Region::new("a", "A", 0.02, 0.09), Region::new("b", "B", 0.09, 0.14)])
+            .unwrap()
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Observability layer for the MultiPub workspace: metrics, latency
+//! histograms and structured logging, with **zero external
+//! dependencies** (std only).
+//!
+//! MultiPub's controller re-optimizes topics continuously from live
+//! measurements (§III.A4–A5 of the paper); the percentile constraint
+//! `<ratio_T, max_T>` makes tail latency a first-class signal. This
+//! crate is the measurement substrate for that: every crate in the
+//! workspace records into one global, lock-free registry, and the
+//! binaries expose it as Prometheus text or a JSON snapshot.
+//!
+//! # Metrics
+//!
+//! Metrics are named `multipub_<crate>_<name>` and are registered on
+//! first use. The hot path is a single relaxed atomic operation; the
+//! [`counter!`], [`gauge!`] and [`histogram!`] macros cache the
+//! registry lookup in a per-call-site static:
+//!
+//! ```
+//! multipub_obs::counter!("multipub_example_requests_total").inc();
+//! multipub_obs::histogram!("multipub_example_latency_ms").record(1.25);
+//! let _timer = multipub_obs::timer!("multipub_example_solve_ms");
+//! // ... timed section; the elapsed milliseconds are recorded on drop.
+//! ```
+//!
+//! # Logging
+//!
+//! [`event!`] emits leveled, structured key=value lines to stderr,
+//! filtered by the `MULTIPUB_LOG` environment variable (e.g.
+//! `MULTIPUB_LOG=info`, `MULTIPUB_LOG=broker=debug,warn`):
+//!
+//! ```
+//! multipub_obs::event!(Info, "example", msg = "client connected", client_id = 7);
+//! ```
+//!
+//! # Exposition
+//!
+//! [`Registry::render_prometheus`] produces the Prometheus text format
+//! (histograms include cumulative `_bucket` series plus
+//! p50/p90/p99/p999 quantile lines); [`Registry::render_json`]
+//! produces a JSON snapshot suitable for in-band transport (the
+//! broker's `StatsSnapshot` frame).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod histogram;
+pub mod log;
+pub mod quantile;
+pub mod registry;
+
+pub use histogram::{Histogram, HistogramSnapshot, HistogramTimer};
+pub use log::{Level, LogFilter};
+pub use registry::{registry, Counter, Gauge, Registry, RegistrySnapshot};
+
+/// Returns a `&'static` handle to a named counter on the global
+/// registry, caching the lookup in a per-call-site static.
+///
+/// ```
+/// multipub_obs::counter!("multipub_example_frames_total").add(3);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Returns a `&'static` handle to a named gauge on the global
+/// registry, caching the lookup in a per-call-site static.
+///
+/// ```
+/// multipub_obs::gauge!("multipub_example_connections").add(1);
+/// multipub_obs::gauge!("multipub_example_connections").sub(1);
+/// ```
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// Returns a `&'static` handle to a named histogram on the global
+/// registry, caching the lookup in a per-call-site static.
+///
+/// ```
+/// multipub_obs::histogram!("multipub_example_delivery_ms").record(42.0);
+/// ```
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// Starts an RAII scoped timer against a named histogram on the global
+/// registry; the elapsed wall-time in milliseconds is recorded when the
+/// returned guard drops.
+///
+/// ```
+/// {
+///     let _timer = multipub_obs::timer!("multipub_example_round_ms");
+///     // ... timed work ...
+/// } // recorded here
+/// ```
+#[macro_export]
+macro_rules! timer {
+    ($name:expr) => {
+        $crate::HistogramTimer::new(::std::sync::Arc::clone($crate::histogram!($name)))
+    };
+}
+
+/// Emits a leveled, structured log event to stderr if `MULTIPUB_LOG`
+/// enables `$level` for `$target`.
+///
+/// The first argument is a [`Level`] variant name (`Error`, `Warn`,
+/// `Info`, `Debug`, `Trace`), the second the target string (by
+/// convention the crate or subsystem name), followed by `key = value`
+/// fields rendered with [`std::fmt::Display`]:
+///
+/// ```
+/// multipub_obs::event!(Warn, "broker", msg = "peer unreachable", region = 3);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($level:ident, $target:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let level = $crate::Level::$level;
+        if $crate::log::log_enabled(level, $target) {
+            $crate::log::log_emit(level, $target, &[
+                $( (stringify!($key), ::std::string::ToString::to_string(&$value)) ),*
+            ]);
+        }
+    }};
+}

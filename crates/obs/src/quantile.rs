@@ -1,0 +1,76 @@
+//! Ceiling-rank percentile math, shared between the simulator's exact
+//! reports and the histogram's bucketed quantiles.
+//!
+//! The paper's Eq. 5 defines the delivery percentile as the value at
+//! the **ceiling rank**: for a population of `n` samples and a ratio
+//! `r` percent, the rank is `ceil(r/100 × n)`, clamped to `[1, n]`.
+//! Both [`percentile_exact`] (over raw samples) and
+//! [`crate::HistogramSnapshot::quantile`] (over bucket counts) use the
+//! same [`ceiling_rank`] so the sim and live paths agree on percentile
+//! semantics.
+
+/// The 1-based ceiling rank of the `ratio_percent`-th percentile in a
+/// population of `count` samples (Eq. 5). Returns 0 when `count` is 0.
+///
+/// Out-of-range or non-finite ratios are clamped: anything at or below
+/// zero ranks first, anything at or above 100 ranks last.
+pub fn ceiling_rank(ratio_percent: f64, count: u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (ratio_percent / 100.0 * count as f64).ceil();
+    // `as u64` saturates: negatives and NaN become 0, huge values u64::MAX.
+    (rank as u64).clamp(1, count)
+}
+
+/// Exact ceiling-rank percentile over raw samples; sorts `values` in
+/// place (total order, so NaN samples sort last). Returns 0.0 for an
+/// empty slice.
+pub fn percentile_exact(values: &mut [f64], ratio_percent: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_unstable_by(f64::total_cmp);
+    let rank = ceiling_rank(ratio_percent, values.len() as u64) as usize;
+    values[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_rank_matches_eq5() {
+        // ceil(0.75 × 4) = 3.
+        assert_eq!(ceiling_rank(75.0, 4), 3);
+        assert_eq!(ceiling_rank(100.0, 4), 4);
+        assert_eq!(ceiling_rank(1.0, 4), 1);
+        // Clamping.
+        assert_eq!(ceiling_rank(0.0, 4), 1);
+        assert_eq!(ceiling_rank(-5.0, 4), 1);
+        assert_eq!(ceiling_rank(250.0, 4), 4);
+        assert_eq!(ceiling_rank(f64::NAN, 4), 1);
+        assert_eq!(ceiling_rank(95.0, 0), 0);
+    }
+
+    #[test]
+    fn percentile_exact_matches_sim_report_pins() {
+        // The same cases `SimReport::percentile_ms` pins in netsim.
+        let mut values = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_exact(&mut values, 75.0), 30.0);
+        assert_eq!(percentile_exact(&mut values, 100.0), 40.0);
+        assert_eq!(percentile_exact(&mut values, 1.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_exact_sorts_unsorted_input() {
+        let mut values = [40.0, 10.0, 30.0, 20.0];
+        assert_eq!(percentile_exact(&mut values, 50.0), 20.0);
+        assert_eq!(values, [10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn percentile_exact_empty_is_zero() {
+        assert_eq!(percentile_exact(&mut [], 95.0), 0.0);
+    }
+}

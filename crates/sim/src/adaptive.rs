@@ -139,6 +139,8 @@ impl AdaptiveLoop {
         population: &Population,
         configuration: Configuration,
     ) -> IntervalOutcome {
+        multipub_obs::counter!("multipub_sim_adaptive_intervals_total").inc();
+        let _interval_timer = multipub_obs::timer!("multipub_sim_adaptive_interval_ms");
         let duration_ms = self.interval_secs * 1000.0;
         let topic = population.scenario_topic(
             TopicId::new("adaptive"),
@@ -146,8 +148,8 @@ impl AdaptiveLoop {
             self.seed + interval as u64,
         );
         let scenario = Scenario::new(self.regions.clone(), self.inter.clone(), vec![topic]);
-        let report = Engine::new(scenario, self.jitter, self.seed + interval as u64)
-            .run(duration_ms);
+        let report =
+            Engine::new(scenario, self.jitter, self.seed + interval as u64).run(duration_ms);
         let measured_percentile_ms = report.percentile_ms(self.constraint.ratio_percent());
         let measured_cost_dollars = report.cost_dollars(&self.regions);
 
@@ -157,6 +159,9 @@ impl AdaptiveLoop {
             .expect("populations are non-empty")
             .solve(&self.constraint)
             .configuration();
+        if next_configuration != configuration {
+            multipub_obs::counter!("multipub_sim_reconfigurations_total").inc();
+        }
 
         IntervalOutcome {
             interval,
@@ -198,10 +203,7 @@ mod tests {
     #[test]
     fn converges_and_stays_stable_under_static_population() {
         let control = loop_over_ec2(250.0);
-        let phase = Phase {
-            population: population(&[(0, 2)], &[(0, 3), (4, 2)], 7),
-            intervals: 4,
-        };
+        let phase = Phase { population: population(&[(0, 2)], &[(0, 3), (4, 2)], 7), intervals: 4 };
         let outcomes = control.run(&[phase]);
         assert_eq!(outcomes.len(), 4);
         // After the first optimization the configuration must be stable.
@@ -221,14 +223,9 @@ mod tests {
         // 10 subs appear in Europe, EU↔EU messages would cross the
         // Atlantic twice, and the controller adds a European region.
         let control = loop_over_ec2(140.0);
-        let na_only = Phase {
-            population: population(&[(0, 3)], &[(0, 3)], 1),
-            intervals: 2,
-        };
-        let na_and_eu = Phase {
-            population: population(&[(0, 3), (4, 3)], &[(0, 3), (4, 3)], 2),
-            intervals: 2,
-        };
+        let na_only = Phase { population: population(&[(0, 3)], &[(0, 3)], 1), intervals: 2 };
+        let na_and_eu =
+            Phase { population: population(&[(0, 3), (4, 3)], &[(0, 3), (4, 3)], 2), intervals: 2 };
         let outcomes = control.run(&[na_only, na_and_eu]);
 
         // Settled NA-only configuration is a single US/EU-priced region.
@@ -251,10 +248,8 @@ mod tests {
     #[test]
     fn bootstrap_interval_runs_under_all_regions_routed() {
         let control = loop_over_ec2(200.0);
-        let outcomes = control.run(&[Phase {
-            population: population(&[(0, 1)], &[(9, 1)], 3),
-            intervals: 1,
-        }]);
+        let outcomes =
+            control.run(&[Phase { population: population(&[(0, 1)], &[(9, 1)], 3), intervals: 1 }]);
         assert_eq!(outcomes[0].configuration.region_count(), 10);
         assert_eq!(
             outcomes[0].configuration.mode(),

@@ -125,10 +125,7 @@ impl Exp2Result {
     /// Minimum achievable delivery time of a variant over the sweep
     /// (the paper reports 110 ms for MultiPub-D and 94 ms for MultiPub-R).
     pub fn min_delivery_ms(&self, select: impl Fn(&Exp2Row) -> VariantPoint) -> f64 {
-        self.rows
-            .iter()
-            .map(|r| select(r).delivery_ms)
-            .fold(f64::INFINITY, f64::min)
+        self.rows.iter().map(|r| select(r).delivery_ms).fold(f64::INFINITY, f64::min)
     }
 }
 

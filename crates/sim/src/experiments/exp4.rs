@@ -94,9 +94,7 @@ fn time_solve(
     let (regions, inter) = ec2::restricted_deployment(n_regions);
     // Spread clients as evenly as possible over the available regions.
     let spread = |total: usize| -> Vec<usize> {
-        (0..n_regions)
-            .map(|i| total / n_regions + usize::from(i < total % n_regions))
-            .collect()
+        (0..n_regions).map(|i| total / n_regions + usize::from(i < total % n_regions)).collect()
     };
     let spec = PopulationSpec {
         pubs_per_region: spread(pubs_total),
@@ -106,8 +104,7 @@ fn time_solve(
     };
     let population = Population::generate(&spec, &inter, params.seed);
     let workload = population.workload(params.interval_secs);
-    let constraint =
-        DeliveryConstraint::new(params.ratio_percent, params.max_t_ms).expect("valid");
+    let constraint = DeliveryConstraint::new(params.ratio_percent, params.max_t_ms).expect("valid");
     let optimizer =
         Optimizer::new(&regions, &inter, &workload).expect("experiment-4 workload is non-empty");
     let start = Instant::now();
@@ -123,12 +120,14 @@ fn time_solve(
 
 /// Figure 6a: publishers = subscribers from `start` to `end` in steps of
 /// `step`, over the full 10-region deployment.
-pub fn run_scaling_clients(params: &Exp4Params, start: usize, end: usize, step: usize) -> Exp4Result {
+pub fn run_scaling_clients(
+    params: &Exp4Params,
+    start: usize,
+    end: usize,
+    step: usize,
+) -> Exp4Result {
     assert!(step > 0 && end >= start);
-    let rows = (start..=end)
-        .step_by(step)
-        .map(|n| time_solve(10, n, n, params))
-        .collect();
+    let rows = (start..=end).step_by(step).map(|n| time_solve(10, n, n, params)).collect();
     Exp4Result { rows }
 }
 
@@ -141,19 +140,15 @@ pub fn run_scaling_regions(
     end_regions: usize,
 ) -> Exp4Result {
     assert!((1..=10).contains(&start_regions) && (start_regions..=10).contains(&end_regions));
-    let rows = (start_regions..=end_regions)
-        .map(|n| time_solve(n, clients, clients, params))
-        .collect();
+    let rows =
+        (start_regions..=end_regions).map(|n| time_solve(n, clients, clients, params)).collect();
     Exp4Result { rows }
 }
 
 /// The paper's asymmetric scale checks: `pubs × subs` pairs such as
 /// `(10, 1000)` and `(1000, 10)`.
 pub fn run_asymmetric(params: &Exp4Params, settings: &[(usize, usize)]) -> Exp4Result {
-    let rows = settings
-        .iter()
-        .map(|&(pubs, subs)| time_solve(10, pubs, subs, params))
-        .collect();
+    let rows = settings.iter().map(|&(pubs, subs)| time_solve(10, pubs, subs, params)).collect();
     Exp4Result { rows }
 }
 

@@ -37,7 +37,13 @@ impl PopulationSpec {
     /// A spec with `pubs` publishers and `subs` subscribers homed at every
     /// one of `n_regions` regions (the paper's experiment-1 layout with
     /// `pubs = subs = 10`).
-    pub fn uniform(n_regions: usize, pubs: usize, subs: usize, rate_per_sec: f64, size_bytes: u64) -> Self {
+    pub fn uniform(
+        n_regions: usize,
+        pubs: usize,
+        subs: usize,
+        rate_per_sec: f64,
+        size_bytes: u64,
+    ) -> Self {
         PopulationSpec {
             pubs_per_region: vec![pubs; n_regions],
             subs_per_region: vec![subs; n_regions],
@@ -94,8 +100,7 @@ impl Population {
     /// inter-region matrix.
     pub fn generate(spec: &PopulationSpec, inter: &InterRegionMatrix, seed: u64) -> Self {
         assert!(
-            spec.pubs_per_region.len() <= inter.len()
-                && spec.subs_per_region.len() <= inter.len(),
+            spec.pubs_per_region.len() <= inter.len() && spec.subs_per_region.len() <= inter.len(),
             "population spec covers more regions than the deployment has"
         );
         let model = ClientLatencyModel::new(inter);
@@ -109,15 +114,13 @@ impl Population {
         let mut publishers = Vec::with_capacity(spec.publisher_count());
         for (region, &count) in spec.pubs_per_region.iter().enumerate() {
             for _ in 0..count {
-                publishers
-                    .push((claim_id(), model.sample(RegionId(region as u8), &mut rng)));
+                publishers.push((claim_id(), model.sample(RegionId(region as u8), &mut rng)));
             }
         }
         let mut subscribers = Vec::with_capacity(spec.subscriber_count());
         for (region, &count) in spec.subs_per_region.iter().enumerate() {
             for _ in 0..count {
-                subscribers
-                    .push((claim_id(), model.sample(RegionId(region as u8), &mut rng)));
+                subscribers.push((claim_id(), model.sample(RegionId(region as u8), &mut rng)));
             }
         }
         Population {
@@ -160,8 +163,7 @@ impl Population {
         for (id, latencies) in &self.subscribers {
             workload
                 .add_subscriber(
-                    Subscriber::new(*id, latencies.clone())
-                        .expect("generated latencies are valid"),
+                    Subscriber::new(*id, latencies.clone()).expect("generated latencies are valid"),
                 )
                 .expect("ids are unique by construction");
         }
@@ -216,8 +218,7 @@ mod tests {
 
     #[test]
     fn localized_spec_places_everyone_at_home() {
-        let spec =
-            PopulationSpec::localized(10, ec2::regions::AP_NORTHEAST_1, 100, 100, 1.0, 1024);
+        let spec = PopulationSpec::localized(10, ec2::regions::AP_NORTHEAST_1, 100, 100, 1.0, 1024);
         assert_eq!(spec.publisher_count(), 100);
         assert_eq!(spec.pubs_per_region[5], 100);
         assert_eq!(spec.pubs_per_region[0], 0);
@@ -259,8 +260,7 @@ mod tests {
         let inter = ec2::inter_region_latencies();
         let spec = PopulationSpec::uniform(10, 1, 2, 4.0, 128);
         let population = Population::generate(&spec, &inter, 1);
-        let config =
-            Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Routed);
+        let config = Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Routed);
         let topic = population.scenario_topic(TopicId::new("t"), config, 7);
         assert_eq!(topic.publishers().len(), 10);
         assert_eq!(topic.subscribers().len(), 20);

@@ -98,6 +98,8 @@ pub fn parse_spec(json: &str) -> Result<SimulationSpec, String> {
 ///
 /// Returns a model error when a topic has no publishers or subscribers.
 pub fn run_spec(spec: &SimulationSpec) -> Result<SimulationOutcome, Error> {
+    let _spec_timer = multipub_obs::timer!("multipub_sim_spec_ms");
+    multipub_obs::counter!("multipub_sim_topics_solved_total").add(spec.topics.len() as u64);
     let regions = ec2::region_set();
     let inter = ec2::inter_region_latencies();
     let mut problems = Vec::with_capacity(spec.topics.len());
@@ -111,12 +113,7 @@ pub fn run_spec(spec: &SimulationSpec) -> Result<SimulationOutcome, Error> {
     }
     let solutions = solve_topics(&regions, &inter, &problems)?;
     Ok(SimulationOutcome {
-        solutions: spec
-            .topics
-            .iter()
-            .map(|t| t.name.clone())
-            .zip(solutions)
-            .collect(),
+        solutions: spec.topics.iter().map(|t| t.name.clone()).zip(solutions).collect(),
         horizon: CostHorizon::per_day(spec.interval_secs),
     })
 }

@@ -80,8 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Settled NA-only configuration:  {settled_na}");
     println!("Configuration after EU joins:   {reacted}");
     let regions = ec2::region_set();
-    let names: Vec<&str> =
-        reacted.assignment().iter().map(|r| regions.region(r).name()).collect();
+    let names: Vec<&str> = reacted.assignment().iter().map(|r| regions.region(r).name()).collect();
     println!("Serving regions now: {names:?}");
     Ok(())
 }

@@ -72,11 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .zip(&solutions)
         .enumerate()
         .map(|(i, ((name, population, _, _), solution))| {
-            population.scenario_topic(
-                TopicId::new(*name),
-                solution.configuration(),
-                100 + i as u64,
-            )
+            population.scenario_topic(TopicId::new(*name), solution.configuration(), 100 + i as u64)
         })
         .collect();
     let scenario = Scenario::new(regions.clone(), inter.clone(), topics);
@@ -106,10 +102,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?)?;
     }
     for subscriber in problems[1].workload.subscribers() {
-        degraded.add_subscriber(Subscriber::new(
-            subscriber.id(),
-            subscriber.latencies().to_vec(),
-        )?)?;
+        degraded
+            .add_subscriber(Subscriber::new(subscriber.id(), subscriber.latencies().to_vec())?)?;
     }
     // The straggler: 8x the usual last-mile latency, homed at Seoul.
     let straggler_row = model.sample_straggler(ec2::regions::AP_NORTHEAST_2, 8.0, &mut rng);
@@ -121,7 +115,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evaluator = optimizer.evaluator();
     let stragglers = find_stragglers(evaluator, base.configuration(), &constraint);
     println!("\nStraggler scan on match/asia: {} straggler(s) detected", stragglers.len());
-    let outcome = mitigate(evaluator, base.configuration(), &constraint, &MitigationPolicy::default());
+    let outcome =
+        mitigate(evaluator, base.configuration(), &constraint, &MitigationPolicy::default());
     if outcome.added.is_empty() {
         println!("  no region addition could help (bound {constraint})");
     } else {

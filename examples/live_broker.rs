@@ -104,10 +104,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     for decision in &decisions {
         println!(
             "  {} -> {} (feasible: {}, predicted {:.1} ms)",
-            decision.topic,
-            decision.configuration,
-            decision.feasible,
-            decision.percentile_ms
+            decision.topic, decision.configuration, decision.feasible, decision.percentile_ms
         );
     }
 

@@ -72,9 +72,11 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Publishing {} ticks:", ticks.len());
     for (symbol, exchange, price, halted) in ticks {
         let mut headers = Headers::new();
-        headers.set("symbol", symbol).set("exchange", exchange).set("price", price).set(
-            "halted", halted,
-        );
+        headers
+            .set("symbol", symbol)
+            .set("exchange", exchange)
+            .set("price", price)
+            .set("halted", halted);
         feed.publish_with_headers("ticks/latam", &headers, symbol.as_bytes().to_vec()).await?;
         println!("  {symbol:<6} {exchange:<7} {price:>7.2} halted={halted}");
     }
@@ -95,13 +97,8 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The controller optimizes the topic placement underneath the filters.
-    let mut controller = Controller::connect(
-        regions,
-        inter,
-        &addrs,
-        DeliveryConstraint::new(95.0, 250.0)?,
-    )
-    .await?;
+    let mut controller =
+        Controller::connect(regions, inter, &addrs, DeliveryConstraint::new(95.0, 250.0)?).await?;
     controller.register_client(1, vec![5.0, 78.0]);
     controller.register_client(2, vec![75.0, 8.0]);
     controller.register_client(3, vec![6.0, 80.0]);

@@ -15,10 +15,7 @@ use multipub_sim::table::Table;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<u32> = args
-        .iter()
-        .filter_map(|a| a.parse().ok())
-        .collect();
+    let selected: Vec<u32> = args.iter().filter_map(|a| a.parse().ok()).collect();
     let wants = |n: u32| selected.is_empty() || selected.contains(&n);
 
     println!("MultiPub paper experiments (quick = {quick})\n");
@@ -59,7 +56,12 @@ fn print_table_i() {
 fn run_exp1(quick: bool) {
     println!("== Experiment 1 / Figure 3: MultiPub vs other approaches ==");
     let params = if quick {
-        exp1::Exp1Params { pubs_per_region: 3, subs_per_region: 3, step_ms: 10.0, ..Default::default() }
+        exp1::Exp1Params {
+            pubs_per_region: 3,
+            subs_per_region: 3,
+            step_ms: 10.0,
+            ..Default::default()
+        }
     } else {
         exp1::Exp1Params::default()
     };

@@ -51,14 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let optimizer = Optimizer::new(&regions, &inter, &bundled)?.with_allowed_regions(allowed);
 
-    let mut table = Table::new([
-        "deadline (ms)",
-        "achieved (ms)",
-        "$/day",
-        "#regions",
-        "mode",
-        "solve (ms)",
-    ]);
+    let mut table =
+        Table::new(["deadline (ms)", "achieved (ms)", "$/day", "#regions", "mode", "solve (ms)"]);
     for deadline in [120.0, 160.0, 200.0, 300.0, 500.0] {
         let constraint = DeliveryConstraint::new(95.0, deadline)?;
         let start = Instant::now();
@@ -84,8 +78,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = Instant::now();
     let approx = optimizer.solve(&constraint);
     let approx_ms = start.elapsed().as_secs_f64() * 1000.0;
-    println!("Exact solve:   {:.1} ms, ${:.2}/day", exact_ms, horizon.scale(exact.evaluation().cost_dollars()));
-    println!("Heuristic:     {:.1} ms, ${:.2}/day", approx_ms, horizon.scale(approx.evaluation().cost_dollars()));
+    println!(
+        "Exact solve:   {:.1} ms, ${:.2}/day",
+        exact_ms,
+        horizon.scale(exact.evaluation().cost_dollars())
+    );
+    println!(
+        "Heuristic:     {:.1} ms, ${:.2}/day",
+        approx_ms,
+        horizon.scale(approx.evaluation().cost_dollars())
+    );
     println!(
         "Speedup {:.1}x with {:.2}% cost gap",
         exact_ms / approx_ms.max(1e-6),

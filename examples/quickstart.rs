@@ -71,7 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         horizon.scale(one.evaluation().cost_dollars())
     );
     let saving = 1.0
-        - solution.evaluation().cost_dollars() / all.evaluation().cost_dollars().max(f64::MIN_POSITIVE);
+        - solution.evaluation().cost_dollars()
+            / all.evaluation().cost_dollars().max(f64::MIN_POSITIVE);
     println!("\nMultiPub saves {:.0}% vs All Regions while meeting {constraint}", saving * 100.0);
     Ok(())
 }

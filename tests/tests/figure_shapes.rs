@@ -94,10 +94,7 @@ fn figure4_mode_switches_from_routed_to_direct_as_bound_relaxes() {
     let result = exp2_quick();
     // In the tight-bound regime where only routed is feasible, MultiPub
     // must pick routed.
-    let tight = result
-        .rows
-        .iter()
-        .find(|r| r.routed_only.feasible && !r.direct_only.feasible);
+    let tight = result.rows.iter().find(|r| r.routed_only.feasible && !r.direct_only.feasible);
     if let Some(row) = tight {
         assert_eq!(row.multipub.mode, multipub_core::assignment::DeliveryMode::Routed);
     }

@@ -67,16 +67,14 @@ fn small_population(seed: u64) -> Population {
 #[test]
 fn direct_all_regions_agrees() {
     let population = small_population(1);
-    let config =
-        Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Direct);
+    let config = Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Direct);
     assert_agreement(&population, config, 1);
 }
 
 #[test]
 fn routed_all_regions_agrees() {
     let population = small_population(2);
-    let config =
-        Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Routed);
+    let config = Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Routed);
     assert_agreement(&population, config, 2);
 }
 
@@ -95,8 +93,7 @@ fn sparse_assignments_agree_in_both_modes() {
     let population = small_population(4);
     for mask in [0b0000000011u32, 0b1000010001, 0b0000110000, 0b1111111111] {
         for mode in [DeliveryMode::Direct, DeliveryMode::Routed] {
-            let config =
-                Configuration::new(AssignmentVector::from_mask(mask, 10).unwrap(), mode);
+            let config = Configuration::new(AssignmentVector::from_mask(mask, 10).unwrap(), mode);
             assert_agreement(&population, config, u64::from(mask));
         }
     }
@@ -120,8 +117,7 @@ fn optimizer_choice_agrees_end_to_end() {
 #[test]
 fn jitter_widens_but_never_shrinks_latency() {
     let population = small_population(6);
-    let config =
-        Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Routed);
+    let config = Configuration::new(AssignmentVector::all(10).unwrap(), DeliveryMode::Routed);
     let regions = ec2::region_set();
     let inter = ec2::inter_region_latencies();
     let build = |jitter| {

@@ -48,10 +48,8 @@ fn arb_workload(n: usize) -> impl Strategy<Value = TopicWorkload> {
         (proptest::collection::vec(1.0f64..300.0, n), 1u64..20, 64u64..2048),
         1..=4,
     );
-    let subscribers = proptest::collection::vec(
-        (proptest::collection::vec(1.0f64..300.0, n), 1u64..4),
-        1..=6,
-    );
+    let subscribers =
+        proptest::collection::vec((proptest::collection::vec(1.0f64..300.0, n), 1u64..4), 1..=6);
     (publishers, subscribers).prop_map(move |(pubs, subs)| {
         let mut workload = TopicWorkload::new(n);
         for (i, (lat, count, size)) in pubs.into_iter().enumerate() {
