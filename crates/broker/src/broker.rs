@@ -28,6 +28,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use tokio::net::{TcpListener, TcpStream};
 use tokio::task::JoinHandle;
 
@@ -104,6 +105,16 @@ struct Shared {
     /// Interval statistics per topic.
     stats: Mutex<HashMap<String, TopicStats>>,
     next_conn_id: AtomicU64,
+    /// Live connection tasks, so shutdown can sever established
+    /// connections (not just stop accepting) and clients fail over
+    /// promptly instead of talking to a zombie.
+    conn_tasks: Mutex<Vec<JoinHandle<()>>>,
+    /// Reap a connection after this much inbound silence (`None` never
+    /// reaps — the pre-fault-tolerance behaviour).
+    idle_timeout: Option<Duration>,
+    /// Heartbeat cadence on outbound peer links, so idle peers are not
+    /// reaped by each other's idle deadline.
+    peer_keepalive: Option<Duration>,
 }
 
 impl Shared {
@@ -129,6 +140,8 @@ pub struct BrokerBuilder {
     bind: SocketAddr,
     peers: Vec<(RegionId, SocketAddr)>,
     delays: DelayTable,
+    idle_timeout: Option<Duration>,
+    peer_keepalive: Option<Duration>,
 }
 
 impl BrokerBuilder {
@@ -148,6 +161,25 @@ impl BrokerBuilder {
     /// Installs a WAN-emulation delay table (see [`DelayTable`]).
     pub fn delays(mut self, delays: DelayTable) -> Self {
         self.delays = delays;
+        self
+    }
+
+    /// Reaps connections (clients and inbound peer links) that send
+    /// nothing for `timeout`. Clients with
+    /// [`crate::client::ClientConfig::keepalive`] enabled ping well inside
+    /// the deadline, so only genuinely dead connections are culled.
+    /// Outbound peer links automatically heartbeat at `timeout / 3`
+    /// unless [`BrokerBuilder::peer_keepalive`] overrides it. Disabled by
+    /// default.
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Overrides the heartbeat cadence on outbound peer links (defaults
+    /// to a third of the idle timeout when one is set, otherwise off).
+    pub fn peer_keepalive(mut self, interval: Duration) -> Self {
+        self.peer_keepalive = Some(interval);
         self
     }
 
@@ -172,6 +204,9 @@ impl BrokerBuilder {
             configs: Mutex::new(HashMap::new()),
             stats: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(1),
+            conn_tasks: Mutex::new(Vec::new()),
+            idle_timeout: self.idle_timeout,
+            peer_keepalive: self.peer_keepalive.or_else(|| self.idle_timeout.map(|t| t / 3)),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_task = tokio::spawn(async move {
@@ -179,10 +214,16 @@ impl BrokerBuilder {
                 match listener.accept().await {
                     Ok((stream, _)) => {
                         let shared = Arc::clone(&accept_shared);
-                        tokio::spawn(async move {
-                            // Connection errors only affect that peer.
-                            let _ = handle_connection(shared, stream).await;
+                        let task = tokio::spawn({
+                            let shared = Arc::clone(&shared);
+                            async move {
+                                // Connection errors only affect that peer.
+                                let _ = handle_connection(shared, stream).await;
+                            }
                         });
+                        let mut tasks = shared.conn_tasks.lock();
+                        tasks.retain(|t| !t.is_finished());
+                        tasks.push(task);
                     }
                     Err(_) => break,
                 }
@@ -208,6 +249,8 @@ impl Broker {
             bind: SocketAddr::from(([127, 0, 0, 1], 0)),
             peers: Vec::new(),
             delays: DelayTable::none(),
+            idle_timeout: None,
+            peer_keepalive: None,
         }
     }
 
@@ -248,16 +291,34 @@ impl Broker {
         self.shared.clients.lock().len()
     }
 
-    /// Shuts the broker down: stops accepting; existing connections are
-    /// dropped as their tasks notice closed sockets.
+    /// Shuts the broker down: stops accepting **and severs established
+    /// connections**, so connected clients observe the failure promptly
+    /// and begin their reconnect/failover path instead of talking to a
+    /// zombie. (Dropping the handle does the same.)
     pub fn shutdown(self) {
         self.accept_task.abort();
+        kill_connections(&self.shared);
     }
 }
 
 impl Drop for Broker {
     fn drop(&mut self) {
         self.accept_task.abort();
+        kill_connections(&self.shared);
+    }
+}
+
+/// Aborts every live connection task and drops every outbound handle the
+/// broker holds, closing the sockets so peers see EOF.
+fn kill_connections(shared: &Shared) {
+    for task in shared.conn_tasks.lock().drain(..) {
+        task.abort();
+    }
+    shared.clients.lock().clear();
+    // `try_lock` only fails if a dial is mid-flight; that connection then
+    // dies on its own when the remote side notices.
+    if let Ok(mut conns) = shared.peer_conns.try_lock() {
+        conns.clear();
     }
 }
 
@@ -332,12 +393,30 @@ async fn peer_outbound(shared: &Arc<Shared>, region: u16) -> Option<Outbound> {
     let (mut read_half, write_half) = stream.into_split();
     let outbound = Outbound::spawn(write_half, shared.delays.to_region(region));
     outbound.send(&Frame::Connect { client_id: u64::from(shared.region.0), role: Role::Peer });
+    // Heartbeat the (otherwise write-only, often quiet) peer link so the
+    // remote broker's idle deadline sees traffic while we are healthy.
+    if let Some(interval) = shared.peer_keepalive {
+        let heartbeat = outbound.clone();
+        let task = tokio::spawn(async move {
+            let mut nonce = 0u64;
+            loop {
+                tokio::time::sleep(interval).await;
+                nonce = nonce.wrapping_add(1);
+                if !heartbeat.send(&Frame::Ping { nonce }) {
+                    break;
+                }
+            }
+        });
+        shared.conn_tasks.lock().push(task);
+    }
     // Drain (and discard) whatever the peer sends on this channel — it is
-    // write-mostly, but the ConnectAck must be consumed.
-    tokio::spawn(async move {
+    // write-mostly, but the ConnectAck must be consumed. Registered with
+    // the connection tasks so shutdown severs peer links too.
+    let drain = tokio::spawn(async move {
         let mut buf = BytesMut::new();
         while let Ok(Some(_)) = read_frame(&mut read_half, &mut buf).await {}
     });
+    shared.conn_tasks.lock().push(drain);
     let mut conns = shared.peer_conns.lock().await;
     conns.insert(region, outbound.clone());
     Some(outbound)
@@ -461,13 +540,42 @@ async fn handle_publish_from_client(
     }
 }
 
+/// Reads one frame, but gives up after the broker's idle deadline: a
+/// connection that stays silent past `idle_timeout` is considered dead
+/// and reaped (counted in `multipub_broker_conn_reaped_total`). With no
+/// timeout configured this is exactly [`read_frame`].
+async fn read_frame_idle(
+    shared: &Shared,
+    read_half: &mut tokio::net::tcp::OwnedReadHalf,
+    buf: &mut BytesMut,
+) -> Result<Option<Frame>, BrokerError> {
+    match shared.idle_timeout {
+        None => read_frame(read_half, buf).await,
+        Some(idle) => match tokio::time::timeout(idle, read_frame(read_half, buf)).await {
+            Ok(result) => result,
+            Err(_) => {
+                multipub_obs::counter!("multipub_broker_conn_reaped_total").inc();
+                multipub_obs::event!(
+                    Warn,
+                    "broker",
+                    msg = "idle connection reaped",
+                    region = shared.region.0,
+                    idle_ms = idle.as_millis(),
+                );
+                Err(BrokerError::Timeout { what: "activity on idle connection" })
+            }
+        },
+    }
+}
+
 async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(), BrokerError> {
     stream.set_nodelay(true).ok();
     let (mut read_half, write_half) = stream.into_split();
     let mut buf = BytesMut::new();
 
-    // Handshake.
-    let (client_id, role) = match read_frame(&mut read_half, &mut buf).await? {
+    // Handshake — the idle deadline applies from the first byte, so a
+    // connection that never even identifies itself cannot linger.
+    let (client_id, role) = match read_frame_idle(&shared, &mut read_half, &mut buf).await? {
         Some(Frame::Connect { client_id, role }) => (client_id, role),
         Some(_) => return Err(BrokerError::UnexpectedFrame { expected: "Connect" }),
         None => return Ok(()),
@@ -536,7 +644,7 @@ async fn connection_loop(
     buf: &mut BytesMut,
     outbound: &Outbound,
 ) -> Result<(), BrokerError> {
-    while let Some(frame) = read_frame(read_half, buf).await? {
+    while let Some(frame) = read_frame_idle(shared, read_half, buf).await? {
         match frame {
             Frame::Subscribe { topic, filter } => {
                 // An unparseable filter falls back to match-all: the
@@ -587,8 +695,21 @@ async fn connection_loop(
             }
             Frame::StatsRequest => {
                 let report = take_report(shared);
-                let json = serde_json::to_string(&report).expect("report serializes");
-                outbound.send(&Frame::StatsReport { json });
+                // Serialization of a plain data struct cannot realistically
+                // fail, but a broker must never die over a stats request.
+                match serde_json::to_string(&report) {
+                    Ok(json) => {
+                        outbound.send(&Frame::StatsReport { json });
+                    }
+                    Err(e) => {
+                        multipub_obs::event!(
+                            Warn,
+                            "broker",
+                            msg = "report serialization failed",
+                            error = e,
+                        );
+                    }
+                }
             }
             Frame::StatsSnapshotRequest => {
                 // In-band metrics pull: the whole process-wide registry,

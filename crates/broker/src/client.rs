@@ -14,11 +14,28 @@
 //!
 //! Topics with no installed configuration yet are treated as served by all
 //! regions with routed delivery, matching the brokers' bootstrap default.
+//!
+//! ## Fault tolerance
+//!
+//! Sessions survive broker restarts (see [`crate::session`]):
+//!
+//! * a **subscriber** that loses a connection re-dials it with
+//!   exponential backoff + decorrelated jitter and *replays its Subscribe
+//!   set* for every topic homed at that region the moment the link is
+//!   back;
+//! * a **publisher** that finds every serving region unreachable buffers
+//!   the publication in a bounded FIFO instead of erroring, then flushes
+//!   it — re-resolving the serving set against the latest configuration —
+//!   once a broker answers again;
+//! * with [`ClientConfig::keepalive`] set, every connection sends
+//!   [`Frame::Ping`] heartbeats so broker-side idle reaping never culls a
+//!   healthy but quiet client.
 
 use crate::broker::InstalledConfig;
 use crate::conn::{read_frame, BrokerError};
 use crate::delay::{duration_from_ms, Outbound};
 use crate::frame::{Frame, Role, WireMode};
+use crate::session::{Backoff, PendingPublish, PendingQueue, ReconnectPolicy};
 use bytes::{Bytes, BytesMut};
 use multipub_core::ids::RegionId;
 use multipub_filter::{Headers, Predicate};
@@ -44,12 +61,31 @@ pub struct ClientConfig {
     /// When `true`, the client delays its own outbound frames by
     /// `latencies_ms[region]`, emulating its WAN uplink on loopback.
     pub emulate_wan: bool,
+    /// Backoff policy for re-dialing lost connections.
+    pub reconnect: ReconnectPolicy,
+    /// Heartbeat interval: when set, every connection sends
+    /// [`Frame::Ping`] at this cadence so idle-deadline brokers keep it
+    /// alive. `None` (the default) sends no heartbeats.
+    pub keepalive: Option<Duration>,
+    /// Maximum number of publications a publisher buffers while every
+    /// serving region is unreachable (oldest evicted first).
+    pub publish_buffer: usize,
 }
 
 impl ClientConfig {
-    /// A configuration with no latency information and no WAN emulation.
+    /// A configuration with no latency information, no WAN emulation, the
+    /// default reconnect policy, no keepalive, and a 1024-entry publish
+    /// buffer.
     pub fn new(client_id: u64, region_addrs: Vec<SocketAddr>) -> Self {
-        ClientConfig { client_id, region_addrs, latencies_ms: Vec::new(), emulate_wan: false }
+        ClientConfig {
+            client_id,
+            region_addrs,
+            latencies_ms: Vec::new(),
+            emulate_wan: false,
+            reconnect: ReconnectPolicy::default(),
+            keepalive: None,
+            publish_buffer: 1024,
+        }
     }
 
     fn latency(&self, region: usize) -> f64 {
@@ -92,8 +128,16 @@ impl Delivery {
 #[derive(Debug)]
 enum Event {
     Delivery(Delivery),
-    Config { topic: String },
-    Disconnected { region: u16 },
+    Config {
+        topic: String,
+    },
+    Disconnected {
+        region: u16,
+    },
+    /// A backoff timer fired: time to attempt a reconnect to `region`.
+    ReconnectDue {
+        region: u16,
+    },
 }
 
 /// Per-region connection management shared by both client kinds.
@@ -104,6 +148,11 @@ struct Links {
     conns: HashMap<u16, Outbound>,
     topic_configs: Arc<Mutex<HashMap<String, InstalledConfig>>>,
     events_tx: mpsc::UnboundedSender<Event>,
+    /// Regions connected at least once — a later connect is a *re*connect.
+    ever_connected: std::collections::HashSet<u16>,
+    /// When each currently-dead region was first seen down, for the
+    /// reconnect-duration histogram.
+    disconnected_at: HashMap<u16, std::time::Instant>,
 }
 
 impl Links {
@@ -114,7 +163,17 @@ impl Links {
             conns: HashMap::new(),
             topic_configs: Arc::new(Mutex::new(HashMap::new())),
             events_tx,
+            ever_connected: std::collections::HashSet::new(),
+            disconnected_at: HashMap::new(),
         }
+    }
+
+    /// Drops a dead handle and stamps the outage start (first notice
+    /// wins), so the next [`Links::connect`] reconnects and reports how
+    /// long the region was gone.
+    fn mark_disconnected(&mut self, region: u16) {
+        self.conns.remove(&region);
+        self.disconnected_at.entry(region).or_insert_with(std::time::Instant::now);
     }
 
     fn n_regions(&self) -> usize {
@@ -167,6 +226,30 @@ impl Links {
         };
         let outbound = Outbound::spawn(write_half, delay);
         outbound.send(&Frame::Connect { client_id: self.config.client_id, role: self.role });
+
+        if !self.ever_connected.insert(region) {
+            multipub_obs::counter!("multipub_client_reconnects_total").inc();
+        }
+        if let Some(since) = self.disconnected_at.remove(&region) {
+            multipub_obs::histogram!("multipub_client_reconnect_ms")
+                .record(since.elapsed().as_secs_f64() * 1000.0);
+        }
+
+        // Keepalive task: periodic pings keep broker-side idle deadlines
+        // at bay; stops as soon as the writer is gone.
+        if let Some(interval) = self.config.keepalive {
+            let heartbeat = outbound.clone();
+            tokio::spawn(async move {
+                let mut nonce = 0u64;
+                loop {
+                    tokio::time::sleep(interval).await;
+                    nonce = nonce.wrapping_add(1);
+                    if !heartbeat.send(&Frame::Ping { nonce }) {
+                        break;
+                    }
+                }
+            });
+        }
 
         // Reader task: funnel deliveries and config updates into the
         // client's event queue.
@@ -277,6 +360,7 @@ impl SubscriberClient {
             commands_rx,
             deliveries_tx,
             subscriptions: Arc::clone(&subscriptions),
+            backoffs: HashMap::new(),
         };
         tokio::spawn(actor.run());
         Ok(SubscriberClient { commands_tx, deliveries_rx, subscriptions })
@@ -352,6 +436,8 @@ struct SubscriberActor {
     commands_rx: mpsc::UnboundedReceiver<Command>,
     deliveries_tx: mpsc::UnboundedSender<Delivery>,
     subscriptions: Arc<Mutex<HashMap<String, (u16, String)>>>,
+    /// In-flight reconnect episodes, one per dead region.
+    backoffs: HashMap<u16, Backoff>,
 }
 
 impl SubscriberActor {
@@ -380,11 +466,85 @@ impl SubscriberActor {
                         let _ = self.handle_config_update(&topic).await;
                     }
                     Some(Event::Disconnected { region }) => {
-                        // Drop the dead handle so the next use reconnects.
-                        self.links.conns.remove(&region);
+                        self.links.mark_disconnected(region);
+                        self.begin_reconnect(region);
+                    }
+                    Some(Event::ReconnectDue { region }) => {
+                        self.try_reconnect(region).await;
                     }
                     None => break,
                 },
+            }
+        }
+    }
+
+    /// Starts a backoff episode for `region` if any subscription is homed
+    /// there and no episode is already running.
+    fn begin_reconnect(&mut self, region: u16) {
+        let needed = self.subscriptions.lock().values().any(|&(r, _)| r == region);
+        if !needed {
+            self.backoffs.remove(&region);
+            return;
+        }
+        if self.backoffs.contains_key(&region) {
+            return;
+        }
+        let seed = self.links.config.client_id ^ ((region as u64) << 32);
+        let mut backoff = self.links.config.reconnect.backoff(seed);
+        if let Some(delay) = backoff.next_delay() {
+            self.backoffs.insert(region, backoff);
+            self.schedule_reconnect(region, delay);
+        }
+    }
+
+    /// Arms a timer that re-enters the actor via `Event::ReconnectDue`,
+    /// keeping the actor responsive while the backoff elapses.
+    fn schedule_reconnect(&self, region: u16, delay: Duration) {
+        let events_tx = self.links.events_tx.clone();
+        tokio::spawn(async move {
+            tokio::time::sleep(delay).await;
+            let _ = events_tx.send(Event::ReconnectDue { region });
+        });
+    }
+
+    /// One reconnect attempt: on success, replay the Subscribe set homed
+    /// at `region` (the broker lost it with the connection); on failure,
+    /// re-arm the next backoff delay until the policy gives up.
+    async fn try_reconnect(&mut self, region: u16) {
+        let to_replay: Vec<(String, String)> = self
+            .subscriptions
+            .lock()
+            .iter()
+            .filter(|(_, (r, _))| *r == region)
+            .map(|(topic, (_, filter))| (topic.clone(), filter.clone()))
+            .collect();
+        if to_replay.is_empty() {
+            // Everything re-steered elsewhere while we were backing off.
+            self.backoffs.remove(&region);
+            return;
+        }
+        match self.links.connect(region).await {
+            Ok(outbound) => {
+                self.backoffs.remove(&region);
+                for (topic, filter) in to_replay {
+                    outbound.send(&Frame::Subscribe { topic, filter });
+                }
+            }
+            Err(_) => {
+                if let Some(backoff) = self.backoffs.get_mut(&region) {
+                    match backoff.next_delay() {
+                        Some(delay) => self.schedule_reconnect(region, delay),
+                        None => {
+                            self.backoffs.remove(&region);
+                            multipub_obs::event!(
+                                Warn,
+                                "client",
+                                msg = "reconnect attempts exhausted",
+                                region = region
+                            );
+                        }
+                    }
+                }
             }
         }
     }
@@ -430,10 +590,17 @@ impl SubscriberActor {
 }
 
 /// A publishing client. See the module docs for the steering rules.
+///
+/// When every serving region is unreachable, publications are buffered in
+/// a bounded FIFO (size [`ClientConfig::publish_buffer`], oldest evicted
+/// first) and flushed — with the serving set re-resolved against the
+/// latest configuration — on the next successful publish or an explicit
+/// [`PublisherClient::flush_pending`].
 #[derive(Debug)]
 pub struct PublisherClient {
     links: Links,
     events_rx: mpsc::UnboundedReceiver<Event>,
+    pending: PendingQueue,
 }
 
 impl PublisherClient {
@@ -446,7 +613,12 @@ impl PublisherClient {
     pub fn new(config: ClientConfig) -> Result<Self, BrokerError> {
         config.validate()?;
         let (events_tx, events_rx) = mpsc::unbounded_channel();
-        Ok(PublisherClient { links: Links::new(config, Role::Publisher, events_tx), events_rx })
+        let pending = PendingQueue::new(config.publish_buffer);
+        Ok(PublisherClient {
+            links: Links::new(config, Role::Publisher, events_tx),
+            events_rx,
+            pending,
+        })
     }
 
     /// Publishes `payload` on `topic`, steering by the topic's current
@@ -470,11 +642,14 @@ impl PublisherClient {
     /// filtered subscribers (see
     /// [`SubscriberClient::subscribe_filtered`]) can match on them.
     ///
-    /// Returns the number of regions the publication was sent to.
+    /// Returns the number of regions the publication was sent to — `0`
+    /// when every serving region was unreachable and the publication was
+    /// buffered for a later flush instead.
     ///
     /// # Errors
     ///
-    /// Returns a connection error if a serving broker is unreachable.
+    /// Returns [`BrokerError::UnknownRegion`] only for malformed
+    /// configurations; unreachable brokers buffer rather than error.
     pub async fn publish_with_headers(
         &mut self,
         topic: &str,
@@ -482,39 +657,122 @@ impl PublisherClient {
         payload: impl Into<Bytes>,
     ) -> Result<usize, BrokerError> {
         self.drain_events();
-        let payload = payload.into();
-        let config = self.links.config_for(topic);
-        let publisher_id = self.links.config.client_id;
-        let headers_json = if headers.is_empty() { String::new() } else { headers.to_json() };
-        let frame = move |payload: Bytes, single_target: bool| Frame::Publish {
+        self.flush_pending().await;
+        let entry = PendingPublish {
             topic: topic.to_string(),
-            publisher: publisher_id,
+            headers: if headers.is_empty() { String::new() } else { headers.to_json() },
+            payload: payload.into().to_vec(),
             publish_micros: now_micros(),
-            single_target,
-            headers: headers_json.clone(),
-            payload,
         };
-        match config.mode {
-            WireMode::Routed => {
-                let region = self.links.closest_serving(config.mask);
-                let outbound = self.links.connect(region).await?;
-                outbound.send(&frame(payload, true));
-                Ok(1)
-            }
-            WireMode::Direct => {
-                let mut sent = 0;
-                let message = frame(payload, false);
-                for region in 0..self.links.n_regions() as u16 {
-                    if config.mask & (1u32 << region) == 0 {
-                        continue;
-                    }
-                    let outbound = self.links.connect(region).await?;
-                    outbound.send(&message);
-                    sent += 1;
-                }
-                Ok(sent)
+        match self.try_send(&entry).await {
+            Ok(sent) => Ok(sent),
+            Err(_) => {
+                self.buffer(entry);
+                Ok(0)
             }
         }
+    }
+
+    /// One immediate send attempt for a (possibly buffered) publication,
+    /// resolving the serving set from the *current* configuration. Under
+    /// routed delivery, serving regions are tried closest-first until one
+    /// answers (§IV.B's latency-preference applied to failover); under
+    /// direct delivery every reachable serving region gets a copy. Errors
+    /// only when no serving region accepted the message.
+    async fn try_send(&mut self, entry: &PendingPublish) -> Result<usize, BrokerError> {
+        let config = self.links.config_for(&entry.topic);
+        let publisher_id = self.links.config.client_id;
+        let frame = |single_target: bool| Frame::Publish {
+            topic: entry.topic.clone(),
+            publisher: publisher_id,
+            publish_micros: entry.publish_micros,
+            single_target,
+            headers: entry.headers.clone(),
+            payload: Bytes::from(entry.payload.clone()),
+        };
+        let mut serving: Vec<u16> = (0..self.links.n_regions() as u16)
+            .filter(|&r| config.mask & (1u32 << r) != 0)
+            .collect();
+        let mut last_err = BrokerError::UnknownRegion { region: 0 };
+        match config.mode {
+            WireMode::Routed => {
+                serving.sort_by(|&a, &b| {
+                    self.links
+                        .config
+                        .latency(a as usize)
+                        .total_cmp(&self.links.config.latency(b as usize))
+                });
+                for region in serving {
+                    match self.links.connect(region).await {
+                        Ok(outbound) => {
+                            if outbound.send(&frame(true)) {
+                                return Ok(1);
+                            }
+                            self.links.mark_disconnected(region);
+                            last_err = BrokerError::ConnectionClosed;
+                        }
+                        Err(e) => last_err = e,
+                    }
+                }
+                Err(last_err)
+            }
+            WireMode::Direct => {
+                let message = frame(false);
+                let mut sent = 0;
+                for region in serving {
+                    match self.links.connect(region).await {
+                        Ok(outbound) => {
+                            if outbound.send(&message) {
+                                sent += 1;
+                            } else {
+                                self.links.mark_disconnected(region);
+                                last_err = BrokerError::ConnectionClosed;
+                            }
+                        }
+                        Err(e) => last_err = e,
+                    }
+                }
+                if sent > 0 {
+                    Ok(sent)
+                } else {
+                    Err(last_err)
+                }
+            }
+        }
+    }
+
+    fn buffer(&mut self, entry: PendingPublish) {
+        let dropped_before = self.pending.dropped();
+        self.pending.push(entry);
+        multipub_obs::counter!("multipub_client_frames_buffered_total").inc();
+        let evicted = self.pending.dropped() - dropped_before;
+        if evicted > 0 {
+            multipub_obs::counter!("multipub_client_frames_dropped_total").add(evicted);
+        }
+    }
+
+    /// Attempts to deliver buffered publications in FIFO order, stopping
+    /// at the first one that still cannot reach any serving region.
+    /// Returns the number flushed. Called automatically at the start of
+    /// every publish.
+    pub async fn flush_pending(&mut self) -> usize {
+        let mut flushed = 0;
+        while let Some(entry) = self.pending.pop() {
+            match self.try_send(&entry).await {
+                Ok(_) => flushed += 1,
+                Err(_) => {
+                    self.pending.push_front(entry);
+                    break;
+                }
+            }
+        }
+        flushed
+    }
+
+    /// Number of publications currently buffered while awaiting a
+    /// reachable serving region.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
     }
 
     /// The configuration this publisher currently holds for a topic.
@@ -528,7 +786,9 @@ impl PublisherClient {
         while let Ok(event) = self.events_rx.try_recv() {
             // Config updates already landed in the shared map; Delivery
             // events cannot occur on a publisher connection.
-            let _ = event;
+            if let Event::Disconnected { region } = event {
+                self.links.mark_disconnected(region);
+            }
         }
     }
 }
@@ -540,12 +800,11 @@ mod tests {
     fn test_config(latencies: Vec<f64>) -> ClientConfig {
         let n = latencies.len();
         ClientConfig {
-            client_id: 1,
             region_addrs: (0..n)
                 .map(|i| SocketAddr::from(([127, 0, 0, 1], 10_000 + i as u16)))
                 .collect(),
             latencies_ms: latencies,
-            emulate_wan: false,
+            ..ClientConfig::new(1, Vec::new())
         }
     }
 

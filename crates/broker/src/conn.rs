@@ -33,6 +33,16 @@ pub enum BrokerError {
         /// The parser's message.
         message: String,
     },
+    /// An operation did not complete within its deadline.
+    Timeout {
+        /// Description of what timed out.
+        what: &'static str,
+    },
+    /// The caller supplied an argument outside the accepted domain.
+    InvalidArgument {
+        /// Description of the offending argument.
+        message: String,
+    },
 }
 
 impl fmt::Display for BrokerError {
@@ -50,6 +60,10 @@ impl fmt::Display for BrokerError {
             }
             BrokerError::BadFilter { message } => {
                 write!(f, "invalid content filter: {message}")
+            }
+            BrokerError::Timeout { what } => write!(f, "timed out waiting for {what}"),
+            BrokerError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
             }
         }
     }
@@ -79,8 +93,11 @@ impl From<CodecError> for BrokerError {
 }
 
 /// Reads one frame from `read`, buffering partial data in `buf`.
-/// Returns `Ok(None)` on clean EOF at a frame boundary.
-pub(crate) async fn read_frame<R: AsyncReadExt + Unpin>(
+/// Returns `Ok(None)` on clean EOF at a frame boundary; EOF in the middle
+/// of a frame is [`BrokerError::ConnectionClosed`] and malformed bytes
+/// surface as [`BrokerError::Codec`]. Never panics on hostile input —
+/// verified by the resilience proptests in `tests/codec_properties.rs`.
+pub async fn read_frame<R: AsyncReadExt + Unpin>(
     read: &mut R,
     buf: &mut BytesMut,
 ) -> Result<Option<Frame>, BrokerError> {

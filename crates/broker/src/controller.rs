@@ -11,13 +11,25 @@
 //! Controller::register_client`]); in a production deployment the same
 //! table would be fed by continuous out-of-band latency probes (the paper
 //! measures pings from every region).
+//!
+//! ## Degraded mode
+//!
+//! The controller survives broker failures instead of requiring every
+//! region up front: [`Controller::connect`] records unreachable brokers
+//! and succeeds as long as *any* broker answers, dead links are re-dialed
+//! at the start of every round, and regions whose broker is down (or has
+//! missed consecutive report deadlines) are **excluded from the
+//! optimizer's search space** via its allowed-regions facility — so new
+//! configurations only ever place topics on regions that can actually
+//! serve them. Excluded regions rejoin automatically once their broker
+//! answers again.
 
 use crate::broker::{RegionReport, TopicReport};
 use crate::conn::{read_frame, BrokerError};
 use crate::delay::Outbound;
 use crate::frame::{Frame, Role};
 use bytes::BytesMut;
-use multipub_core::assignment::Configuration;
+use multipub_core::assignment::{AssignmentVector, Configuration};
 use multipub_core::constraint::DeliveryConstraint;
 use multipub_core::ids::RegionId;
 use multipub_core::latency::InterRegionMatrix;
@@ -53,6 +65,9 @@ pub struct TopicDecision {
     /// Regions force-added by the §IV.D straggler mitigation this round
     /// (already part of `configuration`).
     pub forced_regions: Vec<RegionId>,
+    /// Regions excluded from the optimizer's search space this round
+    /// because their broker was unreachable (degraded mode).
+    pub excluded_regions: Vec<RegionId>,
 }
 
 struct BrokerLink {
@@ -67,21 +82,100 @@ impl std::fmt::Debug for BrokerLink {
     }
 }
 
+/// One region's slot in the controller: the broker address is always
+/// known; the link itself may be down.
+struct RegionLink {
+    addr: SocketAddr,
+    /// `None` while the broker is unreachable.
+    state: Option<BrokerLink>,
+    /// Consecutive report deadlines this broker has missed while its
+    /// connection looked alive. At [`MISS_THRESHOLD`] the region is
+    /// treated as unreachable for optimization purposes.
+    consecutive_misses: u32,
+    /// Backoff episode across failed redials (`None` while connected).
+    backoff: Option<crate::session::Backoff>,
+    /// Earliest instant at which the next redial may be attempted.
+    next_redial: Option<std::time::Instant>,
+}
+
+impl std::fmt::Debug for RegionLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionLink")
+            .field("addr", &self.addr)
+            .field("connected", &self.state.is_some())
+            .field("consecutive_misses", &self.consecutive_misses)
+            .finish()
+    }
+}
+
+impl RegionLink {
+    fn is_alive(&self) -> bool {
+        match &self.state {
+            Some(link) => link.outbound.is_open() && self.consecutive_misses < MISS_THRESHOLD,
+            None => false,
+        }
+    }
+}
+
+/// Consecutive missed report deadlines before a connected-looking broker
+/// is excluded from optimization anyway (half-open TCP, overloaded peer).
+const MISS_THRESHOLD: u32 = 2;
+
 /// The MultiPub controller. See the module docs.
 #[derive(Debug)]
 pub struct Controller {
     regions: RegionSet,
     inter: InterRegionMatrix,
-    links: Vec<BrokerLink>,
+    links: Vec<RegionLink>,
     client_latencies: HashMap<u64, Vec<f64>>,
     constraints: HashMap<String, DeliveryConstraint>,
     default_constraint: DeliveryConstraint,
     installed: HashMap<String, Configuration>,
     report_timeout: Duration,
+    connect_timeout: Duration,
+    /// Backoff schedule between redial attempts on a dead broker link.
+    redial_policy: crate::session::ReconnectPolicy,
     mitigation: Option<MitigationPolicy>,
     /// Regions force-added per topic by the straggler scan, retracted when
     /// no longer needed.
     forced: HashMap<String, Vec<RegionId>>,
+}
+
+/// Dials one broker and spawns its reader task, demultiplexing inbound
+/// stats frames onto the link's channels.
+async fn dial(addr: SocketAddr, connect_timeout: Duration) -> Result<BrokerLink, BrokerError> {
+    let stream = match tokio::time::timeout(connect_timeout, TcpStream::connect(addr)).await {
+        Ok(result) => result?,
+        Err(_) => return Err(BrokerError::Timeout { what: "broker connect" }),
+    };
+    stream.set_nodelay(true).ok();
+    let (mut read_half, write_half) = stream.into_split();
+    let outbound = Outbound::spawn(write_half, Duration::ZERO);
+    outbound.send(&Frame::Connect { client_id: 0, role: Role::Controller });
+    let (reports_tx, reports_rx) = mpsc::unbounded_channel();
+    let (snapshots_tx, snapshots_rx) = mpsc::unbounded_channel();
+    tokio::spawn(async move {
+        let mut buf = BytesMut::new();
+        loop {
+            match read_frame(&mut read_half, &mut buf).await {
+                Ok(Some(Frame::StatsReport { json })) => {
+                    if let Ok(report) = serde_json::from_str::<RegionReport>(&json) {
+                        if reports_tx.send(report).is_err() {
+                            break;
+                        }
+                    }
+                }
+                Ok(Some(Frame::StatsSnapshot { json })) => {
+                    if snapshots_tx.send(json).is_err() {
+                        break;
+                    }
+                }
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    });
+    Ok(BrokerLink { outbound, reports_rx, snapshots_rx })
 }
 
 impl Controller {
@@ -89,11 +183,17 @@ impl Controller {
     /// order). `default_constraint` applies to topics without an explicit
     /// one.
     ///
+    /// Unreachable brokers do **not** fail the call: their regions are
+    /// recorded (see [`Controller::unreachable_regions`]), excluded from
+    /// optimization, and re-dialed in the background at the start of every
+    /// round until they answer.
+    ///
     /// # Errors
     ///
-    /// Returns a connection error if any broker is unreachable, and
-    /// [`BrokerError::UnknownRegion`] if the address count does not match
-    /// the region set.
+    /// Returns [`BrokerError::UnknownRegion`] if the address count does
+    /// not match the region set, and the last connection error if *every*
+    /// broker is unreachable — a controller with zero live region managers
+    /// cannot do anything useful.
     pub async fn connect(
         regions: RegionSet,
         inter: InterRegionMatrix,
@@ -103,37 +203,34 @@ impl Controller {
         if broker_addrs.len() != regions.len() {
             return Err(BrokerError::UnknownRegion { region: broker_addrs.len() as u16 });
         }
+        let connect_timeout = Duration::from_secs(2);
         let mut links = Vec::with_capacity(broker_addrs.len());
-        for addr in broker_addrs {
-            let stream = TcpStream::connect(addr).await?;
-            stream.set_nodelay(true).ok();
-            let (mut read_half, write_half) = stream.into_split();
-            let outbound = Outbound::spawn(write_half, Duration::ZERO);
-            outbound.send(&Frame::Connect { client_id: 0, role: Role::Controller });
-            let (reports_tx, reports_rx) = mpsc::unbounded_channel();
-            let (snapshots_tx, snapshots_rx) = mpsc::unbounded_channel();
-            tokio::spawn(async move {
-                let mut buf = BytesMut::new();
-                loop {
-                    match read_frame(&mut read_half, &mut buf).await {
-                        Ok(Some(Frame::StatsReport { json })) => {
-                            if let Ok(report) = serde_json::from_str::<RegionReport>(&json) {
-                                if reports_tx.send(report).is_err() {
-                                    break;
-                                }
-                            }
-                        }
-                        Ok(Some(Frame::StatsSnapshot { json })) => {
-                            if snapshots_tx.send(json).is_err() {
-                                break;
-                            }
-                        }
-                        Ok(Some(_)) => {}
-                        Ok(None) | Err(_) => break,
-                    }
+        let mut last_err = None;
+        for (region, &addr) in broker_addrs.iter().enumerate() {
+            let state = match dial(addr, connect_timeout).await {
+                Ok(link) => Some(link),
+                Err(e) => {
+                    multipub_obs::event!(
+                        Warn,
+                        "controller",
+                        msg = "broker unreachable at startup",
+                        region = region,
+                        error = e,
+                    );
+                    last_err = Some(e);
+                    None
                 }
+            };
+            links.push(RegionLink {
+                addr,
+                state,
+                consecutive_misses: 0,
+                backoff: None,
+                next_redial: None,
             });
-            links.push(BrokerLink { outbound, reports_rx, snapshots_rx });
+        }
+        if links.iter().all(|l| l.state.is_none()) {
+            return Err(last_err.unwrap_or(BrokerError::ConnectionClosed));
         }
         Ok(Controller {
             regions,
@@ -144,9 +241,88 @@ impl Controller {
             default_constraint,
             installed: HashMap::new(),
             report_timeout: Duration::from_secs(5),
+            connect_timeout,
+            redial_policy: crate::session::ReconnectPolicy::default(),
             mitigation: None,
             forced: HashMap::new(),
         })
+    }
+
+    /// Regions whose broker link is currently down or degraded (missed
+    /// [`MISS_THRESHOLD`] consecutive report deadlines). These regions are
+    /// excluded from optimization until their broker answers again.
+    pub fn unreachable_regions(&self) -> Vec<RegionId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, link)| !link.is_alive())
+            .map(|(region, _)| RegionId(region as u8))
+            .collect()
+    }
+
+    /// Re-dials every dead broker link whose backoff delay has elapsed.
+    /// Called automatically at the start of each
+    /// [`Controller::optimize_once`] round; public so embedders driving
+    /// [`Controller::collect_reports`] directly can recover links too.
+    ///
+    /// Attempts are spaced by the redial policy (see
+    /// [`Controller::set_redial_policy`]); once a policy's attempt limit
+    /// is exhausted the link keeps being retried at the cap cadence — a
+    /// controller never permanently writes a region off.
+    pub async fn ensure_links(&mut self) {
+        for (region, link) in self.links.iter_mut().enumerate() {
+            if let Some(state) = &link.state {
+                if state.outbound.is_open() {
+                    continue;
+                }
+                // The broker went away since last round; drop the stale
+                // link so the reports channel cannot yield old data.
+                link.state = None;
+            }
+            if let Some(at) = link.next_redial {
+                if std::time::Instant::now() < at {
+                    continue;
+                }
+            }
+            multipub_obs::counter!("multipub_controller_link_redials_total").inc();
+            match dial(link.addr, self.connect_timeout).await {
+                Ok(state) => {
+                    // Replay every installed configuration: the broker may
+                    // have restarted empty, or missed deployments while
+                    // unreachable.
+                    for (topic, configuration) in &self.installed {
+                        state.outbound.send(&Frame::ConfigUpdate {
+                            topic: topic.clone(),
+                            mask: configuration.assignment().mask(),
+                            mode: configuration.mode().into(),
+                        });
+                    }
+                    link.state = Some(state);
+                    link.consecutive_misses = 0;
+                    link.backoff = None;
+                    link.next_redial = None;
+                    multipub_obs::event!(
+                        Info,
+                        "controller",
+                        msg = "broker link re-established",
+                        region = region,
+                    );
+                }
+                Err(_) => {
+                    let backoff = link
+                        .backoff
+                        .get_or_insert_with(|| self.redial_policy.backoff(region as u64));
+                    let delay = backoff.next_delay().unwrap_or(self.redial_policy.cap);
+                    link.next_redial = Some(std::time::Instant::now() + delay);
+                }
+            }
+        }
+    }
+
+    /// Sets the backoff policy between redial attempts on dead broker
+    /// links (default: 100 ms base, 10 s cap, no attempt limit).
+    pub fn set_redial_policy(&mut self, policy: crate::session::ReconnectPolicy) {
+        self.redial_policy = policy;
     }
 
     /// Enables the §IV.D straggler scan: after each optimization round the
@@ -178,53 +354,119 @@ impl Controller {
         self.report_timeout = timeout;
     }
 
+    /// Adjusts how long each (re-)dial of a broker may take (default 2 s).
+    pub fn set_connect_timeout(&mut self, timeout: Duration) {
+        self.connect_timeout = timeout;
+    }
+
     /// The configuration currently installed for a topic, if any.
     pub fn installed(&self, topic: &str) -> Option<Configuration> {
         self.installed.get(topic).copied()
     }
 
-    /// Requests and gathers one interval report from every region manager.
-    /// Brokers that fail to answer within the report timeout are skipped
-    /// (their interval data simply misses this round).
+    /// Requests and gathers one interval report from every live region
+    /// manager. Brokers that fail to answer within the report timeout are
+    /// skipped (their interval data simply misses this round) and accrue a
+    /// miss; a broker whose connection turns out closed is marked dead and
+    /// re-dialed next round.
     pub async fn collect_reports(&mut self) -> Vec<RegionReport> {
         for link in &self.links {
-            link.outbound.send(&Frame::StatsRequest);
+            if let Some(state) = &link.state {
+                state.outbound.send(&Frame::StatsRequest);
+            }
         }
+        let timeout = self.report_timeout;
         let mut reports = Vec::with_capacity(self.links.len());
         for link in &mut self.links {
-            match tokio::time::timeout(self.report_timeout, link.reports_rx.recv()).await {
-                Ok(Some(report)) => reports.push(report),
-                Ok(None) | Err(_) => {}
+            let Some(state) = &mut link.state else { continue };
+            match tokio::time::timeout(timeout, state.reports_rx.recv()).await {
+                Ok(Some(report)) => {
+                    link.consecutive_misses = 0;
+                    reports.push(report);
+                }
+                Ok(None) => {
+                    // Reader task exited: the broker hung up.
+                    link.state = None;
+                }
+                Err(_) => {
+                    link.consecutive_misses += 1;
+                    if !state.outbound.is_open() {
+                        link.state = None;
+                    }
+                }
             }
         }
         reports
     }
 
-    /// Pulls every broker's `multipub-obs` metrics snapshot in-band
+    /// Pulls every live broker's `multipub-obs` metrics snapshot in-band
     /// ([`Frame::StatsSnapshotRequest`]), returning one JSON document per
     /// answering broker, in region order. Brokers that fail to answer
-    /// within the report timeout are skipped.
+    /// within the report timeout are skipped; dead connections are marked
+    /// for re-dial.
     pub async fn collect_metrics(&mut self) -> Vec<String> {
         for link in &self.links {
-            link.outbound.send(&Frame::StatsSnapshotRequest);
+            if let Some(state) = &link.state {
+                state.outbound.send(&Frame::StatsSnapshotRequest);
+            }
         }
+        let timeout = self.report_timeout;
         let mut snapshots = Vec::with_capacity(self.links.len());
         for link in &mut self.links {
-            match tokio::time::timeout(self.report_timeout, link.snapshots_rx.recv()).await {
+            let Some(state) = &mut link.state else { continue };
+            match tokio::time::timeout(timeout, state.snapshots_rx.recv()).await {
                 Ok(Some(json)) => snapshots.push(json),
-                Ok(None) | Err(_) => {}
+                Ok(None) => link.state = None,
+                Err(_) => {
+                    if !state.outbound.is_open() {
+                        link.state = None;
+                    }
+                }
             }
         }
         snapshots
     }
 
-    /// One full control round: collect reports, rebuild per-topic
-    /// workloads, optimize every topic, and deploy improved
-    /// configurations.
+    /// One full control round: recover dead broker links, collect
+    /// reports, rebuild per-topic workloads, optimize every topic over
+    /// the **reachable** regions, and deploy improved configurations.
+    ///
+    /// With every broker down the round is skipped entirely (no decisions,
+    /// no deployments) — better a stale configuration than one derived
+    /// from nothing.
     pub async fn optimize_once(&mut self) -> Vec<TopicDecision> {
         let _round_timer = multipub_obs::timer!("multipub_controller_round_ms");
         multipub_obs::counter!("multipub_controller_rounds_total").inc();
+        self.ensure_links().await;
         let reports = self.collect_reports().await;
+
+        // Degraded mode: optimize only over regions whose broker answers.
+        let mut alive_mask = 0u32;
+        for (region, link) in self.links.iter().enumerate() {
+            if link.is_alive() {
+                alive_mask |= 1u32 << region;
+            }
+        }
+        let excluded = self.unreachable_regions();
+        let Ok(allowed) = AssignmentVector::from_mask(alive_mask, self.regions.len()) else {
+            multipub_obs::event!(
+                Warn,
+                "controller",
+                msg = "every broker unreachable; skipping optimization round",
+            );
+            return Vec::new();
+        };
+        if !excluded.is_empty() {
+            multipub_obs::counter!("multipub_controller_degraded_rounds_total").inc();
+            multipub_obs::event!(
+                Warn,
+                "controller",
+                msg = "optimizing in degraded mode",
+                excluded = excluded.len(),
+                alive_mask = format!("{alive_mask:#b}"),
+            );
+        }
+
         let merged = merge_reports(&reports);
         let mut decisions = Vec::new();
         for (topic, report) in merged {
@@ -235,7 +477,8 @@ impl Controller {
                 continue; // nothing to optimize this interval
             }
             let optimizer = Optimizer::new(&self.regions, &self.inter, &workload)
-                .expect("workload validated non-empty");
+                .expect("workload validated non-empty")
+                .with_allowed_regions(allowed);
             let solution = optimizer.solve(&constraint);
             let mut configuration = solution.configuration();
 
@@ -243,19 +486,35 @@ impl Controller {
             let mut forced_regions = Vec::new();
             if let Some(policy) = self.mitigation {
                 let evaluator = optimizer.evaluator();
-                // Retract previously forced regions that no longer help.
+                // Retract previously forced regions that no longer help —
+                // or whose broker has since become unreachable.
                 let previous = self.forced.remove(&topic).unwrap_or_default();
-                let retained = retract_unneeded(evaluator, configuration, &previous, &constraint);
+                let retained: Vec<RegionId> =
+                    retract_unneeded(evaluator, configuration, &previous, &constraint)
+                        .into_iter()
+                        .filter(|&region| allowed.contains(region))
+                        .collect();
                 let mut assignment = configuration.assignment();
                 for &region in &retained {
                     assignment = assignment.with(region);
                 }
                 configuration = Configuration::new(assignment, configuration.mode());
                 // Scan for (new) stragglers and force-add helpful regions.
+                // The scan considers every region; strip any force-added
+                // region that cannot actually serve right now.
                 let outcome = mitigate(evaluator, configuration, &constraint, &policy);
-                configuration = outcome.configuration;
+                let mut assignment = outcome.configuration.assignment();
+                let mut added = Vec::new();
+                for region in outcome.added {
+                    if allowed.contains(region) {
+                        added.push(region);
+                    } else if let Some(stripped) = assignment.without(region) {
+                        assignment = stripped;
+                    }
+                }
+                configuration = Configuration::new(assignment, outcome.configuration.mode());
                 forced_regions = retained;
-                forced_regions.extend(outcome.added);
+                forced_regions.extend(added);
                 if !forced_regions.is_empty() {
                     self.forced.insert(topic.clone(), forced_regions.clone());
                 }
@@ -295,6 +554,7 @@ impl Controller {
                 deployed,
                 unknown_clients,
                 forced_regions,
+                excluded_regions: excluded.clone(),
             });
         }
         multipub_obs::event!(
@@ -307,8 +567,11 @@ impl Controller {
         decisions
     }
 
-    /// Pushes a configuration to every broker (which fan it out to their
-    /// clients) and records it as installed.
+    /// Pushes a configuration to every *live* broker (which fan it out to
+    /// their clients) and records it as installed. Brokers that are down
+    /// pick the configuration up on their next controller round after
+    /// recovery — until then their clients keep steering by the previous
+    /// one, which is safe (at-least-once across config changes).
     pub fn deploy(&mut self, topic: &str, configuration: Configuration) {
         let update = Frame::ConfigUpdate {
             topic: topic.to_string(),
@@ -316,7 +579,9 @@ impl Controller {
             mode: configuration.mode().into(),
         };
         for link in &self.links {
-            link.outbound.send(&update);
+            if let Some(state) = &link.state {
+                state.outbound.send(&update);
+            }
         }
         self.installed.insert(topic.to_string(), configuration);
     }

@@ -109,9 +109,17 @@ impl DelayTable {
     }
 }
 
-/// Converts non-negative milliseconds to a [`Duration`].
+/// Converts milliseconds to a [`Duration`], clamping rather than
+/// panicking on hostile input: negative, NaN and infinite values become
+/// zero (`Duration::from_secs_f64` would panic on them), and absurdly
+/// large finite values are capped at ~11.5 days so a corrupt latency
+/// table cannot wedge a writer task forever.
 pub fn duration_from_ms(ms: f64) -> Duration {
-    Duration::from_secs_f64((ms.max(0.0)) / 1000.0)
+    const MAX_MS: f64 = 1e9;
+    if !ms.is_finite() || ms <= 0.0 {
+        return Duration::ZERO;
+    }
+    Duration::from_secs_f64(ms.min(MAX_MS) / 1000.0)
 }
 
 #[cfg(test)]
@@ -203,5 +211,13 @@ mod tests {
     fn duration_conversion_clamps_negative() {
         assert_eq!(duration_from_ms(-5.0), Duration::ZERO);
         assert_eq!(duration_from_ms(1.5), Duration::from_micros(1500));
+    }
+
+    #[test]
+    fn duration_conversion_never_panics() {
+        assert_eq!(duration_from_ms(f64::NAN), Duration::ZERO);
+        assert_eq!(duration_from_ms(f64::INFINITY), Duration::ZERO);
+        assert_eq!(duration_from_ms(f64::NEG_INFINITY), Duration::ZERO);
+        assert_eq!(duration_from_ms(1e300), Duration::from_secs(1_000_000));
     }
 }

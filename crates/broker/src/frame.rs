@@ -186,7 +186,12 @@ pub enum Frame {
         /// Delivery mode.
         mode: WireMode,
     },
-    /// Latency probe.
+    /// Latency probe — and keepalive. [`crate::probe`] times Ping/Pong
+    /// round trips; clients with
+    /// [`crate::client::ClientConfig::keepalive`] set (and outbound peer
+    /// links on brokers with an idle timeout) also send periodic Pings so
+    /// a broker's idle deadline sees traffic on otherwise-quiet but
+    /// healthy connections.
     Ping {
         /// Echoed back in the matching [`Frame::Pong`].
         nonce: u64,

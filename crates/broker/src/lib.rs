@@ -19,6 +19,9 @@
 //!   publishing to one or all regions depending on the delivery mode).
 //! * [`delay`] — a WAN latency injector so a whole multi-region
 //!   deployment can run on loopback with realistic one-way delays.
+//! * [`session`] — fault-tolerance primitives: reconnect backoff with
+//!   decorrelated jitter and the bounded publication buffer clients use
+//!   to ride out broker outages.
 //!
 //! The paper's simplification is kept: one broker per region (Dynamoth
 //! handles intra-region scale-out in the original system; see DESIGN.md
@@ -57,5 +60,6 @@ pub mod controller;
 pub mod delay;
 pub mod frame;
 pub mod probe;
+pub mod session;
 
-pub use conn::BrokerError;
+pub use conn::{read_frame, BrokerError};

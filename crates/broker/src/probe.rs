@@ -22,18 +22,19 @@ use tokio::net::TcpStream;
 ///
 /// # Errors
 ///
-/// Returns a connection or protocol error if the broker is unreachable or
+/// Returns [`BrokerError::InvalidArgument`] when `samples` is zero, and a
+/// connection or protocol error if the broker is unreachable or
 /// misbehaves.
-///
-/// # Panics
-///
-/// Panics if `samples` is zero.
 pub async fn probe_one_way(
     addr: SocketAddr,
     client_id: u64,
     samples: usize,
 ) -> Result<Duration, BrokerError> {
-    assert!(samples > 0, "at least one sample is required");
+    if samples == 0 {
+        return Err(BrokerError::InvalidArgument {
+            message: "at least one probe sample is required".to_string(),
+        });
+    }
     let stream = TcpStream::connect(addr).await?;
     stream.set_nodelay(true).ok();
     let (mut read_half, write_half) = stream.into_split();
@@ -64,7 +65,11 @@ pub async fn probe_one_way(
         }
     }
     round_trips.sort_unstable();
-    Ok(round_trips[round_trips.len() / 2] / 2)
+    let median =
+        round_trips.get(round_trips.len() / 2).copied().ok_or(BrokerError::InvalidArgument {
+            message: "no probe samples collected".to_string(),
+        })?;
+    Ok(median / 2)
 }
 
 /// Probes every broker of a deployment, returning the client's one-way
@@ -119,5 +124,12 @@ mod tests {
     async fn probe_unreachable_broker_fails() {
         let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
         assert!(probe_one_way(addr, 1, 1).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn zero_samples_is_an_error_not_a_panic() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let err = probe_one_way(addr, 1, 0).await.unwrap_err();
+        assert!(matches!(err, BrokerError::InvalidArgument { .. }), "got {err}");
     }
 }

@@ -1,0 +1,294 @@
+//! Client-session fault-tolerance primitives: reconnect backoff policy
+//! and the bounded publication buffer.
+//!
+//! These types are deliberately free of I/O so they can be unit-tested
+//! exhaustively; `client.rs` wires them into the subscriber actor and the
+//! publisher send path.
+//!
+//! The backoff schedule implements *decorrelated jitter* (each delay is
+//! drawn uniformly from `[base, min(cap, 3 × previous)]`), which spreads
+//! reconnect storms across time far better than plain exponential
+//! doubling. The RNG is a tiny SplitMix64 — the broker crate has no
+//! external RNG dependency and the sequence only needs to be
+//! well-distributed, not cryptographic — seeded per client so test runs
+//! are reproducible.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Reconnect backoff policy: base delay, cap, and an optional attempt
+/// limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Minimum (and first) delay between reconnect attempts.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Give up after this many consecutive failed attempts; `None` retries
+    /// forever.
+    pub max_attempts: Option<u32>,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(10),
+            max_attempts: None,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// A policy with the given base and cap that retries forever.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        ReconnectPolicy { base, cap, max_attempts: None }
+    }
+
+    /// Returns a copy with an attempt limit.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = Some(max_attempts);
+        self
+    }
+
+    /// Starts a backoff schedule under this policy, seeded for
+    /// reproducibility (seed with the client id so distinct clients
+    /// decorrelate).
+    pub fn backoff(&self, seed: u64) -> Backoff {
+        Backoff { policy: *self, prev: None, attempts: 0, rng: SplitMix64::new(seed) }
+    }
+}
+
+/// One reconnect episode: yields successive delays under a
+/// [`ReconnectPolicy`] until the attempt limit is exhausted.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: ReconnectPolicy,
+    prev: Option<Duration>,
+    attempts: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// The next delay to sleep before retrying, or `None` once the policy's
+    /// attempt limit is exhausted.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if let Some(max) = self.policy.max_attempts {
+            if self.attempts >= max {
+                return None;
+            }
+        }
+        self.attempts += 1;
+        let base = self.policy.base.min(self.policy.cap);
+        let delay = match self.prev {
+            None => base,
+            Some(prev) => {
+                // Decorrelated jitter: uniform in [base, min(cap, 3 × prev)].
+                let upper = prev.saturating_mul(3).min(self.policy.cap).max(base);
+                let span = upper.as_nanos().saturating_sub(base.as_nanos()) as u64;
+                if span == 0 {
+                    base
+                } else {
+                    base + Duration::from_nanos(self.rng.next_u64() % (span + 1))
+                }
+            }
+        };
+        self.prev = Some(delay);
+        Some(delay)
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+/// SplitMix64 — a tiny, fast, well-distributed PRNG (Steele et al.,
+/// "Fast splittable pseudorandom number generators"). Used only for
+/// backoff jitter; never for anything security-sensitive.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A publication held back while every serving region is unreachable.
+/// The serving set is *not* stored: it is re-resolved from the installed
+/// configuration at flush time, so a reconfiguration during the outage
+/// steers buffered traffic correctly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingPublish {
+    /// Destination topic.
+    pub topic: String,
+    /// Attribute headers serialized as JSON (empty for none).
+    pub headers: String,
+    /// Message payload.
+    pub payload: Vec<u8>,
+    /// Original publication timestamp (microseconds since the Unix
+    /// epoch), preserved so end-to-end latency measurements include the
+    /// buffering time.
+    pub publish_micros: u64,
+}
+
+/// A bounded FIFO of publications buffered during an outage.
+///
+/// When full, the *oldest* entry is evicted (and counted as dropped) so
+/// the buffer always holds the freshest window of traffic.
+#[derive(Debug)]
+pub struct PendingQueue {
+    entries: VecDeque<PendingPublish>,
+    limit: usize,
+    dropped: u64,
+}
+
+impl PendingQueue {
+    /// An empty queue holding at most `limit` publications (a limit of 0
+    /// disables buffering entirely: every push is an immediate drop).
+    pub fn new(limit: usize) -> Self {
+        PendingQueue { entries: VecDeque::new(), limit, dropped: 0 }
+    }
+
+    /// Buffers a publication, evicting the oldest entry if the queue is
+    /// full. Returns `true` when the new entry was retained.
+    pub fn push(&mut self, entry: PendingPublish) -> bool {
+        if self.limit == 0 {
+            self.dropped += 1;
+            return false;
+        }
+        while self.entries.len() >= self.limit {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+        true
+    }
+
+    /// Takes the oldest buffered publication.
+    pub fn pop(&mut self) -> Option<PendingPublish> {
+        self.entries.pop_front()
+    }
+
+    /// Puts a publication back at the *front* (used when a flush attempt
+    /// fails midway, preserving FIFO order).
+    pub fn push_front(&mut self, entry: PendingPublish) {
+        self.entries.push_front(entry);
+    }
+
+    /// Number of buffered publications.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total publications evicted or rejected since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u8) -> PendingPublish {
+        PendingPublish {
+            topic: "t".to_string(),
+            headers: String::new(),
+            payload: vec![n],
+            publish_micros: n as u64,
+        }
+    }
+
+    #[test]
+    fn first_delay_is_base_then_within_bounds() {
+        let policy = ReconnectPolicy::new(Duration::from_millis(50), Duration::from_millis(800));
+        let mut backoff = policy.backoff(1);
+        assert_eq!(backoff.next_delay(), Some(Duration::from_millis(50)));
+        let mut prev = Duration::from_millis(50);
+        for _ in 0..32 {
+            let d = backoff.next_delay().unwrap();
+            assert!(d >= policy.base, "delay {d:?} below base");
+            assert!(d <= policy.cap, "delay {d:?} above cap");
+            assert!(d <= prev.saturating_mul(3).min(policy.cap).max(policy.base));
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = ReconnectPolicy::default();
+        let draws = |seed: u64| {
+            let mut b = policy.backoff(seed);
+            (0..16).map(|_| b.next_delay().unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(9), draws(9));
+        assert_ne!(draws(9), draws(10));
+    }
+
+    #[test]
+    fn max_attempts_exhausts() {
+        let policy = ReconnectPolicy::default().with_max_attempts(3);
+        let mut backoff = policy.backoff(0);
+        assert!(backoff.next_delay().is_some());
+        assert!(backoff.next_delay().is_some());
+        assert!(backoff.next_delay().is_some());
+        assert_eq!(backoff.next_delay(), None);
+        assert_eq!(backoff.attempts(), 3);
+    }
+
+    #[test]
+    fn degenerate_policy_yields_base() {
+        let policy = ReconnectPolicy::new(Duration::from_millis(10), Duration::from_millis(10));
+        let mut backoff = policy.backoff(5);
+        for _ in 0..8 {
+            assert_eq!(backoff.next_delay(), Some(Duration::from_millis(10)));
+        }
+    }
+
+    #[test]
+    fn queue_bounds_and_counts_drops() {
+        let mut queue = PendingQueue::new(2);
+        assert!(queue.push(entry(1)));
+        assert!(queue.push(entry(2)));
+        assert!(queue.push(entry(3))); // evicts 1
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.dropped(), 1);
+        assert_eq!(queue.pop().unwrap().payload, vec![2]);
+        assert_eq!(queue.pop().unwrap().payload, vec![3]);
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn zero_limit_disables_buffering() {
+        let mut queue = PendingQueue::new(0);
+        assert!(!queue.push(entry(1)));
+        assert!(queue.is_empty());
+        assert_eq!(queue.dropped(), 1);
+    }
+
+    #[test]
+    fn push_front_preserves_order() {
+        let mut queue = PendingQueue::new(4);
+        queue.push(entry(1));
+        queue.push(entry(2));
+        let head = queue.pop().unwrap();
+        queue.push_front(head);
+        assert_eq!(queue.pop().unwrap().payload, vec![1]);
+        assert_eq!(queue.pop().unwrap().payload, vec![2]);
+    }
+}

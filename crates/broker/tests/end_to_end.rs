@@ -65,6 +65,7 @@ async fn routed_delivery_crosses_regions() {
         region_addrs: addrs.clone(),
         latencies_ms: vec![80.0, 60.0, 5.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     subscriber.subscribe("chat").await.unwrap();
@@ -76,6 +77,7 @@ async fn routed_delivery_crosses_regions() {
         region_addrs: addrs,
         latencies_ms: vec![5.0, 60.0, 80.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     // Default topic config: all regions, routed → one send, forwarded.
@@ -98,6 +100,7 @@ async fn direct_delivery_fans_out_from_the_publisher() {
         region_addrs: addrs.clone(),
         latencies_ms: vec![70.0, 5.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     sub_far.subscribe("scores").await.unwrap();
@@ -106,6 +109,7 @@ async fn direct_delivery_fans_out_from_the_publisher() {
         region_addrs: addrs.clone(),
         latencies_ms: vec![5.0, 70.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     sub_near.subscribe("scores").await.unwrap();
@@ -116,6 +120,7 @@ async fn direct_delivery_fans_out_from_the_publisher() {
         region_addrs: addrs,
         latencies_ms: vec![5.0, 70.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     // The publisher has not heard the config yet (fresh connection), so it
@@ -149,6 +154,7 @@ async fn region_manager_reports_interval_statistics() {
         region_addrs: addrs.clone(),
         latencies_ms: vec![1.0, 50.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     subscriber.subscribe("metrics").await.unwrap();
@@ -159,6 +165,7 @@ async fn region_manager_reports_interval_statistics() {
         region_addrs: addrs,
         latencies_ms: vec![1.0, 50.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     for _ in 0..5 {
@@ -198,6 +205,7 @@ async fn wan_delay_injection_shapes_latency() {
         region_addrs: addrs.clone(),
         latencies_ms: vec![40.0],
         emulate_wan: false, // subscriber side delay injected by the broker
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     subscriber.subscribe("slow").await.unwrap();
@@ -208,6 +216,7 @@ async fn wan_delay_injection_shapes_latency() {
         region_addrs: addrs,
         latencies_ms: vec![25.0],
         emulate_wan: true, // publisher delays its own uplink
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     publisher.publish("slow", &b"x"[..]).await.unwrap();
@@ -256,6 +265,7 @@ async fn controller_optimizes_and_reconfigures_live_clients() {
         region_addrs: addrs.clone(),
         latencies_ms: sub_latencies,
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     subscriber.subscribe("game").await.unwrap();
@@ -267,6 +277,7 @@ async fn controller_optimizes_and_reconfigures_live_clients() {
         region_addrs: addrs,
         latencies_ms: pub_latencies,
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     for _ in 0..10 {
@@ -340,6 +351,7 @@ async fn controller_mitigation_force_adds_a_region_for_stragglers() {
             region_addrs: addrs.clone(),
             latencies_ms: lat,
             emulate_wan: false,
+            ..ClientConfig::new(0, Vec::new())
         })
         .unwrap();
         sub.subscribe("alerts").await.unwrap();
@@ -352,6 +364,7 @@ async fn controller_mitigation_force_adds_a_region_for_stragglers() {
         region_addrs: addrs,
         latencies_ms: vec![5.0, 60.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     for _ in 0..5 {
@@ -385,6 +398,7 @@ async fn content_filters_restrict_deliveries() {
         region_addrs: addrs.clone(),
         latencies_ms: vec![5.0, 70.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     plain.subscribe("ticks").await.unwrap();
@@ -393,6 +407,7 @@ async fn content_filters_restrict_deliveries() {
         region_addrs: addrs.clone(),
         latencies_ms: vec![70.0, 5.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     filtered.subscribe_filtered("ticks", r#"symbol =^ "A" && price < 100"#).await.unwrap();
@@ -403,6 +418,7 @@ async fn content_filters_restrict_deliveries() {
         region_addrs: addrs,
         latencies_ms: vec![5.0, 70.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
 
@@ -452,6 +468,7 @@ async fn reconfiguration_loses_no_messages_during_switch() {
         region_addrs: addrs.clone(),
         latencies_ms: vec![5.0, 70.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     subscriber.subscribe("stream").await.unwrap();
@@ -462,6 +479,7 @@ async fn reconfiguration_loses_no_messages_during_switch() {
         region_addrs: addrs,
         latencies_ms: vec![70.0, 5.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
 
@@ -493,6 +511,7 @@ async fn stats_snapshot_reports_publish_and_delivery_metrics() {
         region_addrs: addrs.clone(),
         latencies_ms: vec![5.0, 70.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     subscriber.subscribe("observed").await.unwrap();
@@ -503,6 +522,7 @@ async fn stats_snapshot_reports_publish_and_delivery_metrics() {
         region_addrs: addrs,
         latencies_ms: vec![5.0, 70.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })
     .unwrap();
     for i in 0..3 {

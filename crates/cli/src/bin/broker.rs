@@ -4,6 +4,8 @@
 //! multipub-broker --region 0 --bind 0.0.0.0:9000 \
 //!     --peer 1=10.0.1.5:9000 --peer 2=10.0.2.5:9000 \
 //!     [--region-delays 0,40,90] \         # WAN emulation (ms, testing)
+//!     [--idle-timeout 30000] \            # reap silent connections (ms)
+//!     [--keepalive 10000] \               # peer-link heartbeat (ms)
 //!     [--metrics-addr 0.0.0.0:9464]       # Prometheus scrape endpoint
 //! ```
 //!
@@ -21,7 +23,8 @@ use std::net::SocketAddr;
 
 const USAGE: &str = "usage: multipub-broker --region <idx> [--bind <addr>] \
                      [--peer <idx>=<addr>]... [--region-delays <ms,ms,...>] \
-                     [--client-delay <id>=<ms>]... [--metrics-addr <addr>]";
+                     [--client-delay <id>=<ms>]... [--idle-timeout <ms>] \
+                     [--keepalive <ms>] [--metrics-addr <addr>]";
 
 async fn run() -> Result<(), String> {
     let args = Args::from_env()?;
@@ -43,6 +46,14 @@ async fn run() -> Result<(), String> {
     }
 
     let mut builder = Broker::builder(RegionId(region)).bind(bind).delays(delays);
+    if let Some(ms) = args.get("idle-timeout") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --idle-timeout (ms)".to_string())?;
+        builder = builder.idle_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = args.get("keepalive") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --keepalive (ms)".to_string())?;
+        builder = builder.peer_keepalive(std::time::Duration::from_millis(ms));
+    }
     for spec in args.get_all("peer") {
         let (peer_region, addr) = parse_pair::<u8>(spec)?;
         let addr: SocketAddr = addr.parse().map_err(|_| format!("bad peer address in {spec:?}"))?;

@@ -9,6 +9,8 @@
 //!     --constraint game/scores=95:150 \
 //!     --client 42=10,80,120 \                            # client latency rows (ms per region)
 //!     --interval 30 --rounds 0 --mitigate true \
+//!     --connect-timeout 2000 \                           # per-broker dial timeout (ms)
+//!     --reconnect-backoff 100:10000 \                    # redial backoff base:cap (ms)
 //!     --metrics-addr 0.0.0.0:9465
 //! ```
 //!
@@ -17,6 +19,10 @@
 //! until Ctrl-C. With `--metrics-addr` the controller serves its metrics
 //! registry (round timings, feasibility counts) in Prometheus text
 //! format.
+//!
+//! Unreachable brokers no longer abort startup: they are reported,
+//! excluded from optimization, and re-dialed in the background (with the
+//! `--reconnect-backoff` schedule) until they answer.
 
 use multipub_broker::controller::Controller;
 use multipub_cli::{parse_f64_list, parse_pair, Args};
@@ -31,6 +37,7 @@ const USAGE: &str = "usage: multipub-controller --broker <addr>... \
                      [--constraint <topic>=<ratio>:<max_ms>]... \
                      [--client <id>=<ms,ms,...>]... \
                      [--interval <secs>] [--rounds <n>] [--mitigate true] \
+                     [--connect-timeout <ms>] [--reconnect-backoff <base_ms>:<cap_ms>] \
                      [--metrics-addr <addr>]";
 
 fn parse_constraint(text: &str) -> Result<DeliveryConstraint, String> {
@@ -77,6 +84,31 @@ async fn run() -> Result<(), String> {
     let mut controller = Controller::connect(regions, inter, &brokers, default_constraint)
         .await
         .map_err(|e| e.to_string())?;
+    let unreachable = controller.unreachable_regions();
+    if !unreachable.is_empty() {
+        println!(
+            "multipub-controller: {} of {} brokers unreachable at startup \
+             (regions {:?}); optimizing over the rest and re-dialing in \
+             the background",
+            unreachable.len(),
+            brokers.len(),
+            unreachable,
+        );
+    }
+    if let Some(ms) = args.get("connect-timeout") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --connect-timeout (ms)".to_string())?;
+        controller.set_connect_timeout(Duration::from_millis(ms));
+    }
+    if let Some(spec) = args.get("reconnect-backoff") {
+        let (base, cap) =
+            spec.split_once(':').ok_or_else(|| format!("expected base_ms:cap_ms, got {spec:?}"))?;
+        let base: u64 = base.parse().map_err(|_| format!("bad base in {spec:?}"))?;
+        let cap: u64 = cap.parse().map_err(|_| format!("bad cap in {spec:?}"))?;
+        controller.set_redial_policy(multipub_broker::session::ReconnectPolicy::new(
+            Duration::from_millis(base),
+            Duration::from_millis(cap),
+        ));
+    }
 
     for spec in args.get_all("constraint") {
         let (topic, constraint) = spec
@@ -124,7 +156,7 @@ async fn run() -> Result<(), String> {
         println!("round {completed}: {} topic(s)", decisions.len());
         for decision in &decisions {
             println!(
-                "  {} -> {} | {:.1} ms | ${:.6}/interval | feasible {} | deployed {}{}",
+                "  {} -> {} | {:.1} ms | ${:.6}/interval | feasible {} | deployed {}{}{}",
                 decision.topic,
                 decision.configuration,
                 decision.percentile_ms,
@@ -135,6 +167,11 @@ async fn run() -> Result<(), String> {
                     String::new()
                 } else {
                     format!(" | forced {:?}", decision.forced_regions)
+                },
+                if decision.excluded_regions.is_empty() {
+                    String::new()
+                } else {
+                    format!(" | excluded {:?}", decision.excluded_regions)
                 },
             );
         }

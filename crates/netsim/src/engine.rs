@@ -16,7 +16,15 @@
 //! Each hop takes its base latency from the matrices plus an optional
 //! jitter sample, so a jitter-free run reproduces the analytic model
 //! exactly.
+//!
+//! When the scenario carries a [`crate::faults::FaultPlan`], every hop is
+//! additionally subject to seeded packet loss, arrival at a region inside
+//! an outage window kills the message copy (the broker is "down"), and
+//! active link degradations stretch inter-region forwards. All fault
+//! draws come from their own RNG stream, so a quiet plan reproduces
+//! fault-free runs bit for bit.
 
+use crate::faults::FaultInjector;
 use crate::jitter::{Jitter, JitterSource};
 use crate::metrics::{DeliveryRecord, SimReport, TrafficLedger};
 use crate::queue::EventQueue;
@@ -113,9 +121,11 @@ pub struct Engine {
     routing: Vec<TopicRouting>,
     queue: EventQueue<Event>,
     jitter: JitterSource,
+    faults: FaultInjector,
     deliveries: Vec<DeliveryRecord>,
     ledger: TrafficLedger,
     published_count: u64,
+    lost_count: u64,
 }
 
 impl Engine {
@@ -125,15 +135,24 @@ impl Engine {
         let routing =
             (0..scenario.topics().len()).map(|i| TopicRouting::new(&scenario, i)).collect();
         let n_regions = scenario.regions().len();
+        let faults = FaultInjector::new(scenario.fault_plan().clone(), seed);
         Engine {
             scenario,
             routing,
             queue: EventQueue::new(),
             jitter: JitterSource::new(jitter, seed),
+            faults,
             deliveries: Vec::new(),
             ledger: TrafficLedger::new(n_regions),
             published_count: 0,
+            lost_count: 0,
         }
+    }
+
+    /// Records the loss of one in-flight message copy.
+    fn lose_copy(&mut self) {
+        self.lost_count += 1;
+        multipub_obs::counter!("multipub_netsim_lost_total").inc();
     }
 
     /// Schedules a configuration change for a topic at a point in
@@ -176,7 +195,13 @@ impl Engine {
         while let Some((now, event)) = self.queue.pop() {
             self.handle(now, event);
         }
-        SimReport::new(self.deliveries, self.ledger, self.published_count, duration_ms)
+        SimReport::new(
+            self.deliveries,
+            self.ledger,
+            self.published_count,
+            self.lost_count,
+            duration_ms,
+        )
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {
@@ -216,6 +241,10 @@ impl Engine {
                 // inbound traffic is free, so nothing is billed here.
                 let targets = routing.serving.clone();
                 for region in targets {
+                    if self.faults.drop_packet() {
+                        self.lose_copy();
+                        continue;
+                    }
                     let hop = pub_latencies[region.index()] + self.jitter.sample();
                     self.queue.schedule(
                         now + hop,
@@ -230,6 +259,10 @@ impl Engine {
                 }
             }
             DeliveryMode::Routed => {
+                if self.faults.drop_packet() {
+                    self.lose_copy();
+                    return;
+                }
                 let home = self.routing[topic].publisher_home[publisher];
                 let hop = pub_latencies[home.index()] + self.jitter.sample();
                 self.queue.schedule(
@@ -255,16 +288,30 @@ impl Engine {
         published_at: SimTime,
         deliver_only: bool,
     ) {
+        // A region inside an outage window has no broker: the arriving
+        // copy (and everything it would have produced downstream) dies.
+        if self.faults.region_down(region, now) {
+            self.lose_copy();
+            return;
+        }
+
         let size = self.scenario.topics()[topic].publishers()[publisher].size_bytes();
 
         // Routed first hop: forward to the other serving regions, billing
-        // inter-region egress at this region's α rate.
+        // inter-region egress at this region's α rate. Egress is billed at
+        // send time, so copies lost in flight still cost money.
         if !deliver_only {
             let peers: Vec<RegionId> =
                 self.routing[topic].serving.iter().copied().filter(|&r| r != region).collect();
             for peer in peers {
-                let hop = self.scenario.inter().latency(region, peer) + self.jitter.sample();
                 self.ledger.record_inter_region(region, size);
+                if self.faults.drop_packet() {
+                    self.lose_copy();
+                    continue;
+                }
+                let hop = self.scenario.inter().latency(region, peer)
+                    + self.faults.extra_link_ms(region, peer, now)
+                    + self.jitter.sample();
                 self.queue.schedule(
                     now + hop,
                     Event::RegionReceive {
@@ -283,10 +330,14 @@ impl Engine {
         let locals = self.routing[topic].local_subscribers[region.index()].clone();
         for subscriber in locals {
             debug_assert_eq!(self.routing[topic].subscriber_region[subscriber], region);
+            self.ledger.record_internet(region, size);
+            if self.faults.drop_packet() {
+                self.lose_copy();
+                continue;
+            }
             let latency = self.scenario.topics()[topic].subscribers()[subscriber].latencies()
                 [region.index()]
                 + self.jitter.sample();
-            self.ledger.record_internet(region, size);
             self.queue.schedule(
                 now + latency,
                 Event::Deliver { topic, subscriber, publisher, published_at },
@@ -492,6 +543,157 @@ mod tests {
             9,
             Configuration::new(AssignmentVector::all(2).unwrap(), DeliveryMode::Direct),
         );
+    }
+
+    #[test]
+    fn full_packet_loss_drops_every_delivery() {
+        let scenario = two_region_scenario(DeliveryMode::Direct)
+            .with_fault_plan(crate::faults::FaultPlan::none().with_loss_rate(1.0));
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        assert_eq!(report.delivery_count(), 0);
+        // 10 publications × 2 serving regions, every uplink copy dropped.
+        assert_eq!(report.lost_count(), 20);
+        assert_eq!(report.published_count(), 10);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let scenario = two_region_scenario(DeliveryMode::Routed)
+                .with_fault_plan(crate::faults::FaultPlan::none().with_loss_rate(0.4));
+            Engine::new(scenario, Jitter::uniform(5.0), seed).run(1000.0)
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b);
+        assert!(a.lost_count() > 0, "rate 0.4 should lose something");
+        assert!(a.delivery_count() > 0, "rate 0.4 should deliver something");
+    }
+
+    fn one_region_topic(region: u8) -> TopicScenario {
+        TopicScenario::new(
+            TopicId::new("t"),
+            Configuration::new(
+                AssignmentVector::single(RegionId(region), 2).unwrap(),
+                DeliveryMode::Direct,
+            ),
+            vec![SimPublisher::new(ClientId(0), vec![5.0, 60.0], 10.0, 1000)],
+            vec![SimSubscriber::new(ClientId(1), vec![4.0, 70.0])],
+        )
+    }
+
+    #[test]
+    fn outage_window_kills_in_window_arrivals() {
+        let regions = RegionSet::new(vec![
+            Region::new("a", "A", 0.02, 0.09),
+            Region::new("b", "B", 0.09, 0.14),
+        ])
+        .unwrap();
+        let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let scenario = Scenario::new(regions, inter, vec![one_region_topic(0)]).with_fault_plan(
+            crate::faults::FaultPlan::none().with_outage(crate::faults::RegionOutage::new(
+                RegionId(0),
+                300.0,
+                700.0,
+            )),
+        );
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        // Publications at 0, 100, …, 900 arrive at the broker 5 ms later;
+        // the four arrivals at 305, 405, 505, 605 die with the broker.
+        assert_eq!(report.lost_count(), 4);
+        assert_eq!(report.delivery_count(), 6);
+        for d in report.deliveries() {
+            let arrival = d.published_at.as_ms() + 5.0;
+            assert!(!(300.0..700.0).contains(&arrival), "in-window arrival survived: {arrival}");
+            assert!((d.latency_ms() - 9.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconfiguration_reconverges_after_outage() {
+        // Region 0 dies over [300, 700); the controller's round at t = 500
+        // moves the topic to region 1. Deliveries must stop during the
+        // outage and resume — deterministically — after the switch.
+        let regions = RegionSet::new(vec![
+            Region::new("a", "A", 0.02, 0.09),
+            Region::new("b", "B", 0.09, 0.14),
+        ])
+        .unwrap();
+        let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 40.0], vec![40.0, 0.0]]).unwrap();
+        let topic = TopicScenario::new(
+            TopicId::new("t"),
+            Configuration::new(
+                AssignmentVector::single(RegionId(0), 2).unwrap(),
+                DeliveryMode::Direct,
+            ),
+            vec![SimPublisher::new(ClientId(0), vec![5.0, 60.0], 10.0, 1000)],
+            vec![SimSubscriber::new(ClientId(1), vec![70.0, 6.0])],
+        );
+        let scenario = Scenario::new(regions, inter, vec![topic]).with_fault_plan(
+            crate::faults::FaultPlan::none().with_outage(crate::faults::RegionOutage::new(
+                RegionId(0),
+                300.0,
+                700.0,
+            )),
+        );
+        let run = || {
+            let mut engine = Engine::new(scenario.clone(), Jitter::disabled(), 42);
+            engine.schedule_reconfiguration(
+                500.0,
+                0,
+                Configuration::new(
+                    AssignmentVector::single(RegionId(1), 2).unwrap(),
+                    DeliveryMode::Direct,
+                ),
+            );
+            engine.run(1000.0)
+        };
+        let report = run();
+        assert_eq!(report, run(), "fault scenario must be deterministic");
+        // Publications at 300 and 400 arrive at the dead region 0.
+        assert_eq!(report.lost_count(), 2);
+        assert_eq!(report.delivery_count(), 8);
+        for d in report.deliveries() {
+            let expected = if d.published_at.as_ms() < 500.0 {
+                5.0 + 70.0 // via region 0, before the outage
+            } else {
+                60.0 + 6.0 // via region 1, after re-optimization
+            };
+            assert!((d.latency_ms() - expected).abs() < 1e-9);
+        }
+        // Reconvergence: the first post-outage delivery is the t = 500
+        // publication, landing 266 ms after the outage began.
+        let first_after = report
+            .deliveries()
+            .iter()
+            .filter(|d| d.published_at.as_ms() >= 300.0)
+            .map(|d| d.delivered_at.as_ms())
+            .fold(f64::INFINITY, f64::min);
+        assert!((first_after - 566.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_degradation_stretches_routed_forwards() {
+        let scenario = two_region_scenario(DeliveryMode::Routed).with_fault_plan(
+            crate::faults::FaultPlan::none().with_degradation(crate::faults::LinkDegradation::new(
+                RegionId(0),
+                RegionId(1),
+                0.0,
+                2000.0,
+                50.0,
+            )),
+        );
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        assert_eq!(report.delivery_count(), 20);
+        assert_eq!(report.lost_count(), 0);
+        for d in report.deliveries() {
+            let expected = match d.subscriber {
+                ClientId(1) => 5.0 + 4.0,               // local, unaffected
+                ClientId(2) => 5.0 + 40.0 + 50.0 + 6.0, // degraded forward
+                _ => unreachable!(),
+            };
+            assert!((d.latency_ms() - expected).abs() < 1e-9);
+        }
     }
 
     #[test]

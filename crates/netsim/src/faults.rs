@@ -1,0 +1,320 @@
+//! Deterministic fault injection for the discrete-event simulator.
+//!
+//! A [`FaultPlan`] describes *what* goes wrong during a run:
+//!
+//! * a uniform per-hop **packet-loss rate**, sampled from a dedicated
+//!   seeded RNG so loss patterns are reproducible and independent of the
+//!   jitter stream;
+//! * **region-outage windows** — while a region is down, every message
+//!   copy arriving at its broker is dropped, exactly as if the process
+//!   had been killed;
+//! * **link-degradation events** — extra one-way latency on a directed
+//!   inter-region link during a time window, modelling WAN brownouts.
+//!
+//! The engine consults a [`FaultInjector`] (plan + RNG) at every hop.
+//! With the default quiet plan no RNG draws happen at all, so existing
+//! fault-free runs remain bit-for-bit identical to previous releases.
+
+use crate::time::SimTime;
+use multipub_core::ids::RegionId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduled full outage of one region's broker.
+///
+/// The window is half-open: the region is down for arrival times `t` with
+/// `start_ms <= t < end_ms`. Message copies *arriving* at the region
+/// inside the window are dropped; copies already past the region are
+/// unaffected (they left before the crash).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionOutage {
+    region: RegionId,
+    start_ms: f64,
+    end_ms: f64,
+}
+
+impl RegionOutage {
+    /// Creates an outage window for `region` over `[start_ms, end_ms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite, negative, or out of order.
+    pub fn new(region: RegionId, start_ms: f64, end_ms: f64) -> Self {
+        assert!(
+            start_ms.is_finite() && end_ms.is_finite() && 0.0 <= start_ms && start_ms < end_ms,
+            "outage window must satisfy 0 <= start < end"
+        );
+        RegionOutage { region, start_ms, end_ms }
+    }
+
+    /// The affected region.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Window start (inclusive), in milliseconds.
+    pub fn start_ms(&self) -> f64 {
+        self.start_ms
+    }
+
+    /// Window end (exclusive), in milliseconds.
+    pub fn end_ms(&self) -> f64 {
+        self.end_ms
+    }
+
+    /// Whether the region is down at simulated time `at`.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start_ms <= at.as_ms() && at.as_ms() < self.end_ms
+    }
+}
+
+/// Extra one-way latency on the directed inter-region link `from -> to`
+/// during `[start_ms, end_ms)` — a WAN brownout rather than a hard
+/// failure. The degradation is applied to forwards whose *departure*
+/// time falls inside the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegradation {
+    from: RegionId,
+    to: RegionId,
+    start_ms: f64,
+    end_ms: f64,
+    extra_ms: f64,
+}
+
+impl LinkDegradation {
+    /// Creates a degradation of `extra_ms` on the link `from -> to` over
+    /// `[start_ms, end_ms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window bounds are invalid (see [`RegionOutage::new`])
+    /// or `extra_ms` is not finite and non-negative.
+    pub fn new(from: RegionId, to: RegionId, start_ms: f64, end_ms: f64, extra_ms: f64) -> Self {
+        assert!(
+            start_ms.is_finite() && end_ms.is_finite() && 0.0 <= start_ms && start_ms < end_ms,
+            "degradation window must satisfy 0 <= start < end"
+        );
+        assert!(extra_ms.is_finite() && extra_ms >= 0.0, "extra latency must be non-negative");
+        LinkDegradation { from, to, start_ms, end_ms, extra_ms }
+    }
+
+    /// Source region of the degraded link.
+    pub fn from(&self) -> RegionId {
+        self.from
+    }
+
+    /// Destination region of the degraded link.
+    pub fn to(&self) -> RegionId {
+        self.to
+    }
+
+    /// Extra one-way latency while active, in milliseconds.
+    pub fn extra_ms(&self) -> f64 {
+        self.extra_ms
+    }
+
+    /// Whether the degradation is active at simulated time `at`.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start_ms <= at.as_ms() && at.as_ms() < self.end_ms
+    }
+}
+
+/// A complete fault schedule for one simulation run.
+///
+/// The default plan is quiet: no loss, no outages, no degradations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    loss_rate: f64,
+    outages: Vec<RegionOutage>,
+    degradations: Vec<LinkDegradation>,
+}
+
+impl FaultPlan {
+    /// The quiet plan: nothing fails.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets a uniform per-hop packet-loss probability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_loss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be within [0, 1]");
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Adds a region-outage window.
+    pub fn with_outage(mut self, outage: RegionOutage) -> Self {
+        self.outages.push(outage);
+        self
+    }
+
+    /// Adds a link-degradation event.
+    pub fn with_degradation(mut self, degradation: LinkDegradation) -> Self {
+        self.degradations.push(degradation);
+        self
+    }
+
+    /// The per-hop loss probability.
+    pub fn loss_rate(&self) -> f64 {
+        self.loss_rate
+    }
+
+    /// The scheduled outages.
+    pub fn outages(&self) -> &[RegionOutage] {
+        &self.outages
+    }
+
+    /// The scheduled degradations.
+    pub fn degradations(&self) -> &[LinkDegradation] {
+        &self.degradations
+    }
+
+    /// `true` when the plan injects no faults at all.
+    pub fn is_quiet(&self) -> bool {
+        self.loss_rate == 0.0 && self.outages.is_empty() && self.degradations.is_empty()
+    }
+
+    /// Whether `region` is inside any outage window at time `at`.
+    pub fn region_down(&self, region: RegionId, at: SimTime) -> bool {
+        self.outages.iter().any(|o| o.region == region && o.contains(at))
+    }
+
+    /// Total extra latency active on the directed link `from -> to` at
+    /// time `at` (overlapping degradations add up).
+    pub fn extra_link_ms(&self, from: RegionId, to: RegionId, at: SimTime) -> f64 {
+        self.degradations
+            .iter()
+            .filter(|d| d.from == from && d.to == to && d.contains(at))
+            .map(|d| d.extra_ms)
+            .sum()
+    }
+}
+
+/// A [`FaultPlan`] paired with its own seeded RNG for loss sampling.
+///
+/// Loss draws come from a stream independent of the jitter RNG, so
+/// enabling jitter does not change *which* messages are lost and vice
+/// versa.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`, deriving the loss RNG from `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        // Decorrelate from the jitter stream, which is seeded with the raw
+        // engine seed.
+        let rng = StdRng::seed_from_u64(seed ^ 0xFA17_7013_u64);
+        FaultInjector { plan, rng }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Samples whether the next hop drops its packet. Draws from the RNG
+    /// only when the loss rate is positive, so quiet plans stay
+    /// deterministic regardless of seed.
+    pub fn drop_packet(&mut self) -> bool {
+        self.plan.loss_rate > 0.0 && self.rng.random::<f64>() < self.plan.loss_rate
+    }
+
+    /// Whether `region` is down at time `at` (see [`FaultPlan::region_down`]).
+    pub fn region_down(&self, region: RegionId, at: SimTime) -> bool {
+        self.plan.region_down(region, at)
+    }
+
+    /// Active extra latency on `from -> to` at `at` (see
+    /// [`FaultPlan::extra_link_ms`]).
+    pub fn extra_link_ms(&self, from: RegionId, to: RegionId, at: SimTime) -> f64 {
+        self.plan.extra_link_ms(from, to, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_quiet());
+        assert!(!plan.region_down(RegionId(0), SimTime::from_ms(100.0)));
+        assert_eq!(plan.extra_link_ms(RegionId(0), RegionId(1), SimTime::from_ms(100.0)), 0.0);
+        let mut injector = FaultInjector::new(plan, 7);
+        for _ in 0..100 {
+            assert!(!injector.drop_packet());
+        }
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let outage = RegionOutage::new(RegionId(1), 300.0, 700.0);
+        let plan = FaultPlan::none().with_outage(outage);
+        assert!(!plan.region_down(RegionId(1), SimTime::from_ms(299.9)));
+        assert!(plan.region_down(RegionId(1), SimTime::from_ms(300.0)));
+        assert!(plan.region_down(RegionId(1), SimTime::from_ms(699.9)));
+        assert!(!plan.region_down(RegionId(1), SimTime::from_ms(700.0)));
+        // Other regions unaffected.
+        assert!(!plan.region_down(RegionId(0), SimTime::from_ms(500.0)));
+    }
+
+    #[test]
+    fn degradations_are_directed_and_additive() {
+        let plan = FaultPlan::none()
+            .with_degradation(LinkDegradation::new(RegionId(0), RegionId(1), 0.0, 500.0, 30.0))
+            .with_degradation(LinkDegradation::new(RegionId(0), RegionId(1), 400.0, 600.0, 20.0));
+        let at = |ms| SimTime::from_ms(ms);
+        assert_eq!(plan.extra_link_ms(RegionId(0), RegionId(1), at(100.0)), 30.0);
+        assert_eq!(plan.extra_link_ms(RegionId(0), RegionId(1), at(450.0)), 50.0);
+        assert_eq!(plan.extra_link_ms(RegionId(0), RegionId(1), at(550.0)), 20.0);
+        assert_eq!(plan.extra_link_ms(RegionId(0), RegionId(1), at(600.0)), 0.0);
+        // The reverse direction is untouched.
+        assert_eq!(plan.extra_link_ms(RegionId(1), RegionId(0), at(100.0)), 0.0);
+    }
+
+    #[test]
+    fn loss_sampling_is_deterministic_per_seed() {
+        let draws = |seed: u64| {
+            let mut injector = FaultInjector::new(FaultPlan::none().with_loss_rate(0.5), seed);
+            (0..64).map(|_| injector.drop_packet()).collect::<Vec<bool>>()
+        };
+        assert_eq!(draws(3), draws(3));
+        assert_ne!(draws(3), draws(4));
+        assert!(draws(3).iter().any(|&d| d), "rate 0.5 should drop something in 64 draws");
+        assert!(!draws(3).iter().all(|&d| d), "rate 0.5 should pass something in 64 draws");
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut injector = FaultInjector::new(FaultPlan::none().with_loss_rate(1.0), 0);
+        for _ in 0..32 {
+            assert!(injector.drop_packet());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate must be within [0, 1]")]
+    fn loss_rate_out_of_range_rejected() {
+        let _ = FaultPlan::none().with_loss_rate(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outage window must satisfy")]
+    fn inverted_outage_window_rejected() {
+        let _ = RegionOutage::new(RegionId(0), 700.0, 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "extra latency must be non-negative")]
+    fn negative_degradation_rejected() {
+        let _ = LinkDegradation::new(RegionId(0), RegionId(1), 0.0, 100.0, -1.0);
+    }
+}

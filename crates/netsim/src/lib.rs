@@ -17,6 +17,8 @@
 //! * [`time`] — the virtual clock ([`time::SimTime`], milliseconds).
 //! * [`queue`] — the event queue with deterministic FIFO tie-breaking.
 //! * [`jitter`] — optional per-hop latency noise.
+//! * [`faults`] — deterministic fault injection: seeded packet loss,
+//!   region-outage windows and link degradations.
 //! * [`scenario`] — scenario description: topics, configurations,
 //!   publishers with rates/sizes, subscribers.
 //! * [`engine`] — the event loop.
@@ -56,6 +58,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod engine;
+pub mod faults;
 pub mod jitter;
 pub mod metrics;
 pub mod queue;

@@ -80,6 +80,7 @@ pub struct SimReport {
     deliveries: Vec<DeliveryRecord>,
     ledger: TrafficLedger,
     published_count: u64,
+    lost_count: u64,
     duration_ms: f64,
 }
 
@@ -88,9 +89,10 @@ impl SimReport {
         deliveries: Vec<DeliveryRecord>,
         ledger: TrafficLedger,
         published_count: u64,
+        lost_count: u64,
         duration_ms: f64,
     ) -> Self {
-        SimReport { deliveries, ledger, published_count, duration_ms }
+        SimReport { deliveries, ledger, published_count, lost_count, duration_ms }
     }
 
     /// All delivery records, in delivery-time order of occurrence.
@@ -106,6 +108,13 @@ impl SimReport {
     /// Number of publications emitted.
     pub fn published_count(&self) -> u64 {
         self.published_count
+    }
+
+    /// Number of in-flight message copies destroyed by injected faults
+    /// (packet loss or arrival at a region inside an outage window). Zero
+    /// for fault-free runs.
+    pub fn lost_count(&self) -> u64 {
+        self.lost_count
     }
 
     /// The simulated duration in milliseconds.
@@ -201,7 +210,7 @@ mod tests {
     #[test]
     fn percentile_matches_ceiling_rank() {
         let deliveries = vec![record(0, 10.0), record(0, 20.0), record(0, 30.0), record(0, 40.0)];
-        let report = SimReport::new(deliveries, TrafficLedger::new(1), 4, 1000.0);
+        let report = SimReport::new(deliveries, TrafficLedger::new(1), 4, 0, 1000.0);
         // ceil(0.75 × 4) = 3 → 30.
         assert_eq!(report.percentile_ms(75.0), 30.0);
         assert_eq!(report.percentile_ms(100.0), 40.0);
@@ -211,7 +220,7 @@ mod tests {
     #[test]
     fn per_topic_percentiles() {
         let deliveries = vec![record(0, 10.0), record(1, 100.0), record(1, 200.0)];
-        let report = SimReport::new(deliveries, TrafficLedger::new(1), 3, 1000.0);
+        let report = SimReport::new(deliveries, TrafficLedger::new(1), 3, 0, 1000.0);
         assert_eq!(report.topic_percentile_ms(0, 95.0), 10.0);
         assert_eq!(report.topic_percentile_ms(1, 95.0), 200.0);
         assert_eq!(report.topic_percentile_ms(9, 95.0), 0.0);
@@ -220,7 +229,7 @@ mod tests {
     #[test]
     fn fraction_within_bound() {
         let deliveries = vec![record(0, 10.0), record(0, 20.0), record(0, 30.0), record(0, 40.0)];
-        let report = SimReport::new(deliveries, TrafficLedger::new(1), 4, 1000.0);
+        let report = SimReport::new(deliveries, TrafficLedger::new(1), 4, 0, 1000.0);
         assert_eq!(report.fraction_within(25.0), 0.5);
         assert_eq!(report.fraction_within(0.0), 0.0);
         assert_eq!(report.fraction_within(100.0), 1.0);
@@ -231,14 +240,14 @@ mod tests {
         let regions = RegionSet::new(vec![Region::new("a", "A", 0.02, 0.09)]).unwrap();
         let mut ledger = TrafficLedger::new(1);
         ledger.record_internet(RegionId(0), 1_000_000_000);
-        let report = SimReport::new(vec![], ledger, 0, 60_000.0);
+        let report = SimReport::new(vec![], ledger, 0, 0, 60_000.0);
         let per_day = report.cost_dollars_per(&regions, 86_400_000.0);
         assert!((per_day - 0.09 * 1440.0).abs() < 1e-9);
     }
 
     #[test]
     fn empty_report_defaults() {
-        let report = SimReport::new(vec![], TrafficLedger::new(1), 0, 0.0);
+        let report = SimReport::new(vec![], TrafficLedger::new(1), 0, 0, 0.0);
         assert_eq!(report.percentile_ms(95.0), 0.0);
         assert_eq!(report.fraction_within(1.0), 1.0);
         let regions = RegionSet::new(vec![Region::new("a", "A", 0.02, 0.09)]).unwrap();

@@ -1,6 +1,7 @@
 //! Scenario description: which topics exist, how they are configured, and
 //! who publishes/subscribes at what rate.
 
+use crate::faults::FaultPlan;
 use multipub_core::assignment::Configuration;
 use multipub_core::ids::{ClientId, TopicId};
 use multipub_core::latency::InterRegionMatrix;
@@ -223,6 +224,7 @@ pub struct Scenario {
     regions: RegionSet,
     inter: InterRegionMatrix,
     topics: Vec<TopicScenario>,
+    faults: FaultPlan,
 }
 
 impl Scenario {
@@ -253,7 +255,47 @@ impl Scenario {
                 );
             }
         }
-        Scenario { regions, inter, topics }
+        Scenario { regions, inter, topics, faults: FaultPlan::none() }
+    }
+
+    /// Attaches a fault schedule to the scenario (builder style). The
+    /// default plan is quiet, so fault-free scenarios behave exactly as
+    /// before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outage or degradation references a region outside the
+    /// deployment.
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.set_fault_plan(faults);
+        self
+    }
+
+    /// Replaces the fault schedule in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outage or degradation references a region outside the
+    /// deployment.
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        let n = self.regions.len();
+        for outage in faults.outages() {
+            assert!(outage.region().index() < n, "outage region {} out of range", outage.region());
+        }
+        for degradation in faults.degradations() {
+            assert!(
+                degradation.from().index() < n && degradation.to().index() < n,
+                "degraded link {} -> {} out of range",
+                degradation.from(),
+                degradation.to()
+            );
+        }
+        self.faults = faults;
+    }
+
+    /// The scenario's fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The deployment's regions.
@@ -349,5 +391,32 @@ mod tests {
     #[should_panic(expected = "inter-region matrix")]
     fn scenario_rejects_matrix_mismatch() {
         let _ = Scenario::new(regions2(), InterRegionMatrix::zeros(3).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn fault_plan_defaults_to_quiet_and_attaches() {
+        use crate::faults::{FaultPlan, RegionOutage};
+        use multipub_core::ids::RegionId;
+        let scenario = Scenario::new(regions2(), InterRegionMatrix::zeros(2).unwrap(), vec![]);
+        assert!(scenario.fault_plan().is_quiet());
+        let scenario = scenario.with_fault_plan(FaultPlan::none().with_outage(RegionOutage::new(
+            RegionId(1),
+            10.0,
+            20.0,
+        )));
+        assert_eq!(scenario.fault_plan().outages().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fault_plan_rejects_unknown_region() {
+        use crate::faults::{FaultPlan, RegionOutage};
+        use multipub_core::ids::RegionId;
+        let _ = Scenario::new(regions2(), InterRegionMatrix::zeros(2).unwrap(), vec![])
+            .with_fault_plan(FaultPlan::none().with_outage(RegionOutage::new(
+                RegionId(7),
+                10.0,
+                20.0,
+            )));
     }
 }

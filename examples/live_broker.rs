@@ -67,6 +67,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         region_addrs: addrs.clone(),
         latencies_ms: sub_virginia.clone(),
         emulate_wan: true,
+        ..ClientConfig::new(0, Vec::new())
     })?;
     sub_near.subscribe("match/scores").await?;
     let mut sub_eu = SubscriberClient::new(ClientConfig {
@@ -74,6 +75,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         region_addrs: addrs.clone(),
         latencies_ms: sub_frankfurt.clone(),
         emulate_wan: true,
+        ..ClientConfig::new(0, Vec::new())
     })?;
     sub_eu.subscribe("match/scores").await?;
     tokio::time::sleep(Duration::from_millis(100)).await;
@@ -83,6 +85,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         region_addrs: addrs.clone(),
         latencies_ms: pub_virginia.clone(),
         emulate_wan: true,
+        ..ClientConfig::new(0, Vec::new())
     })?;
 
     // Phase 1: bootstrap configuration (all regions, routed).

@@ -42,6 +42,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         region_addrs: addrs.clone(),
         latencies_ms: vec![75.0, 8.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })?;
     trader
         .subscribe_filtered("ticks/latam", r#"exchange == "B3" && price < 50 && !halted == true"#)
@@ -51,6 +52,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         region_addrs: addrs.clone(),
         latencies_ms: vec![6.0, 80.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })?;
     analyst.subscribe("ticks/latam").await?;
     tokio::time::sleep(Duration::from_millis(100)).await;
@@ -60,6 +62,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         region_addrs: addrs.clone(),
         latencies_ms: vec![5.0, 78.0],
         emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
     })?;
 
     let ticks = [
