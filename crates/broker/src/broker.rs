@@ -353,7 +353,7 @@ fn take_report(shared: &Shared) -> RegionReport {
 }
 
 fn apply_config_update(shared: &Shared, topic: &str, mask: u32, mode: WireMode) {
-    multipub_obs::counter!("multipub_broker_config_updates_total").inc();
+    multipub_obs::counter!(multipub_obs::metrics::BROKER_CONFIG_UPDATES_TOTAL).inc();
     multipub_obs::event!(
         Debug,
         "broker",
@@ -476,8 +476,9 @@ fn deliver_locally(
         }
     }
     if delivered > 0 {
-        multipub_obs::counter!("multipub_broker_deliveries_total").add(delivered);
-        multipub_obs::histogram!("multipub_broker_fanout_subscribers").record(delivered as f64);
+        multipub_obs::counter!(multipub_obs::metrics::BROKER_DELIVERIES_TOTAL).add(delivered);
+        multipub_obs::histogram!(multipub_obs::metrics::BROKER_FANOUT_SUBSCRIBERS)
+            .record(delivered as f64);
         // Broker-side delivery latency: publisher clock → local fan-out.
         // Publisher and broker clocks agree in local testing; in a real
         // WAN deployment this is subject to clock skew, like any
@@ -485,7 +486,7 @@ fn deliver_locally(
         let now = crate::client::now_micros();
         let latency_ms = now.saturating_sub(publish_micros) as f64 / 1000.0;
         for _ in 0..delivered {
-            multipub_obs::histogram!("multipub_broker_delivery_ms").record(latency_ms);
+            multipub_obs::histogram!(multipub_obs::metrics::BROKER_DELIVERY_MS).record(latency_ms);
         }
     }
 }
@@ -499,11 +500,11 @@ async fn handle_publish_from_client(
     headers: String,
     payload: Bytes,
 ) {
-    multipub_obs::counter!("multipub_broker_publishes_total").inc();
+    multipub_obs::counter!(multipub_obs::metrics::BROKER_PUBLISHES_TOTAL).inc();
     if single_target {
-        multipub_obs::counter!("multipub_broker_publish_routed_total").inc();
+        multipub_obs::counter!(multipub_obs::metrics::BROKER_PUBLISH_ROUTED_TOTAL).inc();
     } else {
-        multipub_obs::counter!("multipub_broker_publish_direct_total").inc();
+        multipub_obs::counter!(multipub_obs::metrics::BROKER_PUBLISH_DIRECT_TOTAL).inc();
     }
     record_publish(shared, &topic, publisher, payload.len());
     deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload);
@@ -535,7 +536,7 @@ async fn handle_publish_from_client(
         }
         if let Some(outbound) = peer_outbound(shared, region).await {
             outbound.send(&frame);
-            multipub_obs::counter!("multipub_broker_forwards_total").inc();
+            multipub_obs::counter!(multipub_obs::metrics::BROKER_FORWARDS_TOTAL).inc();
         }
     }
 }
@@ -554,7 +555,7 @@ async fn read_frame_idle(
         Some(idle) => match tokio::time::timeout(idle, read_frame(read_half, buf)).await {
             Ok(result) => result,
             Err(_) => {
-                multipub_obs::counter!("multipub_broker_conn_reaped_total").inc();
+                multipub_obs::counter!(multipub_obs::metrics::BROKER_CONN_REAPED_TOTAL).inc();
                 multipub_obs::event!(
                     Warn,
                     "broker",
@@ -589,8 +590,8 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
     outbound.send(&Frame::ConnectAck { region: u16::from(shared.region.0) });
 
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-    multipub_obs::counter!("multipub_broker_connections_total").inc();
-    multipub_obs::gauge!("multipub_broker_connections_active").add(1);
+    multipub_obs::counter!(multipub_obs::metrics::BROKER_CONNECTIONS_TOTAL).inc();
+    multipub_obs::gauge!(multipub_obs::metrics::BROKER_CONNECTIONS_ACTIVE).add(1);
     multipub_obs::event!(
         Info,
         "broker",
@@ -624,7 +625,7 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
             state.subscriber_conns.remove(&conn_id);
         }
     }
-    multipub_obs::gauge!("multipub_broker_connections_active").sub(1);
+    multipub_obs::gauge!(multipub_obs::metrics::BROKER_CONNECTIONS_ACTIVE).sub(1);
     multipub_obs::event!(
         Debug,
         "broker",
@@ -656,7 +657,7 @@ async fn connection_loop(
                 } else {
                     Predicate::parse(&filter).unwrap_or(Predicate::True)
                 };
-                multipub_obs::counter!("multipub_broker_subscribes_total").inc();
+                multipub_obs::counter!(multipub_obs::metrics::BROKER_SUBSCRIBES_TOTAL).inc();
                 shared
                     .topics
                     .lock()

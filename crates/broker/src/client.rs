@@ -228,10 +228,10 @@ impl Links {
         outbound.send(&Frame::Connect { client_id: self.config.client_id, role: self.role });
 
         if !self.ever_connected.insert(region) {
-            multipub_obs::counter!("multipub_client_reconnects_total").inc();
+            multipub_obs::counter!(multipub_obs::metrics::CLIENT_RECONNECTS_TOTAL).inc();
         }
         if let Some(since) = self.disconnected_at.remove(&region) {
-            multipub_obs::histogram!("multipub_client_reconnect_ms")
+            multipub_obs::histogram!(multipub_obs::metrics::CLIENT_RECONNECT_MS)
                 .record(since.elapsed().as_secs_f64() * 1000.0);
         }
 
@@ -744,10 +744,10 @@ impl PublisherClient {
     fn buffer(&mut self, entry: PendingPublish) {
         let dropped_before = self.pending.dropped();
         self.pending.push(entry);
-        multipub_obs::counter!("multipub_client_frames_buffered_total").inc();
+        multipub_obs::counter!(multipub_obs::metrics::CLIENT_FRAMES_BUFFERED_TOTAL).inc();
         let evicted = self.pending.dropped() - dropped_before;
         if evicted > 0 {
-            multipub_obs::counter!("multipub_client_frames_dropped_total").add(evicted);
+            multipub_obs::counter!(multipub_obs::metrics::CLIENT_FRAMES_DROPPED_TOTAL).add(evicted);
         }
     }
 

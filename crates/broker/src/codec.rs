@@ -131,8 +131,9 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
         }
     }
     let body_len = (buf.len() - start - 4) as u32;
+    // lint:allow(indexing) the four length-prefix bytes were reserved at `start` before the body was written, so the range exists
     buf[start..start + 4].copy_from_slice(&body_len.to_be_bytes());
-    multipub_obs::counter!("multipub_broker_frames_encoded_total").inc();
+    multipub_obs::counter!(multipub_obs::metrics::BROKER_FRAMES_ENCODED_TOTAL).inc();
 }
 
 struct Reader<'a> {
@@ -207,9 +208,11 @@ impl Reader<'_> {
 pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
     let result = decode_inner(buf);
     match &result {
-        Ok(Some(_)) => multipub_obs::counter!("multipub_broker_frames_decoded_total").inc(),
+        Ok(Some(_)) => {
+            multipub_obs::counter!(multipub_obs::metrics::BROKER_FRAMES_DECODED_TOTAL).inc()
+        }
         Ok(None) => {}
-        Err(_) => multipub_obs::counter!("multipub_broker_codec_errors_total").inc(),
+        Err(_) => multipub_obs::counter!(multipub_obs::metrics::BROKER_CODEC_ERRORS_TOTAL).inc(),
     }
     result
 }
@@ -218,6 +221,7 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
     if buf.len() < 4 {
         return Ok(None);
     }
+    // lint:allow(indexing) guarded by the `buf.len() < 4` early return above
     let body_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
     if body_len > MAX_FRAME_BYTES {
         return Err(CodecError::Oversized { len: body_len });

@@ -113,6 +113,7 @@ pub async fn read_frame<R: AsyncReadExt + Unpin>(
             }
             return Err(BrokerError::ConnectionClosed);
         }
+        // lint:allow(indexing) `AsyncRead::read` guarantees `n <= chunk.len()`, so the range is always in bounds
         buf.extend_from_slice(&chunk[..n]);
     }
 }

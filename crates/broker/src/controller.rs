@@ -284,7 +284,7 @@ impl Controller {
                     continue;
                 }
             }
-            multipub_obs::counter!("multipub_controller_link_redials_total").inc();
+            multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_LINK_REDIALS_TOTAL).inc();
             match dial(link.addr, self.connect_timeout).await {
                 Ok(state) => {
                     // Replay every installed configuration: the broker may
@@ -435,8 +435,8 @@ impl Controller {
     /// no deployments) — better a stale configuration than one derived
     /// from nothing.
     pub async fn optimize_once(&mut self) -> Vec<TopicDecision> {
-        let _round_timer = multipub_obs::timer!("multipub_controller_round_ms");
-        multipub_obs::counter!("multipub_controller_rounds_total").inc();
+        let _round_timer = multipub_obs::timer!(multipub_obs::metrics::CONTROLLER_ROUND_MS);
+        multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_ROUNDS_TOTAL).inc();
         self.ensure_links().await;
         let reports = self.collect_reports().await;
 
@@ -457,7 +457,7 @@ impl Controller {
             return Vec::new();
         };
         if !excluded.is_empty() {
-            multipub_obs::counter!("multipub_controller_degraded_rounds_total").inc();
+            multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_DEGRADED_ROUNDS_TOTAL).inc();
             multipub_obs::event!(
                 Warn,
                 "controller",
@@ -477,6 +477,7 @@ impl Controller {
                 continue; // nothing to optimize this interval
             }
             let optimizer = Optimizer::new(&self.regions, &self.inter, &workload)
+                // lint:allow(panic) the surrounding branch only runs for workloads the report loop already checked non-empty and dimension-matched
                 .expect("workload validated non-empty")
                 .with_allowed_regions(allowed);
             let solution = optimizer.solve(&constraint);
@@ -520,19 +521,20 @@ impl Controller {
                 }
             }
 
-            multipub_obs::counter!("multipub_controller_topics_evaluated_total").inc();
+            multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_TOPICS_EVALUATED_TOTAL).inc();
             if solution.is_feasible() {
-                multipub_obs::counter!("multipub_controller_feasible_total").inc();
+                multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_FEASIBLE_TOTAL).inc();
             } else {
-                multipub_obs::counter!("multipub_controller_infeasible_total").inc();
+                multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_INFEASIBLE_TOTAL).inc();
             }
             if !forced_regions.is_empty() {
-                multipub_obs::counter!("multipub_controller_mitigations_total").inc();
+                multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_MITIGATIONS_TOTAL).inc();
             }
             let deployed = self.installed.get(&topic) != Some(&configuration);
             if deployed {
                 self.deploy(&topic, configuration);
-                multipub_obs::counter!("multipub_controller_reconfigurations_total").inc();
+                multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_RECONFIGURATIONS_TOTAL)
+                    .inc();
             }
             multipub_obs::event!(
                 Debug,
@@ -600,7 +602,9 @@ impl Controller {
                         latencies.clone(),
                         MessageBatch::uniform(stats.messages, average_size(stats)),
                     )
+                    // lint:allow(panic) latency rows were length-checked against the region count when the client registered
                     .expect("registered latencies are valid");
+                    // lint:allow(panic) publisher entries are keyed by client id in the report map, so duplicates cannot reach here
                     workload.add_publisher(publisher).expect("publisher ids unique in report");
                 }
                 None => unknown += 1,
@@ -613,9 +617,11 @@ impl Controller {
                         multipub_core::ids::ClientId(subscriber_id),
                         latencies.clone(),
                     )
+                    // lint:allow(panic) latency rows were length-checked against the region count when the client registered
                     .expect("registered latencies are valid");
                     workload
                         .add_subscriber(subscriber)
+                        // lint:allow(panic) subscriber entries are keyed by client id in the report map, so duplicates cannot reach here
                         .expect("subscriber ids deduplicated in report");
                 }
                 None => unknown += 1,

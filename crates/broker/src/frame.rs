@@ -214,9 +214,18 @@ pub enum Frame {
     },
 }
 
+/// Every tag byte the wire protocol declares, in ascending order.
+///
+/// This is the protocol's tag catalog: `cargo xtask lint` (pass L3)
+/// cross-checks it against [`Frame::tag`] and the codec's encode/decode
+/// arms, and the codec property tests drive the decoder with each entry
+/// to prove no declared tag can panic it.
+pub const KNOWN_TAGS: [u8; 14] =
+    [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E];
+
 impl Frame {
     /// The discriminant byte used on the wire.
-    pub(crate) fn tag(&self) -> u8 {
+    pub fn tag(&self) -> u8 {
         match self {
             Frame::Connect { .. } => 0x01,
             Frame::ConnectAck { .. } => 0x02,
@@ -304,5 +313,7 @@ mod tests {
         ];
         let tags: HashSet<u8> = frames.iter().map(Frame::tag).collect();
         assert_eq!(tags.len(), frames.len());
+        let declared: HashSet<u8> = KNOWN_TAGS.into_iter().collect();
+        assert_eq!(tags, declared, "KNOWN_TAGS must list exactly the tags frames use");
     }
 }

@@ -48,6 +48,7 @@ async fn answer_scrape(mut stream: TcpStream) -> std::io::Result<()> {
         if n == 0 {
             break;
         }
+        // lint:allow(indexing) `Read::read` guarantees `n <= chunk.len()`, so the range is always in bounds
         head.extend_from_slice(&chunk[..n]);
         if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD_BYTES {
             break;

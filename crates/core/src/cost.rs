@@ -25,6 +25,7 @@ pub fn subscriber_counts(workload: &TopicWorkload, assignment: AssignmentVector)
     let mut counts = vec![0u64; workload.n_regions()];
     for sub in workload.subscribers() {
         let region = closest_region(sub.latencies(), assignment);
+        // lint:allow(indexing) counts is sized to the region count closest_region draws from
         counts[region.index()] += sub.weight();
     }
     counts
@@ -35,6 +36,7 @@ pub fn subscriber_counts(workload: &TopicWorkload, assignment: AssignmentVector)
 ///
 /// Multiplying by the total published bytes yields `Z_Direct` (Eq. 3).
 pub fn fanout_rate_per_byte(regions: &RegionSet, subscriber_counts: &[u64]) -> f64 {
+    // lint:allow(indexing) callers size subscriber_counts to regions.len(), the same set ids() enumerates
     regions.ids().map(|r| subscriber_counts[r.index()] as f64 * regions.beta_per_byte(r)).sum()
 }
 

@@ -16,6 +16,8 @@
 //! `N_M^P × weight(S)` — design decision **D1** in DESIGN.md. A
 //! materializing reference implementation is kept for differential testing.
 
+// lint:allow-file(indexing) Eq. 1-2 hot-path kernel: region indices come from AssignmentVector/closest_region, both bounded by the same region count as every latency vector (checked at TopicEvaluator construction)
+
 use crate::assignment::AssignmentVector;
 use crate::ids::RegionId;
 use crate::latency::InterRegionMatrix;
@@ -50,6 +52,7 @@ pub fn closest_region(latencies: &[f64], assignment: AssignmentVector) -> Region
             _ => best = Some((lat, region)),
         }
     }
+    // lint:allow(panic) AssignmentVector rejects empty masks at construction, so the loop above always sets `best`
     best.expect("assignment vectors are non-empty by construction").1
 }
 
@@ -106,6 +109,7 @@ pub fn weighted_percentile(samples: &mut [WeightedSample], rank: u64) -> f64 {
             return sample.time_ms;
         }
     }
+    // lint:allow(panic) rank <= total weight, so the cumulative scan only falls through when the last sample was reached
     samples.last().expect("samples non-empty").time_ms
 }
 

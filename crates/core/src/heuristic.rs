@@ -90,9 +90,11 @@ pub fn solve_heuristic(
     beam.sort_by(|a, b| {
         candidate_key(a, constraint)
             .partial_cmp(&candidate_key(b, constraint))
+            // lint:allow(panic) candidate keys are sums of finite latencies and costs, so partial_cmp never sees NaN
             .expect("finite keys")
     });
     beam.truncate(beam_width);
+    // lint:allow(indexing) the beam is seeded with one candidate per region and the region set is non-empty
     let mut incumbent = beam[0];
 
     for _ in 0..max_rounds {
@@ -117,13 +119,16 @@ pub fn solve_heuristic(
         expansions.sort_by(|a, b| {
             candidate_key(a, constraint)
                 .partial_cmp(&candidate_key(b, constraint))
+                // lint:allow(panic) candidate keys are sums of finite latencies and costs, so partial_cmp never sees NaN
                 .expect("finite keys")
         });
         expansions.dedup_by_key(|e| e.configuration());
         expansions.truncate(beam_width);
+        // lint:allow(indexing) the `expansions.is_empty()` break above guarantees at least one entry
         if !better(&expansions[0], &incumbent, constraint) {
             break; // no expansion beats the incumbent: stop climbing
         }
+        // lint:allow(indexing) the `expansions.is_empty()` break above guarantees at least one entry
         incumbent = expansions[0];
         beam = expansions;
     }

@@ -68,7 +68,9 @@ impl InterRegionMatrix {
                 return Err(Error::NotSquare { rows: n, row_len: row.len() });
             }
             validate_latency_row(row, n)?;
+            // lint:allow(indexing) validate_latency_row just confirmed row.len() == n and i enumerates 0..n
             if row[i] != 0.0 {
+                // lint:allow(indexing) same bounds as the check one line up: row.len() == n and i < n
                 return Err(Error::NonZeroDiagonal { region: i, value: row[i] });
             }
             values.extend_from_slice(row);
@@ -106,6 +108,7 @@ impl InterRegionMatrix {
     /// Panics if either id is out of bounds.
     pub fn latency(&self, from: RegionId, to: RegionId) -> f64 {
         assert!(from.index() < self.n && to.index() < self.n, "region id out of bounds");
+        // lint:allow(indexing) the assert above is the documented bounds check; values holds n*n entries
         self.values[from.index() * self.n + to.index()]
     }
 
@@ -115,6 +118,7 @@ impl InterRegionMatrix {
     ///
     /// Panics if `from` is out of bounds.
     pub fn row(&self, from: RegionId) -> &[f64] {
+        // lint:allow(indexing) values holds n*n entries, so rows below the asserted bound always slice cleanly
         &self.values[from.index() * self.n..(from.index() + 1) * self.n]
     }
 

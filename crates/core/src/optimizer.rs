@@ -208,8 +208,8 @@ impl<'a> Optimizer<'a> {
     /// Runs the exhaustive search and returns the optimal solution under
     /// the paper's selection rules.
     pub fn solve(&self, constraint: &DeliveryConstraint) -> Solution {
-        let _solve_timer = multipub_obs::timer!("multipub_core_solve_ms");
-        multipub_obs::counter!("multipub_core_solves_total").inc();
+        let _solve_timer = multipub_obs::timer!(multipub_obs::metrics::CORE_SOLVE_MS);
+        multipub_obs::counter!(multipub_obs::metrics::CORE_SOLVES_TOTAL).inc();
         let mut scratch = EvalScratch::default();
         let mut best_feasible: Option<ConfigEvaluation> = None;
         let mut best_any: Option<ConfigEvaluation> = None;
@@ -230,12 +230,13 @@ impl<'a> Optimizer<'a> {
             }
         }
 
-        multipub_obs::counter!("multipub_core_configs_evaluated_total").add(considered);
+        multipub_obs::counter!(multipub_obs::metrics::CORE_CONFIGS_EVALUATED_TOTAL).add(considered);
         match best_feasible {
             Some(evaluation) => {
                 Solution { evaluation, feasible: true, configurations_considered: considered }
             }
             None => Solution {
+                // lint:allow(panic) AssignmentVector is non-empty by construction, so the enumeration yields at least one configuration
                 evaluation: best_any.expect("at least one configuration exists"),
                 feasible: false,
                 configurations_considered: considered,
@@ -253,6 +254,7 @@ impl<'a> Optimizer<'a> {
         let mut considered = 0u64;
         for region in self.allowed.iter() {
             let assignment = AssignmentVector::single(region, self.evaluator.regions().len())
+                // lint:allow(panic) every region iterated out of `allowed` was bounds-checked against the same region count when `allowed` was built
                 .expect("allowed regions are in bounds");
             let config = Configuration::new(assignment, DeliveryMode::Direct);
             let eval = self.evaluator.evaluate_into(config, constraint, &mut scratch);
@@ -261,6 +263,7 @@ impl<'a> Optimizer<'a> {
                 best = Some(eval);
             }
         }
+        // lint:allow(panic) AssignmentVector is non-empty by construction, so the loop above ran at least once
         let evaluation = best.expect("allowed region set is non-empty");
         Solution {
             feasible: evaluation.is_feasible(constraint),
@@ -407,6 +410,7 @@ impl SweepSolver {
         }
         let (evaluation, feasible) = match best_feasible {
             Some(eval) => (*eval, true),
+            // lint:allow(panic) the cached evaluations cover a non-empty AssignmentVector enumeration, so the list is never empty
             None => (*best_any.expect("at least one configuration exists"), false),
         };
         Ok(Solution {
@@ -442,36 +446,40 @@ pub fn solve_topics(
     inter: &InterRegionMatrix,
     topics: &[TopicProblem],
 ) -> Result<Vec<Solution>, Error> {
-    // Validate everything up front so the parallel phase cannot fail.
-    for topic in topics {
-        topic.workload.ensure_non_empty()?;
-        if topic.workload.n_regions() != regions.len() {
-            return Err(Error::LatencyDimension {
-                expected: regions.len(),
-                got: topic.workload.n_regions(),
-            });
-        }
+    // Build (and thereby validate) every optimizer up front so the
+    // parallel phase below cannot fail: `Optimizer::new` performs the
+    // empty-workload and dimension checks and surfaces them as typed
+    // errors before any thread is spawned.
+    let optimizers = topics
+        .iter()
+        .map(|topic| Optimizer::new(regions, inter, &topic.workload))
+        .collect::<Result<Vec<_>, Error>>()?;
+    if optimizers.is_empty() {
+        return Ok(Vec::new());
     }
-    let threads =
-        std::thread::available_parallelism().map_or(1, |n| n.get()).min(topics.len().max(1));
-    let mut results: Vec<Option<Solution>> = vec![None; topics.len()];
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(topics.len());
+    let chunk_len = topics.len().div_ceil(threads);
+    let mut results = Vec::with_capacity(topics.len());
     std::thread::scope(|scope| {
-        for (chunk_index, (topic_chunk, result_chunk)) in topics
-            .chunks(topics.len().div_ceil(threads))
-            .zip(results.chunks_mut(topics.len().div_ceil(threads)))
-            .enumerate()
-        {
-            let _ = chunk_index;
-            scope.spawn(move || {
-                for (topic, slot) in topic_chunk.iter().zip(result_chunk.iter_mut()) {
-                    let optimizer =
-                        Optimizer::new(regions, inter, &topic.workload).expect("validated above");
-                    *slot = Some(optimizer.solve(&topic.constraint));
-                }
-            });
+        let handles: Vec<_> = optimizers
+            .chunks(chunk_len)
+            .zip(topics.chunks(chunk_len))
+            .map(|(optimizer_chunk, topic_chunk)| {
+                scope.spawn(move || {
+                    optimizer_chunk
+                        .iter()
+                        .zip(topic_chunk)
+                        .map(|(optimizer, topic)| optimizer.solve(&topic.constraint))
+                        .collect::<Vec<Solution>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            // lint:allow(panic) a solver-thread panic is already a bug; re-raising it on the caller beats silently dropping that chunk's solutions
+            results.extend(handle.join().expect("solver thread panicked"));
         }
     });
-    Ok(results.into_iter().map(|s| s.expect("all slots filled")).collect())
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -737,6 +745,14 @@ mod tests {
         let sweep = SweepSolver::new(&regions, &inter, &w, 95.0).unwrap();
         assert!(sweep.solve_at(-1.0).is_err());
         assert!(SweepSolver::new(&regions, &inter, &TopicWorkload::new(2), 95.0).is_err());
+    }
+
+    #[test]
+    fn solve_topics_on_empty_input_returns_empty() {
+        // Regression: the chunked fan-out used to compute a chunk size of
+        // zero for an empty topic list and panic inside `chunks(0)`.
+        let (regions, inter) = setup();
+        assert_eq!(solve_topics(&regions, &inter, &[]).unwrap(), Vec::new());
     }
 
     #[test]

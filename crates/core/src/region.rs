@@ -142,6 +142,7 @@ impl RegionSet {
     ///
     /// Panics if `id` is out of bounds.
     pub fn region(&self, id: RegionId) -> &Region {
+        // lint:allow(indexing) documented panic contract: callers index with ids minted by this RegionSet
         &self.regions[id.index()]
     }
 

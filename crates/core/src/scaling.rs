@@ -60,12 +60,15 @@ pub fn prune_regions(
     let all = AssignmentVector::all(regions.len())?;
     let mut home_clients = vec![0u64; regions.len()];
     for publisher in workload.publishers() {
+        // lint:allow(indexing) home_clients is sized to regions.len(); closest_region returns an id below that count
         home_clients[closest_region(publisher.latencies(), all).index()] += 1;
     }
     for subscriber in workload.subscribers() {
+        // lint:allow(indexing) home_clients is sized to regions.len(); closest_region returns an id below that count
         home_clients[closest_region(subscriber.latencies(), all).index()] += subscriber.weight();
     }
     let mut keep: Vec<RegionId> =
+        // lint:allow(indexing) home_clients is sized to regions.len() and RegionId indices come from the same RegionSet
         regions.ids().filter(|r| home_clients[r.index()] >= options.min_home_clients).collect();
     if options.keep_cheapest {
         let cheapest = regions.cheapest_internet_region();
@@ -77,10 +80,11 @@ pub fn prune_regions(
         // Degenerate: threshold too high and cheapest not kept. Fall back
         // to the single most popular region.
         let most_popular =
+            // lint:allow(indexing) ids stay below regions.len() lint:allow(panic) RegionSet rejects empty sets, so max_by_key sees at least one id
             regions.ids().max_by_key(|r| home_clients[r.index()]).expect("region set is non-empty");
         keep.push(most_popular);
     }
-    multipub_obs::counter!("multipub_core_regions_pruned_total")
+    multipub_obs::counter!(multipub_obs::metrics::CORE_REGIONS_PRUNED_TOTAL)
         .add((regions.len() - keep.len()) as u64);
     AssignmentVector::from_regions(keep, regions.len())
 }
@@ -130,12 +134,14 @@ pub fn bundle_clients(workload: &TopicWorkload, options: &BundleOptions) -> Topi
                     rep.latencies().to_vec(),
                     rep.weight() + sub.weight(),
                 )
+                // lint:allow(panic) both merged weights came from valid subscribers, so the sum is positive
                 .expect("non-zero weight");
             }
             None => sub_reps.push(sub.clone()),
         }
     }
     for rep in sub_reps {
+        // lint:allow(panic) representatives are clones/merges of entries the source workload already accepted
         bundled.add_subscriber(rep).expect("validated by source workload");
     }
 
@@ -155,6 +161,7 @@ pub fn bundle_clients(workload: &TopicWorkload, options: &BundleOptions) -> Topi
         }
     }
     for rep in pub_reps {
+        // lint:allow(panic) representatives are clones/merges of entries the source workload already accepted
         bundled.add_publisher(rep).expect("validated by source workload");
     }
 

@@ -94,6 +94,7 @@ pub fn parse_region_set(text: &str) -> Result<RegionSet, CsvError> {
         let parse = |text: &str| -> Result<f64, CsvError> {
             text.parse::<f64>().map_err(|_| CsvError::Number { line, text: text.to_string() })
         };
+        // lint:allow(indexing) the FieldCount guard above pins fields.len() to exactly 4
         regions.push(Region::new(fields[0], fields[1], parse(fields[2])?, parse(fields[3])?));
     }
     Ok(RegionSet::new(regions)?)

@@ -90,6 +90,7 @@ impl<'a> ClientLatencyModel<'a> {
     ) -> Self {
         assert!(median_ms > 0.0, "last-mile median must be positive");
         let last_mile =
+            // lint:allow(panic) sigma was range-checked by the caller before reaching the distribution constructor
             LogNormal::new(median_ms.ln(), sigma).expect("sigma validated non-negative");
         ClientLatencyModel {
             inter,

@@ -1,5 +1,7 @@
 //! Recursive-descent parser for the predicate language.
 
+// lint:allow-file(indexing) recursive-descent cursor: `self.pos` only advances by lengths of matched prefixes of `self.text`, so every slice is on a char boundary within bounds
+
 use crate::ast::{CompareOp, Predicate};
 use crate::headers::Value;
 use std::fmt;

@@ -1,6 +1,8 @@
 //! Measurement collection: delivery records, the per-region traffic
 //! ledger and the final simulation report.
 
+// lint:allow-file(indexing) the ledger's per-region vectors are sized to the scenario's region count at construction, and every RegionId handed in was minted against that same count
+
 use crate::time::SimTime;
 use multipub_core::ids::{ClientId, RegionId};
 use multipub_core::region::RegionSet;

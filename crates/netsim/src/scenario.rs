@@ -201,16 +201,20 @@ impl TopicScenario {
             workload
                 .add_publisher(
                     Publisher::new(publisher.client(), publisher.latencies().to_vec(), batch)
+                        // lint:allow(panic) rebuilt from fields of a Scenario that already passed the same constructor's validation
                         .expect("validated by Scenario::new"),
                 )
+                // lint:allow(panic) rebuilt from fields of a Scenario that already passed the same constructor's validation
                 .expect("validated by Scenario::new");
         }
         for subscriber in &self.subscribers {
             workload
                 .add_subscriber(
                     Subscriber::new(subscriber.client(), subscriber.latencies().to_vec())
+                        // lint:allow(panic) rebuilt from fields of a Scenario that already passed the same constructor's validation
                         .expect("validated by Scenario::new"),
                 )
+                // lint:allow(panic) rebuilt from fields of a Scenario that already passed the same constructor's validation
                 .expect("validated by Scenario::new");
         }
         workload

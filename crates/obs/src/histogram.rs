@@ -9,11 +9,11 @@
 //! Recording is a handful of relaxed atomic adds plus a binary search
 //! over 136 bounds, so histograms are safe on broker hot paths.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use crate::quantile::ceiling_rank;
+use crate::sync::{Arc, AtomicU64, Ordering};
 
 /// Number of finite geometric buckets.
 const FINITE_BUCKETS: usize = 136;
@@ -45,10 +45,12 @@ fn bounds() -> &'static [f64; FINITE_BUCKETS] {
 /// everything above the largest finite bound.
 pub fn bucket_index(value_ms: f64) -> usize {
     let bounds = bounds();
-    if value_ms <= bounds[0] {
+    let first = bounds.first().copied().unwrap_or(FIRST_BOUND_MS);
+    let last = bounds.last().copied().unwrap_or(FIRST_BOUND_MS);
+    if value_ms <= first {
         return 0;
     }
-    if value_ms > bounds[FINITE_BUCKETS - 1] {
+    if value_ms > last {
         return FINITE_BUCKETS;
     }
     bounds.partition_point(|bound| *bound < value_ms)
@@ -62,11 +64,7 @@ pub fn bucket_index(value_ms: f64) -> usize {
 /// Panics if `index >= BUCKET_COUNT`.
 pub fn bucket_upper_bound(index: usize) -> f64 {
     assert!(index < BUCKET_COUNT, "bucket index out of range");
-    if index == FINITE_BUCKETS {
-        f64::INFINITY
-    } else {
-        bounds()[index]
-    }
+    bounds().get(index).copied().unwrap_or(f64::INFINITY)
 }
 
 /// The exclusive lower bound of a bucket in milliseconds
@@ -78,10 +76,9 @@ pub fn bucket_upper_bound(index: usize) -> f64 {
 /// Panics if `index >= BUCKET_COUNT`.
 pub fn bucket_lower_bound(index: usize) -> f64 {
     assert!(index < BUCKET_COUNT, "bucket index out of range");
-    if index == 0 {
-        f64::NEG_INFINITY
-    } else {
-        bounds()[index - 1]
+    match index.checked_sub(1) {
+        None => f64::NEG_INFINITY,
+        Some(below) => bounds().get(below).copied().unwrap_or(f64::INFINITY),
     }
 }
 
@@ -120,7 +117,9 @@ impl Histogram {
             return;
         }
         let index = bucket_index(value_ms);
-        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = self.buckets.get(index) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         let micros = to_micros(value_ms);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);

@@ -47,12 +47,16 @@
 
 pub mod histogram;
 pub mod log;
+pub mod metrics;
 pub mod quantile;
 pub mod registry;
+mod sync;
 
 pub use histogram::{Histogram, HistogramSnapshot, HistogramTimer};
 pub use log::{Level, LogFilter};
-pub use registry::{registry, Counter, Gauge, Registry, RegistrySnapshot};
+#[cfg(not(loom))]
+pub use registry::registry;
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 
 /// Returns a `&'static` handle to a named counter on the global
 /// registry, caching the lookup in a per-call-site static.

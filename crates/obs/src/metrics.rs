@@ -1,0 +1,371 @@
+//! The single catalog of every metric name in the workspace.
+//!
+//! All `counter!`/`gauge!`/`histogram!`/`timer!` call sites must
+//! reference one of these constants — `cargo xtask lint` (pass L4)
+//! rejects raw string literals, names missing from this file, and any
+//! drift between this catalog and the README metrics table. Renaming a
+//! metric therefore touches exactly one string, and dashboards can be
+//! generated from [`CATALOG`].
+
+/// What a metric measures, mirroring the registry's metric kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Value that can go up and down.
+    Gauge,
+    /// Distribution (latency histograms, fan-out sizes).
+    Histogram,
+}
+
+/// One catalog entry: the wire name, its kind and a help string for
+/// exposition.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Prometheus-style metric name (`multipub_<crate>_<name>`).
+    pub name: &'static str,
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// Short human-readable description.
+    pub help: &'static str,
+}
+
+// --- core (optimizer) ---------------------------------------------------
+
+/// Optimizer invocations.
+pub const CORE_SOLVES_TOTAL: &str = "multipub_core_solves_total";
+/// Wall-time of one `Optimizer::solve` call.
+pub const CORE_SOLVE_MS: &str = "multipub_core_solve_ms";
+/// Candidate configurations scored by the exhaustive solver.
+pub const CORE_CONFIGS_EVALUATED_TOTAL: &str = "multipub_core_configs_evaluated_total";
+/// Regions removed by the scaling pre-pass before solving.
+pub const CORE_REGIONS_PRUNED_TOTAL: &str = "multipub_core_regions_pruned_total";
+
+// --- broker -------------------------------------------------------------
+
+/// Frames written to the wire.
+pub const BROKER_FRAMES_ENCODED_TOTAL: &str = "multipub_broker_frames_encoded_total";
+/// Frames successfully parsed off the wire.
+pub const BROKER_FRAMES_DECODED_TOTAL: &str = "multipub_broker_frames_decoded_total";
+/// Frames rejected by the codec.
+pub const BROKER_CODEC_ERRORS_TOTAL: &str = "multipub_broker_codec_errors_total";
+/// Topic-assignment updates applied from the controller.
+pub const BROKER_CONFIG_UPDATES_TOTAL: &str = "multipub_broker_config_updates_total";
+/// Publish frames accepted from clients.
+pub const BROKER_PUBLISHES_TOTAL: &str = "multipub_broker_publishes_total";
+/// Publishes relayed via the topic's pub-broker.
+pub const BROKER_PUBLISH_ROUTED_TOTAL: &str = "multipub_broker_publish_routed_total";
+/// Publishes delivered without an extra relay hop.
+pub const BROKER_PUBLISH_DIRECT_TOTAL: &str = "multipub_broker_publish_direct_total";
+/// Frames forwarded broker-to-broker.
+pub const BROKER_FORWARDS_TOTAL: &str = "multipub_broker_forwards_total";
+/// Messages handed to subscriber connections.
+pub const BROKER_DELIVERIES_TOTAL: &str = "multipub_broker_deliveries_total";
+/// Subscribers reached per publish (fan-out size).
+pub const BROKER_FANOUT_SUBSCRIBERS: &str = "multipub_broker_fanout_subscribers";
+/// End-to-end publish→deliver latency.
+pub const BROKER_DELIVERY_MS: &str = "multipub_broker_delivery_ms";
+/// Client connections accepted since start.
+pub const BROKER_CONNECTIONS_TOTAL: &str = "multipub_broker_connections_total";
+/// Currently connected clients.
+pub const BROKER_CONNECTIONS_ACTIVE: &str = "multipub_broker_connections_active";
+/// Subscribe requests handled.
+pub const BROKER_SUBSCRIBES_TOTAL: &str = "multipub_broker_subscribes_total";
+/// Connections reaped by the liveness sweep.
+pub const BROKER_CONN_REAPED_TOTAL: &str = "multipub_broker_conn_reaped_total";
+
+// --- client session -----------------------------------------------------
+
+/// Successful client reconnects.
+pub const CLIENT_RECONNECTS_TOTAL: &str = "multipub_client_reconnects_total";
+/// Time from disconnect to restored session.
+pub const CLIENT_RECONNECT_MS: &str = "multipub_client_reconnect_ms";
+/// Frames buffered while a session is disconnected.
+pub const CLIENT_FRAMES_BUFFERED_TOTAL: &str = "multipub_client_frames_buffered_total";
+/// Buffered frames evicted because the replay buffer overflowed.
+pub const CLIENT_FRAMES_DROPPED_TOTAL: &str = "multipub_client_frames_dropped_total";
+
+// --- controller ---------------------------------------------------------
+
+/// Re-optimization rounds started.
+pub const CONTROLLER_ROUNDS_TOTAL: &str = "multipub_controller_rounds_total";
+/// Wall-time of one re-optimization round.
+pub const CONTROLLER_ROUND_MS: &str = "multipub_controller_round_ms";
+/// Rounds that ran with a stale/partial measurement matrix.
+pub const CONTROLLER_DEGRADED_ROUNDS_TOTAL: &str = "multipub_controller_degraded_rounds_total";
+/// Topics examined across all rounds.
+pub const CONTROLLER_TOPICS_EVALUATED_TOTAL: &str = "multipub_controller_topics_evaluated_total";
+/// Topic evaluations whose constraints were satisfiable.
+pub const CONTROLLER_FEASIBLE_TOTAL: &str = "multipub_controller_feasible_total";
+/// Topic evaluations with no feasible configuration.
+pub const CONTROLLER_INFEASIBLE_TOTAL: &str = "multipub_controller_infeasible_total";
+/// Constraint-relaxation mitigations applied (§III.A5).
+pub const CONTROLLER_MITIGATIONS_TOTAL: &str = "multipub_controller_mitigations_total";
+/// Topic reconfigurations pushed to brokers.
+pub const CONTROLLER_RECONFIGURATIONS_TOTAL: &str = "multipub_controller_reconfigurations_total";
+/// Broker-link redials after a controller connection dropped.
+pub const CONTROLLER_LINK_REDIALS_TOTAL: &str = "multipub_controller_link_redials_total";
+
+// --- simulation ---------------------------------------------------------
+
+/// Topics solved by the spec runner.
+pub const SIM_TOPICS_SOLVED_TOTAL: &str = "multipub_sim_topics_solved_total";
+/// Wall-time of one spec-file run.
+pub const SIM_SPEC_MS: &str = "multipub_sim_spec_ms";
+/// Adaptive-experiment measurement intervals processed.
+pub const SIM_ADAPTIVE_INTERVALS_TOTAL: &str = "multipub_sim_adaptive_intervals_total";
+/// Wall-time of one adaptive interval (measure + re-solve).
+pub const SIM_ADAPTIVE_INTERVAL_MS: &str = "multipub_sim_adaptive_interval_ms";
+/// Assignment changes produced by adaptive re-optimization.
+pub const SIM_RECONFIGURATIONS_TOTAL: &str = "multipub_sim_reconfigurations_total";
+
+// --- deterministic network simulator ------------------------------------
+
+/// Simulated events processed by the engine.
+pub const NETSIM_EVENTS_TOTAL: &str = "multipub_netsim_events_total";
+/// Messages dropped by injected faults.
+pub const NETSIM_LOST_TOTAL: &str = "multipub_netsim_lost_total";
+/// Simulated end-to-end delivery latency.
+pub const NETSIM_DELIVERY_MS: &str = "multipub_netsim_delivery_ms";
+
+/// Every metric the workspace can emit, with kind and help text.
+///
+/// `cargo xtask lint` enforces that call sites and the README table
+/// stay in sync with this list.
+pub const CATALOG: &[MetricDef] = &[
+    MetricDef { name: CORE_SOLVES_TOTAL, kind: MetricKind::Counter, help: "Optimizer invocations" },
+    MetricDef {
+        name: CORE_SOLVE_MS,
+        kind: MetricKind::Histogram,
+        help: "Wall-time of one solve call",
+    },
+    MetricDef {
+        name: CORE_CONFIGS_EVALUATED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Candidate configurations scored",
+    },
+    MetricDef {
+        name: CORE_REGIONS_PRUNED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Regions removed by the scaling pre-pass",
+    },
+    MetricDef {
+        name: BROKER_FRAMES_ENCODED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Frames written to the wire",
+    },
+    MetricDef {
+        name: BROKER_FRAMES_DECODED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Frames parsed off the wire",
+    },
+    MetricDef {
+        name: BROKER_CODEC_ERRORS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Frames rejected by the codec",
+    },
+    MetricDef {
+        name: BROKER_CONFIG_UPDATES_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Assignment updates applied",
+    },
+    MetricDef {
+        name: BROKER_PUBLISHES_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Publish frames accepted",
+    },
+    MetricDef {
+        name: BROKER_PUBLISH_ROUTED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Publishes relayed via the pub-broker",
+    },
+    MetricDef {
+        name: BROKER_PUBLISH_DIRECT_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Publishes delivered without a relay hop",
+    },
+    MetricDef {
+        name: BROKER_FORWARDS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Frames forwarded broker-to-broker",
+    },
+    MetricDef {
+        name: BROKER_DELIVERIES_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Messages handed to subscribers",
+    },
+    MetricDef {
+        name: BROKER_FANOUT_SUBSCRIBERS,
+        kind: MetricKind::Histogram,
+        help: "Subscribers reached per publish",
+    },
+    MetricDef {
+        name: BROKER_DELIVERY_MS,
+        kind: MetricKind::Histogram,
+        help: "Publish-to-deliver latency",
+    },
+    MetricDef {
+        name: BROKER_CONNECTIONS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Connections accepted since start",
+    },
+    MetricDef {
+        name: BROKER_CONNECTIONS_ACTIVE,
+        kind: MetricKind::Gauge,
+        help: "Currently connected clients",
+    },
+    MetricDef {
+        name: BROKER_SUBSCRIBES_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Subscribe requests handled",
+    },
+    MetricDef {
+        name: BROKER_CONN_REAPED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Connections reaped by the liveness sweep",
+    },
+    MetricDef {
+        name: CLIENT_RECONNECTS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Successful client reconnects",
+    },
+    MetricDef {
+        name: CLIENT_RECONNECT_MS,
+        kind: MetricKind::Histogram,
+        help: "Disconnect-to-restore time",
+    },
+    MetricDef {
+        name: CLIENT_FRAMES_BUFFERED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Frames buffered while disconnected",
+    },
+    MetricDef {
+        name: CLIENT_FRAMES_DROPPED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Buffered frames evicted on overflow",
+    },
+    MetricDef {
+        name: CONTROLLER_ROUNDS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Re-optimization rounds started",
+    },
+    MetricDef {
+        name: CONTROLLER_ROUND_MS,
+        kind: MetricKind::Histogram,
+        help: "Wall-time of one round",
+    },
+    MetricDef {
+        name: CONTROLLER_DEGRADED_ROUNDS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Rounds run on stale measurements",
+    },
+    MetricDef {
+        name: CONTROLLER_TOPICS_EVALUATED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Topics examined",
+    },
+    MetricDef {
+        name: CONTROLLER_FEASIBLE_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Feasible topic evaluations",
+    },
+    MetricDef {
+        name: CONTROLLER_INFEASIBLE_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Infeasible topic evaluations",
+    },
+    MetricDef {
+        name: CONTROLLER_MITIGATIONS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Constraint relaxations applied",
+    },
+    MetricDef {
+        name: CONTROLLER_RECONFIGURATIONS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Reconfigurations pushed to brokers",
+    },
+    MetricDef {
+        name: CONTROLLER_LINK_REDIALS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Broker-link redials",
+    },
+    MetricDef {
+        name: SIM_TOPICS_SOLVED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Topics solved by the spec runner",
+    },
+    MetricDef { name: SIM_SPEC_MS, kind: MetricKind::Histogram, help: "Wall-time of one spec run" },
+    MetricDef {
+        name: SIM_ADAPTIVE_INTERVALS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Adaptive intervals processed",
+    },
+    MetricDef {
+        name: SIM_ADAPTIVE_INTERVAL_MS,
+        kind: MetricKind::Histogram,
+        help: "Wall-time of one adaptive interval",
+    },
+    MetricDef {
+        name: SIM_RECONFIGURATIONS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Adaptive assignment changes",
+    },
+    MetricDef {
+        name: NETSIM_EVENTS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Simulated events processed",
+    },
+    MetricDef {
+        name: NETSIM_LOST_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Messages dropped by injected faults",
+    },
+    MetricDef {
+        name: NETSIM_DELIVERY_MS,
+        kind: MetricKind::Histogram,
+        help: "Simulated delivery latency",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn names_are_unique() {
+        let names: BTreeSet<&str> = CATALOG.iter().map(|m| m.name).collect();
+        assert_eq!(names.len(), CATALOG.len());
+    }
+
+    #[test]
+    fn names_follow_convention() {
+        for def in CATALOG {
+            assert!(def.name.starts_with("multipub_"), "{} must start with multipub_", def.name);
+            assert!(
+                def.name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{} must be snake_case ascii",
+                def.name
+            );
+            assert!(def.name.split('_').count() >= 3, "{} must name its crate", def.name);
+            assert!(!def.help.is_empty());
+        }
+    }
+
+    #[test]
+    fn counters_end_in_total_and_histograms_in_unit() {
+        for def in CATALOG {
+            match def.kind {
+                MetricKind::Counter => {
+                    assert!(def.name.ends_with("_total"), "counter {} must end in _total", def.name)
+                }
+                MetricKind::Histogram => assert!(
+                    def.name.ends_with("_ms") || def.name.ends_with("_subscribers"),
+                    "histogram {} must carry its unit",
+                    def.name
+                ),
+                MetricKind::Gauge => {}
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@ pub fn percentile_exact(values: &mut [f64], ratio_percent: f64) -> f64 {
     }
     values.sort_unstable_by(f64::total_cmp);
     let rank = ceiling_rank(ratio_percent, values.len() as u64) as usize;
+    // lint:allow(indexing) ceiling_rank returns 1..=len for the non-empty slice checked above
     values[rank - 1]
 }
 

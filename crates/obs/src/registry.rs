@@ -8,15 +8,20 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
+use crate::sync::{Arc, AtomicI64, AtomicU64, Ordering, RwLock};
 
 /// A monotonically increasing counter.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Counter {
     value: AtomicU64,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
 }
 
 impl Counter {
@@ -37,9 +42,15 @@ impl Counter {
 }
 
 /// A gauge: an instantaneous value that can move both ways.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Gauge {
     value: AtomicI64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { value: AtomicI64::new(0) }
+    }
 }
 
 impl Gauge {
@@ -81,9 +92,15 @@ fn kind_name(metric: &Metric) -> &'static str {
 
 /// A set of named metrics. Most code uses the process-wide instance
 /// via [`registry`]; tests can build private ones.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry { metrics: RwLock::new(BTreeMap::new()) }
+    }
 }
 
 impl Registry {
@@ -99,16 +116,19 @@ impl Registry {
     /// Panics if `name` is already registered as a different kind.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         if let Some(Metric::Counter(counter)) =
+            // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
             self.metrics.read().expect("metrics lock").get(name).cloned()
         {
             return counter;
         }
+        // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
         let mut metrics = self.metrics.write().expect("metrics lock");
         let entry = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
         match entry {
             Metric::Counter(counter) => Arc::clone(counter),
+            // lint:allow(panic) kind mismatch is a bug the metrics catalog tests catch
             other => panic!(
                 "metric `{name}` is already registered as a {}, not a counter",
                 kind_name(other)
@@ -123,16 +143,19 @@ impl Registry {
     /// Panics if `name` is already registered as a different kind.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         if let Some(Metric::Gauge(gauge)) =
+            // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
             self.metrics.read().expect("metrics lock").get(name).cloned()
         {
             return gauge;
         }
+        // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
         let mut metrics = self.metrics.write().expect("metrics lock");
         let entry = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
         match entry {
             Metric::Gauge(gauge) => Arc::clone(gauge),
+            // lint:allow(panic) kind mismatch is a bug the metrics catalog tests catch
             other => panic!(
                 "metric `{name}` is already registered as a {}, not a gauge",
                 kind_name(other)
@@ -147,16 +170,19 @@ impl Registry {
     /// Panics if `name` is already registered as a different kind.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         if let Some(Metric::Histogram(histogram)) =
+            // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
             self.metrics.read().expect("metrics lock").get(name).cloned()
         {
             return histogram;
         }
+        // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
         let mut metrics = self.metrics.write().expect("metrics lock");
         let entry = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
         match entry {
             Metric::Histogram(histogram) => Arc::clone(histogram),
+            // lint:allow(panic) kind mismatch is a bug the metrics catalog tests catch
             other => panic!(
                 "metric `{name}` is already registered as a {}, not a histogram",
                 kind_name(other)
@@ -166,6 +192,7 @@ impl Registry {
 
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> RegistrySnapshot {
+        // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
         let metrics = self.metrics.read().expect("metrics lock");
         let mut snapshot = RegistrySnapshot::default();
         for (name, metric) in metrics.iter() {
@@ -196,8 +223,12 @@ impl Registry {
 }
 
 /// The process-wide registry every workspace crate records into.
+///
+/// Not available under loom: loom primitives must be created inside a
+/// `loom::model` run, so the models build private registries instead.
+#[cfg(not(loom))]
 pub fn registry() -> &'static Registry {
-    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
     GLOBAL.get_or_init(Registry::new)
 }
 
@@ -316,7 +347,7 @@ impl RegistrySnapshot {
                     let _ = write!(out, "[{le},{count}]");
                 }
             }
-            let overflow = histogram.buckets()[BUCKET_COUNT - 1];
+            let overflow = histogram.buckets().last().copied().unwrap_or(0);
             let _ = write!(out, "],\"overflow\":{overflow}}}");
         }
         out.push_str("}}");

@@ -1,0 +1,29 @@
+//! Synchronization primitives, switchable between `std` and `loom`.
+//!
+//! Everything concurrency-relevant in this crate (registry lock,
+//! counter/gauge/histogram atomics) goes through these re-exports so
+//! the loom models in `tests/loom_models.rs` can exhaustively check
+//! the lock-free paths under `RUSTFLAGS="--cfg loom"`. The `loom`
+//! crate is deliberately **not** declared in `Cargo.toml` — the
+//! workspace must build on a bare toolchain; the CI loom job appends
+//! the dependency transiently before testing (see
+//! `.github/workflows/ci.yml` and DESIGN.md §9).
+//!
+//! Deliberately left on `std` in both configurations:
+//!
+//! * `OnceLock` for the lazily computed bucket bounds — pure
+//!   deterministic data, not an interleaving of interest,
+//! * `Instant` in [`crate::HistogramTimer`] — loom does not model
+//!   time.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{
+    atomic::{AtomicI64, AtomicU64, Ordering},
+    Arc, RwLock,
+};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{
+    atomic::{AtomicI64, AtomicU64, Ordering},
+    Arc, RwLock,
+};

@@ -79,6 +79,7 @@ impl AdaptiveLoop {
     ) -> Self {
         assert_eq!(regions.len(), inter.len(), "deployment dimensions must agree");
         let initial = Configuration::new(
+            // lint:allow(panic) the adaptive run constructor already rejected empty or oversized region sets
             AssignmentVector::all(regions.len()).expect("validated region count"),
             DeliveryMode::Routed,
         );
@@ -139,8 +140,8 @@ impl AdaptiveLoop {
         population: &Population,
         configuration: Configuration,
     ) -> IntervalOutcome {
-        multipub_obs::counter!("multipub_sim_adaptive_intervals_total").inc();
-        let _interval_timer = multipub_obs::timer!("multipub_sim_adaptive_interval_ms");
+        multipub_obs::counter!(multipub_obs::metrics::SIM_ADAPTIVE_INTERVALS_TOTAL).inc();
+        let _interval_timer = multipub_obs::timer!(multipub_obs::metrics::SIM_ADAPTIVE_INTERVAL_MS);
         let duration_ms = self.interval_secs * 1000.0;
         let topic = population.scenario_topic(
             TopicId::new("adaptive"),
@@ -156,11 +157,12 @@ impl AdaptiveLoop {
         // The controller sees the interval's workload and re-optimizes.
         let workload = population.workload(self.interval_secs);
         let next_configuration = Optimizer::new(&self.regions, &self.inter, &workload)
+            // lint:allow(panic) populations carry at least one publisher and subscriber by construction, which is all Optimizer::new checks
             .expect("populations are non-empty")
             .solve(&self.constraint)
             .configuration();
         if next_configuration != configuration {
-            multipub_obs::counter!("multipub_sim_reconfigurations_total").inc();
+            multipub_obs::counter!(multipub_obs::metrics::SIM_RECONFIGURATIONS_TOTAL).inc();
         }
 
         IntervalOutcome {

@@ -8,6 +8,8 @@
 //! delivery-time percentile (Fig. 3a), its cost extrapolated to a full day
 //! (Fig. 3b), and the number of regions plus delivery mode (Fig. 3c).
 
+// lint:allow-file(panic) experiment driver over fixed paper-given parameters: constructor failures are programming errors, and every experiment's output is pinned by tier-1 tests that would fail first
+
 use crate::horizon::CostHorizon;
 use crate::population::{Population, PopulationSpec};
 use crate::table::{dollars, millis, Table};

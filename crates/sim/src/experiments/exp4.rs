@@ -7,6 +7,8 @@
 //! The paper also reports linear scaling when only one side grows
 //! (10×1000 and 1000×10), covered by [`run_asymmetric`].
 
+// lint:allow-file(panic) experiment driver over fixed paper-given parameters: constructor failures are programming errors, and every experiment's output is pinned by tier-1 tests that would fail first
+
 use crate::population::{Population, PopulationSpec};
 use crate::table::Table;
 use multipub_core::constraint::DeliveryConstraint;

@@ -64,7 +64,9 @@ impl PopulationSpec {
     ) -> Self {
         let mut pubs_per_region = vec![0; n_regions];
         let mut subs_per_region = vec![0; n_regions];
+        // lint:allow(indexing) `home` is drawn from 0..n_regions, the length of both vectors
         pubs_per_region[home.index()] = pubs;
+        // lint:allow(indexing) `home` is drawn from 0..n_regions, the length of both vectors
         subs_per_region[home.index()] = subs;
         PopulationSpec { pubs_per_region, subs_per_region, rate_per_sec, size_bytes }
     }
@@ -156,15 +158,19 @@ impl Population {
                         latencies.clone(),
                         MessageBatch::uniform(count, self.size_bytes),
                     )
+                    // lint:allow(panic) the generator emits one finite latency per region, which `Publisher::new` accepts
                     .expect("generated latencies are valid"),
                 )
+                // lint:allow(panic) client ids come from a strictly increasing counter, so duplicates are impossible
                 .expect("ids are unique by construction");
         }
         for (id, latencies) in &self.subscribers {
             workload
                 .add_subscriber(
+                    // lint:allow(panic) the generator emits one finite latency per region, which `Subscriber::new` accepts
                     Subscriber::new(*id, latencies.clone()).expect("generated latencies are valid"),
                 )
+                // lint:allow(panic) client ids come from a strictly increasing counter, so duplicates are impossible
                 .expect("ids are unique by construction");
         }
         workload

@@ -98,8 +98,9 @@ pub fn parse_spec(json: &str) -> Result<SimulationSpec, String> {
 ///
 /// Returns a model error when a topic has no publishers or subscribers.
 pub fn run_spec(spec: &SimulationSpec) -> Result<SimulationOutcome, Error> {
-    let _spec_timer = multipub_obs::timer!("multipub_sim_spec_ms");
-    multipub_obs::counter!("multipub_sim_topics_solved_total").add(spec.topics.len() as u64);
+    let _spec_timer = multipub_obs::timer!(multipub_obs::metrics::SIM_SPEC_MS);
+    multipub_obs::counter!(multipub_obs::metrics::SIM_TOPICS_SOLVED_TOTAL)
+        .add(spec.topics.len() as u64);
     let regions = ec2::region_set();
     let inter = ec2::inter_region_latencies();
     let mut problems = Vec::with_capacity(spec.topics.len());

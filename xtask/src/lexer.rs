@@ -1,0 +1,543 @@
+//! A minimal Rust token scanner.
+//!
+//! The lint passes need token-level structure — identifiers, punctuation,
+//! string/char literals, comments with their text — but not a full AST.
+//! `syn` is deliberately not used: the linter must build on a bare
+//! toolchain with no registry access, and token patterns are sufficient
+//! for every invariant we check (see DESIGN.md §9 for the accepted
+//! imprecision and the annotation escape hatch).
+//!
+//! The scanner understands line/doc comments, nested block comments,
+//! string literals with escapes, raw strings (`r#"…"#`), byte/C-string
+//! prefixes, char literals vs. lifetimes, numbers (including hex and
+//! float forms) and raw identifiers. Everything else is a one-byte
+//! punctuation token.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Frame`, …).
+    Ident,
+    /// Numeric literal, raw text preserved (`0x0D`, `1.5e-9`, `42u64`).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation byte (`.`, `(`, `[`, `!`, …).
+    Punct(u8),
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: Kind,
+    /// The token's text. For `Str` this is the *unquoted* content; for
+    /// everything else the raw source slice.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == Kind::Ident && self.text == word
+    }
+
+    /// True when the token is the punctuation byte `ch`.
+    pub fn is_punct(&self, ch: u8) -> bool {
+        self.kind == Kind::Punct(ch)
+    }
+}
+
+/// One comment with its source position — kept separately from the token
+/// stream so the passes can match `lint:allow` annotations to lines.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Tokenized source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(source: &'a str) -> Self {
+        Cursor { bytes: source.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+        }
+        Some(byte)
+    }
+
+    fn slice(&self, start: usize, end: usize) -> &'a str {
+        // Positions always come from prior scans of the same UTF-8
+        // buffer, so the slice is in bounds and on char boundaries.
+        self.bytes.get(start..end).and_then(|raw| std::str::from_utf8(raw).ok()).unwrap_or_default()
+    }
+}
+
+fn is_ident_start(byte: u8) -> bool {
+    byte.is_ascii_alphabetic() || byte == b'_' || byte >= 0x80
+}
+
+fn is_ident_continue(byte: u8) -> bool {
+    byte.is_ascii_alphanumeric() || byte == b'_' || byte >= 0x80
+}
+
+/// Tokenizes `source`, splitting code tokens from comments.
+pub fn lex(source: &str) -> Lexed {
+    let mut cursor = Cursor::new(source);
+    let mut out = Lexed::default();
+    while let Some(byte) = cursor.peek() {
+        let start = cursor.pos;
+        let line = cursor.line;
+        match byte {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cursor.bump();
+            }
+            b'/' if cursor.peek_at(1) == Some(b'/') => {
+                while let Some(b) = cursor.peek() {
+                    if b == b'\n' {
+                        break;
+                    }
+                    cursor.bump();
+                }
+                out.comments
+                    .push(Comment { text: cursor.slice(start, cursor.pos).to_string(), line });
+            }
+            b'/' if cursor.peek_at(1) == Some(b'*') => {
+                cursor.bump();
+                cursor.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cursor.peek(), cursor.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cursor.bump();
+                            cursor.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cursor.bump();
+                            cursor.bump();
+                        }
+                        (Some(_), _) => {
+                            cursor.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments
+                    .push(Comment { text: cursor.slice(start, cursor.pos).to_string(), line });
+            }
+            b'"' => {
+                let content = scan_string(&mut cursor);
+                out.tokens.push(Token { kind: Kind::Str, text: content, line });
+            }
+            b'\'' => {
+                scan_quote(&mut cursor, &mut out, line);
+            }
+            b'r' | b'b' | b'c' if starts_prefixed_literal(&cursor) => {
+                let content = scan_prefixed_literal(&mut cursor);
+                out.tokens.push(Token { kind: Kind::Str, text: content, line });
+            }
+            _ if byte.is_ascii_digit() => {
+                scan_number(&mut cursor);
+                out.tokens.push(Token {
+                    kind: Kind::Number,
+                    text: cursor.slice(start, cursor.pos).to_string(),
+                    line,
+                });
+            }
+            _ if is_ident_start(byte) => {
+                while let Some(b) = cursor.peek() {
+                    if !is_ident_continue(b) {
+                        break;
+                    }
+                    cursor.bump();
+                }
+                out.tokens.push(Token {
+                    kind: Kind::Ident,
+                    text: cursor.slice(start, cursor.pos).to_string(),
+                    line,
+                });
+            }
+            _ => {
+                cursor.bump();
+                out.tokens.push(Token {
+                    kind: Kind::Punct(byte),
+                    text: (byte as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br`, `rb`, `c"`, `cr`…
+/// — i.e. a prefixed string/byte literal rather than an identifier?
+fn starts_prefixed_literal(cursor: &Cursor<'_>) -> bool {
+    let first = cursor.peek();
+    let second = cursor.peek_at(1);
+    let third = cursor.peek_at(2);
+    match (first, second) {
+        (Some(b'r'), Some(b'"')) | (Some(b'r'), Some(b'#')) => {
+            // `r#ident` is a raw identifier, not a raw string: a raw
+            // string hash run is always followed by `"` eventually, a raw
+            // ident by an ident char. One hash + ident-start = raw ident.
+            if second == Some(b'#') {
+                matches!(third, Some(b'"') | Some(b'#'))
+            } else {
+                true
+            }
+        }
+        (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(third, Some(b'"') | Some(b'#')),
+        (Some(b'c'), Some(b'"')) => true,
+        (Some(b'c'), Some(b'r')) => matches!(third, Some(b'"') | Some(b'#')),
+        _ => false,
+    }
+}
+
+/// Scans a literal that starts with one of the `r`/`b`/`c` prefixes.
+fn scan_prefixed_literal(cursor: &mut Cursor<'_>) -> String {
+    // Consume prefix letters.
+    while let Some(b) = cursor.peek() {
+        if b == b'"' || b == b'#' || b == b'\'' {
+            break;
+        }
+        cursor.bump();
+    }
+    if cursor.peek() == Some(b'\'') {
+        // b'x' byte char.
+        cursor.bump();
+        let mut text = String::new();
+        while let Some(b) = cursor.peek() {
+            if b == b'\\' {
+                cursor.bump();
+                cursor.bump();
+                continue;
+            }
+            if b == b'\'' {
+                cursor.bump();
+                break;
+            }
+            text.push(b as char);
+            cursor.bump();
+        }
+        return text;
+    }
+    // Count hashes for raw strings.
+    let mut hashes = 0usize;
+    while cursor.peek() == Some(b'#') {
+        hashes += 1;
+        cursor.bump();
+    }
+    if cursor.peek() == Some(b'"') {
+        cursor.bump();
+    }
+    let content_start = cursor.pos;
+    let content_end;
+    if hashes == 0 && content_start > 0 {
+        // Raw-or-plain string with no hashes: for `r"…"` there are no
+        // escapes; for plain prefixed strings (`b"…"`, `c"…"`) escapes
+        // exist, but `\"` is the only one that matters for finding the
+        // end, so handle it uniformly.
+        loop {
+            match cursor.peek() {
+                Some(b'\\') if hashes == 0 => {
+                    cursor.bump();
+                    cursor.bump();
+                }
+                Some(b'"') => {
+                    content_end = cursor.pos;
+                    cursor.bump();
+                    break;
+                }
+                Some(_) => {
+                    cursor.bump();
+                }
+                None => {
+                    content_end = cursor.pos;
+                    break;
+                }
+            }
+        }
+    } else {
+        // Raw string: ends at `"` followed by `hashes` hashes.
+        loop {
+            match cursor.peek() {
+                Some(b'"') => {
+                    let mut matched = true;
+                    for i in 0..hashes {
+                        if cursor.peek_at(1 + i) != Some(b'#') {
+                            matched = false;
+                            break;
+                        }
+                    }
+                    if matched {
+                        content_end = cursor.pos;
+                        cursor.bump();
+                        for _ in 0..hashes {
+                            cursor.bump();
+                        }
+                        break;
+                    }
+                    cursor.bump();
+                }
+                Some(_) => {
+                    cursor.bump();
+                }
+                None => {
+                    content_end = cursor.pos;
+                    break;
+                }
+            }
+        }
+    }
+    cursor.slice(content_start, content_end).to_string()
+}
+
+/// Scans a plain `"…"` string, returning the unescaped-ish content (escape
+/// sequences are kept verbatim minus the backslash handling needed to find
+/// the closing quote).
+fn scan_string(cursor: &mut Cursor<'_>) -> String {
+    cursor.bump(); // opening quote
+    let start = cursor.pos;
+    let end;
+    loop {
+        match cursor.peek() {
+            Some(b'\\') => {
+                cursor.bump();
+                cursor.bump();
+            }
+            Some(b'"') => {
+                end = cursor.pos;
+                cursor.bump();
+                break;
+            }
+            Some(_) => {
+                cursor.bump();
+            }
+            None => {
+                end = cursor.pos;
+                break;
+            }
+        }
+    }
+    cursor.slice(start, end).to_string()
+}
+
+/// Scans `'…` — either a char literal or a lifetime.
+fn scan_quote(cursor: &mut Cursor<'_>, out: &mut Lexed, line: u32) {
+    let start = cursor.pos;
+    cursor.bump(); // the quote
+    match cursor.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: consume escape then closing quote.
+            cursor.bump();
+            cursor.bump();
+            // Unicode escapes: \u{…}
+            if cursor.peek() == Some(b'{') {
+                while let Some(b) = cursor.bump() {
+                    if b == b'}' {
+                        break;
+                    }
+                }
+            }
+            if cursor.peek() == Some(b'\'') {
+                cursor.bump();
+            }
+            out.tokens.push(Token {
+                kind: Kind::Char,
+                text: cursor.slice(start, cursor.pos).to_string(),
+                line,
+            });
+        }
+        Some(b) if is_ident_start(b) => {
+            // Could be 'a' (char) or 'a / 'static (lifetime).
+            cursor.bump();
+            let mut ident_len = 1usize;
+            while let Some(next) = cursor.peek() {
+                if !is_ident_continue(next) {
+                    break;
+                }
+                cursor.bump();
+                ident_len += 1;
+            }
+            if ident_len == 1 && cursor.peek() == Some(b'\'') {
+                cursor.bump();
+                out.tokens.push(Token {
+                    kind: Kind::Char,
+                    text: cursor.slice(start, cursor.pos).to_string(),
+                    line,
+                });
+            } else {
+                out.tokens.push(Token {
+                    kind: Kind::Lifetime,
+                    text: cursor.slice(start, cursor.pos).to_string(),
+                    line,
+                });
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal like '(' or ' '.
+            cursor.bump();
+            if cursor.peek() == Some(b'\'') {
+                cursor.bump();
+            }
+            out.tokens.push(Token {
+                kind: Kind::Char,
+                text: cursor.slice(start, cursor.pos).to_string(),
+                line,
+            });
+        }
+        None => {}
+    }
+}
+
+/// Scans a numeric literal (int, float, hex/oct/bin, suffixes).
+fn scan_number(cursor: &mut Cursor<'_>) {
+    // Leading digits and any radix prefix / suffix letters.
+    while let Some(b) = cursor.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            cursor.bump();
+        } else if b == b'.' {
+            // `1.5` is a float continuation, `1..n` is a range, `1.max()`
+            // is a method call on an integer.
+            match cursor.peek_at(1) {
+                Some(next) if next.is_ascii_digit() => {
+                    cursor.bump();
+                }
+                _ => break,
+            }
+        } else if (b == b'+' || b == b'-')
+            && matches!(cursor.bytes.get(cursor.pos.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+            && cursor.peek_at(1).is_some_and(|n| n.is_ascii_digit())
+        {
+            // Exponent sign: 1e-9.
+            cursor.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<Kind> {
+        lex(source).tokens.iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let lexed = lex("fn main() { x.unwrap(); }");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "main", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn comments_are_split_out() {
+        let lexed = lex("let a = 1; // lint:allow(panic) reason\n/* block */ let b = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments.first().is_some_and(|c| c.text.contains("lint:allow")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* a /* b */ c */ fn");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 1);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let lexed = lex(r#"let s = "x.unwrap() // not a comment";"#);
+        assert!(lexed.comments.is_empty());
+        assert!(lexed.tokens.iter().any(|t| t.kind == Kind::Str));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let lexed = lex(r##"let s = r#"quote " inside"#; let t = 1;"##);
+        let strings: Vec<&str> =
+            lexed.tokens.iter().filter(|t| t.kind == Kind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strings, ["quote \" inside"]);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert!(kinds("'a'").contains(&Kind::Char));
+        assert!(kinds("&'a str").contains(&Kind::Lifetime));
+        assert!(kinds("'static").contains(&Kind::Lifetime));
+        assert!(kinds(r"'\n'").contains(&Kind::Char));
+        assert!(kinds(r"'\u{1F600}'").contains(&Kind::Char));
+    }
+
+    #[test]
+    fn numbers_keep_raw_text() {
+        let lexed = lex("0x0D 1.5e-9 42u64 1..10");
+        let numbers: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(numbers, ["0x0D", "1.5e-9", "42u64", "1", "10"]);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let lexed = lex(r##"b"hello world" b'\xFF' br#"raw"# "##);
+        assert!(lexed.tokens.iter().all(|t| t.kind == Kind::Str));
+    }
+}
