@@ -18,6 +18,7 @@
 
 use crate::conn::{read_frame, BrokerError};
 use crate::delay::{DelayTable, Outbound};
+use crate::flow::{FlowConfig, GlobalBudget, SlowConsumerPolicy, TokenBucket};
 use crate::frame::{Frame, Role, WireMode};
 use bytes::{Bytes, BytesMut};
 use multipub_core::ids::RegionId;
@@ -31,6 +32,11 @@ use std::sync::Arc;
 use std::time::Duration;
 use tokio::net::{TcpListener, TcpStream};
 use tokio::task::JoinHandle;
+
+/// Retry hint sent in a [`Frame::Busy`] NACK when the broker-wide
+/// in-flight budget is tripped (the token bucket computes a precise hint;
+/// the global state cannot, so it suggests a short, fixed backoff).
+const DEFAULT_BUSY_RETRY_MS: u32 = 100;
 
 /// Per-publisher statistics within one topic and interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -115,6 +121,16 @@ struct Shared {
     /// Heartbeat cadence on outbound peer links, so idle peers are not
     /// reaped by each other's idle deadline.
     peer_keepalive: Option<Duration>,
+    /// Default outbound-queue configuration for every connection. A
+    /// subscriber's `Connect` may override the slow-consumer policy for
+    /// its own connection.
+    flow: FlowConfig,
+    /// Broker-wide in-flight-bytes budget across all outbound queues;
+    /// trips the `Overloaded` state (DESIGN.md §10).
+    budget: Arc<GlobalBudget>,
+    /// Per-publisher admission rate in publications/second (`None`
+    /// disables the token bucket).
+    publish_rate: Option<f64>,
 }
 
 impl Shared {
@@ -142,6 +158,9 @@ pub struct BrokerBuilder {
     delays: DelayTable,
     idle_timeout: Option<Duration>,
     peer_keepalive: Option<Duration>,
+    flow: FlowConfig,
+    inflight_budget: Option<u64>,
+    publish_rate: Option<f64>,
 }
 
 impl BrokerBuilder {
@@ -183,6 +202,41 @@ impl BrokerBuilder {
         self
     }
 
+    /// Caps every connection's outbound queue at `frames` data frames
+    /// (default [`crate::flow::DEFAULT_OUTBOUND_CAPACITY`]). The low
+    /// watermark, where `Block`-policy senders resume, is half of it.
+    pub fn outbound_queue(mut self, frames: usize) -> Self {
+        let policy = self.flow.policy;
+        self.flow = FlowConfig::with_capacity(frames).policy(policy);
+        self
+    }
+
+    /// Default [`SlowConsumerPolicy`] applied when a full outbound queue
+    /// meets a slow consumer. Subscribers may override it for their own
+    /// connection via [`crate::client::ClientConfig::slow_consumer`].
+    pub fn slow_consumer(mut self, policy: SlowConsumerPolicy) -> Self {
+        self.flow.policy = policy;
+        self
+    }
+
+    /// Rate-limits each publisher connection to `per_second`
+    /// publications/second (token bucket; burst = one second's worth).
+    /// Over-rate publications are refused with a [`Frame::Busy`] NACK.
+    pub fn publish_rate(mut self, per_second: f64) -> Self {
+        self.publish_rate = Some(per_second);
+        self
+    }
+
+    /// Broker-wide budget for bytes queued across all outbound
+    /// connections. When total queued bytes exceed it the broker enters
+    /// the `Overloaded` state and refuses publications with
+    /// [`Frame::Busy`] until the backlog drains to half the budget.
+    /// Unset means effectively unlimited.
+    pub fn inflight_budget(mut self, bytes: u64) -> Self {
+        self.inflight_budget = Some(bytes);
+        self
+    }
+
     /// Binds the listener and spawns the broker's accept loop on the
     /// current tokio runtime.
     ///
@@ -207,6 +261,11 @@ impl BrokerBuilder {
             conn_tasks: Mutex::new(Vec::new()),
             idle_timeout: self.idle_timeout,
             peer_keepalive: self.peer_keepalive.or_else(|| self.idle_timeout.map(|t| t / 3)),
+            flow: self.flow,
+            // An unset budget never trips: `u64::MAX` queued bytes is
+            // unreachable before the process dies of something else.
+            budget: Arc::new(GlobalBudget::new(self.inflight_budget.unwrap_or(u64::MAX))),
+            publish_rate: self.publish_rate,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_task = tokio::spawn(async move {
@@ -251,6 +310,9 @@ impl Broker {
             delays: DelayTable::none(),
             idle_timeout: None,
             peer_keepalive: None,
+            flow: FlowConfig::default(),
+            inflight_budget: None,
+            publish_rate: None,
         }
     }
 
@@ -289,6 +351,20 @@ impl Broker {
     /// Current number of connected clients (all roles).
     pub fn client_count(&self) -> usize {
         self.shared.clients.lock().len()
+    }
+
+    /// Total bytes currently queued across all outbound connections —
+    /// the broker's memory-pressure proxy, charged against the
+    /// [`BrokerBuilder::inflight_budget`].
+    pub fn queued_bytes(&self) -> u64 {
+        self.shared.budget.queued_bytes()
+    }
+
+    /// Whether the broker is currently in the `Overloaded` state
+    /// (in-flight bytes exceeded the budget and have not yet drained to
+    /// the low watermark).
+    pub fn is_overloaded(&self) -> bool {
+        self.shared.budget.is_overloaded()
     }
 
     /// Shuts the broker down: stops accepting **and severs established
@@ -391,8 +467,17 @@ async fn peer_outbound(shared: &Arc<Shared>, region: u16) -> Option<Outbound> {
     let addr = *shared.peer_addrs.lock().get(&region)?;
     let stream = TcpStream::connect(addr).await.ok()?;
     let (mut read_half, write_half) = stream.into_split();
-    let outbound = Outbound::spawn(write_half, shared.delays.to_region(region));
-    outbound.send(&Frame::Connect { client_id: u64::from(shared.region.0), role: Role::Peer });
+    let outbound = Outbound::spawn_with(
+        write_half,
+        shared.delays.to_region(region),
+        shared.flow,
+        Some(Arc::clone(&shared.budget)),
+    );
+    outbound.send(&Frame::Connect {
+        client_id: u64::from(shared.region.0),
+        role: Role::Peer,
+        policy: None,
+    });
     // Heartbeat the (otherwise write-only, often quiet) peer link so the
     // remote broker's idle deadline sees traffic while we are healthy.
     if let Some(interval) = shared.peer_keepalive {
@@ -430,7 +515,7 @@ fn record_publish(shared: &Shared, topic: &str, publisher: u64, payload_len: usi
     entry.bytes += payload_len as u64;
 }
 
-fn deliver_locally(
+async fn deliver_locally(
     shared: &Shared,
     topic: &str,
     publisher: u64,
@@ -462,17 +547,21 @@ fn deliver_locally(
         headers: headers_json.to_string(),
         payload: payload.clone(),
     };
-    let mut delivered = 0u64;
-    {
+    // Snapshot the matching outbound handles under the lock, then push
+    // outside it: a `Block`-policy queue may park this task until the
+    // consumer drains (never with a `Mutex` guard held across an await).
+    let targets: Vec<Outbound> = {
         let clients = shared.clients.lock();
-        for (conn_id, filter) in recipients {
-            if !filter.matches(&headers) {
-                continue;
-            }
-            if let Some(client) = clients.get(&conn_id) {
-                client.outbound.send(&frame);
-                delivered += 1;
-            }
+        recipients
+            .into_iter()
+            .filter(|(_, filter)| filter.matches(&headers))
+            .filter_map(|(conn_id, _)| clients.get(&conn_id).map(|c| c.outbound.clone()))
+            .collect()
+    };
+    let mut delivered = 0u64;
+    for outbound in targets {
+        if outbound.send_data(&frame).await.queued() {
+            delivered += 1;
         }
     }
     if delivered > 0 {
@@ -507,7 +596,7 @@ async fn handle_publish_from_client(
         multipub_obs::counter!(multipub_obs::metrics::BROKER_PUBLISH_DIRECT_TOTAL).inc();
     }
     record_publish(shared, &topic, publisher, payload.len());
-    deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload);
+    deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload).await;
 
     // Forward to the topic's other serving regions when (a) the publisher
     // sent to us alone (routed delivery, or a stale routed view during the
@@ -535,8 +624,9 @@ async fn handle_publish_from_client(
             continue;
         }
         if let Some(outbound) = peer_outbound(shared, region).await {
-            outbound.send(&frame);
-            multipub_obs::counter!(multipub_obs::metrics::BROKER_FORWARDS_TOTAL).inc();
+            if outbound.send_data(&frame).await.queued() {
+                multipub_obs::counter!(multipub_obs::metrics::BROKER_FORWARDS_TOTAL).inc();
+            }
         }
     }
 }
@@ -576,8 +666,9 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
 
     // Handshake — the idle deadline applies from the first byte, so a
     // connection that never even identifies itself cannot linger.
-    let (client_id, role) = match read_frame_idle(&shared, &mut read_half, &mut buf).await? {
-        Some(Frame::Connect { client_id, role }) => (client_id, role),
+    let (client_id, role, policy) = match read_frame_idle(&shared, &mut read_half, &mut buf).await?
+    {
+        Some(Frame::Connect { client_id, role, policy }) => (client_id, role, policy),
         Some(_) => return Err(BrokerError::UnexpectedFrame { expected: "Connect" }),
         None => return Ok(()),
     };
@@ -586,8 +677,22 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
         Role::Peer => shared.delays.to_region(client_id as u16),
         Role::Controller => std::time::Duration::ZERO,
     };
-    let outbound = Outbound::spawn(write_half, delay);
+    // Only subscribers may pick their own slow-consumer policy; other
+    // roles get the broker default.
+    let mut flow = shared.flow;
+    if role == Role::Subscriber {
+        if let Some(policy) = policy {
+            flow.policy = policy;
+        }
+    }
+    let outbound = Outbound::spawn_with(write_half, delay, flow, Some(Arc::clone(&shared.budget)));
     outbound.send(&Frame::ConnectAck { region: u16::from(shared.region.0) });
+    // Publisher connections get a token bucket when the broker is
+    // configured with a publish rate; burst = one second's allowance.
+    let mut bucket = match (role, shared.publish_rate) {
+        (Role::Publisher, Some(rate)) => Some(TokenBucket::new(rate, rate.max(1.0))),
+        _ => None,
+    };
 
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
     multipub_obs::counter!(multipub_obs::metrics::BROKER_CONNECTIONS_TOTAL).inc();
@@ -615,7 +720,9 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
         }
     }
 
-    let result = connection_loop(&shared, conn_id, role, &mut read_half, &mut buf, &outbound).await;
+    let result =
+        connection_loop(&shared, conn_id, role, &mut read_half, &mut buf, &outbound, &mut bucket)
+            .await;
 
     // Unregister.
     if matches!(role, Role::Publisher | Role::Subscriber) {
@@ -637,6 +744,7 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 async fn connection_loop(
     shared: &Arc<Shared>,
     conn_id: u64,
@@ -644,6 +752,7 @@ async fn connection_loop(
     read_half: &mut tokio::net::tcp::OwnedReadHalf,
     buf: &mut BytesMut,
     outbound: &Outbound,
+    bucket: &mut Option<TokenBucket>,
 ) -> Result<(), BrokerError> {
     while let Some(frame) = read_frame_idle(shared, read_half, buf).await? {
         match frame {
@@ -679,6 +788,35 @@ async fn connection_loop(
                 headers,
                 payload,
             } => {
+                // Admission control (DESIGN.md §10): shed load with an
+                // explicit NACK instead of queueing into an overloaded
+                // broker. The overload check precedes the token bucket so
+                // a global trip does not also burn the publisher's tokens.
+                let retry_after_ms = if shared.budget.is_overloaded() {
+                    Some(DEFAULT_BUSY_RETRY_MS)
+                } else {
+                    match bucket.as_mut() {
+                        Some(bucket) if !bucket.try_acquire() => {
+                            Some(bucket.retry_after_ms().max(1))
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some(retry_after_ms) = retry_after_ms {
+                    multipub_obs::counter!(multipub_obs::metrics::BROKER_BUSY_REJECTIONS_TOTAL)
+                        .inc();
+                    multipub_obs::event!(
+                        Debug,
+                        "broker",
+                        msg = "publish refused busy",
+                        region = shared.region.0,
+                        conn_id = conn_id,
+                        topic = topic,
+                        retry_after_ms = retry_after_ms,
+                    );
+                    outbound.send(&Frame::Busy { topic, retry_after_ms });
+                    continue;
+                }
                 handle_publish_from_client(
                     shared,
                     topic,
@@ -692,7 +830,8 @@ async fn connection_loop(
             }
             Frame::Forward { topic, publisher, publish_micros, headers, payload, .. } => {
                 // Second hop of routed delivery: local fan-out only.
-                deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload);
+                deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload)
+                    .await;
             }
             Frame::StatsRequest => {
                 let report = take_report(shared);
@@ -733,6 +872,7 @@ async fn connection_loop(
             | Frame::Deliver { .. }
             | Frame::StatsReport { .. }
             | Frame::StatsSnapshot { .. }
+            | Frame::Busy { .. }
             | Frame::Pong { .. } => {}
         }
     }

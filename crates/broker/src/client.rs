@@ -34,6 +34,7 @@
 use crate::broker::InstalledConfig;
 use crate::conn::{read_frame, BrokerError};
 use crate::delay::{duration_from_ms, Outbound};
+use crate::flow::SlowConsumerPolicy;
 use crate::frame::{Frame, Role, WireMode};
 use crate::session::{Backoff, PendingPublish, PendingQueue, ReconnectPolicy};
 use bytes::{Bytes, BytesMut};
@@ -70,6 +71,10 @@ pub struct ClientConfig {
     /// Maximum number of publications a publisher buffers while every
     /// serving region is unreachable (oldest evicted first).
     pub publish_buffer: usize,
+    /// Slow-consumer policy this client requests for its own broker-side
+    /// outbound queue (subscribers only; `None` accepts the broker's
+    /// default). See [`SlowConsumerPolicy`].
+    pub slow_consumer: Option<SlowConsumerPolicy>,
 }
 
 impl ClientConfig {
@@ -85,6 +90,7 @@ impl ClientConfig {
             reconnect: ReconnectPolicy::default(),
             keepalive: None,
             publish_buffer: 1024,
+            slow_consumer: None,
         }
     }
 
@@ -138,7 +144,20 @@ enum Event {
     ReconnectDue {
         region: u16,
     },
+    /// The broker refused a publication with a [`Frame::Busy`] NACK.
+    Busy {
+        retry_after_ms: u32,
+    },
 }
+
+/// Capacity of the per-client internal event channel (deliveries, config
+/// updates, disconnect notices). Bounded so a stalled application
+/// backpressures the reader task instead of growing the queue without
+/// limit.
+const EVENT_CHANNEL_CAPACITY: usize = 1024;
+
+/// Capacity of the subscriber's application→actor command channel.
+const COMMAND_CHANNEL_CAPACITY: usize = 64;
 
 /// Per-region connection management shared by both client kinds.
 #[derive(Debug)]
@@ -147,7 +166,7 @@ struct Links {
     role: Role,
     conns: HashMap<u16, Outbound>,
     topic_configs: Arc<Mutex<HashMap<String, InstalledConfig>>>,
-    events_tx: mpsc::UnboundedSender<Event>,
+    events_tx: mpsc::Sender<Event>,
     /// Regions connected at least once — a later connect is a *re*connect.
     ever_connected: std::collections::HashSet<u16>,
     /// When each currently-dead region was first seen down, for the
@@ -156,7 +175,7 @@ struct Links {
 }
 
 impl Links {
-    fn new(config: ClientConfig, role: Role, events_tx: mpsc::UnboundedSender<Event>) -> Self {
+    fn new(config: ClientConfig, role: Role, events_tx: mpsc::Sender<Event>) -> Self {
         Links {
             config,
             role,
@@ -225,7 +244,15 @@ impl Links {
             Duration::ZERO
         };
         let outbound = Outbound::spawn(write_half, delay);
-        outbound.send(&Frame::Connect { client_id: self.config.client_id, role: self.role });
+        let policy = match self.role {
+            Role::Subscriber => self.config.slow_consumer,
+            _ => None,
+        };
+        outbound.send(&Frame::Connect {
+            client_id: self.config.client_id,
+            role: self.role,
+            policy,
+        });
 
         if !self.ever_connected.insert(region) {
             multipub_obs::counter!(multipub_obs::metrics::CLIENT_RECONNECTS_TOTAL).inc();
@@ -279,19 +306,34 @@ impl Links {
                             headers,
                             payload,
                         };
-                        if events_tx.send(Event::Delivery(delivery)).is_err() {
+                        if events_tx.send(Event::Delivery(delivery)).await.is_err() {
                             break;
                         }
                     }
                     Ok(Some(Frame::ConfigUpdate { topic, mask, mode })) => {
                         topic_configs.lock().insert(topic.clone(), InstalledConfig { mask, mode });
-                        if events_tx.send(Event::Config { topic }).is_err() {
+                        if events_tx.send(Event::Config { topic }).await.is_err() {
+                            break;
+                        }
+                    }
+                    Ok(Some(Frame::Busy { topic, retry_after_ms })) => {
+                        multipub_obs::counter!(multipub_obs::metrics::CLIENT_BUSY_RECEIVED_TOTAL)
+                            .inc();
+                        multipub_obs::event!(
+                            Debug,
+                            "client",
+                            msg = "publish refused busy",
+                            region = region,
+                            topic = topic,
+                            retry_after_ms = retry_after_ms,
+                        );
+                        if events_tx.send(Event::Busy { retry_after_ms }).await.is_err() {
                             break;
                         }
                     }
                     Ok(Some(_)) => {} // ConnectAck, Pong, …
                     Ok(None) | Err(_) => {
-                        let _ = events_tx.send(Event::Disconnected { region });
+                        let _ = events_tx.send(Event::Disconnected { region }).await;
                         break;
                     }
                 }
@@ -333,8 +375,8 @@ enum Command {
 /// moved to the new serving region.
 #[derive(Debug)]
 pub struct SubscriberClient {
-    commands_tx: mpsc::UnboundedSender<Command>,
-    deliveries_rx: mpsc::UnboundedReceiver<Delivery>,
+    commands_tx: mpsc::Sender<Command>,
+    deliveries_rx: mpsc::Receiver<Delivery>,
     /// topic → (region currently subscribed at, filter source) — shared
     /// with the actor.
     subscriptions: Arc<Mutex<HashMap<String, (u16, String)>>>,
@@ -350,9 +392,9 @@ impl SubscriberClient {
     /// Returns [`BrokerError::UnknownRegion`] if `config` lists no regions.
     pub fn new(config: ClientConfig) -> Result<Self, BrokerError> {
         config.validate()?;
-        let (events_tx, events_rx) = mpsc::unbounded_channel();
-        let (commands_tx, commands_rx) = mpsc::unbounded_channel();
-        let (deliveries_tx, deliveries_rx) = mpsc::unbounded_channel();
+        let (events_tx, events_rx) = mpsc::channel(EVENT_CHANNEL_CAPACITY);
+        let (commands_tx, commands_rx) = mpsc::channel(COMMAND_CHANNEL_CAPACITY);
+        let (deliveries_tx, deliveries_rx) = mpsc::channel(EVENT_CHANNEL_CAPACITY);
         let subscriptions = Arc::new(Mutex::new(HashMap::new()));
         let actor = SubscriberActor {
             links: Links::new(config, Role::Subscriber, events_tx),
@@ -397,6 +439,7 @@ impl SubscriberClient {
         let (ack, done) = tokio::sync::oneshot::channel();
         self.commands_tx
             .send(Command::Subscribe { topic: topic.to_string(), filter, ack })
+            .await
             .map_err(|_| BrokerError::ConnectionClosed)?;
         done.await.map_err(|_| BrokerError::ConnectionClosed)?
     }
@@ -410,6 +453,7 @@ impl SubscriberClient {
         let (ack, done) = tokio::sync::oneshot::channel();
         self.commands_tx
             .send(Command::Unsubscribe { topic: topic.to_string(), ack })
+            .await
             .map_err(|_| BrokerError::ConnectionClosed)?;
         done.await.map_err(|_| BrokerError::ConnectionClosed)?
     }
@@ -432,9 +476,9 @@ impl SubscriberClient {
 
 struct SubscriberActor {
     links: Links,
-    events_rx: mpsc::UnboundedReceiver<Event>,
-    commands_rx: mpsc::UnboundedReceiver<Command>,
-    deliveries_tx: mpsc::UnboundedSender<Delivery>,
+    events_rx: mpsc::Receiver<Event>,
+    commands_rx: mpsc::Receiver<Command>,
+    deliveries_tx: mpsc::Sender<Delivery>,
     subscriptions: Arc<Mutex<HashMap<String, (u16, String)>>>,
     /// In-flight reconnect episodes, one per dead region.
     backoffs: HashMap<u16, Backoff>,
@@ -455,7 +499,7 @@ impl SubscriberActor {
                 },
                 event = self.events_rx.recv() => match event {
                     Some(Event::Delivery(delivery)) => {
-                        if self.deliveries_tx.send(delivery).is_err() {
+                        if self.deliveries_tx.send(delivery).await.is_err() {
                             break;
                         }
                     }
@@ -472,6 +516,8 @@ impl SubscriberActor {
                     Some(Event::ReconnectDue { region }) => {
                         self.try_reconnect(region).await;
                     }
+                    // Busy NACKs only concern publishers.
+                    Some(Event::Busy { .. }) => {}
                     None => break,
                 },
             }
@@ -503,7 +549,7 @@ impl SubscriberActor {
         let events_tx = self.links.events_tx.clone();
         tokio::spawn(async move {
             tokio::time::sleep(delay).await;
-            let _ = events_tx.send(Event::ReconnectDue { region });
+            let _ = events_tx.send(Event::ReconnectDue { region }).await;
         });
     }
 
@@ -599,8 +645,14 @@ impl SubscriberActor {
 #[derive(Debug)]
 pub struct PublisherClient {
     links: Links,
-    events_rx: mpsc::UnboundedReceiver<Event>,
+    events_rx: mpsc::Receiver<Event>,
     pending: PendingQueue,
+    /// While set, the broker has NACKed with [`Frame::Busy`]: publishes
+    /// are buffered instead of sent until the deadline passes.
+    busy_until: Option<tokio::time::Instant>,
+    /// Decorrelated-jitter backoff across consecutive Busy NACKs, so a
+    /// fleet of refused publishers does not retry in lockstep.
+    busy_backoff: Backoff,
 }
 
 impl PublisherClient {
@@ -612,12 +664,15 @@ impl PublisherClient {
     /// Returns [`BrokerError::UnknownRegion`] if `config` lists no regions.
     pub fn new(config: ClientConfig) -> Result<Self, BrokerError> {
         config.validate()?;
-        let (events_tx, events_rx) = mpsc::unbounded_channel();
+        let (events_tx, events_rx) = mpsc::channel(EVENT_CHANNEL_CAPACITY);
         let pending = PendingQueue::new(config.publish_buffer);
+        let busy_backoff = config.reconnect.backoff(config.client_id ^ 0xB5_5B);
         Ok(PublisherClient {
             links: Links::new(config, Role::Publisher, events_tx),
             events_rx,
             pending,
+            busy_until: None,
+            busy_backoff,
         })
     }
 
@@ -657,19 +712,49 @@ impl PublisherClient {
         payload: impl Into<Bytes>,
     ) -> Result<usize, BrokerError> {
         self.drain_events();
-        self.flush_pending().await;
         let entry = PendingPublish {
             topic: topic.to_string(),
             headers: if headers.is_empty() { String::new() } else { headers.to_json() },
             payload: payload.into().to_vec(),
             publish_micros: now_micros(),
         };
+        // Inside a Busy window the broker asked us to back off: buffer
+        // without attempting, exactly like an unreachable region.
+        if self.in_busy_window() {
+            self.buffer(entry);
+            return Ok(0);
+        }
+        self.flush_pending().await;
         match self.try_send(&entry).await {
-            Ok(sent) => Ok(sent),
+            Ok(sent) => {
+                // An accepted publication ends the overload episode:
+                // reset the Busy backoff so the next NACK starts small.
+                self.busy_backoff =
+                    self.links.config.reconnect.backoff(self.links.config.client_id ^ 0xB5_5B);
+                Ok(sent)
+            }
             Err(_) => {
                 self.buffer(entry);
                 Ok(0)
             }
+        }
+    }
+
+    /// Whether a broker [`Frame::Busy`] NACK currently holds publishing
+    /// back (window not yet elapsed).
+    pub fn is_busy(&mut self) -> bool {
+        self.drain_events();
+        self.in_busy_window()
+    }
+
+    fn in_busy_window(&mut self) -> bool {
+        match self.busy_until {
+            Some(until) if tokio::time::Instant::now() < until => true,
+            Some(_) => {
+                self.busy_until = None;
+                false
+            }
+            None => false,
         }
     }
 
@@ -756,6 +841,9 @@ impl PublisherClient {
     /// Returns the number flushed. Called automatically at the start of
     /// every publish.
     pub async fn flush_pending(&mut self) -> usize {
+        if self.in_busy_window() {
+            return 0;
+        }
         let mut flushed = 0;
         while let Some(entry) = self.pending.pop() {
             match self.try_send(&entry).await {
@@ -786,9 +874,23 @@ impl PublisherClient {
         while let Ok(event) = self.events_rx.try_recv() {
             // Config updates already landed in the shared map; Delivery
             // events cannot occur on a publisher connection.
-            if let Event::Disconnected { region } = event {
-                self.links.mark_disconnected(region);
+            match event {
+                Event::Disconnected { region } => self.links.mark_disconnected(region),
+                Event::Busy { retry_after_ms } => self.note_busy(retry_after_ms),
+                _ => {}
             }
+        }
+    }
+
+    /// Opens (or extends) the Busy window: the broker's retry hint, or
+    /// the decorrelated-jitter backoff delay when that is longer —
+    /// consecutive NACKs push retries further apart.
+    fn note_busy(&mut self, retry_after_ms: u32) {
+        let hint = Duration::from_millis(u64::from(retry_after_ms));
+        let delay = self.busy_backoff.next_delay().map_or(hint, |d| d.max(hint));
+        let until = tokio::time::Instant::now() + delay;
+        if self.busy_until.is_none_or(|current| until > current) {
+            self.busy_until = Some(until);
         }
     }
 }
@@ -810,7 +912,7 @@ mod tests {
 
     #[test]
     fn closest_serving_respects_mask_and_latency() {
-        let (tx, _rx) = mpsc::unbounded_channel();
+        let (tx, _rx) = mpsc::channel(8);
         let links = Links::new(test_config(vec![30.0, 10.0, 20.0]), Role::Subscriber, tx);
         assert_eq!(links.closest_serving(0b111), 1);
         assert_eq!(links.closest_serving(0b101), 2);
@@ -819,7 +921,7 @@ mod tests {
 
     #[test]
     fn default_topic_config_is_all_regions_routed() {
-        let (tx, _rx) = mpsc::unbounded_channel();
+        let (tx, _rx) = mpsc::channel(8);
         let links = Links::new(test_config(vec![1.0, 2.0]), Role::Publisher, tx);
         let config = links.config_for("unknown");
         assert_eq!(config.mask, 0b11);
@@ -854,7 +956,7 @@ mod tests {
         let mut config = test_config(vec![]);
         config.region_addrs =
             vec![SocketAddr::from(([127, 0, 0, 1], 1)), SocketAddr::from(([127, 0, 0, 1], 2))];
-        let (tx, _rx) = mpsc::unbounded_channel();
+        let (tx, _rx) = mpsc::channel(8);
         let links = Links::new(config, Role::Subscriber, tx);
         assert_eq!(links.closest_serving(0b10), 1);
         assert_eq!(links.closest_serving(0b11), 0);

@@ -7,6 +7,7 @@
 //! while a frame is still partial — the natural shape for reading from a
 //! TCP stream.
 
+use crate::flow::SlowConsumerPolicy;
 use crate::frame::{Frame, Role, WireMode};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -76,9 +77,19 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
     buf.put_u32(0); // length placeholder
     buf.put_u8(frame.tag());
     match frame {
-        Frame::Connect { client_id, role } => {
+        Frame::Connect { client_id, role, policy } => {
             buf.put_u64(*client_id);
             buf.put_u8(role.to_u8());
+            match policy {
+                Some(policy) => {
+                    buf.put_u8(policy.wire_byte());
+                    buf.put_u32(policy.wire_ms());
+                }
+                None => {
+                    buf.put_u8(0);
+                    buf.put_u32(0);
+                }
+            }
         }
         Frame::ConnectAck { region } => {
             buf.put_u16(*region);
@@ -128,6 +139,10 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
         Frame::StatsSnapshotRequest => {}
         Frame::StatsSnapshot { json } => {
             put_long_string(buf, json);
+        }
+        Frame::Busy { topic, retry_after_ms } => {
+            put_string(buf, topic);
+            buf.put_u32(*retry_after_ms);
         }
     }
     let body_len = (buf.len() - start - 4) as u32;
@@ -239,7 +254,11 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
             let role_byte = reader.u8()?;
             let role =
                 Role::from_u8(role_byte).ok_or(CodecError::InvalidEnum { value: role_byte })?;
-            Frame::Connect { client_id, role }
+            let policy_byte = reader.u8()?;
+            let policy_ms = reader.u32()?;
+            let policy = SlowConsumerPolicy::from_wire(policy_byte, policy_ms)
+                .map_err(|value| CodecError::InvalidEnum { value })?;
+            Frame::Connect { client_id, role, policy }
         }
         0x02 => Frame::ConnectAck { region: reader.u16()? },
         0x03 => {
@@ -288,6 +307,11 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
         0x0C => Frame::Pong { nonce: reader.u64()? },
         0x0D => Frame::StatsSnapshotRequest,
         0x0E => Frame::StatsSnapshot { json: reader.long_string()? },
+        0x0F => {
+            let topic = reader.string()?;
+            let retry_after_ms = reader.u32()?;
+            Frame::Busy { topic, retry_after_ms }
+        }
         other => return Err(CodecError::UnknownTag { tag: other }),
     };
     Ok(Some(frame))
@@ -307,7 +331,14 @@ mod tests {
 
     fn all_frames() -> Vec<Frame> {
         vec![
-            Frame::Connect { client_id: 77, role: Role::Subscriber },
+            Frame::Connect { client_id: 77, role: Role::Subscriber, policy: None },
+            Frame::Connect {
+                client_id: 78,
+                role: Role::Subscriber,
+                policy: Some(SlowConsumerPolicy::Block {
+                    deadline: std::time::Duration::from_millis(250),
+                }),
+            },
             Frame::ConnectAck { region: 9 },
             Frame::Subscribe { topic: "games/eu/chat".into(), filter: "price < 10".into() },
             Frame::Unsubscribe { topic: "t".into() },
@@ -341,6 +372,7 @@ mod tests {
             Frame::Pong { nonce: 0 },
             Frame::StatsSnapshotRequest,
             Frame::StatsSnapshot { json: "{\"counters\":{}}".into() },
+            Frame::Busy { topic: "scores".into(), retry_after_ms: 125 },
         ]
     }
 

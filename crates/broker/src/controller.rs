@@ -70,10 +70,16 @@ pub struct TopicDecision {
     pub excluded_regions: Vec<RegionId>,
 }
 
+/// Capacity of each broker link's inbound report/snapshot channels. The
+/// controller consumes one report per broker per round, so even a small
+/// bound is generous; overflow (a wedged controller) drops the newest and
+/// counts `multipub_controller_reports_dropped_total`.
+const LINK_CHANNEL_CAPACITY: usize = 256;
+
 struct BrokerLink {
     outbound: Outbound,
-    reports_rx: mpsc::UnboundedReceiver<RegionReport>,
-    snapshots_rx: mpsc::UnboundedReceiver<String>,
+    reports_rx: mpsc::Receiver<RegionReport>,
+    snapshots_rx: mpsc::Receiver<String>,
 }
 
 impl std::fmt::Debug for BrokerLink {
@@ -151,25 +157,40 @@ async fn dial(addr: SocketAddr, connect_timeout: Duration) -> Result<BrokerLink,
     stream.set_nodelay(true).ok();
     let (mut read_half, write_half) = stream.into_split();
     let outbound = Outbound::spawn(write_half, Duration::ZERO);
-    outbound.send(&Frame::Connect { client_id: 0, role: Role::Controller });
-    let (reports_tx, reports_rx) = mpsc::unbounded_channel();
-    let (snapshots_tx, snapshots_rx) = mpsc::unbounded_channel();
+    outbound.send(&Frame::Connect { client_id: 0, role: Role::Controller, policy: None });
+    let (reports_tx, reports_rx) = mpsc::channel(LINK_CHANNEL_CAPACITY);
+    let (snapshots_tx, snapshots_rx) = mpsc::channel(LINK_CHANNEL_CAPACITY);
     tokio::spawn(async move {
         let mut buf = BytesMut::new();
         loop {
             match read_frame(&mut read_half, &mut buf).await {
                 Ok(Some(Frame::StatsReport { json })) => {
                     if let Ok(report) = serde_json::from_str::<RegionReport>(&json) {
-                        if reports_tx.send(report).is_err() {
-                            break;
+                        match reports_tx.try_send(report) {
+                            Ok(()) => {}
+                            Err(mpsc::error::TrySendError::Full(_)) => {
+                                // Stale reports are worthless — shed rather
+                                // than stall the reader behind a wedged
+                                // controller.
+                                multipub_obs::counter!(
+                                    multipub_obs::metrics::CONTROLLER_REPORTS_DROPPED_TOTAL
+                                )
+                                .inc();
+                            }
+                            Err(mpsc::error::TrySendError::Closed(_)) => break,
                         }
                     }
                 }
-                Ok(Some(Frame::StatsSnapshot { json })) => {
-                    if snapshots_tx.send(json).is_err() {
-                        break;
+                Ok(Some(Frame::StatsSnapshot { json })) => match snapshots_tx.try_send(json) {
+                    Ok(()) => {}
+                    Err(mpsc::error::TrySendError::Full(_)) => {
+                        multipub_obs::counter!(
+                            multipub_obs::metrics::CONTROLLER_REPORTS_DROPPED_TOTAL
+                        )
+                        .inc();
                     }
-                }
+                    Err(mpsc::error::TrySendError::Closed(_)) => break,
+                },
                 Ok(Some(_)) => {}
                 Ok(None) | Err(_) => break,
             }

@@ -6,14 +6,20 @@
 //! latency matrix turns a loopback deployment into a faithful WAN
 //! emulation — the same trick the discrete-event simulator plays, but on
 //! real sockets.
+//!
+//! The handle is backed by a bounded, policy-aware [`FlowQueue`] rather
+//! than an unbounded channel (DESIGN.md §10): [`Outbound::send`] queues
+//! control frames past the capacity bound, while
+//! [`Outbound::send_data`] subjects bulk traffic (deliveries, forwards)
+//! to the queue's [`crate::flow::SlowConsumerPolicy`].
 
 use crate::codec::encode_to_bytes;
+use crate::flow::{FlowConfig, FlowQueue, GlobalBudget, PushOutcome};
 use crate::frame::Frame;
-use bytes::Bytes;
+use std::sync::Arc;
 use std::time::Duration;
 use tokio::io::AsyncWriteExt;
 use tokio::net::tcp::OwnedWriteHalf;
-use tokio::sync::mpsc;
 use tokio::time::Instant;
 
 /// A handle for sending frames on one connection.
@@ -23,25 +29,64 @@ use tokio::time::Instant;
 /// one-way latency first, preserving order (FIFO with constant delay).
 #[derive(Debug, Clone)]
 pub struct Outbound {
-    tx: mpsc::UnboundedSender<(Instant, Bytes)>,
+    queue: Arc<FlowQueue>,
+    /// Shared by every clone but not the writer task: when the last
+    /// handle drops, the queue closes gracefully and the writer exits
+    /// after draining — the semantics of dropping an unbounded sender.
+    _closer: Arc<CloseOnDrop>,
     delay: Duration,
+}
+
+#[derive(Debug)]
+struct CloseOnDrop {
+    queue: Arc<FlowQueue>,
+}
+
+impl Drop for CloseOnDrop {
+    fn drop(&mut self) {
+        self.queue.close();
+    }
 }
 
 impl Outbound {
     /// Wraps a socket write-half, spawning the writer task on the current
     /// runtime. All frames sent through the handle are delayed by `delay`
-    /// before hitting the socket.
+    /// before hitting the socket. The queue uses the default
+    /// [`FlowConfig`] and no shared byte budget — the configuration for
+    /// client- and controller-side links; brokers use
+    /// [`Outbound::spawn_with`].
     pub fn spawn(write_half: OwnedWriteHalf, delay: Duration) -> Outbound {
-        let (tx, rx) = mpsc::unbounded_channel();
-        tokio::spawn(writer_task(write_half, rx));
-        Outbound { tx, delay }
+        Outbound::spawn_with(write_half, delay, FlowConfig::default(), None)
     }
 
-    /// Queues one frame. Returns `false` if the connection's writer task
-    /// has already terminated (peer gone).
+    /// Wraps a socket write-half with an explicit queue configuration
+    /// and, for broker-owned connections, the broker's shared
+    /// [`GlobalBudget`].
+    pub fn spawn_with(
+        write_half: OwnedWriteHalf,
+        delay: Duration,
+        config: FlowConfig,
+        budget: Option<Arc<GlobalBudget>>,
+    ) -> Outbound {
+        let queue = Arc::new(FlowQueue::new(config, budget));
+        tokio::spawn(writer_task(write_half, Arc::clone(&queue)));
+        let closer = Arc::new(CloseOnDrop { queue: Arc::clone(&queue) });
+        Outbound { queue, _closer: closer, delay }
+    }
+
+    /// Queues one control frame, bypassing the data-capacity bound (a
+    /// congested data path must never wedge acks, pongs or config
+    /// updates). Returns `false` if the connection is closed.
     pub fn send(&self, frame: &Frame) -> bool {
         let deliver_at = Instant::now() + self.delay;
-        self.tx.send((deliver_at, encode_to_bytes(frame))).is_ok()
+        self.queue.push_control(deliver_at, encode_to_bytes(frame))
+    }
+
+    /// Offers one data frame (delivery or forward), applying the queue's
+    /// slow-consumer policy when it is full.
+    pub async fn send_data(&self, frame: &Frame) -> PushOutcome {
+        let deliver_at = Instant::now() + self.delay;
+        self.queue.push_data(deliver_at, encode_to_bytes(frame)).await
     }
 
     /// The configured one-way delay.
@@ -49,22 +94,56 @@ impl Outbound {
         self.delay
     }
 
-    /// Whether the writer task is still alive.
+    /// Whether the connection can still accept frames.
     pub fn is_open(&self) -> bool {
-        !self.tx.is_closed()
+        !self.queue.is_closed()
+    }
+
+    /// Current queue depth in frames.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Current queue depth in bytes.
+    pub fn queued_bytes(&self) -> u64 {
+        self.queue.queued_bytes()
+    }
+
+    /// Frames dropped on this connection (`DropNewest`, expired `Block`
+    /// deadlines).
+    pub fn dropped(&self) -> u64 {
+        self.queue.dropped()
+    }
+
+    /// Frames evicted on this connection (`DropOldest`).
+    pub fn evicted(&self) -> u64 {
+        self.queue.evicted()
     }
 }
 
-async fn writer_task(
-    mut write_half: OwnedWriteHalf,
-    mut rx: mpsc::UnboundedReceiver<(Instant, Bytes)>,
-) {
-    while let Some((deliver_at, bytes)) = rx.recv().await {
-        tokio::time::sleep_until(deliver_at).await;
-        if write_half.write_all(&bytes).await.is_err() {
-            break; // peer closed; drain and exit
+async fn writer_task(mut write_half: OwnedWriteHalf, queue: Arc<FlowQueue>) {
+    loop {
+        let Some(frame) = queue.recv().await else { break };
+        let write = async {
+            tokio::time::sleep_until(frame.deliver_at).await;
+            write_half.write_all(&frame.bytes).await
+        };
+        tokio::select! {
+            result = write => {
+                if result.is_err() {
+                    break; // peer closed
+                }
+            }
+            // A `Disconnect`-policy trip closes the queue while this task
+            // may be wedged in `write_all` on the stalled socket — the
+            // kill signal severs it regardless.
+            _ = queue.wait_killed() => break,
         }
     }
+    // Reached on peer close, a policy kill, or a drained graceful close;
+    // the socket drops here, leftover frames are refunded to the budget,
+    // and senders observe a closed queue.
+    queue.kill();
 }
 
 /// A one-way delay table for a broker: how long frames take to reach each

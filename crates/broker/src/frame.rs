@@ -8,6 +8,7 @@
 //! plane uses [`Frame::StatsReport`] (region manager → controller) and
 //! [`Frame::ConfigUpdate`] (controller → broker → clients).
 
+use crate::flow::SlowConsumerPolicy;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +100,11 @@ pub enum Frame {
         client_id: u64,
         /// The sender's role.
         role: Role,
+        /// Slow-consumer policy the sender asks the broker to apply to
+        /// this connection's outbound queue; `None` defers to the
+        /// broker's configured default. Only meaningful for
+        /// [`Role::Subscriber`] connections.
+        policy: Option<SlowConsumerPolicy>,
     },
     /// Accepts a connection, telling the sender which region it reached.
     ConnectAck {
@@ -212,6 +218,17 @@ pub enum Frame {
         /// JSON body of the snapshot (see `multipub_obs::RegistrySnapshot::to_json`).
         json: String,
     },
+    /// Broker → publisher: explicit admission-control NACK. The broker
+    /// refused a [`Frame::Publish`] — its token bucket ran dry or the
+    /// broker is in the `Overloaded` state — and dropped the message
+    /// rather than queueing it silently. Clients treat this as
+    /// retryable and back off (see DESIGN.md §10).
+    Busy {
+        /// Topic of the refused publication.
+        topic: String,
+        /// Broker's hint for when to retry, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 /// Every tag byte the wire protocol declares, in ascending order.
@@ -220,8 +237,8 @@ pub enum Frame {
 /// cross-checks it against [`Frame::tag`] and the codec's encode/decode
 /// arms, and the codec property tests drive the decoder with each entry
 /// to prove no declared tag can panic it.
-pub const KNOWN_TAGS: [u8; 14] =
-    [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E];
+pub const KNOWN_TAGS: [u8; 15] =
+    [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F];
 
 impl Frame {
     /// The discriminant byte used on the wire.
@@ -241,6 +258,7 @@ impl Frame {
             Frame::Pong { .. } => 0x0C,
             Frame::StatsSnapshotRequest => 0x0D,
             Frame::StatsSnapshot { .. } => 0x0E,
+            Frame::Busy { .. } => 0x0F,
         }
     }
 }
@@ -276,7 +294,7 @@ mod tests {
     fn tags_are_unique() {
         use std::collections::HashSet;
         let frames = [
-            Frame::Connect { client_id: 1, role: Role::Publisher },
+            Frame::Connect { client_id: 1, role: Role::Publisher, policy: None },
             Frame::ConnectAck { region: 0 },
             Frame::Subscribe { topic: "t".into(), filter: String::new() },
             Frame::Unsubscribe { topic: "t".into() },
@@ -310,6 +328,7 @@ mod tests {
             Frame::Pong { nonce: 0 },
             Frame::StatsSnapshotRequest,
             Frame::StatsSnapshot { json: "{}".into() },
+            Frame::Busy { topic: "t".into(), retry_after_ms: 100 },
         ];
         let tags: HashSet<u8> = frames.iter().map(Frame::tag).collect();
         assert_eq!(tags.len(), frames.len());

@@ -19,6 +19,10 @@
 //!   publishing to one or all regions depending on the delivery mode).
 //! * [`delay`] — a WAN latency injector so a whole multi-region
 //!   deployment can run on loopback with realistic one-way delays.
+//! * [`flow`] — backpressure and overload protection: bounded outbound
+//!   queues with slow-consumer policies, token-bucket publish admission
+//!   and the broker-wide in-flight-bytes budget behind the `Overloaded`
+//!   state (DESIGN.md §10).
 //! * [`session`] — fault-tolerance primitives: reconnect backoff with
 //!   decorrelated jitter and the bounded publication buffer clients use
 //!   to ride out broker outages.
@@ -58,6 +62,7 @@ pub mod codec;
 mod conn;
 pub mod controller;
 pub mod delay;
+pub mod flow;
 pub mod frame;
 pub mod probe;
 pub mod session;

@@ -39,7 +39,7 @@ pub async fn probe_one_way(
     stream.set_nodelay(true).ok();
     let (mut read_half, write_half) = stream.into_split();
     let outbound = Outbound::spawn(write_half, Duration::ZERO);
-    outbound.send(&Frame::Connect { client_id, role: Role::Publisher });
+    outbound.send(&Frame::Connect { client_id, role: Role::Publisher, policy: None });
 
     let mut buf = BytesMut::new();
     // Consume the ConnectAck.

@@ -292,3 +292,79 @@ mod tests {
         assert_eq!(queue.pop().unwrap().payload, vec![2]);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn numbered(n: u64) -> PendingPublish {
+        PendingPublish {
+            topic: "t".to_string(),
+            headers: String::new(),
+            payload: Vec::new(),
+            publish_micros: n,
+        }
+    }
+
+    proptest! {
+        /// The queue never holds more than its limit, no matter the push
+        /// sequence.
+        #[test]
+        fn never_exceeds_limit(limit in 0usize..32, pushes in 0usize..200) {
+            let mut queue = PendingQueue::new(limit);
+            for n in 0..pushes as u64 {
+                queue.push(numbered(n));
+                prop_assert!(queue.len() <= limit);
+            }
+        }
+
+        /// Overflow evicts from the front only: what remains is always the
+        /// freshest contiguous suffix of everything pushed, in order.
+        #[test]
+        fn preserves_order_across_overflow(limit in 1usize..16, pushes in 0usize..100) {
+            let mut queue = PendingQueue::new(limit);
+            for n in 0..pushes as u64 {
+                queue.push(numbered(n));
+            }
+            let kept: Vec<u64> =
+                std::iter::from_fn(|| queue.pop()).map(|e| e.publish_micros).collect();
+            let expect_start = pushes.saturating_sub(limit) as u64;
+            let expected: Vec<u64> = (expect_start..pushes as u64).collect();
+            prop_assert_eq!(kept, expected);
+        }
+
+        /// Every push beyond capacity drops exactly one entry; nothing is
+        /// lost or double-counted: retained + dropped == pushed.
+        #[test]
+        fn counts_drops_exactly(limit in 0usize..16, pushes in 0usize..100) {
+            let mut queue = PendingQueue::new(limit);
+            for n in 0..pushes as u64 {
+                queue.push(numbered(n));
+            }
+            let expected_dropped = pushes.saturating_sub(limit) as u64;
+            prop_assert_eq!(queue.dropped(), expected_dropped);
+            prop_assert_eq!(queue.len() as u64 + queue.dropped(), pushes as u64);
+        }
+
+        /// Interleaved pops never disturb the drop accounting: a pop frees
+        /// a slot, so the next push is retained without eviction.
+        #[test]
+        fn pop_frees_capacity(limit in 1usize..8, rounds in 1usize..50) {
+            let mut queue = PendingQueue::new(limit);
+            let mut next = 0u64;
+            for _ in 0..rounds {
+                for _ in 0..limit {
+                    queue.push(numbered(next));
+                    next += 1;
+                }
+                let before = queue.dropped();
+                let popped = queue.pop();
+                prop_assert!(popped.is_some());
+                queue.push(numbered(next));
+                next += 1;
+                prop_assert_eq!(queue.dropped(), before);
+            }
+        }
+    }
+}

@@ -6,9 +6,11 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use multipub_broker::codec::{decode, encode, encode_to_bytes, CodecError};
+use multipub_broker::flow::SlowConsumerPolicy;
 use multipub_broker::frame::{Frame, Role, WireMode, KNOWN_TAGS};
 use multipub_broker::{read_frame, BrokerError};
 use proptest::prelude::*;
+use std::time::Duration;
 
 /// Drives [`read_frame`] over an in-memory byte stream until EOF or the
 /// first error, returning the frames it produced. `&[u8]` implements
@@ -44,9 +46,23 @@ fn arb_role() -> impl Strategy<Value = Role> {
     ]
 }
 
+fn arb_policy() -> impl Strategy<Value = Option<SlowConsumerPolicy>> {
+    prop_oneof![
+        Just(None),
+        // Deadlines round-trip as whole milliseconds on the wire.
+        (0u32..120_000).prop_map(|ms| Some(SlowConsumerPolicy::Block {
+            deadline: Duration::from_millis(u64::from(ms)),
+        })),
+        Just(Some(SlowConsumerPolicy::DropOldest)),
+        Just(Some(SlowConsumerPolicy::DropNewest)),
+        Just(Some(SlowConsumerPolicy::Disconnect)),
+    ]
+}
+
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (any::<u64>(), arb_role()).prop_map(|(client_id, role)| Frame::Connect { client_id, role }),
+        (any::<u64>(), arb_role(), arb_policy())
+            .prop_map(|(client_id, role, policy)| Frame::Connect { client_id, role, policy }),
         any::<u16>().prop_map(|region| Frame::ConnectAck { region }),
         (arb_topic(), "[a-z <>=0-9&|!()._\"^-]{0,40}")
             .prop_map(|(topic, filter)| Frame::Subscribe { topic, filter }),
@@ -72,6 +88,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         any::<u64>().prop_map(|nonce| Frame::Pong { nonce }),
         Just(Frame::StatsSnapshotRequest),
         "[ -~]{0,128}".prop_map(|json| Frame::StatsSnapshot { json }),
+        (arb_topic(), any::<u32>())
+            .prop_map(|(topic, retry_after_ms)| Frame::Busy { topic, retry_after_ms }),
     ]
 }
 

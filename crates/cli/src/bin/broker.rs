@@ -6,6 +6,10 @@
 //!     [--region-delays 0,40,90] \         # WAN emulation (ms, testing)
 //!     [--idle-timeout 30000] \            # reap silent connections (ms)
 //!     [--keepalive 10000] \               # peer-link heartbeat (ms)
+//!     [--outbound-queue 65536] \          # per-connection queue (frames)
+//!     [--slow-consumer drop-oldest] \     # or drop-newest|disconnect|block:<ms>
+//!     [--publish-rate 1000] \             # per-publisher admission (msgs/s)
+//!     [--inflight-budget 67108864] \      # global queued-bytes budget
 //!     [--metrics-addr 0.0.0.0:9464]       # Prometheus scrape endpoint
 //! ```
 //!
@@ -17,6 +21,7 @@
 
 use multipub_broker::broker::Broker;
 use multipub_broker::delay::DelayTable;
+use multipub_broker::flow::SlowConsumerPolicy;
 use multipub_cli::{parse_f64_list, parse_pair, Args};
 use multipub_core::ids::RegionId;
 use std::net::SocketAddr;
@@ -24,7 +29,10 @@ use std::net::SocketAddr;
 const USAGE: &str = "usage: multipub-broker --region <idx> [--bind <addr>] \
                      [--peer <idx>=<addr>]... [--region-delays <ms,ms,...>] \
                      [--client-delay <id>=<ms>]... [--idle-timeout <ms>] \
-                     [--keepalive <ms>] [--metrics-addr <addr>]";
+                     [--keepalive <ms>] [--outbound-queue <frames>] \
+                     [--slow-consumer block:<ms>|drop-oldest|drop-newest|disconnect] \
+                     [--publish-rate <msgs_per_sec>] [--inflight-budget <bytes>] \
+                     [--metrics-addr <addr>]";
 
 async fn run() -> Result<(), String> {
     let args = Args::from_env()?;
@@ -53,6 +61,24 @@ async fn run() -> Result<(), String> {
     if let Some(ms) = args.get("keepalive") {
         let ms: u64 = ms.parse().map_err(|_| "bad --keepalive (ms)".to_string())?;
         builder = builder.peer_keepalive(std::time::Duration::from_millis(ms));
+    }
+    if let Some(frames) = args.get("outbound-queue") {
+        let frames: usize =
+            frames.parse().map_err(|_| "bad --outbound-queue (frames)".to_string())?;
+        builder = builder.outbound_queue(frames);
+    }
+    if let Some(policy) = args.get("slow-consumer") {
+        builder = builder.slow_consumer(
+            SlowConsumerPolicy::parse(policy).map_err(|e| format!("--slow-consumer: {e}"))?,
+        );
+    }
+    if let Some(rate) = args.get("publish-rate") {
+        let rate: f64 = rate.parse().map_err(|_| "bad --publish-rate (msgs/s)".to_string())?;
+        builder = builder.publish_rate(rate);
+    }
+    if let Some(bytes) = args.get("inflight-budget") {
+        let bytes: u64 = bytes.parse().map_err(|_| "bad --inflight-budget (bytes)".to_string())?;
+        builder = builder.inflight_budget(bytes);
     }
     for spec in args.get_all("peer") {
         let (peer_region, addr) = parse_pair::<u8>(spec)?;

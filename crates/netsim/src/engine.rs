@@ -20,7 +20,9 @@
 //! When the scenario carries a [`crate::faults::FaultPlan`], every hop is
 //! additionally subject to seeded packet loss, arrival at a region inside
 //! an outage window kills the message copy (the broker is "down"), and
-//! active link degradations stretch inter-region forwards. All fault
+//! active link degradations stretch inter-region forwards. Publications
+//! emitted inside a publish-burst window are multiplied, and deliveries
+//! arriving at a stalled subscriber queue until the stall ends. All fault
 //! draws come from their own RNG stream, so a quiet plan reproduces
 //! fault-free runs bit for bit.
 
@@ -187,10 +189,14 @@ impl Engine {
         for (topic_index, topic) in self.scenario.topics().iter().enumerate() {
             for (publisher_index, publisher) in topic.publishers().iter().enumerate() {
                 for t in publisher.publish_times_ms(duration_ms) {
-                    self.queue.schedule(
-                        SimTime::from_ms(t),
-                        Event::Publish { topic: topic_index, publisher: publisher_index },
-                    );
+                    let at = SimTime::from_ms(t);
+                    // A publish-burst window multiplies the in-window load.
+                    for _ in 0..self.faults.plan().burst_multiplier(at) {
+                        self.queue.schedule(
+                            at,
+                            Event::Publish { topic: topic_index, publisher: publisher_index },
+                        );
+                    }
                 }
             }
         }
@@ -341,10 +347,12 @@ impl Engine {
             let latency = self.scenario.topics()[topic].subscribers()[subscriber].latencies()
                 [region.index()]
                 + self.jitter.sample();
-            self.queue.schedule(
-                now + latency,
-                Event::Deliver { topic, subscriber, publisher, published_at },
-            );
+            // A stalled subscriber queues the delivery until its stall
+            // window ends — the simulated slow consumer.
+            let client = self.scenario.topics()[topic].subscribers()[subscriber].client();
+            let lands_at = self.faults.stall_release(client, now + latency);
+            self.queue
+                .schedule(lands_at, Event::Deliver { topic, subscriber, publisher, published_at });
         }
     }
 }
@@ -697,6 +705,86 @@ mod tests {
             };
             assert!((d.latency_ms() - expected).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn publish_burst_multiplies_in_window_load() {
+        // Publications at 0, 100, …, 900; the burst covers the first five.
+        let scenario = two_region_scenario(DeliveryMode::Direct).with_fault_plan(
+            crate::faults::FaultPlan::none()
+                .with_burst(crate::faults::PublishBurst::new(3, 0.0, 500.0)),
+        );
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        // 5 in-window publications × 3 + 5 outside = 20 publications,
+        // each reaching both subscribers.
+        assert_eq!(report.published_count(), 20);
+        assert_eq!(report.delivery_count(), 40);
+        assert_eq!(report.lost_count(), 0);
+        // The burst bills proportionally: 20 messages × 1000 bytes of
+        // Internet egress at each serving region.
+        assert_eq!(report.ledger().internet_bytes(RegionId(0)), 20_000);
+        assert_eq!(report.ledger().internet_bytes(RegionId(1)), 20_000);
+        // Burst copies share their original's timestamp, so latency is
+        // untouched — load grows, per-message timing does not.
+        for d in report.deliveries() {
+            let expected = match d.subscriber {
+                ClientId(1) => 5.0 + 4.0,
+                ClientId(2) => 60.0 + 6.0,
+                _ => unreachable!(),
+            };
+            assert!((d.latency_ms() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn subscriber_stall_queues_deliveries_until_release() {
+        // Subscriber 1 (9 ms path via region 0) stalls over [0, 400):
+        // arrivals inside the window land exactly at 400 ms; later ones
+        // are untouched. Subscriber 2 never stalls.
+        let scenario = two_region_scenario(DeliveryMode::Direct).with_fault_plan(
+            crate::faults::FaultPlan::none().with_stall(crate::faults::SubscriberStall::new(
+                ClientId(1),
+                0.0,
+                400.0,
+            )),
+        );
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        // A stall defers, it does not lose: every delivery still arrives.
+        assert_eq!(report.delivery_count(), 20);
+        assert_eq!(report.lost_count(), 0);
+        for d in report.deliveries() {
+            match d.subscriber {
+                ClientId(1) => {
+                    let arrival = d.published_at.as_ms() + 9.0;
+                    let expected = if arrival < 400.0 { 400.0 } else { arrival };
+                    assert!(
+                        (d.delivered_at.as_ms() - expected).abs() < 1e-9,
+                        "published at {}: delivered {} vs {expected}",
+                        d.published_at,
+                        d.delivered_at
+                    );
+                }
+                ClientId(2) => assert!((d.latency_ms() - 66.0).abs() < 1e-9),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn stall_plus_burst_runs_are_deterministic() {
+        let run = || {
+            let scenario = two_region_scenario(DeliveryMode::Routed).with_fault_plan(
+                crate::faults::FaultPlan::none()
+                    .with_burst(crate::faults::PublishBurst::new(10, 200.0, 600.0))
+                    .with_stall(crate::faults::SubscriberStall::new(ClientId(2), 100.0, 800.0))
+                    .with_loss_rate(0.1),
+            );
+            Engine::new(scenario, Jitter::uniform(3.0), 21).run(1000.0)
+        };
+        let a = run();
+        assert_eq!(a, run(), "overload scenario must be reproducible");
+        assert!(a.published_count() > 10, "burst must add load");
+        assert!(a.delivery_count() > 0);
     }
 
     #[test]

@@ -9,14 +9,21 @@
 //!   copy arriving at its broker is dropped, exactly as if the process
 //!   had been killed;
 //! * **link-degradation events** — extra one-way latency on a directed
-//!   inter-region link during a time window, modelling WAN brownouts.
+//!   inter-region link during a time window, modelling WAN brownouts;
+//! * **subscriber stalls** — a subscriber stops reading during a time
+//!   window and its deliveries queue behind the stall, landing at the
+//!   window's end: the simulated counterpart of the broker's bounded
+//!   outbound queue holding frames for a slow consumer;
+//! * **publish bursts** — every publication emitted inside the window is
+//!   multiplied, modelling a load spike (e.g. a 10× flash crowd) against
+//!   the broker's admission-control layer.
 //!
 //! The engine consults a [`FaultInjector`] (plan + RNG) at every hop.
 //! With the default quiet plan no RNG draws happen at all, so existing
 //! fault-free runs remain bit-for-bit identical to previous releases.
 
 use crate::time::SimTime;
-use multipub_core::ids::RegionId;
+use multipub_core::ids::{ClientId, RegionId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -119,14 +126,112 @@ impl LinkDegradation {
     }
 }
 
+/// A subscriber that stops reading during `[start_ms, end_ms)` — the
+/// simulated slow consumer. Deliveries whose arrival time falls inside
+/// the window are not lost; they queue behind the stall and land at
+/// `end_ms`, exactly like frames waiting in a bounded outbound queue
+/// until the consumer resumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubscriberStall {
+    client: ClientId,
+    start_ms: f64,
+    end_ms: f64,
+}
+
+impl SubscriberStall {
+    /// Creates a stall window for `client` over `[start_ms, end_ms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite, negative, or out of order.
+    pub fn new(client: ClientId, start_ms: f64, end_ms: f64) -> Self {
+        assert!(
+            start_ms.is_finite() && end_ms.is_finite() && 0.0 <= start_ms && start_ms < end_ms,
+            "stall window must satisfy 0 <= start < end"
+        );
+        SubscriberStall { client, start_ms, end_ms }
+    }
+
+    /// The stalled subscriber.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Window start (inclusive), in milliseconds.
+    pub fn start_ms(&self) -> f64 {
+        self.start_ms
+    }
+
+    /// Window end (exclusive), in milliseconds — when queued deliveries
+    /// drain.
+    pub fn end_ms(&self) -> f64 {
+        self.end_ms
+    }
+
+    /// Whether the subscriber is stalled at simulated time `at`.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start_ms <= at.as_ms() && at.as_ms() < self.end_ms
+    }
+}
+
+/// A publish-rate spike: every publication emitted inside
+/// `[start_ms, end_ms)` is multiplied by `multiplier` — a 10× burst
+/// schedules ten copies of each in-window publication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishBurst {
+    multiplier: u64,
+    start_ms: f64,
+    end_ms: f64,
+}
+
+impl PublishBurst {
+    /// Creates a burst of `multiplier`× over `[start_ms, end_ms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is zero or the window bounds are invalid
+    /// (see [`RegionOutage::new`]).
+    pub fn new(multiplier: u64, start_ms: f64, end_ms: f64) -> Self {
+        assert!(multiplier >= 1, "burst multiplier must be at least 1");
+        assert!(
+            start_ms.is_finite() && end_ms.is_finite() && 0.0 <= start_ms && start_ms < end_ms,
+            "burst window must satisfy 0 <= start < end"
+        );
+        PublishBurst { multiplier, start_ms, end_ms }
+    }
+
+    /// The load multiplier while active.
+    pub fn multiplier(&self) -> u64 {
+        self.multiplier
+    }
+
+    /// Window start (inclusive), in milliseconds.
+    pub fn start_ms(&self) -> f64 {
+        self.start_ms
+    }
+
+    /// Window end (exclusive), in milliseconds.
+    pub fn end_ms(&self) -> f64 {
+        self.end_ms
+    }
+
+    /// Whether the burst is active at simulated time `at`.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start_ms <= at.as_ms() && at.as_ms() < self.end_ms
+    }
+}
+
 /// A complete fault schedule for one simulation run.
 ///
-/// The default plan is quiet: no loss, no outages, no degradations.
+/// The default plan is quiet: no loss, no outages, no degradations, no
+/// stalls, no bursts.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     loss_rate: f64,
     outages: Vec<RegionOutage>,
     degradations: Vec<LinkDegradation>,
+    stalls: Vec<SubscriberStall>,
+    bursts: Vec<PublishBurst>,
 }
 
 impl FaultPlan {
@@ -158,6 +263,18 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a subscriber-stall window.
+    pub fn with_stall(mut self, stall: SubscriberStall) -> Self {
+        self.stalls.push(stall);
+        self
+    }
+
+    /// Adds a publish-burst window.
+    pub fn with_burst(mut self, burst: PublishBurst) -> Self {
+        self.bursts.push(burst);
+        self
+    }
+
     /// The per-hop loss probability.
     pub fn loss_rate(&self) -> f64 {
         self.loss_rate
@@ -173,9 +290,23 @@ impl FaultPlan {
         &self.degradations
     }
 
+    /// The scheduled subscriber stalls.
+    pub fn stalls(&self) -> &[SubscriberStall] {
+        &self.stalls
+    }
+
+    /// The scheduled publish bursts.
+    pub fn bursts(&self) -> &[PublishBurst] {
+        &self.bursts
+    }
+
     /// `true` when the plan injects no faults at all.
     pub fn is_quiet(&self) -> bool {
-        self.loss_rate == 0.0 && self.outages.is_empty() && self.degradations.is_empty()
+        self.loss_rate == 0.0
+            && self.outages.is_empty()
+            && self.degradations.is_empty()
+            && self.stalls.is_empty()
+            && self.bursts.is_empty()
     }
 
     /// Whether `region` is inside any outage window at time `at`.
@@ -191,6 +322,29 @@ impl FaultPlan {
             .filter(|d| d.from == from && d.to == to && d.contains(at))
             .map(|d| d.extra_ms)
             .sum()
+    }
+
+    /// When a delivery arriving at `client` at time `at` actually lands:
+    /// inside a stall window it queues until the window's end (the latest
+    /// end among overlapping stalls), otherwise it lands immediately.
+    pub fn stall_release(&self, client: ClientId, at: SimTime) -> SimTime {
+        let release = self
+            .stalls
+            .iter()
+            .filter(|s| s.client == client && s.contains(at))
+            .map(|s| s.end_ms)
+            .fold(at.as_ms(), f64::max);
+        SimTime::from_ms(release)
+    }
+
+    /// How many copies of a publication emitted at `at` are scheduled:
+    /// the product of all active burst multipliers, at least 1.
+    pub fn burst_multiplier(&self, at: SimTime) -> u64 {
+        self.bursts
+            .iter()
+            .filter(|b| b.contains(at))
+            .map(|b| b.multiplier)
+            .fold(1u64, u64::saturating_mul)
     }
 }
 
@@ -235,6 +389,12 @@ impl FaultInjector {
     /// [`FaultPlan::extra_link_ms`]).
     pub fn extra_link_ms(&self, from: RegionId, to: RegionId, at: SimTime) -> f64 {
         self.plan.extra_link_ms(from, to, at)
+    }
+
+    /// When a delivery to `client` arriving at `at` lands (see
+    /// [`FaultPlan::stall_release`]).
+    pub fn stall_release(&self, client: ClientId, at: SimTime) -> SimTime {
+        self.plan.stall_release(client, at)
     }
 }
 
@@ -316,5 +476,54 @@ mod tests {
     #[should_panic(expected = "extra latency must be non-negative")]
     fn negative_degradation_rejected() {
         let _ = LinkDegradation::new(RegionId(0), RegionId(1), 0.0, 100.0, -1.0);
+    }
+
+    #[test]
+    fn stall_defers_in_window_arrivals_only() {
+        let plan = FaultPlan::none().with_stall(SubscriberStall::new(ClientId(7), 100.0, 400.0));
+        assert!(!plan.is_quiet());
+        let release = |ms| plan.stall_release(ClientId(7), SimTime::from_ms(ms)).as_ms();
+        assert_eq!(release(99.9), 99.9); // before the stall
+        assert_eq!(release(100.0), 400.0); // queued at stall start
+        assert_eq!(release(399.9), 400.0); // queued just before release
+        assert_eq!(release(400.0), 400.0); // window end is exclusive
+
+        // Other subscribers are unaffected.
+        assert_eq!(plan.stall_release(ClientId(8), SimTime::from_ms(200.0)).as_ms(), 200.0);
+    }
+
+    #[test]
+    fn overlapping_stalls_release_at_the_latest_end() {
+        let plan = FaultPlan::none()
+            .with_stall(SubscriberStall::new(ClientId(7), 100.0, 400.0))
+            .with_stall(SubscriberStall::new(ClientId(7), 200.0, 600.0));
+        assert_eq!(plan.stall_release(ClientId(7), SimTime::from_ms(250.0)).as_ms(), 600.0);
+        assert_eq!(plan.stall_release(ClientId(7), SimTime::from_ms(150.0)).as_ms(), 400.0);
+    }
+
+    #[test]
+    fn burst_multiplier_is_windowed_and_multiplicative() {
+        let plan = FaultPlan::none()
+            .with_burst(PublishBurst::new(10, 100.0, 400.0))
+            .with_burst(PublishBurst::new(2, 300.0, 500.0));
+        assert!(!plan.is_quiet());
+        let at = |ms| plan.burst_multiplier(SimTime::from_ms(ms));
+        assert_eq!(at(50.0), 1);
+        assert_eq!(at(100.0), 10);
+        assert_eq!(at(350.0), 20); // overlap multiplies
+        assert_eq!(at(450.0), 2);
+        assert_eq!(at(500.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst multiplier must be at least 1")]
+    fn zero_burst_multiplier_rejected() {
+        let _ = PublishBurst::new(0, 0.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall window must satisfy")]
+    fn inverted_stall_window_rejected() {
+        let _ = SubscriberStall::new(ClientId(0), 500.0, 100.0);
     }
 }

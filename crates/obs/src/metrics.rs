@@ -73,6 +73,23 @@ pub const BROKER_CONNECTIONS_ACTIVE: &str = "multipub_broker_connections_active"
 pub const BROKER_SUBSCRIBES_TOTAL: &str = "multipub_broker_subscribes_total";
 /// Connections reaped by the liveness sweep.
 pub const BROKER_CONN_REAPED_TOTAL: &str = "multipub_broker_conn_reaped_total";
+/// Bytes queued across all of the broker's outbound connection queues.
+pub const BROKER_QUEUED_BYTES: &str = "multipub_broker_queued_bytes";
+/// Frames queued across all of the broker's outbound connection queues.
+pub const BROKER_QUEUED_FRAMES: &str = "multipub_broker_queued_frames";
+/// `1` while the broker sheds publishes (in-flight byte budget tripped).
+pub const BROKER_OVERLOADED: &str = "multipub_broker_overloaded";
+/// Transitions into the overloaded state.
+pub const BROKER_OVERLOAD_ENTERED_TOTAL: &str = "multipub_broker_overload_entered_total";
+/// Data frames evicted from full outbound queues (`DropOldest`).
+pub const BROKER_SLOW_EVICTIONS_TOTAL: &str = "multipub_broker_slow_evictions_total";
+/// Data frames dropped at full outbound queues (`DropNewest`, expired
+/// `Block` deadlines).
+pub const BROKER_SLOW_DROPS_TOTAL: &str = "multipub_broker_slow_drops_total";
+/// Connections severed by the `Disconnect` slow-consumer policy.
+pub const BROKER_SLOW_DISCONNECTS_TOTAL: &str = "multipub_broker_slow_disconnects_total";
+/// Publishes refused with a `Busy` NACK by admission control.
+pub const BROKER_BUSY_REJECTIONS_TOTAL: &str = "multipub_broker_busy_rejections_total";
 
 // --- client session -----------------------------------------------------
 
@@ -84,6 +101,8 @@ pub const CLIENT_RECONNECT_MS: &str = "multipub_client_reconnect_ms";
 pub const CLIENT_FRAMES_BUFFERED_TOTAL: &str = "multipub_client_frames_buffered_total";
 /// Buffered frames evicted because the replay buffer overflowed.
 pub const CLIENT_FRAMES_DROPPED_TOTAL: &str = "multipub_client_frames_dropped_total";
+/// `Busy` NACKs received from brokers (publish refused, retry later).
+pub const CLIENT_BUSY_RECEIVED_TOTAL: &str = "multipub_client_busy_received_total";
 
 // --- controller ---------------------------------------------------------
 
@@ -105,6 +124,8 @@ pub const CONTROLLER_MITIGATIONS_TOTAL: &str = "multipub_controller_mitigations_
 pub const CONTROLLER_RECONFIGURATIONS_TOTAL: &str = "multipub_controller_reconfigurations_total";
 /// Broker-link redials after a controller connection dropped.
 pub const CONTROLLER_LINK_REDIALS_TOTAL: &str = "multipub_controller_link_redials_total";
+/// Stats reports/snapshots discarded because a controller channel was full.
+pub const CONTROLLER_REPORTS_DROPPED_TOTAL: &str = "multipub_controller_reports_dropped_total";
 
 // --- simulation ---------------------------------------------------------
 
@@ -225,6 +246,46 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Connections reaped by the liveness sweep",
     },
     MetricDef {
+        name: BROKER_QUEUED_BYTES,
+        kind: MetricKind::Gauge,
+        help: "Bytes queued across outbound connection queues",
+    },
+    MetricDef {
+        name: BROKER_QUEUED_FRAMES,
+        kind: MetricKind::Gauge,
+        help: "Frames queued across outbound connection queues",
+    },
+    MetricDef {
+        name: BROKER_OVERLOADED,
+        kind: MetricKind::Gauge,
+        help: "1 while the broker sheds publishes",
+    },
+    MetricDef {
+        name: BROKER_OVERLOAD_ENTERED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Transitions into the overloaded state",
+    },
+    MetricDef {
+        name: BROKER_SLOW_EVICTIONS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Frames evicted from full outbound queues",
+    },
+    MetricDef {
+        name: BROKER_SLOW_DROPS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Frames dropped at full outbound queues",
+    },
+    MetricDef {
+        name: BROKER_SLOW_DISCONNECTS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Connections severed by the Disconnect policy",
+    },
+    MetricDef {
+        name: BROKER_BUSY_REJECTIONS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Publishes refused with a Busy NACK",
+    },
+    MetricDef {
         name: CLIENT_RECONNECTS_TOTAL,
         kind: MetricKind::Counter,
         help: "Successful client reconnects",
@@ -243,6 +304,11 @@ pub const CATALOG: &[MetricDef] = &[
         name: CLIENT_FRAMES_DROPPED_TOTAL,
         kind: MetricKind::Counter,
         help: "Buffered frames evicted on overflow",
+    },
+    MetricDef {
+        name: CLIENT_BUSY_RECEIVED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Busy NACKs received from brokers",
     },
     MetricDef {
         name: CONTROLLER_ROUNDS_TOTAL,
@@ -288,6 +354,11 @@ pub const CATALOG: &[MetricDef] = &[
         name: CONTROLLER_LINK_REDIALS_TOTAL,
         kind: MetricKind::Counter,
         help: "Broker-link redials",
+    },
+    MetricDef {
+        name: CONTROLLER_REPORTS_DROPPED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Reports discarded on full controller channels",
     },
     MetricDef {
         name: SIM_TOPICS_SOLVED_TOTAL,

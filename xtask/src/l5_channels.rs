@@ -1,0 +1,85 @@
+//! Pass L5 — no unbounded channels in non-test library code.
+//!
+//! Flags every `unbounded_channel` identifier (the tokio mpsc
+//! constructor) outside test code and attributes. Unbounded queues are
+//! how a slow consumer turns into an out-of-memory kill; DESIGN.md §10
+//! requires every production channel to be bounded (`mpsc::channel` with
+//! an explicit capacity, or the broker's `FlowQueue`). Deliberate
+//! exceptions are annotated `// lint:allow(channel) <reason>`.
+
+use crate::lexer::Token;
+use crate::spans::FileFacts;
+use crate::Finding;
+
+/// Runs the pass over one file's tokens.
+pub fn check(path: &str, tokens: &[Token], facts: &FileFacts, findings: &mut Vec<Finding>) {
+    for (i, token) in tokens.iter().enumerate() {
+        if facts.in_test.get(i).copied().unwrap_or(false)
+            || facts.in_attr.get(i).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        if !token.is_ident("unbounded_channel") {
+            continue;
+        }
+        if facts.allowed("channel", token.line).is_none() {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: token.line,
+                pass: "L5",
+                category: "channel",
+                message: "unbounded channel in library code; use a bounded `mpsc::channel` \
+                          with an explicit capacity (DESIGN.md §10), or annotate \
+                          `// lint:allow(channel) <reason>` if intended"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::spans::analyze;
+
+    fn run(source: &str) -> Vec<Finding> {
+        let lexed = lex(source);
+        let facts = analyze(&lexed);
+        let mut findings = Vec::new();
+        check("test.rs", &lexed.tokens, &facts, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unbounded_channel_flagged() {
+        assert_eq!(run("fn f() { let (tx, rx) = mpsc::unbounded_channel(); }").len(), 1);
+        assert_eq!(
+            run("fn f() { let (tx, rx) = tokio::sync::mpsc::unbounded_channel(); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn bounded_channel_ok() {
+        assert!(run("fn f() { let (tx, rx) = mpsc::channel(64); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let source = "#[cfg(test)] mod tests { fn f() { mpsc::unbounded_channel(); } }";
+        assert!(run(source).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_respected() {
+        let source = "fn f() {\n    // lint:allow(channel) drained synchronously same tick\n    \
+                      let (tx, rx) = mpsc::unbounded_channel();\n}";
+        assert!(run(source).is_empty());
+    }
+
+    #[test]
+    fn string_literal_mention_not_flagged() {
+        assert!(run("fn f() { let s = \"unbounded_channel\"; }").is_empty());
+    }
+}

@@ -10,10 +10,12 @@
 //!   encode arms and decode arms must all agree,
 //! * **L4** metric-name catalog: every name passed to `multipub_obs`
 //!   comes from `crates/obs/src/metrics.rs`, and the README table
-//!   matches it.
+//!   matches it,
+//! * **L5** bounded channels: no `unbounded_channel` in non-test
+//!   library code (slow consumers must hit backpressure, not OOM).
 //!
 //! Escape hatch: `// lint:allow(<category>) <reason>` on the same or
-//! previous line (`panic`, `indexing`, `blocking`, `metric`), or
+//! previous line (`panic`, `indexing`, `blocking`, `metric`, `channel`), or
 //! `// lint:allow-file(<category>) <reason>` for a whole file. The
 //! reason is mandatory; empty justifications are themselves findings.
 
@@ -21,6 +23,7 @@ mod l1_panics;
 mod l2_blocking;
 mod l3_frames;
 mod l4_metrics;
+mod l5_channels;
 mod lexer;
 mod spans;
 
@@ -34,7 +37,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: u32,
-    /// Pass identifier (`L1`…`L4`).
+    /// Pass identifier (`L1`…`L5`).
     pub pass: &'static str,
     /// Finding category (matches the `lint:allow` category).
     pub category: &'static str,
@@ -42,7 +45,7 @@ pub struct Finding {
     pub message: String,
 }
 
-const VALID_ALLOW_CATEGORIES: [&str; 4] = ["panic", "indexing", "blocking", "metric"];
+const VALID_ALLOW_CATEGORIES: [&str; 5] = ["panic", "indexing", "blocking", "metric", "channel"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,7 +55,7 @@ fn main() -> ExitCode {
             eprintln!("usage: cargo xtask lint");
             eprintln!();
             eprintln!("subcommands:");
-            eprintln!("  lint   run the L1–L4 static analysis passes (DESIGN.md §9)");
+            eprintln!("  lint   run the L1–L5 static analysis passes (DESIGN.md §9)");
             ExitCode::SUCCESS
         }
         Some(other) => {
@@ -187,6 +190,7 @@ fn lint() -> ExitCode {
 
         l1_panics::check(name, &lexed.tokens, &facts, &mut findings);
         l2_blocking::check(name, &lexed.tokens, &facts, &mut findings);
+        l5_channels::check(name, &lexed.tokens, &facts, &mut findings);
         if let Some(catalog) = &catalog {
             // The catalog file itself declares, it does not consume.
             if !name.ends_with("obs/src/metrics.rs") {
@@ -241,7 +245,8 @@ fn lint() -> ExitCode {
     let checked = analyzed.len();
     if findings.is_empty() {
         eprintln!(
-            "xtask lint: {checked} files clean (L1 panics, L2 blocking, L3 frames, L4 metrics)"
+            "xtask lint: {checked} files clean (L1 panics, L2 blocking, L3 frames, L4 metrics, \
+             L5 channels)"
         );
         ExitCode::SUCCESS
     } else {
