@@ -1,0 +1,133 @@
+//! `bench-live` — the canonical throughput comparison harness.
+//!
+//! Runs two scenarios back-to-back in one process, each against a fresh
+//! in-process broker on loopback:
+//!
+//! 1. **sharded** — the default shard count (or `--shards`): encode-once
+//!    zero-copy fan-out, vectored write batching;
+//! 2. **single-shard** — the seed-equivalent reference path
+//!    (per-subscriber encode, frame-at-a-time writes), skipped with
+//!    `--skip-reference true`.
+//!
+//! Emits `BENCH_throughput.json` (schema
+//! `multipub-bench-throughput/v1`) with both results and the speedup,
+//! and can enforce CI floors with `--assert-floor` (sharded msgs/sec)
+//! and `--assert-speedup` (sharded / single-shard). See the README
+//! "Throughput benchmarking" section for the schema.
+
+use multipub_bench::live::{
+    render_report, run_scenario, standard_notes, write_report, BenchReport, Comparison,
+    ScenarioConfig, REPORT_SCHEMA,
+};
+use multipub_broker::shard::resolve_shard_count;
+use multipub_cli::Args;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: bench-live [--fanout <n>] [--publishers <n>] [--payload <bytes>] \
+                     [--duration <secs>] [--shards <n>] [--out <path>] \
+                     [--assert-floor <msgs/sec>] [--assert-speedup <ratio>] \
+                     [--skip-reference <bool>]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench-live: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let fanout: usize = args.get_parsed_or("fanout", 1000)?;
+    let publishers: usize = args.get_parsed_or("publishers", 1)?;
+    let payload_bytes: usize = args.get_parsed_or("payload", 100)?;
+    let duration_secs: f64 = args.get_parsed_or("duration", 5.0)?;
+    let shards: usize = args.get_parsed_or("shards", resolve_shard_count(None).max(2))?;
+    let out = args.get("out").unwrap_or("BENCH_throughput.json").to_string();
+    let assert_floor: f64 = args.get_parsed_or("assert-floor", 0.0)?;
+    let assert_speedup: f64 = args.get_parsed_or("assert-speedup", 0.0)?;
+    let skip_reference: bool = args.get_parsed_or("skip-reference", false)?;
+
+    let duration = Duration::from_secs_f64(duration_secs.max(0.5));
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .map_err(|e| format!("tokio runtime: {e}"))?;
+
+    let sharded_cfg = ScenarioConfig {
+        name: "sharded".to_string(),
+        shards: shards.max(2),
+        fanout,
+        publishers,
+        payload_bytes,
+        duration,
+    };
+    eprintln!(
+        "bench-live: sharded run ({} shards, 1→{} fan-out, {}s)…",
+        sharded_cfg.shards,
+        fanout,
+        duration.as_secs_f64()
+    );
+    let sharded = runtime.block_on(run_scenario(&sharded_cfg))?;
+    eprintln!(
+        "bench-live: sharded {:.0} msgs/sec (p50 {:.2} ms, p99 {:.2} ms)",
+        sharded.msgs_per_sec, sharded.trip_p50_ms, sharded.trip_p99_ms
+    );
+
+    let mut scenarios = vec![sharded.clone()];
+    let mut comparison = None;
+    if !skip_reference {
+        let reference_cfg =
+            ScenarioConfig { name: "single-shard".to_string(), shards: 1, ..sharded_cfg };
+        eprintln!("bench-live: single-shard reference run…");
+        let reference = runtime.block_on(run_scenario(&reference_cfg))?;
+        eprintln!(
+            "bench-live: single-shard {:.0} msgs/sec (p50 {:.2} ms, p99 {:.2} ms)",
+            reference.msgs_per_sec, reference.trip_p50_ms, reference.trip_p99_ms
+        );
+        comparison = Some(Comparison {
+            sharded_msgs_per_sec: sharded.msgs_per_sec,
+            single_shard_msgs_per_sec: reference.msgs_per_sec,
+            speedup: if reference.msgs_per_sec > 0.0 {
+                sharded.msgs_per_sec / reference.msgs_per_sec
+            } else {
+                0.0
+            },
+        });
+        scenarios.push(reference);
+    }
+
+    let report = BenchReport {
+        schema: REPORT_SCHEMA.to_string(),
+        measured: true,
+        host_cores: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        scenarios,
+        comparison: comparison.clone(),
+        notes: standard_notes(),
+    };
+    let path = std::path::PathBuf::from(&out);
+    write_report(&path, &report)?;
+    eprintln!("bench-live: wrote {}", path.display());
+    println!("{}", render_report(&report)?);
+
+    if assert_floor > 0.0 && sharded.msgs_per_sec < assert_floor {
+        return Err(format!(
+            "throughput floor not met: {:.0} < {assert_floor:.0} msgs/sec",
+            sharded.msgs_per_sec
+        ));
+    }
+    if assert_speedup > 0.0 {
+        let speedup = comparison.as_ref().map_or(0.0, |c| c.speedup);
+        if speedup < assert_speedup {
+            return Err(format!(
+                "speedup floor not met: {speedup:.2}x < {assert_speedup:.2}x \
+                 (sharded vs single-shard)"
+            ));
+        }
+    }
+    Ok(())
+}

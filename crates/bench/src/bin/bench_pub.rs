@@ -1,0 +1,78 @@
+//! `bench-pub` — raw-protocol publisher load generator.
+//!
+//! Connects to a **running broker** (start one with `multipub-broker`)
+//! and publishes fixed-size messages flat-out for a fixed window,
+//! reporting the achieved publish rate and any `Busy` NACKs as JSON on
+//! stdout. Pair with `bench-sub` on the same broker to measure
+//! delivered throughput and trip times — the apiformes-bm topology.
+
+use bytes::Bytes;
+use multipub_bench::live::{now_micros, RawPublisher};
+use multipub_cli::Args;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::time::Instant;
+
+const USAGE: &str = "usage: bench-pub --addr <host:port> [--topic <name>] \
+                     [--publisher-id <u64>] [--payload <bytes>] [--duration <secs>]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("bench-pub: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let args = Args::from_env()?;
+    let addr: SocketAddr =
+        args.require("addr")?.parse().map_err(|_| "bad --addr (want host:port)".to_string())?;
+    let topic = args.get("topic").unwrap_or("bench/throughput").to_string();
+    let publisher_id: u64 = args.get_parsed_or("publisher-id", 1)?;
+    let payload_bytes: usize = args.get_parsed_or("payload", 100)?;
+    let duration_secs: f64 = args.get_parsed_or("duration", 10.0)?;
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .map_err(|e| format!("tokio runtime: {e}"))?;
+    runtime.block_on(publish_window(addr, publisher_id, topic, payload_bytes, duration_secs))
+}
+
+async fn publish_window(
+    addr: SocketAddr,
+    publisher_id: u64,
+    topic: String,
+    payload_bytes: usize,
+    duration_secs: f64,
+) -> Result<String, String> {
+    let busy = Arc::new(AtomicU64::new(0));
+    let mut publisher =
+        RawPublisher::connect(addr, publisher_id, topic.clone(), Arc::clone(&busy)).await?;
+    let payload = Bytes::from(vec![0x42u8; payload_bytes]);
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(duration_secs.max(0.1));
+    let started_micros = now_micros();
+    let mut published = 0u64;
+    while Instant::now() < deadline {
+        publisher.publish(&payload).await?;
+        published += 1;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    Ok(format!(
+        "{{\"role\":\"bench-pub\",\"topic\":{topic:?},\"published\":{published},\
+         \"busy_nacks\":{busy},\"elapsed_secs\":{elapsed:.3},\"publish_per_sec\":{rate:.1},\
+         \"started_micros\":{started_micros}}}",
+        busy = busy.load(Ordering::Relaxed),
+        rate = published as f64 / elapsed.max(f64::EPSILON),
+    ))
+}

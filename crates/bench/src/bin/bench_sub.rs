@@ -1,0 +1,88 @@
+//! `bench-sub` — raw-protocol subscriber fleet.
+//!
+//! Connects `--count` subscribers to a **running broker**, subscribes
+//! them all to one topic, counts `Deliver` frames for `--duration`
+//! seconds, and reports aggregate msgs/sec plus trip-time p50/p99 as
+//! JSON on stdout. Trip times come from the protocol's native
+//! `publish_micros` timestamp, so any publisher on the same host (e.g.
+//! `bench-pub`) gives meaningful one-way latencies.
+
+use multipub_bench::live::{percentile_ms, raw_subscriber, SubscriberStats, TRIP_SAMPLERS};
+use multipub_cli::Args;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: bench-sub --addr <host:port> [--topic <name>] \
+                     [--count <subscribers>] [--duration <secs>]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("bench-sub: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let args = Args::from_env()?;
+    let addr: SocketAddr =
+        args.require("addr")?.parse().map_err(|_| "bad --addr (want host:port)".to_string())?;
+    let topic = args.get("topic").unwrap_or("bench/throughput").to_string();
+    let count: usize = args.get_parsed_or("count", 1)?;
+    let duration_secs: f64 = args.get_parsed_or("duration", 10.0)?;
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .map_err(|e| format!("tokio runtime: {e}"))?;
+    runtime.block_on(subscribe_window(addr, topic, count.max(1), duration_secs))
+}
+
+async fn subscribe_window(
+    addr: SocketAddr,
+    topic: String,
+    count: usize,
+    duration_secs: f64,
+) -> Result<String, String> {
+    let mut stats: Vec<Arc<SubscriberStats>> = Vec::with_capacity(count);
+    let mut tasks = Vec::with_capacity(count);
+    for i in 0..count {
+        let sub_stats = Arc::new(SubscriberStats::default());
+        stats.push(Arc::clone(&sub_stats));
+        tasks.push(tokio::spawn(raw_subscriber(
+            addr,
+            10_000 + i as u64,
+            topic.clone(),
+            i < TRIP_SAMPLERS,
+            sub_stats,
+        )));
+    }
+    let window = Duration::from_secs_f64(duration_secs.max(0.1));
+    tokio::time::sleep(window).await;
+    for task in &tasks {
+        task.abort();
+    }
+    let delivered: u64 = stats.iter().map(|s| s.delivered.load(Ordering::Relaxed)).sum();
+    let mut trips: Vec<u64> = Vec::new();
+    for sub_stats in &stats {
+        trips.extend(sub_stats.take_trips());
+    }
+    trips.sort_unstable();
+    let elapsed = window.as_secs_f64();
+    Ok(format!(
+        "{{\"role\":\"bench-sub\",\"topic\":{topic:?},\"subscribers\":{count},\
+         \"delivered\":{delivered},\"elapsed_secs\":{elapsed:.3},\"msgs_per_sec\":{rate:.1},\
+         \"trip_p50_ms\":{p50:.3},\"trip_p99_ms\":{p99:.3}}}",
+        rate = delivered as f64 / elapsed.max(f64::EPSILON),
+        p50 = percentile_ms(&trips, 0.50),
+        p99 = percentile_ms(&trips, 0.99),
+    ))
+}

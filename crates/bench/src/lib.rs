@@ -13,8 +13,15 @@
 //!   (the paper's actual measured quantity).
 //! * `ablations` — design decisions from DESIGN.md: weighted vs
 //!   materialized percentile (D1), pruning/bundling speedups (D5).
+//!
+//! The [`live`] module is different in kind: it drives a **real broker
+//! over loopback sockets** through the `bench-pub` / `bench-sub` /
+//! `bench-live` binaries, measuring end-to-end msgs/sec and trip-time
+//! percentiles and emitting `BENCH_throughput.json` (DESIGN.md §11).
 
 #![forbid(unsafe_code)]
+
+pub mod live;
 
 use multipub_core::workload::TopicWorkload;
 use multipub_data::ec2;

@@ -1,0 +1,517 @@
+//! Live loopback throughput harness (DESIGN.md §11).
+//!
+//! Unlike the Criterion targets (which time computational kernels), this
+//! module drives a **real broker over real sockets**: raw protocol
+//! publishers and subscribers — the `bench-pub` / `bench-sub` binaries,
+//! patterned on the apiformes MQTT benchmark pair — plus an orchestrator
+//! (`bench-live`) that runs a sharded-vs-single-shard comparison in one
+//! process and emits `BENCH_throughput.json`, the repo's throughput
+//! trajectory file.
+//!
+//! Trip times use the protocol's native `publish_micros` timestamp
+//! (carried in `Publish` → `Deliver`), not payload-embedded timestamps
+//! as apiformes does — the wire format already timestamps every
+//! publication, so payloads stay opaque.
+//!
+//! Clients here speak the wire protocol directly (codec + raw TCP)
+//! instead of going through `multipub_broker::client`: the harness must
+//! measure the broker, not the client library's buffering policies.
+
+use bytes::{Bytes, BytesMut};
+use multipub_broker::broker::Broker;
+use multipub_broker::codec::encode_to_bytes;
+use multipub_broker::frame::{Frame, Role};
+use multipub_broker::read_frame;
+use multipub_core::ids::RegionId;
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tokio::io::AsyncWriteExt;
+use tokio::net::TcpStream;
+use tokio::time::Instant;
+
+/// Schema identifier stamped into every `BENCH_*.json` this harness
+/// emits; bump on breaking layout changes.
+pub const REPORT_SCHEMA: &str = "multipub-bench-throughput/v1";
+
+/// Subscribers that record per-message trip samples (the rest only
+/// count deliveries, so a 1000-way fan-out does not build a thousand
+/// million-entry sample vectors). Recorded in the report's notes.
+pub const TRIP_SAMPLERS: usize = 8;
+
+/// Per-sampling-subscriber cap on retained trip samples.
+pub const MAX_TRIP_SAMPLES: usize = 200_000;
+
+/// Microseconds since the UNIX epoch — the same clock
+/// `multipub_broker::client` stamps into `publish_micros` (that helper
+/// is crate-private, so the harness carries its own copy).
+#[must_use]
+pub fn now_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64)
+}
+
+/// Delivery counters for one raw subscriber connection.
+#[derive(Debug, Default)]
+pub struct SubscriberStats {
+    /// `Deliver` frames received.
+    pub delivered: AtomicU64,
+    /// Trip-time samples in microseconds (empty unless this subscriber
+    /// is one of the [`TRIP_SAMPLERS`]).
+    pub trips: Mutex<Vec<u64>>,
+}
+
+impl SubscriberStats {
+    fn record(&self, record_trips: bool, publish_micros: u64) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        if record_trips {
+            let trip = now_micros().saturating_sub(publish_micros);
+            let mut trips = self.trips.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if trips.len() < MAX_TRIP_SAMPLES {
+                trips.push(trip);
+            }
+        }
+    }
+
+    /// Drains and returns the recorded trip samples.
+    pub fn take_trips(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.trips.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+}
+
+/// Connects a raw subscriber: `Connect` + `Subscribe`, then counts
+/// `Deliver` frames into `stats` until the broker closes the connection
+/// (or the task is aborted). Never returns `Ok` while the link is up.
+///
+/// # Errors
+///
+/// Returns a message when the connection or handshake fails.
+pub async fn raw_subscriber(
+    addr: SocketAddr,
+    client_id: u64,
+    topic: String,
+    record_trips: bool,
+    stats: Arc<SubscriberStats>,
+) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).await.map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let (mut read_half, mut write_half) = stream.into_split();
+    let connect = Frame::Connect { client_id, role: Role::Subscriber, policy: None };
+    write_half
+        .write_all(&encode_to_bytes(&connect))
+        .await
+        .map_err(|e| format!("handshake write: {e}"))?;
+    let subscribe = Frame::Subscribe { topic, filter: String::new() };
+    write_half
+        .write_all(&encode_to_bytes(&subscribe))
+        .await
+        .map_err(|e| format!("subscribe write: {e}"))?;
+    let mut buf = BytesMut::new();
+    loop {
+        match read_frame(&mut read_half, &mut buf).await {
+            Ok(Some(Frame::Deliver { publish_micros, .. })) => {
+                stats.record(record_trips, publish_micros);
+            }
+            Ok(Some(_)) => {} // ConnectAck, config replays — not deliveries
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(format!("read: {e:?}")),
+        }
+    }
+}
+
+/// A raw protocol publisher: one connection, `publish` per message.
+#[derive(Debug)]
+pub struct RawPublisher {
+    write_half: tokio::net::tcp::OwnedWriteHalf,
+    topic: String,
+    publisher_id: u64,
+}
+
+impl RawPublisher {
+    /// Connects and handshakes as a publisher. The read half is drained
+    /// in a background task (`ConnectAck`, config replays, `Busy`
+    /// NACKs), counting `Busy` frames into `busy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the connection or handshake fails.
+    pub async fn connect(
+        addr: SocketAddr,
+        publisher_id: u64,
+        topic: String,
+        busy: Arc<AtomicU64>,
+    ) -> Result<RawPublisher, String> {
+        let stream = TcpStream::connect(addr).await.map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let (mut read_half, mut write_half) = stream.into_split();
+        let connect =
+            Frame::Connect { client_id: publisher_id, role: Role::Publisher, policy: None };
+        write_half
+            .write_all(&encode_to_bytes(&connect))
+            .await
+            .map_err(|e| format!("handshake write: {e}"))?;
+        tokio::spawn(async move {
+            let mut buf = BytesMut::new();
+            while let Ok(Some(frame)) = read_frame(&mut read_half, &mut buf).await {
+                if matches!(frame, Frame::Busy { .. }) {
+                    busy.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        Ok(RawPublisher { write_half, topic, publisher_id })
+    }
+
+    /// Publishes one message (direct mode, fresh `publish_micros`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the socket write fails.
+    pub async fn publish(&mut self, payload: &Bytes) -> Result<(), String> {
+        let frame = Frame::Publish {
+            topic: self.topic.clone(),
+            publisher: self.publisher_id,
+            publish_micros: now_micros(),
+            single_target: false,
+            headers: String::new(),
+            payload: payload.clone(),
+        };
+        self.write_half
+            .write_all(&encode_to_bytes(&frame))
+            .await
+            .map_err(|e| format!("publish write: {e}"))
+    }
+}
+
+/// Percentile of a **sorted** sample vector, in milliseconds (samples
+/// are microseconds). Zero when empty.
+#[must_use]
+pub fn percentile_ms(sorted_micros: &[u64], p: f64) -> f64 {
+    if sorted_micros.is_empty() {
+        return 0.0;
+    }
+    let rank = (p.clamp(0.0, 1.0) * (sorted_micros.len() - 1) as f64).round() as usize;
+    sorted_micros.get(rank).copied().unwrap_or(0) as f64 / 1000.0
+}
+
+/// One scenario's knobs: a broker with `shards` shards, `fanout`
+/// subscribers on one topic, `publishers` connections publishing
+/// `payload_bytes` messages flat-out for `duration`.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Scenario label in the report (`sharded`, `single-shard`, …).
+    pub name: String,
+    /// Broker shard count (`1` = the seed-equivalent reference path).
+    pub shards: usize,
+    /// Subscriber connections on the bench topic.
+    pub fanout: usize,
+    /// Concurrent publisher connections.
+    pub publishers: usize,
+    /// Payload size per message.
+    pub payload_bytes: usize,
+    /// Measurement window.
+    pub duration: Duration,
+}
+
+/// One scenario's measured outcome, as serialized into
+/// `BENCH_throughput.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario label.
+    pub name: String,
+    /// Broker shard count used.
+    pub shards: usize,
+    /// Subscriber connections.
+    pub fanout: usize,
+    /// Publisher connections.
+    pub publishers: usize,
+    /// Payload size per message.
+    pub payload_bytes: usize,
+    /// Measurement window actually used (publish window + drain), secs.
+    pub duration_secs: f64,
+    /// Publish frames written by all publishers.
+    pub published: u64,
+    /// `Busy` NACKs observed by publishers.
+    pub busy_nacks: u64,
+    /// `Deliver` frames received across all subscribers.
+    pub delivered: u64,
+    /// Aggregate delivery throughput: `delivered / duration_secs`.
+    pub msgs_per_sec: f64,
+    /// Median publisher→subscriber trip time.
+    pub trip_p50_ms: f64,
+    /// 99th-percentile trip time.
+    pub trip_p99_ms: f64,
+}
+
+/// Sharded-vs-reference summary of a comparison run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Aggregate msgs/sec with the sharded zero-copy path.
+    pub sharded_msgs_per_sec: f64,
+    /// Aggregate msgs/sec with the single-shard reference path.
+    pub single_shard_msgs_per_sec: f64,
+    /// `sharded / single_shard`.
+    pub speedup: f64,
+}
+
+/// The `BENCH_throughput.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Layout identifier ([`REPORT_SCHEMA`]).
+    pub schema: String,
+    /// `true` when the numbers come from a real harness run on this
+    /// host; `false` marks a placeholder (e.g. committed from an
+    /// environment that cannot run the harness).
+    pub measured: bool,
+    /// Logical cores on the measuring host.
+    pub host_cores: usize,
+    /// Every scenario run, in execution order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Sharded-vs-reference summary when both scenarios ran.
+    pub comparison: Option<Comparison>,
+    /// Caveats and methodology notes (sampling caps, provenance).
+    pub notes: Vec<String>,
+}
+
+/// Serializes `report` as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns a message if serialization fails (it cannot, for this type,
+/// but the harness never panics).
+pub fn render_report(report: &BenchReport) -> Result<String, String> {
+    serde_json::to_string_pretty(report).map_err(|e| format!("serialize report: {e}"))
+}
+
+/// Writes `report` to `path` (with a trailing newline, for clean
+/// diffs of the committed file).
+///
+/// # Errors
+///
+/// Returns a message on serialization or I/O failure.
+pub fn write_report(path: &std::path::Path, report: &BenchReport) -> Result<(), String> {
+    let mut json = render_report(report)?;
+    json.push('\n');
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Runs one scenario end to end: spawn a broker with the configured
+/// shard count, connect the fan-out, warm up until every subscriber has
+/// seen a frame, then publish flat-out for the configured window and
+/// drain.
+///
+/// # Errors
+///
+/// Returns a message when setup fails or the warm-up frame is not
+/// delivered everywhere within 10 s.
+pub async fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioResult, String> {
+    let fanout = cfg.fanout.max(1);
+    let publishers = cfg.publishers.max(1);
+    let broker = Broker::builder(RegionId(0))
+        .shards(cfg.shards)
+        .spawn()
+        .await
+        .map_err(|e| format!("spawn broker: {e:?}"))?;
+    let addr = broker.local_addr();
+    let topic = "bench/throughput".to_string();
+
+    let mut stats: Vec<Arc<SubscriberStats>> = Vec::with_capacity(fanout);
+    let mut sub_tasks = Vec::with_capacity(fanout);
+    for i in 0..fanout {
+        let sub_stats = Arc::new(SubscriberStats::default());
+        stats.push(Arc::clone(&sub_stats));
+        sub_tasks.push(tokio::spawn(raw_subscriber(
+            addr,
+            1_000 + i as u64,
+            topic.clone(),
+            i < TRIP_SAMPLERS,
+            sub_stats,
+        )));
+    }
+
+    let busy = Arc::new(AtomicU64::new(0));
+    let mut pubs = Vec::with_capacity(publishers);
+    for i in 0..publishers {
+        pubs.push(
+            RawPublisher::connect(addr, 1 + i as u64, topic.clone(), Arc::clone(&busy)).await?,
+        );
+    }
+
+    // Warm-up: one frame must reach every subscriber before the clock
+    // starts, proving all subscriptions are registered.
+    let payload = Bytes::from(vec![0x42u8; cfg.payload_bytes]);
+    let warmup_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(first) = pubs.first_mut() {
+            first.publish(&payload).await?;
+        }
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        let reached = stats.iter().filter(|s| s.delivered.load(Ordering::Relaxed) > 0).count();
+        if reached == fanout {
+            break;
+        }
+        if Instant::now() > warmup_deadline {
+            return Err(format!("warm-up: only {reached}/{fanout} subscribers reached in 10s"));
+        }
+    }
+    // Let in-flight warm-up deliveries land before snapshotting the
+    // baseline, so they are not miscounted as measured throughput.
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    let warmup_delivered: u64 = stats.iter().map(|s| s.delivered.load(Ordering::Relaxed)).sum();
+    for sub_stats in &stats {
+        sub_stats.take_trips(); // discard warm-up samples
+    }
+
+    // Measurement window: every publisher publishes flat-out.
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let published = Arc::new(AtomicU64::new(0));
+    let mut pub_tasks = Vec::with_capacity(pubs.len());
+    for mut raw in pubs {
+        let payload = payload.clone();
+        let published = Arc::clone(&published);
+        pub_tasks.push(tokio::spawn(async move {
+            while Instant::now() < deadline {
+                if raw.publish(&payload).await.is_err() {
+                    break;
+                }
+                published.fetch_add(1, Ordering::Relaxed);
+            }
+            drop(raw); // closes the connection; the broker drops publisher state
+        }));
+    }
+    for task in pub_tasks {
+        task.await.ok();
+    }
+
+    // Drain: wait until the delivery count stops moving (two quiet
+    // 100 ms polls), capped at 5 s.
+    let mut last: u64 = 0;
+    let mut quiet = 0u32;
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while quiet < 2 && Instant::now() < drain_deadline {
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let total: u64 = stats.iter().map(|s| s.delivered.load(Ordering::Relaxed)).sum();
+        if total == last {
+            quiet += 1;
+        } else {
+            quiet = 0;
+            last = total;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let delivered_total: u64 =
+        stats.iter().map(|s| s.delivered.load(Ordering::Relaxed)).sum::<u64>() - warmup_delivered;
+    let mut trips: Vec<u64> = Vec::new();
+    for sub_stats in &stats {
+        trips.extend(sub_stats.take_trips());
+    }
+    trips.sort_unstable();
+
+    for task in &sub_tasks {
+        task.abort();
+    }
+    broker.shutdown();
+
+    Ok(ScenarioResult {
+        name: cfg.name.clone(),
+        shards: cfg.shards,
+        fanout,
+        publishers,
+        payload_bytes: cfg.payload_bytes,
+        duration_secs: elapsed,
+        published: published.load(Ordering::Relaxed),
+        busy_nacks: busy.load(Ordering::Relaxed),
+        delivered: delivered_total,
+        msgs_per_sec: if elapsed > 0.0 { delivered_total as f64 / elapsed } else { 0.0 },
+        trip_p50_ms: percentile_ms(&trips, 0.50),
+        trip_p99_ms: percentile_ms(&trips, 0.99),
+    })
+}
+
+/// Standard methodology notes attached to every generated report.
+#[must_use]
+pub fn standard_notes() -> Vec<String> {
+    vec![
+        format!(
+            "trip percentiles are sampled from the first {TRIP_SAMPLERS} subscribers, \
+             capped at {MAX_TRIP_SAMPLES} samples each"
+        ),
+        "throughput is aggregate Deliver frames per second across all subscribers, \
+         measured from publish start through queue drain"
+            .to_string(),
+        "single-shard runs use the seed-equivalent reference path: per-subscriber \
+         encode, frame-at-a-time socket writes (DESIGN.md §11)"
+            .to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_sorted_micros() {
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        assert_eq!(percentile_ms(&[4000], 0.99), 4.0);
+        let samples: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert_eq!(percentile_ms(&samples, 0.0), 1.0);
+        assert_eq!(percentile_ms(&samples, 1.0), 100.0);
+        let p50 = percentile_ms(&samples, 0.5);
+        assert!((49.0..=51.0).contains(&p50), "p50 was {p50}");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = BenchReport {
+            schema: REPORT_SCHEMA.to_string(),
+            measured: true,
+            host_cores: 4,
+            scenarios: vec![ScenarioResult {
+                name: "sharded".to_string(),
+                shards: 4,
+                fanout: 1000,
+                publishers: 1,
+                payload_bytes: 100,
+                duration_secs: 10.0,
+                published: 1_500,
+                busy_nacks: 0,
+                delivered: 1_500_000,
+                msgs_per_sec: 150_000.0,
+                trip_p50_ms: 2.5,
+                trip_p99_ms: 20.0,
+            }],
+            comparison: Some(Comparison {
+                sharded_msgs_per_sec: 150_000.0,
+                single_shard_msgs_per_sec: 80_000.0,
+                speedup: 1.875,
+            }),
+            notes: standard_notes(),
+        };
+        let json = render_report(&report).expect("serializes");
+        let back: BenchReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.schema, REPORT_SCHEMA);
+        assert_eq!(back.scenarios.len(), 1);
+        assert!(back.comparison.is_some());
+    }
+
+    #[tokio::test]
+    async fn tiny_live_scenario_delivers() {
+        let cfg = ScenarioConfig {
+            name: "smoke".to_string(),
+            shards: 2,
+            fanout: 3,
+            publishers: 1,
+            payload_bytes: 32,
+            duration: Duration::from_millis(300),
+        };
+        let result = run_scenario(&cfg).await.expect("scenario runs");
+        assert_eq!(result.fanout, 3);
+        assert!(result.published > 0, "publisher made progress");
+        assert!(result.delivered > 0, "subscribers saw deliveries");
+        assert!(result.msgs_per_sec > 0.0);
+    }
+}

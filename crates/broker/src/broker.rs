@@ -16,10 +16,12 @@
 //! routed* — the safe bootstrap that guarantees delivery everywhere until
 //! the controller optimizes the topic down.
 
+use crate::codec::encode_to_bytes;
 use crate::conn::{read_frame, BrokerError};
 use crate::delay::{DelayTable, Outbound};
 use crate::flow::{FlowConfig, GlobalBudget, SlowConsumerPolicy, TokenBucket};
 use crate::frame::{Frame, Role, WireMode};
+use crate::shard::{resolve_shard_count, ShardedTopics};
 use bytes::{Bytes, BytesMut};
 use multipub_core::ids::RegionId;
 use multipub_filter::{Headers, Predicate};
@@ -27,7 +29,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tokio::net::{TcpListener, TcpStream};
@@ -82,11 +84,17 @@ struct ConnectedClient {
     outbound: Outbound,
 }
 
-#[derive(Debug, Default)]
-struct TopicState {
-    /// Local subscribers by connection id, each with its content filter
-    /// ([`Predicate::True`] for plain topic subscriptions).
-    subscriber_conns: HashMap<u64, Predicate>,
+/// One local subscription as the sharded registry stores it: everything a
+/// publish needs to fan out — so the hot path touches only the topic's
+/// shard, never the global `clients` map.
+#[derive(Debug, Clone)]
+struct SubEntry {
+    client_id: u64,
+    /// Content filter ([`Predicate::True`] for plain topic
+    /// subscriptions). `Arc`ed so snapshotting the fan-out set bumps a
+    /// refcount instead of deep-copying a predicate tree.
+    filter: Arc<Predicate>,
+    outbound: Outbound,
 }
 
 #[derive(Debug, Default)]
@@ -100,12 +108,25 @@ struct Shared {
     delays: DelayTable,
     /// Addresses of peer brokers by region index.
     peer_addrs: Mutex<HashMap<u16, SocketAddr>>,
+    /// Known-region bitmask (self + peers), kept in lockstep with
+    /// `peer_addrs` so the publish hot path derives default topic
+    /// configurations without taking that lock.
+    peer_mask: AtomicU32,
     /// Established outbound connections to peer brokers.
     peer_conns: tokio::sync::Mutex<HashMap<u16, Outbound>>,
-    /// Connected clients by connection id.
+    /// Connected clients by connection id — the control plane's view
+    /// (config fan-out and replay, `client_count`). The publish hot path
+    /// never touches it; fan-out works entirely from `shards`.
     clients: Mutex<HashMap<u64, ConnectedClient>>,
-    /// Local subscription state per topic.
-    topics: Mutex<HashMap<String, TopicState>>,
+    /// Local subscription state, sharded by topic hash (DESIGN.md §11):
+    /// concurrent publishes to topics on different shards never contend.
+    shards: ShardedTopics<SubEntry>,
+    /// Whether fan-out encodes each publication once and hands
+    /// refcounted [`Bytes`] slices to every subscriber queue (`true`
+    /// whenever more than one shard is configured). The single-shard
+    /// configuration keeps the seed's per-subscriber encode +
+    /// frame-at-a-time writes as the benchmark reference path.
+    zero_copy: bool,
     /// Installed configurations per topic.
     configs: Mutex<HashMap<String, InstalledConfig>>,
     /// Interval statistics per topic.
@@ -135,13 +156,10 @@ struct Shared {
 
 impl Shared {
     /// The default configuration for topics the controller has not placed
-    /// yet: every known region (self + peers), routed delivery.
+    /// yet: every known region (self + peers), routed delivery. Reads
+    /// the atomic region mask — no lock on the publish hot path.
     fn default_config(&self) -> InstalledConfig {
-        let mut mask = 1u32 << self.region.0;
-        for region in self.peer_addrs.lock().keys() {
-            mask |= 1u32 << *region;
-        }
-        InstalledConfig { mask, mode: WireMode::Routed }
+        InstalledConfig { mask: self.peer_mask.load(Ordering::Relaxed), mode: WireMode::Routed }
     }
 
     fn config_for(&self, topic: &str) -> InstalledConfig {
@@ -161,6 +179,7 @@ pub struct BrokerBuilder {
     flow: FlowConfig,
     inflight_budget: Option<u64>,
     publish_rate: Option<f64>,
+    shards: Option<usize>,
 }
 
 impl BrokerBuilder {
@@ -237,6 +256,21 @@ impl BrokerBuilder {
         self
     }
 
+    /// Number of subscription-map shards on the publish hot path
+    /// (DESIGN.md §11). Unset, the count comes from the
+    /// `MULTIPUB_SHARDS` environment variable, then from
+    /// `available_parallelism()` floored at 2.
+    ///
+    /// `1` selects the **reference configuration**: one global map,
+    /// per-subscriber frame encoding, and frame-at-a-time socket writes
+    /// — byte-for-byte the seed broker's data-path cost model, kept for
+    /// apples-to-apples benchmarking. Any count ≥ 2 enables the
+    /// encode-once zero-copy fan-out and vectored write batching.
+    pub fn shards(mut self, count: usize) -> Self {
+        self.shards = Some(count);
+        self
+    }
+
     /// Binds the listener and spawns the broker's accept loop on the
     /// current tokio runtime.
     ///
@@ -246,22 +280,36 @@ impl BrokerBuilder {
     pub async fn spawn(self) -> Result<Broker, BrokerError> {
         let listener = TcpListener::bind(self.bind).await?;
         let local_addr = listener.local_addr()?;
+        let shard_count = resolve_shard_count(self.shards);
+        let zero_copy = shard_count > 1;
+        let mut flow = self.flow;
+        if !zero_copy {
+            // Single-shard reference configuration: frame-at-a-time
+            // writes, matching the seed broker's syscall profile.
+            flow.max_write_batch = 1;
+        }
+        let mut peer_mask = 1u32 << self.region.0;
+        for (region, _) in &self.peers {
+            peer_mask |= 1u32 << region.0;
+        }
         let shared = Arc::new(Shared {
             region: self.region,
             delays: self.delays,
             peer_addrs: Mutex::new(
                 self.peers.into_iter().map(|(r, a)| (u16::from(r.0), a)).collect(),
             ),
+            peer_mask: AtomicU32::new(peer_mask),
             peer_conns: tokio::sync::Mutex::new(HashMap::new()),
             clients: Mutex::new(HashMap::new()),
-            topics: Mutex::new(HashMap::new()),
+            shards: ShardedTopics::new(shard_count),
+            zero_copy,
             configs: Mutex::new(HashMap::new()),
             stats: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(1),
             conn_tasks: Mutex::new(Vec::new()),
             idle_timeout: self.idle_timeout,
             peer_keepalive: self.peer_keepalive.or_else(|| self.idle_timeout.map(|t| t / 3)),
-            flow: self.flow,
+            flow,
             // An unset budget never trips: `u64::MAX` queued bytes is
             // unreachable before the process dies of something else.
             budget: Arc::new(GlobalBudget::new(self.inflight_budget.unwrap_or(u64::MAX))),
@@ -313,6 +361,7 @@ impl Broker {
             flow: FlowConfig::default(),
             inflight_budget: None,
             publish_rate: None,
+            shards: None,
         }
     }
 
@@ -329,6 +378,19 @@ impl Broker {
     /// Registers (or replaces) a peer broker after startup.
     pub fn add_peer(&self, region: RegionId, addr: SocketAddr) {
         self.shared.peer_addrs.lock().insert(u16::from(region.0), addr);
+        self.shared.peer_mask.fetch_or(1u32 << region.0, Ordering::Relaxed);
+    }
+
+    /// Number of subscription-map shards on the publish hot path.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.shard_count()
+    }
+
+    /// Publishes routed through each shard since startup, indexed by
+    /// shard — the per-shard breakdown behind the aggregate
+    /// `multipub_broker_shard_publishes_total` counter.
+    pub fn shard_publish_counts(&self) -> Vec<u64> {
+        self.shared.shards.publish_counts()
     }
 
     /// Installs a topic configuration locally, exactly as a controller
@@ -407,23 +469,17 @@ fn take_report(shared: &Shared) -> RegionReport {
                 topic_stats.publishers.into_iter().collect();
         }
     }
-    {
-        let topic_states = shared.topics.lock();
-        let clients = shared.clients.lock();
-        for (topic, state) in topic_states.iter() {
-            if state.subscriber_conns.is_empty() {
-                continue;
-            }
-            let entry = topics.entry(topic.clone()).or_default();
-            let mut subscriber_ids: Vec<u64> = state
-                .subscriber_conns
-                .keys()
-                .filter_map(|conn| clients.get(conn).map(|c| c.client_id))
-                .collect();
-            subscriber_ids.sort_unstable();
-            subscriber_ids.dedup();
-            entry.subscribers = subscriber_ids;
+    // Subscriber ids come straight from the shard entries — no join
+    // against the clients map (entries carry the client id).
+    for (topic, entries) in shared.shards.topics_snapshot() {
+        if entries.is_empty() {
+            continue;
         }
+        let mut subscriber_ids: Vec<u64> =
+            entries.into_iter().map(|(_, entry)| entry.client_id).collect();
+        subscriber_ids.sort_unstable();
+        subscriber_ids.dedup();
+        topics.entry(topic).or_default().subscribers = subscriber_ids;
     }
     RegionReport { region: u16::from(shared.region.0), topics }
 }
@@ -523,18 +579,21 @@ async fn deliver_locally(
     headers_json: &str,
     payload: &Bytes,
 ) {
-    let recipients: Vec<(u64, Predicate)> = match shared.topics.lock().get(topic) {
-        Some(state) => {
-            state.subscriber_conns.iter().map(|(conn, filter)| (*conn, filter.clone())).collect()
-        }
-        None => return,
-    };
+    // Count the publish against its shard before the subscriber check:
+    // the per-shard counters measure routing pressure, not fan-out.
+    shared.shards.note_publish(topic);
+    multipub_obs::counter!(multipub_obs::metrics::BROKER_SHARD_PUBLISHES_TOTAL).inc();
+    // Snapshot the topic's subscriber set under its shard lock alone —
+    // no global map, no clients-map join — then push outside any lock:
+    // a `Block`-policy queue may park this task until the consumer
+    // drains (never with a `Mutex` guard held across an await).
+    let recipients = shared.shards.snapshot(topic);
     if recipients.is_empty() {
         return;
     }
     // Parse the headers once per message, and only when some local
     // subscriber actually filters on content.
-    let needs_headers = recipients.iter().any(|(_, f)| *f != Predicate::True);
+    let needs_headers = recipients.iter().any(|(_, entry)| *entry.filter != Predicate::True);
     let headers = if needs_headers && !headers_json.is_empty() {
         Headers::from_json(headers_json).unwrap_or_default()
     } else {
@@ -547,21 +606,31 @@ async fn deliver_locally(
         headers: headers_json.to_string(),
         payload: payload.clone(),
     };
-    // Snapshot the matching outbound handles under the lock, then push
-    // outside it: a `Block`-policy queue may park this task until the
-    // consumer drains (never with a `Mutex` guard held across an await).
-    let targets: Vec<Outbound> = {
-        let clients = shared.clients.lock();
-        recipients
-            .into_iter()
-            .filter(|(_, filter)| filter.matches(&headers))
-            .filter_map(|(conn_id, _)| clients.get(&conn_id).map(|c| c.outbound.clone()))
-            .collect()
-    };
+    let targets = recipients
+        .into_iter()
+        .filter(|(_, entry)| entry.filter.matches(&headers))
+        .map(|(_, entry)| entry.outbound);
     let mut delivered = 0u64;
-    for outbound in targets {
-        if outbound.send_data(&frame).await.queued() {
-            delivered += 1;
+    if shared.zero_copy {
+        // Zero-copy fan-out: encode once, hand every queue a refcounted
+        // slice of the same buffer. Queue byte accounting is unchanged
+        // (each slice reports the full encoded length).
+        let encoded = encode_to_bytes(&frame);
+        let mut fanout_bytes = 0u64;
+        for outbound in targets {
+            if outbound.send_data_encoded(encoded.clone()).await.queued() {
+                delivered += 1;
+                fanout_bytes += encoded.len() as u64;
+            }
+        }
+        multipub_obs::gauge!(multipub_obs::metrics::BROKER_FANOUT_BYTES).set(fanout_bytes as i64);
+    } else {
+        // Reference path (single shard): per-subscriber encode, exactly
+        // the seed broker's fan-out cost model.
+        for outbound in targets {
+            if outbound.send_data(&frame).await.queued() {
+                delivered += 1;
+            }
         }
     }
     if delivered > 0 {
@@ -618,13 +687,22 @@ async fn handle_publish_from_client(
         headers,
         payload,
     };
+    // Zero-copy mode shares one encoding across all peer links too;
+    // lazily, so a single-region mask never pays for an unused encode.
+    let mut encoded: Option<Bytes> = None;
     for region in 0..32u16 {
         let bit = 1u32 << region;
         if config.mask & bit == 0 || region == u16::from(shared.region.0) {
             continue;
         }
         if let Some(outbound) = peer_outbound(shared, region).await {
-            if outbound.send_data(&frame).await.queued() {
+            let queued = if shared.zero_copy {
+                let bytes = encoded.get_or_insert_with(|| encode_to_bytes(&frame)).clone();
+                outbound.send_data_encoded(bytes).await.queued()
+            } else {
+                outbound.send_data(&frame).await.queued()
+            };
+            if queued {
                 multipub_obs::counter!(multipub_obs::metrics::BROKER_FORWARDS_TOTAL).inc();
             }
         }
@@ -720,17 +798,22 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
         }
     }
 
-    let result =
-        connection_loop(&shared, conn_id, role, &mut read_half, &mut buf, &outbound, &mut bucket)
-            .await;
+    let result = connection_loop(
+        &shared,
+        conn_id,
+        client_id,
+        role,
+        &mut read_half,
+        &mut buf,
+        &outbound,
+        &mut bucket,
+    )
+    .await;
 
     // Unregister.
     if matches!(role, Role::Publisher | Role::Subscriber) {
         shared.clients.lock().remove(&conn_id);
-        let mut topics = shared.topics.lock();
-        for state in topics.values_mut() {
-            state.subscriber_conns.remove(&conn_id);
-        }
+        shared.shards.remove_conn(conn_id);
     }
     multipub_obs::gauge!(multipub_obs::metrics::BROKER_CONNECTIONS_ACTIVE).sub(1);
     multipub_obs::event!(
@@ -748,6 +831,7 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
 async fn connection_loop(
     shared: &Arc<Shared>,
     conn_id: u64,
+    client_id: u64,
     role: Role,
     read_half: &mut tokio::net::tcp::OwnedReadHalf,
     buf: &mut BytesMut,
@@ -767,18 +851,14 @@ async fn connection_loop(
                     Predicate::parse(&filter).unwrap_or(Predicate::True)
                 };
                 multipub_obs::counter!(multipub_obs::metrics::BROKER_SUBSCRIBES_TOTAL).inc();
-                shared
-                    .topics
-                    .lock()
-                    .entry(topic)
-                    .or_default()
-                    .subscriber_conns
-                    .insert(conn_id, predicate);
+                shared.shards.insert(
+                    &topic,
+                    conn_id,
+                    SubEntry { client_id, filter: Arc::new(predicate), outbound: outbound.clone() },
+                );
             }
             Frame::Unsubscribe { topic } => {
-                if let Some(state) = shared.topics.lock().get_mut(&topic) {
-                    state.subscriber_conns.remove(&conn_id);
-                }
+                shared.shards.remove(&topic, conn_id);
             }
             Frame::Publish {
                 topic,

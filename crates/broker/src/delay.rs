@@ -12,10 +12,21 @@
 //! control frames past the capacity bound, while
 //! [`Outbound::send_data`] subjects bulk traffic (deliveries, forwards)
 //! to the queue's [`crate::flow::SlowConsumerPolicy`].
+//!
+//! The writer task batches socket writes (DESIGN.md §11): once the
+//! frame at the head of the queue is due, every *other* already-due
+//! frame behind it — up to [`FlowConfig::max_write_batch`] — is
+//! coalesced into a single vectored `writev` call. Frames whose
+//! WAN-emulation release time has not arrived are never pulled forward,
+//! so batching changes syscall count, not delivery times or order. With
+//! `max_write_batch == 1` the writer degenerates to the original
+//! frame-at-a-time loop.
 
 use crate::codec::encode_to_bytes;
 use crate::flow::{FlowConfig, FlowQueue, GlobalBudget, PushOutcome};
 use crate::frame::Frame;
+use bytes::{Buf, Bytes};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 use tokio::io::AsyncWriteExt;
@@ -83,10 +94,23 @@ impl Outbound {
     }
 
     /// Offers one data frame (delivery or forward), applying the queue's
-    /// slow-consumer policy when it is full.
+    /// slow-consumer policy when it is full. Encodes per call — the
+    /// single-shard reference path; the sharded fan-out uses
+    /// [`Outbound::send_data_encoded`] instead.
     pub async fn send_data(&self, frame: &Frame) -> PushOutcome {
         let deliver_at = Instant::now() + self.delay;
         self.queue.push_data(deliver_at, encode_to_bytes(frame)).await
+    }
+
+    /// Offers one **already encoded** data frame — the zero-copy fan-out
+    /// path (DESIGN.md §11). The broker encodes a delivery once and
+    /// hands every subscriber's queue a reference-counted slice of the
+    /// same buffer: cloning the [`Bytes`] bumps a refcount, no payload
+    /// copy happens, and the queue's byte accounting is unchanged
+    /// because the slice length equals the encoded frame length.
+    pub async fn send_data_encoded(&self, bytes: Bytes) -> PushOutcome {
+        let deliver_at = Instant::now() + self.delay;
+        self.queue.push_data(deliver_at, bytes).await
     }
 
     /// The configured one-way delay.
@@ -122,28 +146,81 @@ impl Outbound {
 }
 
 async fn writer_task(mut write_half: OwnedWriteHalf, queue: Arc<FlowQueue>) {
+    let max_batch = queue.max_write_batch();
+    let mut batch: VecDeque<Bytes> = VecDeque::with_capacity(max_batch.min(64));
     loop {
         let Some(frame) = queue.recv().await else { break };
-        let write = async {
-            tokio::time::sleep_until(frame.deliver_at).await;
-            write_half.write_all(&frame.bytes).await
+        // Hold the frame through its WAN-emulation delay. A
+        // `Disconnect`-policy trip closes the queue while this task may
+        // be parked here or wedged writing to the stalled socket — the
+        // kill signal severs it regardless.
+        let killed = tokio::select! {
+            _ = tokio::time::sleep_until(frame.deliver_at) => false,
+            _ = queue.wait_killed() => true,
         };
-        tokio::select! {
-            result = write => {
-                if result.is_err() {
-                    break; // peer closed
-                }
-            }
-            // A `Disconnect`-policy trip closes the queue while this task
-            // may be wedged in `write_all` on the stalled socket — the
-            // kill signal severs it regardless.
-            _ = queue.wait_killed() => break,
+        if killed {
+            break;
+        }
+        // The head frame is due; coalesce every other already-due frame
+        // behind it into the same write. Not-yet-due frames stay queued
+        // (and everything behind them — FIFO is preserved).
+        batch.clear();
+        batch.push_back(frame.bytes);
+        while batch.len() < max_batch {
+            let Some(due) = queue.try_pop_due(Instant::now()) else { break };
+            batch.push_back(due.bytes);
+        }
+        let killed = tokio::select! {
+            result = write_batch(&mut write_half, &mut batch) => result.is_err(),
+            _ = queue.wait_killed() => true,
+        };
+        if killed {
+            break;
         }
     }
     // Reached on peer close, a policy kill, or a drained graceful close;
     // the socket drops here, leftover frames are refunded to the budget,
     // and senders observe a closed queue.
     queue.kill();
+}
+
+/// Writes every buffer in `batch` to the socket: a plain `write_all` for
+/// a single frame, one `writev` attempt per iteration otherwise, looping
+/// until the batch drains (vectored writes may be partial).
+async fn write_batch(
+    write_half: &mut OwnedWriteHalf,
+    batch: &mut VecDeque<Bytes>,
+) -> std::io::Result<()> {
+    if batch.len() == 1 {
+        if let Some(bytes) = batch.pop_front() {
+            write_half.write_all(&bytes).await?;
+        }
+        return Ok(());
+    }
+    while !batch.is_empty() {
+        let written = {
+            let slices: Vec<std::io::IoSlice<'_>> =
+                batch.iter().map(|bytes| std::io::IoSlice::new(bytes)).collect();
+            write_half.write_vectored(&slices).await?
+        };
+        if written == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        // Drop fully written buffers from the front; trim a partially
+        // written one in place (`advance` moves the Bytes view, no copy).
+        let mut remaining = written;
+        while remaining > 0 {
+            let Some(front) = batch.front_mut() else { break };
+            if remaining >= front.len() {
+                remaining -= front.len();
+                batch.pop_front();
+            } else {
+                front.advance(remaining);
+                remaining = 0;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A one-way delay table for a broker: how long frames take to reach each
@@ -229,6 +306,35 @@ mod tests {
         let mut seen = Vec::new();
         while seen.len() < 50 {
             let mut chunk = [0u8; 256];
+            let n = server.read(&mut chunk).await.unwrap();
+            buf.extend_from_slice(&chunk[..n]);
+            while let Some(frame) = decode(&mut buf).unwrap() {
+                match frame {
+                    Frame::Ping { nonce } => seen.push(nonce),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[tokio::test]
+    async fn batched_vectored_writes_preserve_order() {
+        let (client, mut server) = socket_pair().await;
+        let (_read, write) = client.into_split();
+        let config = FlowConfig::default().max_write_batch(16);
+        let outbound = Outbound::spawn_with(write, Duration::ZERO, config, None);
+        // Shared encoded frames through the zero-copy path: one encode,
+        // fifty refcounted sends, all due immediately → the writer
+        // coalesces them into vectored writes.
+        for nonce in 0..50u64 {
+            let encoded = encode_to_bytes(&Frame::Ping { nonce });
+            assert!(outbound.send_data_encoded(encoded.clone()).await.queued());
+        }
+        let mut buf = BytesMut::new();
+        let mut seen = Vec::new();
+        while seen.len() < 50 {
+            let mut chunk = [0u8; 512];
             let n = server.read(&mut chunk).await.unwrap();
             buf.extend_from_slice(&chunk[..n]);
             while let Some(frame) = decode(&mut buf).unwrap() {

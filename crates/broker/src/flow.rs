@@ -130,6 +130,11 @@ pub struct FlowConfig {
     pub low_watermark: usize,
     /// What to do with data frames once the queue is full.
     pub policy: SlowConsumerPolicy,
+    /// How many already-due frames the connection writer may coalesce
+    /// into one vectored `writev` call (DESIGN.md §11). `1` disables
+    /// batching and reproduces the seed broker's frame-at-a-time
+    /// writes — the single-shard reference configuration uses this.
+    pub max_write_batch: usize,
 }
 
 /// Queue capacity used by [`crate::delay::Outbound::spawn`] when the
@@ -138,12 +143,17 @@ pub struct FlowConfig {
 /// grow without limit.
 pub const DEFAULT_OUTBOUND_CAPACITY: usize = 65_536;
 
+/// Default writer batch: enough to amortize the per-syscall cost at
+/// high fan-out without letting one connection monopolize the writer.
+pub const DEFAULT_MAX_WRITE_BATCH: usize = 64;
+
 impl Default for FlowConfig {
     fn default() -> Self {
         FlowConfig {
             capacity: DEFAULT_OUTBOUND_CAPACITY,
             low_watermark: DEFAULT_OUTBOUND_CAPACITY / 2,
             policy: SlowConsumerPolicy::default(),
+            max_write_batch: DEFAULT_MAX_WRITE_BATCH,
         }
     }
 }
@@ -156,12 +166,19 @@ impl FlowConfig {
             capacity: capacity.max(1),
             low_watermark: (capacity / 2).max(1),
             policy: SlowConsumerPolicy::default(),
+            max_write_batch: DEFAULT_MAX_WRITE_BATCH,
         }
     }
 
     /// Replaces the slow-consumer policy.
     pub fn policy(mut self, policy: SlowConsumerPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Replaces the writer's vectored-write batch limit (floored at 1).
+    pub fn max_write_batch(mut self, max: usize) -> Self {
+        self.max_write_batch = max.max(1);
         self
     }
 }
@@ -466,6 +483,42 @@ impl FlowQueue {
         }
     }
 
+    /// Removes the front frame **iff** its WAN-emulation release time
+    /// has already passed — the writer's batching probe, never blocking
+    /// and never reordering (frames behind a not-yet-due frame stay
+    /// queued, preserving per-connection FIFO + delay semantics).
+    ///
+    /// Accounting is identical to [`Self::recv`]: data/byte counters,
+    /// the shared budget, and the `Block`-policy writer wakeup.
+    pub(crate) fn try_pop_due(&self, now: Instant) -> Option<QueuedFrame> {
+        let (frame, wake_writers) = {
+            let mut state = self.state.lock();
+            if state.entries.front().is_none_or(|front| front.deliver_at > now) {
+                return None;
+            }
+            let frame = state.entries.pop_front()?;
+            if !frame.control {
+                state.data_len -= 1;
+            }
+            state.bytes -= frame.bytes.len() as u64;
+            state.check_invariants(self.config.capacity, self.config.policy);
+            let wake = state.data_len <= self.config.low_watermark;
+            (frame, wake)
+        };
+        if let Some(budget) = &self.budget {
+            budget.sub(frame.bytes.len() as u64, 1);
+        }
+        if wake_writers {
+            self.writable.notify_waiters();
+        }
+        Some(frame)
+    }
+
+    /// The writer's batch limit, from the queue's [`FlowConfig`].
+    pub(crate) fn max_write_batch(&self) -> usize {
+        self.config.max_write_batch.max(1)
+    }
+
     /// Closes the queue gracefully (idempotent): new pushes fail, but
     /// already-queued frames still drain through the writer — the
     /// behaviour of dropping an unbounded sender.
@@ -696,7 +749,8 @@ mod tests {
     use super::*;
 
     fn q(capacity: usize, policy: SlowConsumerPolicy) -> FlowQueue {
-        let config = FlowConfig { capacity, low_watermark: capacity / 2, policy };
+        let config =
+            FlowConfig { capacity, low_watermark: capacity / 2, policy, ..FlowConfig::default() };
         FlowQueue::new(config, None)
     }
 
@@ -800,6 +854,7 @@ mod tests {
                 capacity: 2,
                 low_watermark: 1,
                 policy: SlowConsumerPolicy::Block { deadline: Duration::from_secs(5) },
+                ..FlowConfig::default()
             },
             None,
         ));
@@ -842,6 +897,33 @@ mod tests {
         assert!(first.control);
         assert_eq!(first.bytes[0], 0xCC);
         assert_eq!(queue.recv().await.unwrap().bytes[0], 2);
+    }
+
+    #[tokio::test]
+    async fn try_pop_due_respects_release_times_and_accounting() {
+        let queue = q(8, SlowConsumerPolicy::DropOldest);
+        let now = Instant::now();
+        queue.push_data(now, payload(10)).await;
+        queue.push_data(now, payload(20)).await;
+        queue.push_data(now + Duration::from_secs(60), payload(30)).await;
+        // Frames behind the delayed one stay queued: FIFO is preserved.
+        queue.push_data(now, payload(40)).await;
+
+        assert_eq!(queue.try_pop_due(now).map(|f| f.bytes.len()), Some(10));
+        assert_eq!(queue.try_pop_due(now).map(|f| f.bytes.len()), Some(20));
+        assert!(queue.try_pop_due(now).is_none(), "front frame not yet due");
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.queued_bytes(), 70, "popped frames left the byte accounting");
+        assert_eq!(
+            queue.try_pop_due(now + Duration::from_secs(61)).map(|f| f.bytes.len()),
+            Some(30)
+        );
+        assert_eq!(
+            queue.try_pop_due(now + Duration::from_secs(61)).map(|f| f.bytes.len()),
+            Some(40)
+        );
+        assert!(queue.try_pop_due(now + Duration::from_secs(61)).is_none(), "drained");
+        assert_eq!(queue.queued_bytes(), 0);
     }
 
     #[tokio::test]

@@ -26,6 +26,9 @@
 //! * [`session`] — fault-tolerance primitives: reconnect backoff with
 //!   decorrelated jitter and the bounded publication buffer clients use
 //!   to ride out broker outages.
+//! * [`shard`] — the topic-sharded subscription registry behind the
+//!   publish hot path: FNV-1a topic→shard routing, per-shard locks and
+//!   publish counters (DESIGN.md §11).
 //!
 //! The paper's simplification is kept: one broker per region (Dynamoth
 //! handles intra-region scale-out in the original system; see DESIGN.md
@@ -66,5 +69,7 @@ pub mod flow;
 pub mod frame;
 pub mod probe;
 pub mod session;
+pub mod shard;
+mod sync;
 
 pub use conn::{read_frame, BrokerError};

@@ -1,0 +1,311 @@
+//! Topic-sharded subscription maps for the publish hot path.
+//!
+//! The seed broker funneled every publish through one global
+//! `Mutex<HashMap<String, TopicState>>`: concurrent publishes to
+//! *different* topics still contended on the same lock, and the lock
+//! was held while snapshotting the fan-out set. This module replaces
+//! that map with `N` independent shards. A topic is routed to a shard
+//! by a stable FNV-1a hash of its name, so:
+//!
+//! * publishes to topics on different shards never touch the same lock,
+//! * a topic's subscribers always live on exactly one shard (routing is
+//!   total and deterministic — see `tests/shard_properties.rs`),
+//! * per-shard publish counters come for free, feeding the
+//!   `multipub_broker_shard_publishes_total` metric.
+//!
+//! The container is generic over the subscriber entry type so the loom
+//! model in `tests/loom_models.rs` can instantiate it with a plain test
+//! payload while the broker instantiates it with its `SubEntry`
+//! (client id + filter + outbound handle). Interior locking goes
+//! through [`crate::sync`], which swaps `parking_lot` for `loom` under
+//! `RUSTFLAGS="--cfg loom"`.
+
+use std::collections::HashMap;
+
+use crate::sync::{AtomicU64, Mutex, Ordering};
+
+/// Upper bound on the shard count; requests beyond this are clamped.
+///
+/// Guards against a typo'd `--shards 1000000` allocating a million
+/// mutexes — beyond ~4× the core count extra shards only add memory,
+/// never parallelism.
+pub const MAX_SHARDS: usize = 256;
+
+/// Environment variable consulted when no explicit shard count is set.
+///
+/// Lets the existing integration suites pin the broker to the
+/// single-shard reference configuration (`MULTIPUB_SHARDS=1`) without
+/// threading a knob through every test helper.
+pub const SHARDS_ENV: &str = "MULTIPUB_SHARDS";
+
+/// Stable 64-bit FNV-1a hash of a topic name.
+///
+/// Hand-rolled rather than `std::hash::DefaultHasher` because shard
+/// routing must be deterministic across processes and Rust versions:
+/// the committed proptests pin concrete hash values, and operators can
+/// predict shard placement from the topic name alone.
+#[must_use]
+pub fn topic_hash(topic: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in topic.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Shard index for `topic` in a map of `shard_count` shards.
+///
+/// Total for every `(topic, shard_count)` pair: a `shard_count` of zero
+/// is treated as one so the result is always a valid index.
+#[must_use]
+pub fn shard_index(topic: &str, shard_count: usize) -> usize {
+    (topic_hash(topic) % shard_count.max(1) as u64) as usize
+}
+
+/// Resolve the effective shard count for a broker.
+///
+/// Precedence: an explicit builder/CLI value, then the
+/// [`SHARDS_ENV`] environment variable, then
+/// `std::thread::available_parallelism()` floored at 2 so the
+/// encode-once zero-copy path is the default even on single-core
+/// hosts. The result is clamped to `1..=`[`MAX_SHARDS`].
+///
+/// Shard count 1 is special: it is the *reference configuration* that
+/// preserves the seed broker's exact data-path cost model
+/// (per-subscriber encode, frame-at-a-time socket writes) for
+/// apples-to-apples benchmarking — see DESIGN.md §11.
+#[must_use]
+pub fn resolve_shard_count(explicit: Option<usize>) -> usize {
+    explicit.or_else(shard_count_from_env).unwrap_or_else(default_shard_count).clamp(1, MAX_SHARDS)
+}
+
+fn shard_count_from_env() -> Option<usize> {
+    std::env::var(SHARDS_ENV).ok()?.trim().parse::<usize>().ok().filter(|count| *count > 0)
+}
+
+fn default_shard_count() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1).max(2)
+}
+
+/// One shard: the slice of the topic space hashing to this index, plus
+/// a publish counter updated without taking the map lock.
+#[derive(Debug)]
+struct Shard<E> {
+    /// topic → (connection id → subscriber entry).
+    topics: Mutex<HashMap<String, HashMap<u64, E>>>,
+    publishes: AtomicU64,
+}
+
+impl<E> Shard<E> {
+    fn new() -> Self {
+        Shard { topics: Mutex::new(HashMap::new()), publishes: AtomicU64::new(0) }
+    }
+}
+
+/// Topic-sharded subscription registry.
+///
+/// Keys are `(topic, connection id)`; the entry type `E` carries
+/// whatever the caller needs at fan-out time (the broker stores its
+/// `SubEntry`). All operations lock only the single shard that owns
+/// the topic, except the whole-map sweeps ([`Self::remove_conn`],
+/// [`Self::topics_snapshot`]) which visit shards one at a time and
+/// never hold two shard locks at once.
+#[derive(Debug)]
+pub struct ShardedTopics<E> {
+    shards: Box<[Shard<E>]>,
+}
+
+impl<E> ShardedTopics<E> {
+    /// Create a registry with `shard_count` shards (floored at one).
+    #[must_use]
+    pub fn new(shard_count: usize) -> Self {
+        let count = shard_count.clamp(1, MAX_SHARDS);
+        let shards: Vec<Shard<E>> = (0..count).map(|_| Shard::new()).collect();
+        ShardedTopics { shards: shards.into_boxed_slice() }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index owning `topic`.
+    #[must_use]
+    pub fn shard_for(&self, topic: &str) -> usize {
+        shard_index(topic, self.shards.len())
+    }
+
+    fn shard(&self, topic: &str) -> &Shard<E> {
+        let idx = self.shard_for(topic);
+        // lint:allow(indexing) shard_for is hash % len with len >= 1, always in bounds
+        &self.shards[idx]
+    }
+
+    /// Register `conn_id` on `topic`, replacing any previous entry for
+    /// the same connection (re-subscribing updates the filter).
+    pub fn insert(&self, topic: &str, conn_id: u64, entry: E) {
+        let mut topics = self.shard(topic).topics.lock();
+        topics.entry(topic.to_string()).or_default().insert(conn_id, entry);
+    }
+
+    /// Remove `conn_id` from `topic`. Returns whether an entry existed.
+    /// Drops the topic's map entirely once its last subscriber leaves.
+    pub fn remove(&self, topic: &str, conn_id: u64) -> bool {
+        let mut topics = self.shard(topic).topics.lock();
+        let Some(subs) = topics.get_mut(topic) else { return false };
+        let removed = subs.remove(&conn_id).is_some();
+        if subs.is_empty() {
+            topics.remove(topic);
+        }
+        removed
+    }
+
+    /// Remove `conn_id` from every topic on every shard (connection
+    /// teardown). Locks are taken one shard at a time.
+    pub fn remove_conn(&self, conn_id: u64) {
+        for shard in self.shards.iter() {
+            let mut topics = shard.topics.lock();
+            topics.retain(|_, subs| {
+                subs.remove(&conn_id);
+                !subs.is_empty()
+            });
+        }
+    }
+
+    /// Record a publish routed to `topic`'s shard; returns the shard
+    /// index. Lock-free: touches only the shard's atomic counter.
+    pub fn note_publish(&self, topic: &str) -> usize {
+        let idx = self.shard_for(topic);
+        self.shard(topic).publishes.fetch_add(1, Ordering::Relaxed);
+        idx
+    }
+
+    /// Per-shard publish counts, indexed by shard.
+    #[must_use]
+    pub fn publish_counts(&self) -> Vec<u64> {
+        self.shards.iter().map(|shard| shard.publishes.load(Ordering::Relaxed)).collect()
+    }
+}
+
+impl<E: Clone> ShardedTopics<E> {
+    /// Snapshot `topic`'s subscriber set as `(conn_id, entry)` pairs.
+    ///
+    /// The clone happens under the shard lock but fan-out I/O does not:
+    /// the caller works from the snapshot, so a subscriber registering
+    /// concurrently with a publish either makes the snapshot (and
+    /// receives the frame) or does not (and receives nothing) — never a
+    /// partial delivery. The loom model pins down exactly this.
+    #[must_use]
+    pub fn snapshot(&self, topic: &str) -> Vec<(u64, E)> {
+        let topics = self.shard(topic).topics.lock();
+        match topics.get(topic) {
+            Some(subs) => subs.iter().map(|(id, entry)| (*id, entry.clone())).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot every topic across all shards, sorted by topic name for
+    /// deterministic reporting (`take_report`).
+    #[must_use]
+    pub fn topics_snapshot(&self) -> Vec<(String, Vec<(u64, E)>)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let topics = shard.topics.lock();
+            for (topic, subs) in topics.iter() {
+                let entries = subs.iter().map(|(id, entry)| (*id, entry.clone())).collect();
+                out.push((topic.clone(), entries));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors; pins the hash across
+        // Rust versions so shard placement never silently moves.
+        assert_eq!(topic_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(topic_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(topic_hash("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn shard_index_is_total_and_stable() {
+        for count in 1..=16 {
+            for topic in ["", "a", "news/sports", "θ-unicode"] {
+                let idx = shard_index(topic, count);
+                assert!(idx < count);
+                assert_eq!(idx, shard_index(topic, count));
+            }
+        }
+        assert_eq!(shard_index("anything", 0), 0);
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_and_clamps() {
+        assert_eq!(resolve_shard_count(Some(4)), 4);
+        assert_eq!(resolve_shard_count(Some(0)), 1);
+        assert_eq!(resolve_shard_count(Some(MAX_SHARDS + 1)), MAX_SHARDS);
+        assert!(resolve_shard_count(None) >= 1);
+    }
+
+    #[test]
+    fn insert_snapshot_remove_roundtrip() {
+        let map: ShardedTopics<&'static str> = ShardedTopics::new(4);
+        map.insert("news", 1, "alpha");
+        map.insert("news", 2, "beta");
+        map.insert("weather", 1, "gamma");
+
+        let mut news = map.snapshot("news");
+        news.sort();
+        assert_eq!(news, vec![(1, "alpha"), (2, "beta")]);
+        assert_eq!(map.snapshot("weather"), vec![(1, "gamma")]);
+        assert!(map.snapshot("missing").is_empty());
+
+        assert!(map.remove("news", 1));
+        assert!(!map.remove("news", 1));
+        assert_eq!(map.snapshot("news"), vec![(2, "beta")]);
+
+        map.remove_conn(2);
+        assert!(map.snapshot("news").is_empty());
+        assert_eq!(map.snapshot("weather"), vec![(1, "gamma")]);
+    }
+
+    #[test]
+    fn reinsert_replaces_filter_entry() {
+        let map: ShardedTopics<u32> = ShardedTopics::new(2);
+        map.insert("t", 7, 1);
+        map.insert("t", 7, 2);
+        assert_eq!(map.snapshot("t"), vec![(7, 2)]);
+    }
+
+    #[test]
+    fn publish_counts_track_per_shard() {
+        let map: ShardedTopics<u8> = ShardedTopics::new(3);
+        let idx = map.note_publish("hot-topic");
+        map.note_publish("hot-topic");
+        let counts = map.publish_counts();
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts.iter().sum::<u64>(), 2);
+        assert_eq!(counts.get(idx).copied(), Some(2));
+    }
+
+    #[test]
+    fn topics_snapshot_is_sorted() {
+        let map: ShardedTopics<u8> = ShardedTopics::new(8);
+        for topic in ["zebra", "apple", "mango"] {
+            map.insert(topic, 1, 0);
+        }
+        let names: Vec<String> = map.topics_snapshot().into_iter().map(|(t, _)| t).collect();
+        assert_eq!(names, vec!["apple", "mango", "zebra"]);
+    }
+}

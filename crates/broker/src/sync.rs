@@ -1,0 +1,52 @@
+//! Synchronization primitives for the sharded data path, switchable
+//! between `parking_lot`/`std` and `loom`.
+//!
+//! The per-shard subscription maps in [`crate::shard`] go through these
+//! re-exports so the loom models in `tests/loom_models.rs` can
+//! exhaustively check subscriber registration racing a concurrent
+//! publish under `RUSTFLAGS="--cfg loom"`. The `loom` crate is
+//! deliberately **not** declared in `Cargo.toml` — the workspace must
+//! build on a bare toolchain; the CI loom job appends the dependency
+//! transiently before testing (see `.github/workflows/ci.yml` and
+//! DESIGN.md §9).
+//!
+//! Everything *outside* the shard map (flow queues, peer tables, the
+//! clients registry) stays on `parking_lot`/tokio directly: those paths
+//! involve async notification primitives loom cannot model, and TSan
+//! covers them over real threads instead.
+
+#[cfg(loom)]
+mod imp {
+    /// Facade over `loom::sync::Mutex` matching `parking_lot`'s
+    /// non-poisoning `lock()` signature, so [`crate::shard`] reads the
+    /// same under both configurations.
+    pub(crate) struct Mutex<T>(loom::sync::Mutex<T>);
+
+    impl<T> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("Mutex { .. }")
+        }
+    }
+
+    impl<T> Mutex<T> {
+        pub(crate) fn new(value: T) -> Self {
+            Mutex(loom::sync::Mutex::new(value))
+        }
+
+        pub(crate) fn lock(&self) -> loom::sync::MutexGuard<'_, T> {
+            // A panicked holder aborts the loom model anyway; recover
+            // the guard rather than double-panicking.
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+
+    pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+}
+
+#[cfg(not(loom))]
+mod imp {
+    pub(crate) use parking_lot::Mutex;
+    pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+}
+
+pub(crate) use imp::{AtomicU64, Mutex, Ordering};

@@ -1,0 +1,209 @@
+//! Exhaustive loom models of the sharded subscription registry and the
+//! shard → queue handoff discipline.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; a normal `cargo test`
+//! sees an empty test binary. The CI loom job appends the loom
+//! dependency to this crate's manifest transiently (it is not declared
+//! in `Cargo.toml` so the workspace builds on a bare toolchain) and
+//! runs:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p multipub-broker --test loom_models --release
+//! ```
+//!
+//! `ShardedTopics` locks through `crate::sync`, which swaps
+//! `parking_lot` for loom's instrumented primitives under this cfg, so
+//! every model below explores all interleavings of the real shard
+//! code. The registry is instantiated with a plain `u64` entry — the
+//! broker's `SubEntry` carries an `Outbound` handle built on tokio
+//! primitives, which loom cannot model.
+//!
+//! The actual `FlowQueue` is likewise out of loom's reach (its
+//! blocking/wakeup side uses `tokio::sync::Notify`), so the
+//! snapshot-then-enqueue handoff is modeled with a loom-local queue
+//! that mirrors `FlowQueue`'s accounting discipline: push under a
+//! mutex with a byte counter, pop decrements the same counter. What is
+//! being verified is the *broker's* discipline — snapshot the shard,
+//! release the shard lock, then enqueue per subscriber — not tokio's
+//! internals.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use multipub_broker::shard::ShardedTopics;
+use std::collections::VecDeque;
+
+/// A subscriber registering concurrently with a publish snapshot is
+/// all-or-nothing: the pre-registered subscriber is in every snapshot,
+/// and the racing one either made it in or did not — a torn snapshot
+/// (racing entry present while an earlier entry is missing) is
+/// impossible.
+#[test]
+fn registration_racing_publish_snapshot_is_atomic() {
+    loom::model(|| {
+        let topics = Arc::new(ShardedTopics::<u64>::new(2));
+        topics.insert("hot", 1, 10);
+
+        let registrar = {
+            let topics = Arc::clone(&topics);
+            thread::spawn(move || {
+                topics.insert("hot", 2, 20);
+            })
+        };
+
+        // The publish path: snapshot the fan-out set.
+        let snapshot = topics.snapshot("hot");
+        assert!(
+            snapshot.iter().any(|&(id, entry)| id == 1 && entry == 10),
+            "pre-registered subscriber missing from snapshot"
+        );
+        assert!(snapshot.len() == 1 || snapshot.len() == 2, "torn snapshot: {snapshot:?}");
+
+        registrar.join().expect("registrar thread");
+        let settled = topics.snapshot("hot");
+        assert_eq!(settled.len(), 2, "registration lost after join");
+    });
+}
+
+/// An unsubscribe racing a publish snapshot never duplicates and never
+/// tears: the leaver appears at most once, the stayer always.
+#[test]
+fn unsubscribe_racing_publish_never_duplicates() {
+    loom::model(|| {
+        let topics = Arc::new(ShardedTopics::<u64>::new(2));
+        topics.insert("hot", 1, 10);
+        topics.insert("hot", 2, 20);
+
+        let leaver = {
+            let topics = Arc::clone(&topics);
+            thread::spawn(move || {
+                assert!(topics.remove("hot", 2));
+            })
+        };
+
+        let snapshot = topics.snapshot("hot");
+        assert!(snapshot.iter().any(|&(id, _)| id == 1), "stayer missing");
+        let leaver_copies = snapshot.iter().filter(|&&(id, _)| id == 2).count();
+        assert!(leaver_copies <= 1, "leaver duplicated in snapshot");
+
+        leaver.join().expect("leaver thread");
+        assert_eq!(topics.snapshot("hot"), vec![(1, 10)]);
+    });
+}
+
+/// Connection teardown (`remove_conn`, the every-shard sweep) racing a
+/// registration on another topic of the same registry must neither
+/// resurrect the dead connection nor lose the registration.
+#[test]
+fn connection_sweep_racing_registration() {
+    loom::model(|| {
+        let topics = Arc::new(ShardedTopics::<u64>::new(2));
+        topics.insert("a", 1, 10);
+        topics.insert("b", 1, 11);
+
+        let registrar = {
+            let topics = Arc::clone(&topics);
+            thread::spawn(move || {
+                topics.insert("a", 2, 20);
+            })
+        };
+        topics.remove_conn(1);
+        registrar.join().expect("registrar thread");
+
+        assert_eq!(topics.snapshot("a"), vec![(2, 20)]);
+        assert!(topics.snapshot("b").is_empty());
+    });
+}
+
+/// Per-shard publish counters racing from two publishers sum exactly:
+/// the relaxed atomic is a counter, not a synchronization point, and
+/// no increment may be lost.
+#[test]
+fn concurrent_publish_counts_are_exact() {
+    loom::model(|| {
+        let topics = Arc::new(ShardedTopics::<u64>::new(2));
+        let other = {
+            let topics = Arc::clone(&topics);
+            thread::spawn(move || {
+                topics.note_publish("x");
+                topics.note_publish("y");
+            })
+        };
+        topics.note_publish("x");
+        other.join().expect("publisher thread");
+        assert_eq!(topics.publish_counts().iter().sum::<u64>(), 3);
+    });
+}
+
+/// Mirror of `FlowQueue`'s accounting discipline (see module docs for
+/// why the real queue cannot run under loom): frames pushed under the
+/// queue mutex with a byte counter, popped with the counter
+/// decremented. The broker's handoff — shard snapshot released before
+/// enqueueing — must keep the byte counter exactly equal to the queued
+/// bytes at every quiescent point, with no frame lost or double-queued.
+#[test]
+fn shard_to_queue_handoff_keeps_accounting_exact() {
+    #[derive(Debug)]
+    struct ModelQueue {
+        frames: Mutex<VecDeque<u64>>,
+        bytes: AtomicU64,
+    }
+
+    impl ModelQueue {
+        fn push(&self, frame: u64, len: u64) {
+            let mut frames = self.frames.lock().expect("queue lock");
+            frames.push_back(frame);
+            self.bytes.fetch_add(len, Ordering::Relaxed);
+        }
+        fn pop(&self, len: u64) -> Option<u64> {
+            let mut frames = self.frames.lock().expect("queue lock");
+            let frame = frames.pop_front()?;
+            self.bytes.fetch_sub(len, Ordering::Relaxed);
+            Some(frame)
+        }
+    }
+
+    const FRAME_LEN: u64 = 64;
+
+    loom::model(|| {
+        let topics = Arc::new(ShardedTopics::<usize>::new(1));
+        let queues = Arc::new(vec![
+            ModelQueue { frames: Mutex::new(VecDeque::new()), bytes: AtomicU64::new(0) },
+            ModelQueue { frames: Mutex::new(VecDeque::new()), bytes: AtomicU64::new(0) },
+        ]);
+        topics.insert("hot", 1, 0);
+
+        // A second subscriber registers while the publisher fans out.
+        let registrar = {
+            let topics = Arc::clone(&topics);
+            thread::spawn(move || {
+                topics.insert("hot", 2, 1);
+            })
+        };
+
+        // The publish path: snapshot under the shard lock, enqueue
+        // outside it — exactly `Broker::deliver_locally`'s shape.
+        let snapshot = topics.snapshot("hot");
+        let fanned_out = snapshot.len();
+        for &(_, queue_idx) in &snapshot {
+            queues.get(queue_idx).expect("queue for subscriber").push(7, FRAME_LEN);
+        }
+
+        registrar.join().expect("registrar thread");
+
+        // Every snapshotted subscriber got exactly one frame; the
+        // racing subscriber got one or none, never a partial push.
+        let mut drained = 0;
+        for queue in queues.iter() {
+            while let Some(frame) = queue.pop(FRAME_LEN) {
+                assert_eq!(frame, 7);
+                drained += 1;
+            }
+            assert_eq!(queue.bytes.load(Ordering::Relaxed), 0, "bytes leaked after drain");
+        }
+        assert_eq!(drained, fanned_out);
+        assert!((1..=2).contains(&fanned_out));
+    });
+}

@@ -10,6 +10,7 @@
 //!     [--slow-consumer drop-oldest] \     # or drop-newest|disconnect|block:<ms>
 //!     [--publish-rate 1000] \             # per-publisher admission (msgs/s)
 //!     [--inflight-budget 67108864] \      # global queued-bytes budget
+//!     [--shards 8] \                      # subscription-map shards (1 = reference path)
 //!     [--metrics-addr 0.0.0.0:9464]       # Prometheus scrape endpoint
 //! ```
 //!
@@ -32,7 +33,7 @@ const USAGE: &str = "usage: multipub-broker --region <idx> [--bind <addr>] \
                      [--keepalive <ms>] [--outbound-queue <frames>] \
                      [--slow-consumer block:<ms>|drop-oldest|drop-newest|disconnect] \
                      [--publish-rate <msgs_per_sec>] [--inflight-budget <bytes>] \
-                     [--metrics-addr <addr>]";
+                     [--shards <n>] [--metrics-addr <addr>]";
 
 async fn run() -> Result<(), String> {
     let args = Args::from_env()?;
@@ -79,6 +80,10 @@ async fn run() -> Result<(), String> {
     if let Some(bytes) = args.get("inflight-budget") {
         let bytes: u64 = bytes.parse().map_err(|_| "bad --inflight-budget (bytes)".to_string())?;
         builder = builder.inflight_budget(bytes);
+    }
+    if let Some(shards) = args.get("shards") {
+        let shards: usize = shards.parse().map_err(|_| "bad --shards (count)".to_string())?;
+        builder = builder.shards(shards);
     }
     for spec in args.get_all("peer") {
         let (peer_region, addr) = parse_pair::<u8>(spec)?;

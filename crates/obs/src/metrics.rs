@@ -90,6 +90,11 @@ pub const BROKER_SLOW_DROPS_TOTAL: &str = "multipub_broker_slow_drops_total";
 pub const BROKER_SLOW_DISCONNECTS_TOTAL: &str = "multipub_broker_slow_disconnects_total";
 /// Publishes refused with a `Busy` NACK by admission control.
 pub const BROKER_BUSY_REJECTIONS_TOTAL: &str = "multipub_broker_busy_rejections_total";
+/// Publishes routed through the sharded subscription registry.
+pub const BROKER_SHARD_PUBLISHES_TOTAL: &str = "multipub_broker_shard_publishes_total";
+/// Encoded bytes handed to subscriber queues by the most recent
+/// zero-copy fan-out.
+pub const BROKER_FANOUT_BYTES: &str = "multipub_broker_fanout_bytes";
 
 // --- client session -----------------------------------------------------
 
@@ -284,6 +289,16 @@ pub const CATALOG: &[MetricDef] = &[
         name: BROKER_BUSY_REJECTIONS_TOTAL,
         kind: MetricKind::Counter,
         help: "Publishes refused with a Busy NACK",
+    },
+    MetricDef {
+        name: BROKER_SHARD_PUBLISHES_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Publishes routed through the sharded registry",
+    },
+    MetricDef {
+        name: BROKER_FANOUT_BYTES,
+        kind: MetricKind::Gauge,
+        help: "Bytes handed out by the last zero-copy fan-out",
     },
     MetricDef {
         name: CLIENT_RECONNECTS_TOTAL,
