@@ -16,8 +16,8 @@
 //! "Throughput benchmarking" section for the schema.
 
 use multipub_bench::live::{
-    render_report, run_scenario, standard_notes, write_report, BenchReport, Comparison,
-    ScenarioConfig, REPORT_SCHEMA,
+    render_report, run_scenario, run_scenario_with_spans, standard_notes, write_report,
+    BenchReport, Comparison, ScenarioConfig, REPORT_SCHEMA,
 };
 use multipub_broker::shard::resolve_shard_count;
 use multipub_cli::Args;
@@ -27,7 +27,8 @@ use std::time::Duration;
 const USAGE: &str = "usage: bench-live [--fanout <n>] [--publishers <n>] [--payload <bytes>] \
                      [--duration <secs>] [--shards <n>] [--out <path>] \
                      [--assert-floor <msgs/sec>] [--assert-speedup <ratio>] \
-                     [--skip-reference <bool>]";
+                     [--skip-reference <bool>] [--trace-sample <rate>] \
+                     [--trace-out <path>]";
 
 fn main() -> ExitCode {
     match run() {
@@ -51,6 +52,8 @@ fn run() -> Result<(), String> {
     let assert_floor: f64 = args.get_parsed_or("assert-floor", 0.0)?;
     let assert_speedup: f64 = args.get_parsed_or("assert-speedup", 0.0)?;
     let skip_reference: bool = args.get_parsed_or("skip-reference", false)?;
+    let trace_sample: f64 = args.get_parsed_or("trace-sample", 0.0)?;
+    let trace_out = args.get("trace-out").map(str::to_string);
 
     let duration = Duration::from_secs_f64(duration_secs.max(0.5));
     let runtime = tokio::runtime::Builder::new_multi_thread()
@@ -65,18 +68,31 @@ fn run() -> Result<(), String> {
         publishers,
         payload_bytes,
         duration,
+        trace_sample,
     };
     eprintln!(
-        "bench-live: sharded run ({} shards, 1→{} fan-out, {}s)…",
+        "bench-live: sharded run ({} shards, 1→{} fan-out, {}s, trace {:.3})…",
         sharded_cfg.shards,
         fanout,
-        duration.as_secs_f64()
+        duration.as_secs_f64(),
+        trace_sample,
     );
-    let sharded = runtime.block_on(run_scenario(&sharded_cfg))?;
+    let (sharded, spans) = runtime.block_on(run_scenario_with_spans(&sharded_cfg))?;
     eprintln!(
         "bench-live: sharded {:.0} msgs/sec (p50 {:.2} ms, p99 {:.2} ms)",
         sharded.msgs_per_sec, sharded.trip_p50_ms, sharded.trip_p99_ms
     );
+    for breakdown in &sharded.stages {
+        eprintln!(
+            "bench-live:   stage {:<9} n={} p50 {:.3} ms p99 {:.3} ms mean {:.3} ms",
+            breakdown.stage, breakdown.count, breakdown.p50_ms, breakdown.p99_ms, breakdown.mean_ms
+        );
+    }
+    if let Some(trace_path) = &trace_out {
+        let json = multipub_obs::trace::render_chrome_trace(&spans);
+        std::fs::write(trace_path, json).map_err(|e| format!("write {trace_path}: {e}"))?;
+        eprintln!("bench-live: wrote {trace_path} ({} spans)", spans.len());
+    }
 
     let mut scenarios = vec![sharded.clone()];
     let mut comparison = None;

@@ -20,9 +20,10 @@
 use bytes::{Bytes, BytesMut};
 use multipub_broker::broker::Broker;
 use multipub_broker::codec::encode_to_bytes;
-use multipub_broker::frame::{Frame, Role};
+use multipub_broker::frame::{Frame, Role, TraceContext};
 use multipub_broker::read_frame;
 use multipub_core::ids::RegionId;
+use multipub_obs::trace::{next_trace_id, Sampler, Span};
 use serde::{Deserialize, Serialize};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,8 +113,24 @@ pub async fn raw_subscriber(
     let mut buf = BytesMut::new();
     loop {
         match read_frame(&mut read_half, &mut buf).await {
-            Ok(Some(Frame::Deliver { publish_micros, .. })) => {
+            Ok(Some(Frame::Deliver { publish_micros, trace, .. })) => {
                 stats.record(record_trips, publish_micros);
+                // Final trace stage, mirroring the client library: socket
+                // write → receipt in this harness subscriber.
+                if let Some(ctx) = trace {
+                    if ctx.sampled && ctx.write_micros > 0 {
+                        let received = now_micros();
+                        let dur = received.saturating_sub(ctx.write_micros);
+                        multipub_obs::histogram!(multipub_obs::metrics::BROKER_STAGE_DELIVER_MS)
+                            .record(dur as f64 / 1000.0);
+                        multipub_obs::trace::record_span(Span {
+                            trace_id: ctx.trace_id,
+                            stage: "deliver",
+                            start_micros: ctx.write_micros,
+                            dur_micros: dur,
+                        });
+                    }
+                }
             }
             Ok(Some(_)) => {} // ConnectAck, config replays — not deliveries
             Ok(None) => return Ok(()),
@@ -128,6 +145,7 @@ pub struct RawPublisher {
     write_half: tokio::net::tcp::OwnedWriteHalf,
     topic: String,
     publisher_id: u64,
+    sampler: Sampler,
 }
 
 impl RawPublisher {
@@ -161,7 +179,15 @@ impl RawPublisher {
                 }
             }
         });
-        Ok(RawPublisher { write_half, topic, publisher_id })
+        Ok(RawPublisher { write_half, topic, publisher_id, sampler: Sampler::new(0.0) })
+    }
+
+    /// Enables end-to-end trace sampling at `rate` (fraction of
+    /// publications; `0.0` = never, `1.0` = every message).
+    #[must_use]
+    pub fn with_trace_sample(mut self, rate: f64) -> Self {
+        self.sampler = Sampler::new(rate);
+        self
     }
 
     /// Publishes one message (direct mode, fresh `publish_micros`).
@@ -170,6 +196,7 @@ impl RawPublisher {
     ///
     /// Returns a message when the socket write fails.
     pub async fn publish(&mut self, payload: &Bytes) -> Result<(), String> {
+        let trace = self.sampler.should_sample().then(|| TraceContext::new(next_trace_id()));
         let frame = Frame::Publish {
             topic: self.topic.clone(),
             publisher: self.publisher_id,
@@ -177,6 +204,7 @@ impl RawPublisher {
             single_target: false,
             headers: String::new(),
             payload: payload.clone(),
+            trace,
         };
         self.write_half
             .write_all(&encode_to_bytes(&frame))
@@ -213,6 +241,9 @@ pub struct ScenarioConfig {
     pub payload_bytes: usize,
     /// Measurement window.
     pub duration: Duration,
+    /// Fraction of publications to trace end to end (`0.0` disables
+    /// tracing entirely — the zero-overhead default).
+    pub trace_sample: f64,
 }
 
 /// One scenario's measured outcome, as serialized into
@@ -243,6 +274,52 @@ pub struct ScenarioResult {
     pub trip_p50_ms: f64,
     /// 99th-percentile trip time.
     pub trip_p99_ms: f64,
+    /// Per-stage latency breakdown from sampled traces (empty when
+    /// `trace_sample` was 0). Additive field: absent in pre-tracing
+    /// reports, so deserialization defaults it.
+    #[serde(default)]
+    pub stages: Vec<StageBreakdown>,
+}
+
+/// Aggregate statistics for one trace stage across a scenario's sampled
+/// messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    /// Stage name (one of [`multipub_obs::trace::STAGE_NAMES`]).
+    pub stage: String,
+    /// Spans recorded for this stage.
+    pub count: u64,
+    /// Median span duration, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile span duration, milliseconds.
+    pub p99_ms: f64,
+    /// Mean span duration, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// Groups `spans` by stage and computes per-stage duration statistics,
+/// in the canonical [`multipub_obs::trace::STAGE_NAMES`] order.
+#[must_use]
+pub fn stage_breakdown(spans: &[Span]) -> Vec<StageBreakdown> {
+    multipub_obs::trace::STAGE_NAMES
+        .iter()
+        .filter_map(|&stage| {
+            let mut durs: Vec<u64> =
+                spans.iter().filter(|s| s.stage == stage).map(|s| s.dur_micros).collect();
+            if durs.is_empty() {
+                return None;
+            }
+            durs.sort_unstable();
+            let total: u64 = durs.iter().sum();
+            Some(StageBreakdown {
+                stage: stage.to_string(),
+                count: durs.len() as u64,
+                p50_ms: percentile_ms(&durs, 0.50),
+                p99_ms: percentile_ms(&durs, 0.99),
+                mean_ms: total as f64 / durs.len() as f64 / 1000.0,
+            })
+        })
+        .collect()
 }
 
 /// Sharded-vs-reference summary of a comparison run.
@@ -307,6 +384,21 @@ pub fn write_report(path: &std::path::Path, report: &BenchReport) -> Result<(), 
 /// Returns a message when setup fails or the warm-up frame is not
 /// delivered everywhere within 10 s.
 pub async fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioResult, String> {
+    run_scenario_with_spans(cfg).await.map(|(result, _)| result)
+}
+
+/// Like [`run_scenario`], additionally returning the raw stage spans
+/// drained from the process-global trace ring (empty when
+/// `cfg.trace_sample` is 0). Scenarios must not run concurrently in one
+/// process: the ring is shared.
+///
+/// # Errors
+///
+/// Returns a message when setup fails or the warm-up frame is not
+/// delivered everywhere within 10 s.
+pub async fn run_scenario_with_spans(
+    cfg: &ScenarioConfig,
+) -> Result<(ScenarioResult, Vec<Span>), String> {
     let fanout = cfg.fanout.max(1);
     let publishers = cfg.publishers.max(1);
     let broker = Broker::builder(RegionId(0))
@@ -335,7 +427,9 @@ pub async fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioResult, String
     let mut pubs = Vec::with_capacity(publishers);
     for i in 0..publishers {
         pubs.push(
-            RawPublisher::connect(addr, 1 + i as u64, topic.clone(), Arc::clone(&busy)).await?,
+            RawPublisher::connect(addr, 1 + i as u64, topic.clone(), Arc::clone(&busy))
+                .await?
+                .with_trace_sample(cfg.trace_sample),
         );
     }
 
@@ -363,6 +457,7 @@ pub async fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioResult, String
     for sub_stats in &stats {
         sub_stats.take_trips(); // discard warm-up samples
     }
+    multipub_obs::trace::ring().drain(); // discard warm-up spans
 
     // Measurement window: every publisher publishes flat-out.
     let started = Instant::now();
@@ -416,7 +511,8 @@ pub async fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioResult, String
     }
     broker.shutdown();
 
-    Ok(ScenarioResult {
+    let spans = multipub_obs::trace::ring().drain();
+    let result = ScenarioResult {
         name: cfg.name.clone(),
         shards: cfg.shards,
         fanout,
@@ -429,7 +525,9 @@ pub async fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioResult, String
         msgs_per_sec: if elapsed > 0.0 { delivered_total as f64 / elapsed } else { 0.0 },
         trip_p50_ms: percentile_ms(&trips, 0.50),
         trip_p99_ms: percentile_ms(&trips, 0.99),
-    })
+        stages: stage_breakdown(&spans),
+    };
+    Ok((result, spans))
 }
 
 /// Standard methodology notes attached to every generated report.
@@ -483,6 +581,13 @@ mod tests {
                 msgs_per_sec: 150_000.0,
                 trip_p50_ms: 2.5,
                 trip_p99_ms: 20.0,
+                stages: vec![StageBreakdown {
+                    stage: "queue".to_string(),
+                    count: 100,
+                    p50_ms: 0.1,
+                    p99_ms: 0.8,
+                    mean_ms: 0.2,
+                }],
             }],
             comparison: Some(Comparison {
                 sharded_msgs_per_sec: 150_000.0,
@@ -496,10 +601,46 @@ mod tests {
         assert_eq!(back.schema, REPORT_SCHEMA);
         assert_eq!(back.scenarios.len(), 1);
         assert!(back.comparison.is_some());
+        assert_eq!(back.scenarios[0].stages.len(), 1);
     }
+
+    #[test]
+    fn pre_tracing_reports_still_parse() {
+        // The stages field is additive: a v1 report written before the
+        // tracing work (no "stages" key) must deserialize with an empty
+        // breakdown, keeping the committed-artifact pipeline compatible.
+        let json = r#"{
+            "name": "sharded", "shards": 4, "fanout": 10, "publishers": 1,
+            "payload_bytes": 100, "duration_secs": 1.0, "published": 10,
+            "busy_nacks": 0, "delivered": 100, "msgs_per_sec": 100.0,
+            "trip_p50_ms": 1.0, "trip_p99_ms": 2.0
+        }"#;
+        let back: ScenarioResult = serde_json::from_str(json).expect("parses");
+        assert!(back.stages.is_empty());
+    }
+
+    #[test]
+    fn stage_breakdown_groups_by_stage_in_canonical_order() {
+        let span = |stage, dur| Span { trace_id: 1, stage, start_micros: 0, dur_micros: dur };
+        let spans =
+            vec![span("deliver", 4000), span("match", 1000), span("match", 3000), span("bogus", 9)];
+        let breakdown = stage_breakdown(&spans);
+        assert_eq!(breakdown.len(), 2, "unknown stages are ignored, empty stages omitted");
+        assert_eq!(breakdown[0].stage, "match");
+        assert_eq!(breakdown[0].count, 2);
+        assert!((breakdown[0].mean_ms - 2.0).abs() < 1e-9);
+        assert_eq!(breakdown[1].stage, "deliver");
+        assert!((breakdown[1].p50_ms - 4.0).abs() < 1e-9);
+    }
+
+    /// Serializes the live-scenario tests: [`run_scenario_with_spans`]
+    /// drains the process-global trace ring, so concurrent scenarios in
+    /// one test binary would steal each other's spans.
+    static LIVE_SCENARIO_LOCK: Mutex<()> = Mutex::new(());
 
     #[tokio::test]
     async fn tiny_live_scenario_delivers() {
+        let _guard = LIVE_SCENARIO_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let cfg = ScenarioConfig {
             name: "smoke".to_string(),
             shards: 2,
@@ -507,11 +648,37 @@ mod tests {
             publishers: 1,
             payload_bytes: 32,
             duration: Duration::from_millis(300),
+            trace_sample: 0.0,
         };
         let result = run_scenario(&cfg).await.expect("scenario runs");
         assert_eq!(result.fanout, 3);
         assert!(result.published > 0, "publisher made progress");
         assert!(result.delivered > 0, "subscribers saw deliveries");
         assert!(result.msgs_per_sec > 0.0);
+        assert!(result.stages.is_empty(), "tracing off leaves no stage breakdown");
+    }
+
+    #[tokio::test]
+    async fn traced_scenario_yields_stage_spans() {
+        let _guard = LIVE_SCENARIO_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cfg = ScenarioConfig {
+            name: "trace-smoke".to_string(),
+            shards: 2,
+            fanout: 2,
+            publishers: 1,
+            payload_bytes: 16,
+            duration: Duration::from_millis(300),
+            trace_sample: 1.0,
+        };
+        let (result, spans) = run_scenario_with_spans(&cfg).await.expect("scenario runs");
+        assert!(result.delivered > 0);
+        assert!(!spans.is_empty(), "sampling at 1.0 records spans");
+        for stage in multipub_obs::trace::STAGE_NAMES {
+            assert!(
+                result.stages.iter().any(|b| b.stage == stage),
+                "stage {stage} missing from breakdown: {:?}",
+                result.stages
+            );
+        }
     }
 }

@@ -20,7 +20,7 @@ use crate::codec::encode_to_bytes;
 use crate::conn::{read_frame, BrokerError};
 use crate::delay::{DelayTable, Outbound};
 use crate::flow::{FlowConfig, GlobalBudget, SlowConsumerPolicy, TokenBucket};
-use crate::frame::{Frame, Role, WireMode};
+use crate::frame::{Frame, Role, TraceContext, WireMode};
 use crate::shard::{resolve_shard_count, ShardedTopics};
 use bytes::{Bytes, BytesMut};
 use multipub_core::ids::RegionId;
@@ -578,6 +578,7 @@ async fn deliver_locally(
     publish_micros: u64,
     headers_json: &str,
     payload: &Bytes,
+    trace: Option<TraceContext>,
 ) {
     // Count the publish against its shard before the subscriber check:
     // the per-shard counters measure routing pressure, not fan-out.
@@ -599,12 +600,33 @@ async fn deliver_locally(
     } else {
         Headers::new()
     };
+    // The `match` stage ends here: snapshot taken, filters about to be
+    // applied, encode next. The stamp must land before encoding so it
+    // travels inside the encoded bytes; encode + enqueue time therefore
+    // accrues to the following `queue` span.
+    let trace = trace.map(|mut ctx| {
+        if ctx.sampled {
+            let now = multipub_obs::trace::now_micros();
+            let start = if ctx.admit_micros > 0 { ctx.admit_micros } else { publish_micros };
+            multipub_obs::histogram!(multipub_obs::metrics::BROKER_STAGE_MATCH_MS)
+                .record(now.saturating_sub(start) as f64 / 1000.0);
+            multipub_obs::trace::record_span(multipub_obs::trace::Span {
+                trace_id: ctx.trace_id,
+                stage: "match",
+                start_micros: start,
+                dur_micros: now.saturating_sub(start),
+            });
+            ctx.match_micros = now;
+        }
+        ctx
+    });
     let frame = Frame::Deliver {
         topic: topic.to_string(),
         publisher,
         publish_micros,
         headers: headers_json.to_string(),
         payload: payload.clone(),
+        trace,
     };
     let targets = recipients
         .into_iter()
@@ -649,6 +671,7 @@ async fn deliver_locally(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 async fn handle_publish_from_client(
     shared: &Arc<Shared>,
     topic: String,
@@ -657,6 +680,7 @@ async fn handle_publish_from_client(
     single_target: bool,
     headers: String,
     payload: Bytes,
+    trace: Option<TraceContext>,
 ) {
     multipub_obs::counter!(multipub_obs::metrics::BROKER_PUBLISHES_TOTAL).inc();
     if single_target {
@@ -665,7 +689,7 @@ async fn handle_publish_from_client(
         multipub_obs::counter!(multipub_obs::metrics::BROKER_PUBLISH_DIRECT_TOTAL).inc();
     }
     record_publish(shared, &topic, publisher, payload.len());
-    deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload).await;
+    deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload, trace).await;
 
     // Forward to the topic's other serving regions when (a) the publisher
     // sent to us alone (routed delivery, or a stale routed view during the
@@ -679,6 +703,9 @@ async fn handle_publish_from_client(
     if !single_target && self_serving {
         return;
     }
+    // The peer hop inherits the admission stamp; the remote broker's
+    // `deliver_locally` restamps `match` on its own clock, so WAN
+    // transit accrues to the remote match span (DESIGN.md §12).
     let frame = Frame::Forward {
         topic: topic.clone(),
         publisher,
@@ -686,6 +713,7 @@ async fn handle_publish_from_client(
         origin_region: u16::from(shared.region.0),
         headers,
         payload,
+        trace,
     };
     // Zero-copy mode shares one encoding across all peer links too;
     // lazily, so a single-region mask never pays for an unused encode.
@@ -867,6 +895,7 @@ async fn connection_loop(
                 single_target,
                 headers,
                 payload,
+                trace,
             } => {
                 // Admission control (DESIGN.md §10): shed load with an
                 // explicit NACK instead of queueing into an overloaded
@@ -897,6 +926,26 @@ async fn connection_loop(
                     outbound.send(&Frame::Busy { topic, retry_after_ms });
                     continue;
                 }
+                // Admission passed: stamp the `admission` stage on
+                // sampled messages. The span starts at the publisher's
+                // own stamp, so it includes client→broker network
+                // transit — the trace's five spans sum exactly to the
+                // end-to-end trip time.
+                let trace = trace.map(|mut ctx| {
+                    if ctx.sampled {
+                        let now = multipub_obs::trace::now_micros();
+                        multipub_obs::histogram!(multipub_obs::metrics::BROKER_STAGE_ADMISSION_MS)
+                            .record(now.saturating_sub(publish_micros) as f64 / 1000.0);
+                        multipub_obs::trace::record_span(multipub_obs::trace::Span {
+                            trace_id: ctx.trace_id,
+                            stage: "admission",
+                            start_micros: publish_micros,
+                            dur_micros: now.saturating_sub(publish_micros),
+                        });
+                        ctx.admit_micros = now;
+                    }
+                    ctx
+                });
                 handle_publish_from_client(
                     shared,
                     topic,
@@ -905,13 +954,24 @@ async fn connection_loop(
                     single_target,
                     headers,
                     payload,
+                    trace,
                 )
                 .await;
             }
-            Frame::Forward { topic, publisher, publish_micros, headers, payload, .. } => {
+            Frame::Forward {
+                topic, publisher, publish_micros, headers, payload, trace, ..
+            } => {
                 // Second hop of routed delivery: local fan-out only.
-                deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload)
-                    .await;
+                deliver_locally(
+                    shared,
+                    &topic,
+                    publisher,
+                    publish_micros,
+                    &headers,
+                    &payload,
+                    trace,
+                )
+                .await;
             }
             Frame::StatsRequest => {
                 let report = take_report(shared);

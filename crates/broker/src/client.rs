@@ -35,7 +35,7 @@ use crate::broker::InstalledConfig;
 use crate::conn::{read_frame, BrokerError};
 use crate::delay::{duration_from_ms, Outbound};
 use crate::flow::SlowConsumerPolicy;
-use crate::frame::{Frame, Role, WireMode};
+use crate::frame::{Frame, Role, TraceContext, WireMode};
 use crate::session::{Backoff, PendingPublish, PendingQueue, ReconnectPolicy};
 use bytes::{Bytes, BytesMut};
 use multipub_core::ids::RegionId;
@@ -75,6 +75,11 @@ pub struct ClientConfig {
     /// outbound queue (subscribers only; `None` accepts the broker's
     /// default). See [`SlowConsumerPolicy`].
     pub slow_consumer: Option<SlowConsumerPolicy>,
+    /// Fraction of publications to trace end to end (`0.0` = never, the
+    /// default; `1.0` = every publication). Sampled publications carry a
+    /// [`TraceContext`] on the wire and every hop records per-stage spans
+    /// into the process-local trace ring.
+    pub trace_sample: f64,
 }
 
 impl ClientConfig {
@@ -91,6 +96,7 @@ impl ClientConfig {
             keepalive: None,
             publish_buffer: 1024,
             slow_consumer: None,
+            trace_sample: 0.0,
         }
     }
 
@@ -121,6 +127,9 @@ pub struct Delivery {
     pub headers: Headers,
     /// Message payload.
     pub payload: Bytes,
+    /// Trace context the delivery arrived with (`None` when the
+    /// publication was not sampled).
+    pub trace: Option<TraceContext>,
 }
 
 impl Delivery {
@@ -292,19 +301,41 @@ impl Links {
                         publish_micros,
                         headers,
                         payload,
+                        trace,
                     })) => {
                         let headers = if headers.is_empty() {
                             Headers::new()
                         } else {
                             Headers::from_json(&headers).unwrap_or_default()
                         };
+                        let received_micros = now_micros();
+                        // Final trace stage: socket write → client receipt.
+                        // The write stamp is patched in by the broker's
+                        // writer task; zero means the frame never crossed
+                        // an instrumented writer, so no span can be formed.
+                        if let Some(ctx) = trace {
+                            if ctx.sampled && ctx.write_micros > 0 {
+                                let dur = received_micros.saturating_sub(ctx.write_micros);
+                                multipub_obs::histogram!(
+                                    multipub_obs::metrics::BROKER_STAGE_DELIVER_MS
+                                )
+                                .record(dur as f64 / 1000.0);
+                                multipub_obs::trace::record_span(multipub_obs::trace::Span {
+                                    trace_id: ctx.trace_id,
+                                    stage: "deliver",
+                                    start_micros: ctx.write_micros,
+                                    dur_micros: dur,
+                                });
+                            }
+                        }
                         let delivery = Delivery {
                             topic,
                             publisher,
                             publish_micros,
-                            received_micros: now_micros(),
+                            received_micros,
                             headers,
                             payload,
+                            trace,
                         };
                         if events_tx.send(Event::Delivery(delivery)).await.is_err() {
                             break;
@@ -653,6 +684,9 @@ pub struct PublisherClient {
     /// Decorrelated-jitter backoff across consecutive Busy NACKs, so a
     /// fleet of refused publishers does not retry in lockstep.
     busy_backoff: Backoff,
+    /// Deterministic 1-in-N trace sampler built from
+    /// [`ClientConfig::trace_sample`].
+    sampler: multipub_obs::trace::Sampler,
 }
 
 impl PublisherClient {
@@ -667,12 +701,14 @@ impl PublisherClient {
         let (events_tx, events_rx) = mpsc::channel(EVENT_CHANNEL_CAPACITY);
         let pending = PendingQueue::new(config.publish_buffer);
         let busy_backoff = config.reconnect.backoff(config.client_id ^ 0xB5_5B);
+        let sampler = multipub_obs::trace::Sampler::new(config.trace_sample);
         Ok(PublisherClient {
             links: Links::new(config, Role::Publisher, events_tx),
             events_rx,
             pending,
             busy_until: None,
             busy_backoff,
+            sampler,
         })
     }
 
@@ -712,11 +748,16 @@ impl PublisherClient {
         payload: impl Into<Bytes>,
     ) -> Result<usize, BrokerError> {
         self.drain_events();
+        let trace = self
+            .sampler
+            .should_sample()
+            .then(|| TraceContext::new(multipub_obs::trace::next_trace_id()));
         let entry = PendingPublish {
             topic: topic.to_string(),
             headers: if headers.is_empty() { String::new() } else { headers.to_json() },
             payload: payload.into().to_vec(),
             publish_micros: now_micros(),
+            trace,
         };
         // Inside a Busy window the broker asked us to back off: buffer
         // without attempting, exactly like an unreachable region.
@@ -774,6 +815,7 @@ impl PublisherClient {
             single_target,
             headers: entry.headers.clone(),
             payload: Bytes::from(entry.payload.clone()),
+            trace: entry.trace,
         };
         let mut serving: Vec<u16> = (0..self.links.n_regions() as u16)
             .filter(|&r| config.mask & (1u32 << r) != 0)
@@ -944,6 +986,7 @@ mod tests {
             received_micros: 43_500,
             headers: Headers::new(),
             payload: Bytes::new(),
+            trace: None,
         };
         assert!((delivery.latency_ms() - 42.5).abs() < 1e-9);
         // Clock skew never yields negative latency.

@@ -6,9 +6,22 @@
 //! consumes complete frames from a receive buffer, returning `Ok(None)`
 //! while a frame is still partial — the natural shape for reading from a
 //! TCP stream.
+//!
+//! # Trace context layout
+//!
+//! The publish-path frames (`Publish`/`Forward`/`Deliver`) carry an
+//! optional [`TraceContext`] encoded **first in the body, at a fixed
+//! offset**: a presence flag byte right after the tag, then (when
+//! present) trace id, sampled flag and the four stage stamps. The fixed
+//! position lets the outbound writer task stamp queue/write times into
+//! already-encoded bytes ([`stamp_queue_write`]) without re-encoding —
+//! essential because a zero-copy fan-out shares one encoded buffer
+//! across every subscriber queue. An absent context costs exactly one
+//! byte. Control frames never carry a context
+//! ([`Frame::is_control`]); [`peek_trace`] enforces this by tag.
 
 use crate::flow::SlowConsumerPolicy;
-use crate::frame::{Frame, Role, WireMode};
+use crate::frame::{Frame, Role, TraceContext, WireMode};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
@@ -71,6 +84,109 @@ fn put_long_string(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
+// Fixed offsets of the trace block within a full framed buffer
+// (`[u32 len][u8 tag][u8 flag][trace fields…]`). `stamp_queue_write`
+// and `peek_trace` rely on these staying in lockstep with
+// `put_trace`/`read_trace`.
+const TRACE_FLAG_OFFSET: usize = 5;
+const TRACE_ID_OFFSET: usize = 6;
+const TRACE_SAMPLED_OFFSET: usize = 14;
+const TRACE_MATCH_OFFSET: usize = 23;
+const TRACE_QUEUE_OFFSET: usize = 31;
+const TRACE_WRITE_OFFSET: usize = 39;
+/// Byte past the end of a present trace block (flag + id + sampled +
+/// four stamps), relative to the start of the framed buffer.
+const TRACE_END_OFFSET: usize = 47;
+
+fn put_trace(buf: &mut BytesMut, trace: &Option<TraceContext>) {
+    match trace {
+        None => buf.put_u8(0),
+        Some(ctx) => {
+            buf.put_u8(1);
+            buf.put_u64(ctx.trace_id);
+            buf.put_u8(u8::from(ctx.sampled));
+            buf.put_u64(ctx.admit_micros);
+            buf.put_u64(ctx.match_micros);
+            buf.put_u64(ctx.queue_micros);
+            buf.put_u64(ctx.write_micros);
+        }
+    }
+}
+
+fn read_trace(reader: &mut Reader<'_>) -> Result<Option<TraceContext>, CodecError> {
+    match reader.u8()? {
+        0 => Ok(None),
+        _ => {
+            let trace_id = reader.u64()?;
+            let sampled = reader.u8()? != 0;
+            let admit_micros = reader.u64()?;
+            let match_micros = reader.u64()?;
+            let queue_micros = reader.u64()?;
+            let write_micros = reader.u64()?;
+            Ok(Some(TraceContext {
+                trace_id,
+                sampled,
+                admit_micros,
+                match_micros,
+                queue_micros,
+                write_micros,
+            }))
+        }
+    }
+}
+
+fn read_u64_at(bytes: &Bytes, offset: usize) -> Option<u64> {
+    let slice = bytes.get(offset..offset + 8)?;
+    let array: [u8; 8] = slice.try_into().ok()?;
+    Some(u64::from_be_bytes(array))
+}
+
+/// Peeks the trace context of an already-encoded `Forward`/`Deliver`
+/// frame without decoding it.
+///
+/// Returns `(trace_id, match_micros)` when the buffer is a publish-path
+/// frame carrying a **sampled** context, `None` otherwise. Control
+/// frames are rejected by tag, so keepalive traffic can never produce
+/// spans. `Publish` is also excluded: only broker-outbound frames pass
+/// through the writer task that uses this peek.
+#[must_use]
+pub fn peek_trace(bytes: &Bytes) -> Option<(u64, u64)> {
+    if bytes.len() < TRACE_END_OFFSET {
+        return None;
+    }
+    let tag = *bytes.get(4)?;
+    if tag != 0x06 && tag != 0x07 {
+        return None;
+    }
+    if *bytes.get(TRACE_FLAG_OFFSET)? != 1 || *bytes.get(TRACE_SAMPLED_OFFSET)? != 1 {
+        return None;
+    }
+    let trace_id = read_u64_at(bytes, TRACE_ID_OFFSET)?;
+    let match_micros = read_u64_at(bytes, TRACE_MATCH_OFFSET)?;
+    Some((trace_id, match_micros))
+}
+
+/// Returns a copy of an encoded frame with the queue/write stage stamps
+/// patched into its trace block.
+///
+/// The writer task calls this only for frames where [`peek_trace`]
+/// returned `Some`, so the offsets are known to exist; zero-copy
+/// fan-out shares the original buffer across subscriber queues, and the
+/// copy confines the stamps to this subscriber's frame. Unsampled
+/// frames never pay for the copy.
+#[must_use]
+pub fn stamp_queue_write(bytes: &Bytes, queue_micros: u64, write_micros: u64) -> Bytes {
+    let mut patched = BytesMut::with_capacity(bytes.len());
+    patched.extend_from_slice(bytes);
+    if let Some(slot) = patched.get_mut(TRACE_QUEUE_OFFSET..TRACE_QUEUE_OFFSET + 8) {
+        slot.copy_from_slice(&queue_micros.to_be_bytes());
+    }
+    if let Some(slot) = patched.get_mut(TRACE_WRITE_OFFSET..TRACE_WRITE_OFFSET + 8) {
+        slot.copy_from_slice(&write_micros.to_be_bytes());
+    }
+    patched.freeze()
+}
+
 /// Appends the wire encoding of `frame` to `buf`.
 pub fn encode(frame: &Frame, buf: &mut BytesMut) {
     let start = buf.len();
@@ -101,7 +217,16 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
         Frame::Unsubscribe { topic } => {
             put_string(buf, topic);
         }
-        Frame::Publish { topic, publisher, publish_micros, single_target, headers, payload } => {
+        Frame::Publish {
+            topic,
+            publisher,
+            publish_micros,
+            single_target,
+            headers,
+            payload,
+            trace,
+        } => {
+            put_trace(buf, trace);
             put_string(buf, topic);
             buf.put_u64(*publisher);
             buf.put_u64(*publish_micros);
@@ -109,14 +234,24 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
             put_long_string(buf, headers);
             put_payload(buf, payload);
         }
-        Frame::Deliver { topic, publisher, publish_micros, headers, payload } => {
+        Frame::Deliver { topic, publisher, publish_micros, headers, payload, trace } => {
+            put_trace(buf, trace);
             put_string(buf, topic);
             buf.put_u64(*publisher);
             buf.put_u64(*publish_micros);
             put_long_string(buf, headers);
             put_payload(buf, payload);
         }
-        Frame::Forward { topic, publisher, publish_micros, origin_region, headers, payload } => {
+        Frame::Forward {
+            topic,
+            publisher,
+            publish_micros,
+            origin_region,
+            headers,
+            payload,
+            trace,
+        } => {
+            put_trace(buf, trace);
             put_string(buf, topic);
             buf.put_u64(*publisher);
             buf.put_u64(*publish_micros);
@@ -268,30 +403,49 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
         }
         0x04 => Frame::Unsubscribe { topic: reader.string()? },
         0x05 => {
+            let trace = read_trace(&mut reader)?;
             let topic = reader.string()?;
             let publisher = reader.u64()?;
             let publish_micros = reader.u64()?;
             let single_target = reader.u8()? != 0;
             let headers = reader.long_string()?;
             let payload = reader.payload()?;
-            Frame::Publish { topic, publisher, publish_micros, single_target, headers, payload }
+            Frame::Publish {
+                topic,
+                publisher,
+                publish_micros,
+                single_target,
+                headers,
+                payload,
+                trace,
+            }
         }
         0x07 => {
+            let trace = read_trace(&mut reader)?;
             let topic = reader.string()?;
             let publisher = reader.u64()?;
             let publish_micros = reader.u64()?;
             let headers = reader.long_string()?;
             let payload = reader.payload()?;
-            Frame::Deliver { topic, publisher, publish_micros, headers, payload }
+            Frame::Deliver { topic, publisher, publish_micros, headers, payload, trace }
         }
         0x06 => {
+            let trace = read_trace(&mut reader)?;
             let topic = reader.string()?;
             let publisher = reader.u64()?;
             let publish_micros = reader.u64()?;
             let origin_region = reader.u16()?;
             let headers = reader.long_string()?;
             let payload = reader.payload()?;
-            Frame::Forward { topic, publisher, publish_micros, origin_region, headers, payload }
+            Frame::Forward {
+                topic,
+                publisher,
+                publish_micros,
+                origin_region,
+                headers,
+                payload,
+                trace,
+            }
         }
         0x08 => Frame::StatsRequest,
         0x09 => Frame::StatsReport { json: reader.long_string()? },
@@ -349,6 +503,16 @@ mod tests {
                 single_target: true,
                 headers: "{\"price\":9.5}".into(),
                 payload: Bytes::from_static(b"hello world"),
+                trace: None,
+            },
+            Frame::Publish {
+                topic: "scores".into(),
+                publisher: 12,
+                publish_micros: 123_456_790,
+                single_target: false,
+                headers: String::new(),
+                payload: Bytes::from_static(b"traced"),
+                trace: Some(TraceContext::new(0xDEAD_BEEF_0000_0001)),
             },
             Frame::Forward {
                 topic: "scores".into(),
@@ -357,6 +521,23 @@ mod tests {
                 origin_region: 3,
                 headers: String::new(),
                 payload: Bytes::from_static(&[0, 1, 2, 255]),
+                trace: None,
+            },
+            Frame::Forward {
+                topic: "scores".into(),
+                publisher: 12,
+                publish_micros: 43,
+                origin_region: 3,
+                headers: String::new(),
+                payload: Bytes::from_static(&[7]),
+                trace: Some(TraceContext {
+                    trace_id: 0x1234_5678_9ABC_DEF0,
+                    sampled: true,
+                    admit_micros: 100,
+                    match_micros: 200,
+                    queue_micros: 300,
+                    write_micros: 400,
+                }),
             },
             Frame::Deliver {
                 topic: "scores".into(),
@@ -364,6 +545,22 @@ mod tests {
                 publish_micros: 42,
                 headers: String::new(),
                 payload: Bytes::new(),
+                trace: None,
+            },
+            Frame::Deliver {
+                topic: "scores".into(),
+                publisher: 12,
+                publish_micros: 44,
+                headers: String::new(),
+                payload: Bytes::from_static(b"x"),
+                trace: Some(TraceContext {
+                    trace_id: 5,
+                    sampled: false,
+                    admit_micros: 1,
+                    match_micros: 2,
+                    queue_micros: 0,
+                    write_micros: 0,
+                }),
             },
             Frame::StatsRequest,
             Frame::StatsReport { json: "{\"topics\":{}}".into() },
@@ -409,6 +606,7 @@ mod tests {
             single_target: false,
             headers: String::new(),
             payload: Bytes::from_static(b"abc"),
+            trace: Some(TraceContext::new(9)),
         };
         let full = encode_to_bytes(&frame);
         for cut in 0..full.len() {
@@ -467,6 +665,120 @@ mod tests {
         buf.put_u64(5);
         buf.put_u8(200);
         assert_eq!(decode(&mut buf), Err(CodecError::InvalidEnum { value: 200 }));
+    }
+
+    fn traced_deliver(trace: Option<TraceContext>) -> Frame {
+        Frame::Deliver {
+            topic: "t".into(),
+            publisher: 1,
+            publish_micros: 2,
+            headers: String::new(),
+            payload: Bytes::from_static(b"p"),
+            trace,
+        }
+    }
+
+    #[test]
+    fn peek_trace_reads_sampled_data_frames_only() {
+        // Sampled Deliver: peek sees the id and match stamp.
+        let mut ctx = TraceContext::new(0xAB);
+        ctx.match_micros = 777;
+        let encoded = encode_to_bytes(&traced_deliver(Some(ctx)));
+        assert_eq!(peek_trace(&encoded), Some((0xAB, 777)));
+
+        // Absent and unsampled contexts peek as None.
+        assert_eq!(peek_trace(&encode_to_bytes(&traced_deliver(None))), None);
+        let unsampled = TraceContext { sampled: false, ..TraceContext::new(0xAB) };
+        assert_eq!(peek_trace(&encode_to_bytes(&traced_deliver(Some(unsampled)))), None);
+
+        // Sampled Forward peeks too (peer-hop writer attribution).
+        let forward = Frame::Forward {
+            topic: "t".into(),
+            publisher: 1,
+            publish_micros: 2,
+            origin_region: 0,
+            headers: String::new(),
+            payload: Bytes::new(),
+            trace: Some(ctx),
+        };
+        assert_eq!(peek_trace(&encode_to_bytes(&forward)), Some((0xAB, 777)));
+    }
+
+    #[test]
+    fn peek_trace_excludes_control_frames() {
+        // Control traffic can never produce spans, even under a
+        // keepalive storm: peek rejects every control tag outright.
+        let control = [
+            Frame::Connect { client_id: 1, role: Role::Publisher, policy: None },
+            Frame::ConnectAck { region: 0 },
+            Frame::Subscribe { topic: "t".into(), filter: String::new() },
+            Frame::Unsubscribe { topic: "t".into() },
+            Frame::StatsRequest,
+            Frame::StatsReport { json: "{}".into() },
+            Frame::ConfigUpdate { topic: "t".into(), mask: 1, mode: WireMode::Direct },
+            Frame::Ping { nonce: 1 },
+            Frame::Pong { nonce: 1 },
+            Frame::StatsSnapshotRequest,
+            Frame::StatsSnapshot { json: "{}".into() },
+            Frame::Busy { topic: "t".into(), retry_after_ms: 5 },
+        ];
+        for frame in control {
+            assert!(frame.is_control(), "{frame:?} must be control traffic");
+            assert_eq!(peek_trace(&encode_to_bytes(&frame)), None, "{frame:?}");
+        }
+        // Publish is data but broker-inbound; the writer-side peek
+        // ignores it as well.
+        let publish = Frame::Publish {
+            topic: "t".into(),
+            publisher: 1,
+            publish_micros: 2,
+            single_target: false,
+            headers: String::new(),
+            payload: Bytes::new(),
+            trace: Some(TraceContext::new(3)),
+        };
+        assert!(!publish.is_control());
+        assert_eq!(peek_trace(&encode_to_bytes(&publish)), None);
+    }
+
+    #[test]
+    fn stamp_queue_write_patches_only_the_stamp_slots() {
+        let mut ctx = TraceContext::new(0xF00D);
+        ctx.admit_micros = 10;
+        ctx.match_micros = 20;
+        let original = encode_to_bytes(&traced_deliver(Some(ctx)));
+        let patched = stamp_queue_write(&original, 30, 40);
+        assert_eq!(patched.len(), original.len());
+
+        // The original (shared by the zero-copy fan-out) is untouched.
+        let mut buf = BytesMut::from(original.as_ref());
+        let Ok(Some(Frame::Deliver { trace: Some(untouched), .. })) = decode(&mut buf) else {
+            panic!("original must still decode as Deliver");
+        };
+        assert_eq!((untouched.queue_micros, untouched.write_micros), (0, 0));
+
+        // The patched copy decodes with the stamps and nothing else
+        // changed.
+        let mut buf = BytesMut::from(patched.as_ref());
+        let Ok(Some(Frame::Deliver { trace: Some(stamped), payload, .. })) = decode(&mut buf)
+        else {
+            panic!("patched frame must decode as Deliver");
+        };
+        assert_eq!(stamped.queue_micros, 30);
+        assert_eq!(stamped.write_micros, 40);
+        assert_eq!(stamped.trace_id, 0xF00D);
+        assert_eq!((stamped.admit_micros, stamped.match_micros), (10, 20));
+        assert_eq!(payload, Bytes::from_static(b"p"));
+    }
+
+    #[test]
+    fn untraced_frame_costs_one_flag_byte() {
+        let untraced = encode_to_bytes(&traced_deliver(None));
+        let traced = encode_to_bytes(&traced_deliver(Some(TraceContext::new(1))));
+        // flag byte is shared; a present context adds id + sampled +
+        // four u64 stamps.
+        assert_eq!(traced.len() - untraced.len(), 8 + 1 + 4 * 8);
+        assert_eq!(peek_trace(&untraced), None);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! `max_write_batch == 1` the writer degenerates to the original
 //! frame-at-a-time loop.
 
-use crate::codec::encode_to_bytes;
+use crate::codec::{encode_to_bytes, peek_trace, stamp_queue_write};
 use crate::flow::{FlowConfig, FlowQueue, GlobalBudget, PushOutcome};
 use crate::frame::Frame;
 use bytes::{Buf, Bytes};
@@ -148,6 +148,10 @@ impl Outbound {
 async fn writer_task(mut write_half: OwnedWriteHalf, queue: Arc<FlowQueue>) {
     let max_batch = queue.max_write_batch();
     let mut batch: VecDeque<Bytes> = VecDeque::with_capacity(max_batch.min(64));
+    // `(batch index, trace id, match stamp, pop time)` of the sampled
+    // frames in the current batch; empty for untraced traffic, so the
+    // hot path pays one cheap flag peek per frame.
+    let mut traced: Vec<(usize, u64, u64, u64)> = Vec::new();
     loop {
         let Some(frame) = queue.recv().await else { break };
         // Hold the frame through its WAN-emulation delay. A
@@ -165,10 +169,50 @@ async fn writer_task(mut write_half: OwnedWriteHalf, queue: Arc<FlowQueue>) {
         // behind it into the same write. Not-yet-due frames stay queued
         // (and everything behind them — FIFO is preserved).
         batch.clear();
+        traced.clear();
+        if let Some((trace_id, match_micros)) = peek_trace(&frame.bytes) {
+            traced.push((0, trace_id, match_micros, multipub_obs::trace::now_micros()));
+        }
         batch.push_back(frame.bytes);
         while batch.len() < max_batch {
             let Some(due) = queue.try_pop_due(Instant::now()) else { break };
+            if let Some((trace_id, match_micros)) = peek_trace(&due.bytes) {
+                traced.push((
+                    batch.len(),
+                    trace_id,
+                    match_micros,
+                    multipub_obs::trace::now_micros(),
+                ));
+            }
             batch.push_back(due.bytes);
+        }
+        // Stamp queue/write times into the sampled frames just before
+        // the syscall. The batch holds refcounted slices shared with
+        // other subscriber queues, so the stamp patches a private copy
+        // (`stamp_queue_write`) — only sampled frames pay for it.
+        if !traced.is_empty() {
+            let write_start = multipub_obs::trace::now_micros();
+            for &(index, trace_id, match_micros, popped) in &traced {
+                if let Some(slot) = batch.get_mut(index) {
+                    *slot = stamp_queue_write(slot, popped, write_start);
+                }
+                multipub_obs::histogram!(multipub_obs::metrics::BROKER_STAGE_QUEUE_MS)
+                    .record(popped.saturating_sub(match_micros) as f64 / 1000.0);
+                multipub_obs::trace::record_span(multipub_obs::trace::Span {
+                    trace_id,
+                    stage: "queue",
+                    start_micros: match_micros,
+                    dur_micros: popped.saturating_sub(match_micros),
+                });
+                multipub_obs::histogram!(multipub_obs::metrics::BROKER_STAGE_WRITE_MS)
+                    .record(write_start.saturating_sub(popped) as f64 / 1000.0);
+                multipub_obs::trace::record_span(multipub_obs::trace::Span {
+                    trace_id,
+                    stage: "write",
+                    start_micros: popped,
+                    dur_micros: write_start.saturating_sub(popped),
+                });
+            }
         }
         let killed = tokio::select! {
             result = write_batch(&mut write_half, &mut batch) => result.is_err(),
@@ -345,6 +389,66 @@ mod tests {
             }
         }
         assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[tokio::test]
+    async fn writer_stamps_queue_and_write_on_sampled_frames() {
+        use crate::frame::TraceContext;
+        let (client, mut server) = socket_pair().await;
+        let (_read, write) = client.into_split();
+        let outbound = Outbound::spawn(write, Duration::ZERO);
+        let mut ctx = TraceContext::new(0xBEEF);
+        ctx.admit_micros = 1;
+        ctx.match_micros = multipub_obs::trace::now_micros();
+        let frame = Frame::Deliver {
+            topic: "t".into(),
+            publisher: 1,
+            publish_micros: 2,
+            headers: String::new(),
+            payload: Bytes::from_static(b"x"),
+            trace: Some(ctx),
+        };
+        let before = multipub_obs::trace::now_micros();
+        assert!(outbound.send_data_encoded(encode_to_bytes(&frame)).await.queued());
+        let mut buf = BytesMut::new();
+        let received = loop {
+            let mut chunk = [0u8; 256];
+            let n = server.read(&mut chunk).await.unwrap();
+            buf.extend_from_slice(&chunk[..n]);
+            if let Some(frame) = decode(&mut buf).unwrap() {
+                break frame;
+            }
+        };
+        let Frame::Deliver { trace: Some(stamped), .. } = received else {
+            panic!("expected a traced Deliver, got {received:?}");
+        };
+        let after = multipub_obs::trace::now_micros();
+        assert_eq!(stamped.trace_id, 0xBEEF);
+        assert!(stamped.queue_micros >= before && stamped.queue_micros <= after);
+        assert!(stamped.write_micros >= stamped.queue_micros && stamped.write_micros <= after);
+        // The unsampled path is left byte-identical (no stamps).
+        let unsampled = TraceContext { sampled: false, ..TraceContext::new(1) };
+        let quiet = Frame::Deliver {
+            topic: "t".into(),
+            publisher: 1,
+            publish_micros: 2,
+            headers: String::new(),
+            payload: Bytes::new(),
+            trace: Some(unsampled),
+        };
+        assert!(outbound.send_data_encoded(encode_to_bytes(&quiet)).await.queued());
+        let received = loop {
+            let mut chunk = [0u8; 256];
+            let n = server.read(&mut chunk).await.unwrap();
+            buf.extend_from_slice(&chunk[..n]);
+            if let Some(frame) = decode(&mut buf).unwrap() {
+                break frame;
+            }
+        };
+        let Frame::Deliver { trace: Some(quiet_trace), .. } = received else {
+            panic!("expected Deliver");
+        };
+        assert_eq!((quiet_trace.queue_micros, quiet_trace.write_micros), (0, 0));
     }
 
     #[tokio::test]

@@ -91,6 +91,54 @@ impl From<WireMode> for multipub_core::assignment::DeliveryMode {
     }
 }
 
+/// Optional per-message trace context carried on the publish path
+/// ([`Frame::Publish`] → [`Frame::Forward`] → [`Frame::Deliver`]).
+///
+/// The sampling decision is made once at the publisher and travels with
+/// the message; each pipeline stage stamps the wall-clock microsecond
+/// at which it finished into its slot (`0` = not yet stamped), so the
+/// receiver can reconstruct per-hop stage spans that sum exactly to the
+/// end-to-end trip time (see `multipub_obs::trace` and DESIGN.md §12).
+///
+/// On the wire the context is encoded at a **fixed offset** immediately
+/// after the tag byte (see [`crate::codec`]): the encoded bytes of a
+/// zero-copy fan-out are shared across subscriber queues, and the
+/// writer task patches the queue/write stamps into a private copy of
+/// the sampled frames without re-encoding. Control frames never carry
+/// a context ([`Frame::is_control`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Trace id minted at the publisher; groups one message's spans.
+    pub trace_id: u64,
+    /// Whether stages should emit spans for this message.
+    pub sampled: bool,
+    /// When broker admission control passed (µs since the UNIX epoch).
+    pub admit_micros: u64,
+    /// When shard match + encode finished (µs since the UNIX epoch).
+    pub match_micros: u64,
+    /// When the frame left its outbound flow queue (µs since the UNIX
+    /// epoch); stamped into the encoded bytes by the writer task.
+    pub queue_micros: u64,
+    /// When the vectored socket write started (µs since the UNIX
+    /// epoch); stamped into the encoded bytes by the writer task.
+    pub write_micros: u64,
+}
+
+impl TraceContext {
+    /// A fresh sampled context with no stage stamps yet.
+    #[must_use]
+    pub fn new(trace_id: u64) -> Self {
+        TraceContext {
+            trace_id,
+            sampled: true,
+            admit_micros: 0,
+            match_micros: 0,
+            queue_micros: 0,
+            write_micros: 0,
+        }
+    }
+}
+
 /// A protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -145,6 +193,8 @@ pub enum Frame {
         headers: String,
         /// Message payload.
         payload: Bytes,
+        /// Optional trace context; `None` for unsampled messages.
+        trace: Option<TraceContext>,
     },
     /// A publication forwarded between brokers (routed delivery).
     Forward {
@@ -160,6 +210,8 @@ pub enum Frame {
         headers: String,
         /// Message payload.
         payload: Bytes,
+        /// Optional trace context; `None` for unsampled messages.
+        trace: Option<TraceContext>,
     },
     /// A publication delivered to a subscriber.
     Deliver {
@@ -173,6 +225,8 @@ pub enum Frame {
         headers: String,
         /// Message payload.
         payload: Bytes,
+        /// Optional trace context; `None` for unsampled messages.
+        trace: Option<TraceContext>,
     },
     /// Controller → broker: asks the region manager for its statistics.
     StatsRequest,
@@ -261,6 +315,15 @@ impl Frame {
             Frame::Busy { .. } => 0x0F,
         }
     }
+
+    /// Whether this frame is control traffic (keepalives, stats,
+    /// admission NACKs, connection management) rather than a message on
+    /// the publish path. Control frames are excluded from trace
+    /// sampling and span emission so keepalive storms under chaos runs
+    /// cannot flood the span ring.
+    pub fn is_control(&self) -> bool {
+        !matches!(self, Frame::Publish { .. } | Frame::Forward { .. } | Frame::Deliver { .. })
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +368,7 @@ mod tests {
                 single_target: true,
                 headers: String::new(),
                 payload: Bytes::new(),
+                trace: None,
             },
             Frame::Forward {
                 topic: "t".into(),
@@ -313,6 +377,7 @@ mod tests {
                 origin_region: 0,
                 headers: String::new(),
                 payload: Bytes::new(),
+                trace: None,
             },
             Frame::Deliver {
                 topic: "t".into(),
@@ -320,6 +385,7 @@ mod tests {
                 publish_micros: 0,
                 headers: String::new(),
                 payload: Bytes::new(),
+                trace: None,
             },
             Frame::StatsRequest,
             Frame::StatsReport { json: "{}".into() },
@@ -334,5 +400,22 @@ mod tests {
         assert_eq!(tags.len(), frames.len());
         let declared: HashSet<u8> = KNOWN_TAGS.into_iter().collect();
         assert_eq!(tags, declared, "KNOWN_TAGS must list exactly the tags frames use");
+
+        // Exactly the publish-path frames participate in tracing; all
+        // control traffic (Ping/Pong/Stats*, Busy, connection
+        // management) is excluded from sampling and span emission.
+        let data_tags: HashSet<u8> =
+            frames.iter().filter(|f| !f.is_control()).map(Frame::tag).collect();
+        assert_eq!(data_tags, HashSet::from([0x05, 0x06, 0x07]));
+    }
+
+    #[test]
+    fn trace_context_starts_unstamped() {
+        let ctx = TraceContext::new(42);
+        assert!(ctx.sampled);
+        assert_eq!(
+            (ctx.admit_micros, ctx.match_micros, ctx.queue_micros, ctx.write_micros),
+            (0, 0, 0, 0)
+        );
     }
 }

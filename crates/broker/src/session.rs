@@ -13,6 +13,7 @@
 //! well-distributed, not cryptographic — seeded per client so test runs
 //! are reproducible.
 
+use crate::frame::TraceContext;
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -139,6 +140,10 @@ pub struct PendingPublish {
     /// epoch), preserved so end-to-end latency measurements include the
     /// buffering time.
     pub publish_micros: u64,
+    /// Trace context assigned at publish time, preserved across buffering
+    /// and reconnect replay so a sampled publication keeps its trace id
+    /// end to end. `None` for unsampled publications.
+    pub trace: Option<TraceContext>,
 }
 
 /// A bounded FIFO of publications buffered during an outage.
@@ -211,6 +216,7 @@ mod tests {
             headers: String::new(),
             payload: vec![n],
             publish_micros: n as u64,
+            trace: None,
         }
     }
 
@@ -282,6 +288,18 @@ mod tests {
     }
 
     #[test]
+    fn buffered_publication_keeps_its_trace_context() {
+        // A sampled publication buffered during an outage must replay
+        // with its original trace id.
+        let mut queue = PendingQueue::new(2);
+        let ctx = TraceContext::new(0xCAFE);
+        queue.push(PendingPublish { trace: Some(ctx), ..entry(1) });
+        let replayed = queue.pop().unwrap();
+        assert_eq!(replayed.trace, Some(ctx));
+        assert_eq!(replayed.trace.unwrap().trace_id, 0xCAFE);
+    }
+
+    #[test]
     fn push_front_preserves_order() {
         let mut queue = PendingQueue::new(4);
         queue.push(entry(1));
@@ -304,6 +322,7 @@ mod proptests {
             headers: String::new(),
             payload: Vec::new(),
             publish_micros: n,
+            trace: None,
         }
     }
 

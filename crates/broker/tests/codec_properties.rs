@@ -7,7 +7,7 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use multipub_broker::codec::{decode, encode, encode_to_bytes, CodecError};
 use multipub_broker::flow::SlowConsumerPolicy;
-use multipub_broker::frame::{Frame, Role, WireMode, KNOWN_TAGS};
+use multipub_broker::frame::{Frame, Role, TraceContext, WireMode, KNOWN_TAGS};
 use multipub_broker::{read_frame, BrokerError};
 use proptest::prelude::*;
 use std::time::Duration;
@@ -59,6 +59,22 @@ fn arb_policy() -> impl Strategy<Value = Option<SlowConsumerPolicy>> {
     ]
 }
 
+fn arb_trace() -> impl Strategy<Value = Option<TraceContext>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<bool>(), any::<[u64; 4]>()).prop_map(|(trace_id, sampled, stamps)| {
+            Some(TraceContext {
+                trace_id,
+                sampled,
+                admit_micros: stamps[0],
+                match_micros: stamps[1],
+                queue_micros: stamps[2],
+                write_micros: stamps[3],
+            })
+        }),
+    ]
+}
+
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (any::<u64>(), arb_role(), arb_policy())
@@ -67,19 +83,54 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (arb_topic(), "[a-z <>=0-9&|!()._\"^-]{0,40}")
             .prop_map(|(topic, filter)| Frame::Subscribe { topic, filter }),
         arb_topic().prop_map(|topic| Frame::Unsubscribe { topic }),
-        (arb_topic(), any::<u64>(), any::<u64>(), any::<bool>(), "[ -~]{0,64}", arb_payload())
-            .prop_map(|(topic, publisher, publish_micros, single_target, headers, payload)| {
-                Frame::Publish { topic, publisher, publish_micros, single_target, headers, payload }
+        (
+            arb_topic(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            "[ -~]{0,64}",
+            arb_payload(),
+            arb_trace(),
+        )
+            .prop_map(
+                |(topic, publisher, publish_micros, single_target, headers, payload, trace)| {
+                    Frame::Publish {
+                        topic,
+                        publisher,
+                        publish_micros,
+                        single_target,
+                        headers,
+                        payload,
+                        trace,
+                    }
+                },
+            ),
+        (
+            arb_topic(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u16>(),
+            "[ -~]{0,64}",
+            arb_payload(),
+            arb_trace(),
+        )
+            .prop_map(
+                |(topic, publisher, publish_micros, origin_region, headers, payload, trace)| {
+                    Frame::Forward {
+                        topic,
+                        publisher,
+                        publish_micros,
+                        origin_region,
+                        headers,
+                        payload,
+                        trace,
+                    }
+                },
+            ),
+        (arb_topic(), any::<u64>(), any::<u64>(), "[ -~]{0,64}", arb_payload(), arb_trace())
+            .prop_map(|(topic, publisher, publish_micros, headers, payload, trace)| {
+                Frame::Deliver { topic, publisher, publish_micros, headers, payload, trace }
             }),
-        (arb_topic(), any::<u64>(), any::<u64>(), any::<u16>(), "[ -~]{0,64}", arb_payload())
-            .prop_map(|(topic, publisher, publish_micros, origin_region, headers, payload)| {
-                Frame::Forward { topic, publisher, publish_micros, origin_region, headers, payload }
-            }),
-        (arb_topic(), any::<u64>(), any::<u64>(), "[ -~]{0,64}", arb_payload()).prop_map(
-            |(topic, publisher, publish_micros, headers, payload)| {
-                Frame::Deliver { topic, publisher, publish_micros, headers, payload }
-            }
-        ),
         Just(Frame::StatsRequest),
         "[ -~]{0,128}".prop_map(|json| Frame::StatsReport { json }),
         (arb_topic(), any::<u32>(), prop_oneof![Just(WireMode::Direct), Just(WireMode::Routed)])

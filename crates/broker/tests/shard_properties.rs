@@ -14,7 +14,7 @@
 
 use bytes::{Bytes, BytesMut};
 use multipub_broker::codec::{decode, encode, encode_to_bytes};
-use multipub_broker::frame::Frame;
+use multipub_broker::frame::{Frame, TraceContext};
 use multipub_broker::shard::{shard_index, topic_hash, ShardedTopics, MAX_SHARDS};
 use proptest::prelude::*;
 
@@ -28,14 +28,25 @@ fn arb_payload() -> impl Strategy<Value = Bytes> {
     proptest::collection::vec(any::<u8>(), 0..512).prop_map(Bytes::from)
 }
 
+fn arb_trace() -> impl Strategy<Value = Option<TraceContext>> {
+    prop_oneof![
+        Just(None),
+        any::<(u64, bool)>().prop_map(|(trace_id, sampled)| Some(TraceContext {
+            sampled,
+            ..TraceContext::new(trace_id)
+        })),
+    ]
+}
+
 fn arb_deliver() -> impl Strategy<Value = Frame> {
-    (arb_topic(), any::<u64>(), any::<u64>(), "[ -~]{0,64}", arb_payload()).prop_map(
-        |(topic, publisher, publish_micros, headers, payload)| Frame::Deliver {
+    (arb_topic(), any::<u64>(), any::<u64>(), "[ -~]{0,64}", arb_payload(), arb_trace()).prop_map(
+        |(topic, publisher, publish_micros, headers, payload, trace)| Frame::Deliver {
             topic,
             publisher,
             publish_micros,
             headers,
             payload,
+            trace,
         },
     )
 }

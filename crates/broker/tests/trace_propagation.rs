@@ -1,0 +1,211 @@
+//! End-to-end tests of sampled message tracing (DESIGN.md §12): the
+//! five-stage span chain on a live sharded broker, trace-context
+//! propagation across the peer Forward hop, and survival of trace ids
+//! through publisher outage buffering and reconnect replay.
+
+use multipub_broker::broker::Broker;
+use multipub_broker::client::{ClientConfig, Delivery, PublisherClient, SubscriberClient};
+use multipub_broker::session::ReconnectPolicy;
+use multipub_core::ids::RegionId;
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::time::Duration;
+use tokio::time::timeout;
+
+const TICK: Duration = Duration::from_secs(5);
+
+async fn recv(sub: &mut SubscriberClient) -> Delivery {
+    timeout(TICK, sub.next_delivery()).await.expect("delivery within deadline").unwrap()
+}
+
+/// Spawns `n` brokers fully meshed as peers, returning them plus their
+/// addresses indexed by region.
+async fn mesh(n: usize) -> (Vec<Broker>, Vec<SocketAddr>) {
+    let mut brokers = Vec::with_capacity(n);
+    for region in 0..n {
+        brokers.push(Broker::builder(RegionId(region as u8)).spawn().await.unwrap());
+    }
+    let addrs: Vec<SocketAddr> = brokers.iter().map(Broker::local_addr).collect();
+    for (i, broker) in brokers.iter().enumerate() {
+        for (j, addr) in addrs.iter().enumerate() {
+            if i != j {
+                broker.add_peer(RegionId(j as u8), *addr);
+            }
+        }
+    }
+    (brokers, addrs)
+}
+
+/// The stage names recorded in the process-global ring for one trace id.
+fn stages_recorded(trace_id: u64) -> HashSet<&'static str> {
+    multipub_obs::trace::ring()
+        .snapshot()
+        .iter()
+        .filter(|span| span.trace_id == trace_id)
+        .map(|span| span.stage)
+        .collect()
+}
+
+/// A sampled publish through a live sharded broker produces a complete
+/// trace: monotone stage stamps whose five spans sum to the measured
+/// trip time (the stamps are contiguous, so the sum telescopes — well
+/// within the 10% acceptance bound).
+#[tokio::test]
+async fn five_stage_trace_sums_to_trip_time() {
+    let broker = Broker::builder(RegionId(0)).shards(4).spawn().await.unwrap();
+    let addr = broker.local_addr();
+
+    let mut subscriber = SubscriberClient::new(ClientConfig::new(1, vec![addr])).unwrap();
+    subscriber.subscribe("traced").await.unwrap();
+    tokio::time::sleep(Duration::from_millis(50)).await;
+
+    let mut publisher = PublisherClient::new(ClientConfig {
+        trace_sample: 1.0,
+        ..ClientConfig::new(2, vec![addr])
+    })
+    .unwrap();
+    publisher.publish("traced", &b"observe me"[..]).await.unwrap();
+
+    let delivery = recv(&mut subscriber).await;
+    let ctx = delivery.trace.expect("sampling at 1.0 traces every publication");
+    assert!(ctx.sampled);
+    assert_ne!(ctx.trace_id, 0);
+
+    // Stage stamps are monotone along the path (one host, one clock).
+    assert!(delivery.publish_micros <= ctx.admit_micros, "publish ≤ admit");
+    assert!(ctx.admit_micros <= ctx.match_micros, "admit ≤ match");
+    assert!(ctx.match_micros <= ctx.queue_micros, "match ≤ queue pop");
+    assert!(ctx.queue_micros <= ctx.write_micros, "queue pop ≤ write start");
+    assert!(ctx.write_micros <= delivery.received_micros, "write start ≤ receipt");
+
+    // Contiguous stamps: the five stage durations sum exactly to the
+    // end-to-end trip time.
+    let stage_sum = (ctx.admit_micros - delivery.publish_micros)
+        + (ctx.match_micros - ctx.admit_micros)
+        + (ctx.queue_micros - ctx.match_micros)
+        + (ctx.write_micros - ctx.queue_micros)
+        + (delivery.received_micros - ctx.write_micros);
+    let trip = delivery.received_micros - delivery.publish_micros;
+    assert_eq!(stage_sum, trip, "contiguous stage spans telescope to the trip time");
+
+    // Every stage also recorded a span into the process-global ring
+    // (broker and client share this process).
+    let stages = stages_recorded(ctx.trace_id);
+    for stage in multipub_obs::trace::STAGE_NAMES {
+        assert!(stages.contains(stage), "stage {stage} missing from ring: {stages:?}");
+    }
+    drop(broker);
+}
+
+/// Routed delivery across two peered brokers: the trace context rides
+/// the Forward frame, the remote broker restamps `match` on its own
+/// clock, and the subscriber still sees the original trace id — the
+/// ingress broker's admission span and the egress deliver span agree.
+#[tokio::test]
+async fn forward_hop_preserves_the_trace_id() {
+    let (brokers, addrs) = mesh(2).await;
+    // Subscriber closest to region 1; publisher closest to region 0, so
+    // the default all-regions-routed config forces a Forward hop.
+    let mut subscriber = SubscriberClient::new(ClientConfig {
+        client_id: 10,
+        region_addrs: addrs.clone(),
+        latencies_ms: vec![80.0, 5.0],
+        ..ClientConfig::new(0, Vec::new())
+    })
+    .unwrap();
+    subscriber.subscribe("routed").await.unwrap();
+    assert_eq!(subscriber.subscribed_region("routed"), Some(RegionId(1)));
+    tokio::time::sleep(Duration::from_millis(50)).await;
+
+    let mut publisher = PublisherClient::new(ClientConfig {
+        client_id: 11,
+        region_addrs: addrs,
+        latencies_ms: vec![5.0, 80.0],
+        trace_sample: 1.0,
+        ..ClientConfig::new(0, Vec::new())
+    })
+    .unwrap();
+    let sent = publisher.publish("routed", &b"across the wan"[..]).await.unwrap();
+    assert_eq!(sent, 1, "routed delivery publishes to one region");
+
+    let delivery = recv(&mut subscriber).await;
+    let ctx = delivery.trace.expect("trace context survives the Forward hop");
+    assert!(ctx.sampled);
+    assert_ne!(ctx.trace_id, 0);
+    assert!(ctx.admit_micros > 0, "admission stamped at the ingress broker");
+    assert!(ctx.match_micros >= ctx.admit_micros, "match restamped at the egress broker");
+    assert!(ctx.write_micros > 0, "write stamped by the egress writer task");
+
+    // Both ends of the path recorded spans under the same trace id:
+    // admission at the ingress broker, deliver at the subscriber.
+    let stages = stages_recorded(ctx.trace_id);
+    assert!(stages.contains("admission"), "ingress span missing: {stages:?}");
+    assert!(stages.contains("deliver"), "egress span missing: {stages:?}");
+    drop(brokers);
+}
+
+/// A sampled publication buffered during a broker outage replays after
+/// reconnect still carrying its trace context (assigned at publish
+/// time, preserved through the pending queue).
+#[tokio::test]
+async fn buffered_publications_replay_with_their_trace() {
+    let broker = Broker::builder(RegionId(0)).spawn().await.unwrap();
+    let addr = broker.local_addr();
+
+    let mut publisher = PublisherClient::new(ClientConfig {
+        reconnect: ReconnectPolicy::new(Duration::from_millis(20), Duration::from_millis(300)),
+        trace_sample: 1.0,
+        ..ClientConfig::new(7, vec![addr])
+    })
+    .unwrap();
+    publisher.publish("ticker", &b"live"[..]).await.unwrap();
+
+    broker.shutdown();
+
+    // Publish until the outage is noticed (`Ok(0)` = buffered), then
+    // buffer a few more; each buffered entry keeps its trace context.
+    let mut noticed = false;
+    for i in 0..100u32 {
+        let sent = publisher.publish("ticker", format!("warmup-{i}").into_bytes()).await.unwrap();
+        if sent == 0 {
+            noticed = true;
+            break;
+        }
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+    assert!(noticed, "publisher never noticed the outage");
+    for i in 0..3u32 {
+        let sent = publisher.publish("ticker", format!("buffered-{i}").into_bytes()).await.unwrap();
+        assert_eq!(sent, 0, "publish during outage must buffer");
+    }
+
+    // Restart on the same address (retry while the port is released).
+    let broker = {
+        let mut respawned = None;
+        for _ in 0..100 {
+            match Broker::builder(RegionId(0)).bind(addr).spawn().await {
+                Ok(broker) => {
+                    respawned = Some(broker);
+                    break;
+                }
+                Err(_) => tokio::time::sleep(Duration::from_millis(50)).await,
+            }
+        }
+        respawned.expect("broker rebinds after shutdown")
+    };
+    let mut subscriber = SubscriberClient::new(ClientConfig::new(8, vec![addr])).unwrap();
+    subscriber.subscribe("ticker").await.unwrap();
+    tokio::time::sleep(Duration::from_millis(50)).await;
+
+    let flushed = publisher.flush_pending().await;
+    assert!(flushed >= 4, "buffered publications flush after restart");
+
+    let mut ids = HashSet::new();
+    for _ in 0..flushed {
+        let delivery = recv(&mut subscriber).await;
+        let ctx = delivery.trace.expect("replayed publication still carries its trace");
+        assert!(ctx.sampled);
+        assert!(ids.insert(ctx.trace_id), "each publication keeps a distinct trace id");
+    }
+    drop(broker);
+}

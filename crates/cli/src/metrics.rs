@@ -3,9 +3,13 @@
 //!
 //! Hand-rolled on raw `tokio::net::TcpStream`s — one short-lived
 //! connection per scrape, `Connection: close` — so the binaries gain an
-//! observability endpoint without an HTTP framework dependency. Any
-//! request path answers with the full registry dump; scrape agents only
-//! ever ask for one resource.
+//! observability endpoint without an HTTP framework dependency.
+//!
+//! Two resources are served: `/trace` answers with the contents of the
+//! process-global trace ring as Chrome trace-event JSON (load it in
+//! `chrome://tracing` or Perfetto), and every other path answers with
+//! the full metrics registry dump in Prometheus text format — scrape
+//! agents only ever ask for one resource.
 
 use std::net::SocketAddr;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
@@ -54,19 +58,34 @@ async fn answer_scrape(mut stream: TcpStream) -> std::io::Result<()> {
             break;
         }
     }
-    let body = multipub_obs::registry().render_prometheus();
+    let (content_type, body) = if request_path(&head).is_some_and(|p| p.starts_with("/trace")) {
+        let spans = multipub_obs::trace::ring().snapshot();
+        ("application/json", multipub_obs::trace::render_chrome_trace(&spans))
+    } else {
+        ("text/plain; version=0.0.4; charset=utf-8", multipub_obs::registry().render_prometheus())
+    };
     let response = format!(
         "HTTP/1.1 200 OK\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Type: {}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\
          \r\n\
          {}",
+        content_type,
         body.len(),
         body
     );
     stream.write_all(response.as_bytes()).await?;
     stream.shutdown().await
+}
+
+/// Extracts the request path from an HTTP request head (`GET /x HTTP/1.1`
+/// → `/x`). `None` on anything malformed — the caller falls back to the
+/// metrics dump, preserving the answer-anything behaviour.
+fn request_path(head: &[u8]) -> Option<&str> {
+    let line = head.split(|&b| b == b'\r' || b == b'\n').next()?;
+    let line = std::str::from_utf8(line).ok()?;
+    line.split_whitespace().nth(1)
 }
 
 #[cfg(test)]
@@ -84,5 +103,32 @@ mod tests {
         assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
         assert!(response.contains("Content-Type: text/plain; version=0.0.4"));
         assert!(response.contains("multipub_cli_scrape_test_total"));
+    }
+
+    #[tokio::test]
+    async fn trace_path_returns_chrome_trace_json() {
+        multipub_obs::trace::record_span(multipub_obs::trace::Span {
+            trace_id: 0x51,
+            stage: "match",
+            start_micros: 10,
+            dur_micros: 5,
+        });
+        let addr = serve_metrics("127.0.0.1:0".parse().unwrap()).await.unwrap();
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        stream.write_all(b"GET /trace HTTP/1.1\r\nHost: test\r\n\r\n").await.unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).await.unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: application/json"));
+        assert!(response.contains("\"traceEvents\""));
+        assert!(response.contains("\"match\""));
+    }
+
+    #[test]
+    fn request_path_parses_the_request_line() {
+        assert_eq!(request_path(b"GET /trace HTTP/1.1\r\nHost: x\r\n\r\n"), Some("/trace"));
+        assert_eq!(request_path(b"GET /metrics HTTP/1.1\r\n"), Some("/metrics"));
+        assert_eq!(request_path(b"garbage"), None);
+        assert_eq!(request_path(b""), None);
     }
 }

@@ -51,6 +51,7 @@ pub mod metrics;
 pub mod quantile;
 pub mod registry;
 mod sync;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, HistogramTimer};
 pub use log::{Level, LogFilter};

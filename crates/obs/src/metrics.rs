@@ -95,6 +95,24 @@ pub const BROKER_SHARD_PUBLISHES_TOTAL: &str = "multipub_broker_shard_publishes_
 /// Encoded bytes handed to subscriber queues by the most recent
 /// zero-copy fan-out.
 pub const BROKER_FANOUT_BYTES: &str = "multipub_broker_fanout_bytes";
+/// Traced-message time from the publisher stamp to admission control
+/// passing (includes publisher→broker network transit).
+pub const BROKER_STAGE_ADMISSION_MS: &str = "multipub_broker_stage_admission_ms";
+/// Traced-message time spent in shard snapshot, filter match and
+/// encode.
+pub const BROKER_STAGE_MATCH_MS: &str = "multipub_broker_stage_match_ms";
+/// Traced-message residency in the outbound flow queue.
+pub const BROKER_STAGE_QUEUE_MS: &str = "multipub_broker_stage_queue_ms";
+/// Traced-message wait from queue pop to the vectored write starting.
+pub const BROKER_STAGE_WRITE_MS: &str = "multipub_broker_stage_write_ms";
+/// Traced-message time from write start to client-side receipt
+/// (includes broker→subscriber network transit).
+pub const BROKER_STAGE_DELIVER_MS: &str = "multipub_broker_stage_deliver_ms";
+
+// --- obs (tracing) ------------------------------------------------------
+
+/// Stage spans recorded into the trace ring (including overwritten).
+pub const OBS_TRACE_SPANS_TOTAL: &str = "multipub_obs_trace_spans_total";
 
 // --- client session -----------------------------------------------------
 
@@ -299,6 +317,36 @@ pub const CATALOG: &[MetricDef] = &[
         name: BROKER_FANOUT_BYTES,
         kind: MetricKind::Gauge,
         help: "Bytes handed out by the last zero-copy fan-out",
+    },
+    MetricDef {
+        name: BROKER_STAGE_ADMISSION_MS,
+        kind: MetricKind::Histogram,
+        help: "Traced publish-to-admission time",
+    },
+    MetricDef {
+        name: BROKER_STAGE_MATCH_MS,
+        kind: MetricKind::Histogram,
+        help: "Traced shard-match and encode time",
+    },
+    MetricDef {
+        name: BROKER_STAGE_QUEUE_MS,
+        kind: MetricKind::Histogram,
+        help: "Traced outbound-queue residency",
+    },
+    MetricDef {
+        name: BROKER_STAGE_WRITE_MS,
+        kind: MetricKind::Histogram,
+        help: "Traced queue-pop-to-write-start time",
+    },
+    MetricDef {
+        name: BROKER_STAGE_DELIVER_MS,
+        kind: MetricKind::Histogram,
+        help: "Traced write-to-client-receipt time",
+    },
+    MetricDef {
+        name: OBS_TRACE_SPANS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Stage spans recorded into the trace ring",
     },
     MetricDef {
         name: CLIENT_RECONNECTS_TOTAL,

@@ -145,6 +145,61 @@ pub fn check_file(
     }
 }
 
+/// Cross-checks the trace stage list in `crates/obs/src/trace.rs`
+/// against the catalog: every stage in `STAGE_NAMES` must have a
+/// `multipub_broker_stage_<stage>_ms` histogram, so a stage added to the
+/// tracer cannot ship without its per-stage latency metric (and, via
+/// [`check_readme`], its README row).
+pub fn check_stage_metrics(
+    trace_path: &str,
+    tokens: &[Token],
+    catalog: &Catalog,
+    findings: &mut Vec<Finding>,
+) {
+    let stages = parse_stage_names(tokens);
+    if stages.is_empty() {
+        findings.push(l4(
+            trace_path,
+            1,
+            "`STAGE_NAMES` not found (expected `pub const STAGE_NAMES: [&str; N] = [\"…\"]`)",
+        ));
+        return;
+    }
+    for (stage, line) in &stages {
+        let expected = format!("multipub_broker_stage_{stage}_ms");
+        if !catalog.entries.iter().any(|(_, value, _)| *value == expected) {
+            findings.push(l4(
+                trace_path,
+                *line,
+                &format!("trace stage `{stage}` has no `{expected}` histogram in the catalog"),
+            ));
+        }
+    }
+}
+
+/// Extracts the string elements of the `STAGE_NAMES` array literal:
+/// every `Kind::Str` token between the `=` after `STAGE_NAMES` and the
+/// closing `;`. Scanning starts at the `=` so the `;` inside the
+/// `[&str; N]` type annotation does not end the item early.
+fn parse_stage_names(tokens: &[Token]) -> Vec<(String, u32)> {
+    let mut stages = Vec::new();
+    let Some(start) = tokens.iter().position(|t| t.is_ident("STAGE_NAMES")) else {
+        return stages;
+    };
+    let Some(eq) = tokens.iter().skip(start).position(|t| t.is_punct(b'=')) else {
+        return stages;
+    };
+    for token in tokens.iter().skip(start + eq + 1) {
+        if token.is_punct(b';') {
+            break;
+        }
+        if token.kind == Kind::Str {
+            stages.push((token.text.clone(), token.line));
+        }
+    }
+    stages
+}
+
 /// Cross-checks the README metrics documentation against the catalog, in
 /// both directions.
 pub fn check_readme(
@@ -290,6 +345,39 @@ pub const B: &str = "multipub_x_y_total";
     fn event_macro_ignored() {
         let source = r#"fn f() { multipub_obs::event!(Info, "broker", msg = "x"); }"#;
         assert!(run_file(source).is_empty());
+    }
+
+    const STAGE_CATALOG_SRC: &str = r#"
+pub const BROKER_STAGE_ADMISSION_MS: &str = "multipub_broker_stage_admission_ms";
+pub const BROKER_STAGE_MATCH_MS: &str = "multipub_broker_stage_match_ms";
+"#;
+
+    #[test]
+    fn stage_names_all_covered_ok() {
+        let mut findings = Vec::new();
+        let cat = parse_catalog("metrics.rs", &lex(STAGE_CATALOG_SRC), &mut findings);
+        let trace = r#"pub const STAGE_NAMES: [&str; 2] = ["admission", "match"];"#;
+        check_stage_metrics("trace.rs", &lex(trace).tokens, &cat, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_stage_metric_flagged() {
+        let mut findings = Vec::new();
+        let cat = parse_catalog("metrics.rs", &lex(STAGE_CATALOG_SRC), &mut findings);
+        let trace = r#"pub const STAGE_NAMES: [&str; 3] = ["admission", "match", "teleport"];"#;
+        check_stage_metrics("trace.rs", &lex(trace).tokens, &cat, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("multipub_broker_stage_teleport_ms"));
+    }
+
+    #[test]
+    fn absent_stage_names_flagged() {
+        let mut findings = Vec::new();
+        let cat = parse_catalog("metrics.rs", &lex(STAGE_CATALOG_SRC), &mut findings);
+        check_stage_metrics("trace.rs", &lex("pub fn unrelated() {}").tokens, &cat, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("STAGE_NAMES"));
     }
 
     #[test]

@@ -118,6 +118,7 @@ fn lint() -> ExitCode {
     let mut warnings: Vec<String> = Vec::new();
     let mut frame_tokens = None;
     let mut codec_tokens = None;
+    let mut trace_tokens = None;
     let mut catalog_lexed = None;
     let mut analyzed = Vec::new();
 
@@ -133,6 +134,9 @@ fn lint() -> ExitCode {
         }
         if name.ends_with("broker/src/codec.rs") {
             codec_tokens = Some((name.clone(), lexed.tokens.clone()));
+        }
+        if name.ends_with("obs/src/trace.rs") {
+            trace_tokens = Some((name.clone(), lexed.tokens.clone()));
         }
         if name.ends_with("obs/src/metrics.rs") {
             catalog_lexed = Some((name.clone(), lexer::lex(&source)));
@@ -225,6 +229,13 @@ fn lint() -> ExitCode {
     }
 
     if let Some(catalog) = &catalog {
+        // Trace stages must each have their per-stage latency histogram.
+        match &trace_tokens {
+            Some((trace_path, tokens)) => {
+                l4_metrics::check_stage_metrics(trace_path, tokens, catalog, &mut findings);
+            }
+            None => warnings.push("obs/src/trace.rs not found; skipping stage check".to_string()),
+        }
         let readme_path = root.join("README.md");
         match std::fs::read_to_string(&readme_path) {
             Ok(readme) => l4_metrics::check_readme("README.md", &readme, catalog, &mut findings),
