@@ -9,6 +9,13 @@
 //!    (per-subscriber encode, frame-at-a-time writes), skipped with
 //!    `--skip-reference true`.
 //!
+//! With `--qos1 true` a third scenario (**sharded-qos1**) re-runs the
+//! sharded configuration at QoS 1 — sequenced publishes earning
+//! `PubAck`s, at-least-once subscriptions answering `DeliverAck`s — so
+//! the report tracks the ack-path overhead next to the fire-and-forget
+//! numbers. It is opt-in: the CI bench-smoke job pins the two-scenario
+//! layout.
+//!
 //! Emits `BENCH_throughput.json` (schema
 //! `multipub-bench-throughput/v1`) with both results and the speedup,
 //! and can enforce CI floors with `--assert-floor` (sharded msgs/sec)
@@ -28,7 +35,7 @@ const USAGE: &str = "usage: bench-live [--fanout <n>] [--publishers <n>] [--payl
                      [--duration <secs>] [--shards <n>] [--out <path>] \
                      [--assert-floor <msgs/sec>] [--assert-speedup <ratio>] \
                      [--skip-reference <bool>] [--trace-sample <rate>] \
-                     [--trace-out <path>]";
+                     [--trace-out <path>] [--qos1 <bool>]";
 
 fn main() -> ExitCode {
     match run() {
@@ -54,6 +61,7 @@ fn run() -> Result<(), String> {
     let skip_reference: bool = args.get_parsed_or("skip-reference", false)?;
     let trace_sample: f64 = args.get_parsed_or("trace-sample", 0.0)?;
     let trace_out = args.get("trace-out").map(str::to_string);
+    let qos1: bool = args.get_parsed_or("qos1", false)?;
 
     let duration = Duration::from_secs_f64(duration_secs.max(0.5));
     let runtime = tokio::runtime::Builder::new_multi_thread()
@@ -69,6 +77,7 @@ fn run() -> Result<(), String> {
         payload_bytes,
         duration,
         trace_sample,
+        qos1: false,
     };
     eprintln!(
         "bench-live: sharded run ({} shards, 1→{} fan-out, {}s, trace {:.3})…",
@@ -98,7 +107,7 @@ fn run() -> Result<(), String> {
     let mut comparison = None;
     if !skip_reference {
         let reference_cfg =
-            ScenarioConfig { name: "single-shard".to_string(), shards: 1, ..sharded_cfg };
+            ScenarioConfig { name: "single-shard".to_string(), shards: 1, ..sharded_cfg.clone() };
         eprintln!("bench-live: single-shard reference run…");
         let reference = runtime.block_on(run_scenario(&reference_cfg))?;
         eprintln!(
@@ -115,6 +124,21 @@ fn run() -> Result<(), String> {
             },
         });
         scenarios.push(reference);
+    }
+
+    if qos1 {
+        let qos1_cfg =
+            ScenarioConfig { name: "sharded-qos1".to_string(), qos1: true, ..sharded_cfg.clone() };
+        eprintln!("bench-live: sharded QoS 1 run (ack path on every message)…");
+        let qos1_result = runtime.block_on(run_scenario(&qos1_cfg))?;
+        eprintln!(
+            "bench-live: sharded-qos1 {:.0} msgs/sec ({} acked, p50 {:.2} ms, p99 {:.2} ms)",
+            qos1_result.msgs_per_sec,
+            qos1_result.acked,
+            qos1_result.trip_p50_ms,
+            qos1_result.trip_p99_ms
+        );
+        scenarios.push(qos1_result);
     }
 
     let report = BenchReport {

@@ -17,7 +17,8 @@ use std::time::Duration;
 use tokio::time::Instant;
 
 const USAGE: &str = "usage: bench-pub --addr <host:port> [--topic <name>] \
-                     [--publisher-id <u64>] [--payload <bytes>] [--duration <secs>]";
+                     [--publisher-id <u64>] [--payload <bytes>] [--duration <secs>] \
+                     [--qos1 <bool>]";
 
 fn main() -> ExitCode {
     match run() {
@@ -41,11 +42,12 @@ fn run() -> Result<String, String> {
     let publisher_id: u64 = args.get_parsed_or("publisher-id", 1)?;
     let payload_bytes: usize = args.get_parsed_or("payload", 100)?;
     let duration_secs: f64 = args.get_parsed_or("duration", 10.0)?;
+    let qos1: bool = args.get_parsed_or("qos1", false)?;
     let runtime = tokio::runtime::Builder::new_multi_thread()
         .enable_all()
         .build()
         .map_err(|e| format!("tokio runtime: {e}"))?;
-    runtime.block_on(publish_window(addr, publisher_id, topic, payload_bytes, duration_secs))
+    runtime.block_on(publish_window(addr, publisher_id, topic, payload_bytes, duration_secs, qos1))
 }
 
 async fn publish_window(
@@ -54,10 +56,21 @@ async fn publish_window(
     topic: String,
     payload_bytes: usize,
     duration_secs: f64,
+    qos1: bool,
 ) -> Result<String, String> {
     let busy = Arc::new(AtomicU64::new(0));
-    let mut publisher =
-        RawPublisher::connect(addr, publisher_id, topic.clone(), Arc::clone(&busy)).await?;
+    let acked = Arc::new(AtomicU64::new(0));
+    let mut publisher = RawPublisher::connect(
+        addr,
+        publisher_id,
+        topic.clone(),
+        Arc::clone(&busy),
+        Arc::clone(&acked),
+    )
+    .await?;
+    if qos1 {
+        publisher = publisher.with_qos1();
+    }
     let payload = Bytes::from(vec![0x42u8; payload_bytes]);
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(duration_secs.max(0.1));
@@ -70,9 +83,10 @@ async fn publish_window(
     let elapsed = started.elapsed().as_secs_f64();
     Ok(format!(
         "{{\"role\":\"bench-pub\",\"topic\":{topic:?},\"published\":{published},\
-         \"busy_nacks\":{busy},\"elapsed_secs\":{elapsed:.3},\"publish_per_sec\":{rate:.1},\
-         \"started_micros\":{started_micros}}}",
+         \"busy_nacks\":{busy},\"acked\":{acked},\"elapsed_secs\":{elapsed:.3},\
+         \"publish_per_sec\":{rate:.1},\"started_micros\":{started_micros}}}",
         busy = busy.load(Ordering::Relaxed),
+        acked = acked.load(Ordering::Relaxed),
         rate = published as f64 / elapsed.max(f64::EPSILON),
     ))
 }

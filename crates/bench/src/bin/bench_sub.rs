@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: bench-sub --addr <host:port> [--topic <name>] \
-                     [--count <subscribers>] [--duration <secs>]";
+                     [--count <subscribers>] [--duration <secs>] [--qos1 <bool>]";
 
 fn main() -> ExitCode {
     match run() {
@@ -39,11 +39,12 @@ fn run() -> Result<String, String> {
     let topic = args.get("topic").unwrap_or("bench/throughput").to_string();
     let count: usize = args.get_parsed_or("count", 1)?;
     let duration_secs: f64 = args.get_parsed_or("duration", 10.0)?;
+    let qos1: bool = args.get_parsed_or("qos1", false)?;
     let runtime = tokio::runtime::Builder::new_multi_thread()
         .enable_all()
         .build()
         .map_err(|e| format!("tokio runtime: {e}"))?;
-    runtime.block_on(subscribe_window(addr, topic, count.max(1), duration_secs))
+    runtime.block_on(subscribe_window(addr, topic, count.max(1), duration_secs, qos1))
 }
 
 async fn subscribe_window(
@@ -51,6 +52,7 @@ async fn subscribe_window(
     topic: String,
     count: usize,
     duration_secs: f64,
+    qos1: bool,
 ) -> Result<String, String> {
     let mut stats: Vec<Arc<SubscriberStats>> = Vec::with_capacity(count);
     let mut tasks = Vec::with_capacity(count);
@@ -62,6 +64,7 @@ async fn subscribe_window(
             10_000 + i as u64,
             topic.clone(),
             i < TRIP_SAMPLERS,
+            qos1,
             sub_stats,
         )));
     }

@@ -86,6 +86,9 @@ impl SubscriberStats {
 /// Connects a raw subscriber: `Connect` + `Subscribe`, then counts
 /// `Deliver` frames into `stats` until the broker closes the connection
 /// (or the task is aborted). Never returns `Ok` while the link is up.
+/// With `qos1` the subscription is at-least-once and every QoS 1
+/// delivery is answered with a `DeliverAck`, exercising the broker's
+/// unacked-buffer bookkeeping on the hot path.
 ///
 /// # Errors
 ///
@@ -95,6 +98,7 @@ pub async fn raw_subscriber(
     client_id: u64,
     topic: String,
     record_trips: bool,
+    qos1: bool,
     stats: Arc<SubscriberStats>,
 ) -> Result<(), String> {
     let stream = TcpStream::connect(addr).await.map_err(|e| format!("connect {addr}: {e}"))?;
@@ -105,7 +109,7 @@ pub async fn raw_subscriber(
         .write_all(&encode_to_bytes(&connect))
         .await
         .map_err(|e| format!("handshake write: {e}"))?;
-    let subscribe = Frame::Subscribe { topic, filter: String::new() };
+    let subscribe = Frame::Subscribe { topic, filter: String::new(), qos: u8::from(qos1) };
     write_half
         .write_all(&encode_to_bytes(&subscribe))
         .await
@@ -113,8 +117,17 @@ pub async fn raw_subscriber(
     let mut buf = BytesMut::new();
     loop {
         match read_frame(&mut read_half, &mut buf).await {
-            Ok(Some(Frame::Deliver { publish_micros, trace, .. })) => {
+            Ok(Some(Frame::Deliver {
+                topic, publisher, publish_micros, trace, qos, seq, ..
+            })) => {
                 stats.record(record_trips, publish_micros);
+                if qos == 1 {
+                    let ack = Frame::DeliverAck { topic, publisher, seq };
+                    write_half
+                        .write_all(&encode_to_bytes(&ack))
+                        .await
+                        .map_err(|e| format!("deliver-ack write: {e}"))?;
+                }
                 // Final trace stage, mirroring the client library: socket
                 // write → receipt in this harness subscriber.
                 if let Some(ctx) = trace {
@@ -146,12 +159,15 @@ pub struct RawPublisher {
     topic: String,
     publisher_id: u64,
     sampler: Sampler,
+    qos: u8,
+    next_seq: u64,
 }
 
 impl RawPublisher {
     /// Connects and handshakes as a publisher. The read half is drained
     /// in a background task (`ConnectAck`, config replays, `Busy`
-    /// NACKs), counting `Busy` frames into `busy`.
+    /// NACKs), counting `Busy` frames into `busy` and `PubAck` frames
+    /// into `acked`.
     ///
     /// # Errors
     ///
@@ -161,6 +177,7 @@ impl RawPublisher {
         publisher_id: u64,
         topic: String,
         busy: Arc<AtomicU64>,
+        acked: Arc<AtomicU64>,
     ) -> Result<RawPublisher, String> {
         let stream = TcpStream::connect(addr).await.map_err(|e| format!("connect {addr}: {e}"))?;
         stream.set_nodelay(true).ok();
@@ -174,12 +191,25 @@ impl RawPublisher {
         tokio::spawn(async move {
             let mut buf = BytesMut::new();
             while let Ok(Some(frame)) = read_frame(&mut read_half, &mut buf).await {
-                if matches!(frame, Frame::Busy { .. }) {
-                    busy.fetch_add(1, Ordering::Relaxed);
+                match frame {
+                    Frame::Busy { .. } => {
+                        busy.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Frame::PubAck { .. } => {
+                        acked.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
                 }
             }
         });
-        Ok(RawPublisher { write_half, topic, publisher_id, sampler: Sampler::new(0.0) })
+        Ok(RawPublisher {
+            write_half,
+            topic,
+            publisher_id,
+            sampler: Sampler::new(0.0),
+            qos: 0,
+            next_seq: 1,
+        })
     }
 
     /// Enables end-to-end trace sampling at `rate` (fraction of
@@ -190,6 +220,17 @@ impl RawPublisher {
         self
     }
 
+    /// Switches this publisher to QoS 1: every publication carries a
+    /// monotonic sequence number and the broker answers with `PubAck`.
+    /// The harness publishes flat-out without awaiting acks (it measures
+    /// the broker's ack-path overhead, not an in-flight window), so
+    /// `PubAck`s are only counted by the reader task.
+    #[must_use]
+    pub fn with_qos1(mut self) -> Self {
+        self.qos = 1;
+        self
+    }
+
     /// Publishes one message (direct mode, fresh `publish_micros`).
     ///
     /// # Errors
@@ -197,6 +238,13 @@ impl RawPublisher {
     /// Returns a message when the socket write fails.
     pub async fn publish(&mut self, payload: &Bytes) -> Result<(), String> {
         let trace = self.sampler.should_sample().then(|| TraceContext::new(next_trace_id()));
+        let seq = if self.qos == 1 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            seq
+        } else {
+            0
+        };
         let frame = Frame::Publish {
             topic: self.topic.clone(),
             publisher: self.publisher_id,
@@ -205,6 +253,9 @@ impl RawPublisher {
             headers: String::new(),
             payload: payload.clone(),
             trace,
+            qos: self.qos,
+            seq,
+            retain: false,
         };
         self.write_half
             .write_all(&encode_to_bytes(&frame))
@@ -244,6 +295,11 @@ pub struct ScenarioConfig {
     /// Fraction of publications to trace end to end (`0.0` disables
     /// tracing entirely — the zero-overhead default).
     pub trace_sample: f64,
+    /// `true` runs the scenario at QoS 1: sequenced publishes with
+    /// `PubAck`s, at-least-once subscriptions with `DeliverAck`s. The
+    /// measured throughput then includes the dedup-window and
+    /// unacked-buffer bookkeeping on every message.
+    pub qos1: bool,
 }
 
 /// One scenario's measured outcome, as serialized into
@@ -266,6 +322,11 @@ pub struct ScenarioResult {
     pub published: u64,
     /// `Busy` NACKs observed by publishers.
     pub busy_nacks: u64,
+    /// `PubAck` frames received by publishers (0 on QoS 0 scenarios).
+    /// Additive field: absent in pre-QoS reports, so deserialization
+    /// defaults it.
+    #[serde(default)]
+    pub acked: u64,
     /// `Deliver` frames received across all subscribers.
     pub delivered: u64,
     /// Aggregate delivery throughput: `delivered / duration_secs`.
@@ -419,18 +480,28 @@ pub async fn run_scenario_with_spans(
             1_000 + i as u64,
             topic.clone(),
             i < TRIP_SAMPLERS,
+            cfg.qos1,
             sub_stats,
         )));
     }
 
     let busy = Arc::new(AtomicU64::new(0));
+    let acked = Arc::new(AtomicU64::new(0));
     let mut pubs = Vec::with_capacity(publishers);
     for i in 0..publishers {
-        pubs.push(
-            RawPublisher::connect(addr, 1 + i as u64, topic.clone(), Arc::clone(&busy))
-                .await?
-                .with_trace_sample(cfg.trace_sample),
-        );
+        let mut raw = RawPublisher::connect(
+            addr,
+            1 + i as u64,
+            topic.clone(),
+            Arc::clone(&busy),
+            Arc::clone(&acked),
+        )
+        .await?
+        .with_trace_sample(cfg.trace_sample);
+        if cfg.qos1 {
+            raw = raw.with_qos1();
+        }
+        pubs.push(raw);
     }
 
     // Warm-up: one frame must reach every subscriber before the clock
@@ -521,6 +592,7 @@ pub async fn run_scenario_with_spans(
         duration_secs: elapsed,
         published: published.load(Ordering::Relaxed),
         busy_nacks: busy.load(Ordering::Relaxed),
+        acked: acked.load(Ordering::Relaxed),
         delivered: delivered_total,
         msgs_per_sec: if elapsed > 0.0 { delivered_total as f64 / elapsed } else { 0.0 },
         trip_p50_ms: percentile_ms(&trips, 0.50),
@@ -577,6 +649,7 @@ mod tests {
                 duration_secs: 10.0,
                 published: 1_500,
                 busy_nacks: 0,
+                acked: 0,
                 delivered: 1_500_000,
                 msgs_per_sec: 150_000.0,
                 trip_p50_ms: 2.5,
@@ -617,6 +690,7 @@ mod tests {
         }"#;
         let back: ScenarioResult = serde_json::from_str(json).expect("parses");
         assert!(back.stages.is_empty());
+        assert_eq!(back.acked, 0, "pre-QoS reports default the ack count");
     }
 
     #[test]
@@ -649,13 +723,34 @@ mod tests {
             payload_bytes: 32,
             duration: Duration::from_millis(300),
             trace_sample: 0.0,
+            qos1: false,
         };
         let result = run_scenario(&cfg).await.expect("scenario runs");
         assert_eq!(result.fanout, 3);
         assert!(result.published > 0, "publisher made progress");
         assert!(result.delivered > 0, "subscribers saw deliveries");
         assert!(result.msgs_per_sec > 0.0);
+        assert_eq!(result.acked, 0, "QoS 0 publishes are never acked");
         assert!(result.stages.is_empty(), "tracing off leaves no stage breakdown");
+    }
+
+    #[tokio::test]
+    async fn qos1_live_scenario_acks_every_publish() {
+        let _guard = LIVE_SCENARIO_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cfg = ScenarioConfig {
+            name: "qos1-smoke".to_string(),
+            shards: 2,
+            fanout: 2,
+            publishers: 1,
+            payload_bytes: 32,
+            duration: Duration::from_millis(300),
+            trace_sample: 0.0,
+            qos1: true,
+        };
+        let result = run_scenario(&cfg).await.expect("scenario runs");
+        assert!(result.published > 0, "publisher made progress");
+        assert!(result.delivered > 0, "subscribers saw deliveries");
+        assert!(result.acked > 0, "QoS 1 publishes earn PubAcks");
     }
 
     #[tokio::test]
@@ -669,6 +764,7 @@ mod tests {
             payload_bytes: 16,
             duration: Duration::from_millis(300),
             trace_sample: 1.0,
+            qos1: false,
         };
         let (result, spans) = run_scenario_with_spans(&cfg).await.expect("scenario runs");
         assert!(result.delivered > 0);

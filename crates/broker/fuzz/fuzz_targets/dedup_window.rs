@@ -1,0 +1,31 @@
+//! Fuzz the QoS 1 per-publisher dedup window.
+//!
+//! The window is a ring bitmap fed straight from wire-supplied sequence
+//! numbers, so it must tolerate any `u64` — huge jumps, wrap-around
+//! distances, repeats — without panicking, and it must uphold the two
+//! invariants the at-least-once path leans on: sequence 0 (unsequenced
+//! QoS 0 traffic) is always fresh, and an immediate retransmit of any
+//! other sequence is always reported as a duplicate.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use multipub_broker::qos::DedupWindow;
+
+fuzz_target!(|data: &[u8]| {
+    let Some((&first, rest)) = data.split_first() else {
+        return;
+    };
+    let mut dedup = DedupWindow::new(usize::from(first).max(1));
+    for chunk in rest.chunks(8) {
+        let mut bytes = [0u8; 8];
+        bytes[..chunk.len()].copy_from_slice(chunk);
+        let seq = u64::from_le_bytes(bytes);
+        let fresh = dedup.observe(seq);
+        if seq == 0 {
+            assert!(fresh, "sequence 0 is unsequenced and must always be fresh");
+        } else {
+            assert!(!dedup.observe(seq), "immediate retransmit of {seq} was not deduplicated");
+        }
+    }
+});

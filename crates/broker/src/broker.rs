@@ -21,6 +21,7 @@ use crate::conn::{read_frame, BrokerError};
 use crate::delay::{DelayTable, Outbound};
 use crate::flow::{FlowConfig, GlobalBudget, SlowConsumerPolicy, TokenBucket};
 use crate::frame::{Frame, Role, TraceContext, WireMode};
+use crate::qos::{QosState, RetainedMessage, UnackedDelivery, DEFAULT_DEDUP_WINDOW};
 use crate::shard::{resolve_shard_count, ShardedTopics};
 use bytes::{Bytes, BytesMut};
 use multipub_core::ids::RegionId;
@@ -94,6 +95,9 @@ struct SubEntry {
     /// subscriptions). `Arc`ed so snapshotting the fan-out set bumps a
     /// refcount instead of deep-copying a predicate tree.
     filter: Arc<Predicate>,
+    /// Requested delivery QoS: `1` subscriptions get their QoS 1
+    /// deliveries tracked until acked and redelivered on reconnect.
+    qos: u8,
     outbound: Outbound,
 }
 
@@ -152,6 +156,9 @@ struct Shared {
     /// Per-publisher admission rate in publications/second (`None`
     /// disables the token bucket).
     publish_rate: Option<f64>,
+    /// At-least-once state: dedup windows, retained messages and
+    /// unacked-delivery buffers (DESIGN.md §13).
+    qos: QosState,
 }
 
 impl Shared {
@@ -180,6 +187,8 @@ pub struct BrokerBuilder {
     inflight_budget: Option<u64>,
     publish_rate: Option<f64>,
     shards: Option<usize>,
+    dedup_window: usize,
+    retain: bool,
 }
 
 impl BrokerBuilder {
@@ -271,6 +280,29 @@ impl BrokerBuilder {
         self
     }
 
+    /// Sizes the per-publisher dedup window and the per-(client, topic)
+    /// unacked-delivery bound for QoS 1 traffic (default
+    /// [`DEFAULT_DEDUP_WINDOW`]). A publisher whose unacked backlog
+    /// exceeds the window can have old retransmits misclassified as
+    /// duplicates, so size it above the largest expected in-flight set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is zero.
+    pub fn dedup_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "dedup window must be at least 1");
+        self.dedup_window = window;
+        self
+    }
+
+    /// Enables the retained-message store: a publish with the retain
+    /// flag becomes the topic's last value and is replayed to every new
+    /// subscriber (an empty retained payload clears it). Off by default.
+    pub fn retain(mut self, enabled: bool) -> Self {
+        self.retain = enabled;
+        self
+    }
+
     /// Binds the listener and spawns the broker's accept loop on the
     /// current tokio runtime.
     ///
@@ -314,6 +346,7 @@ impl BrokerBuilder {
             // unreachable before the process dies of something else.
             budget: Arc::new(GlobalBudget::new(self.inflight_budget.unwrap_or(u64::MAX))),
             publish_rate: self.publish_rate,
+            qos: QosState::new(self.dedup_window, self.retain),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_task = tokio::spawn(async move {
@@ -362,6 +395,8 @@ impl Broker {
             inflight_budget: None,
             publish_rate: None,
             shards: None,
+            dedup_window: DEFAULT_DEDUP_WINDOW,
+            retain: false,
         }
     }
 
@@ -427,6 +462,18 @@ impl Broker {
     /// the low watermark).
     pub fn is_overloaded(&self) -> bool {
         self.shared.budget.is_overloaded()
+    }
+
+    /// Total QoS 1 deliveries currently awaiting a subscriber ack
+    /// across every `(client, topic)` buffer.
+    pub fn unacked_depth(&self) -> i64 {
+        self.shared.qos.unacked_depth()
+    }
+
+    /// The topic's retained last-value payload, when retention is
+    /// enabled and a publish with the retain flag has been stored.
+    pub fn retained_payload(&self, topic: &str) -> Option<Bytes> {
+        self.shared.qos.retained(topic).map(|msg| msg.payload)
     }
 
     /// Shuts the broker down: stops accepting **and severs established
@@ -571,6 +618,7 @@ fn record_publish(shared: &Shared, topic: &str, publisher: u64, payload_len: usi
     entry.bytes += payload_len as u64;
 }
 
+#[allow(clippy::too_many_arguments)]
 async fn deliver_locally(
     shared: &Shared,
     topic: &str,
@@ -579,6 +627,8 @@ async fn deliver_locally(
     headers_json: &str,
     payload: &Bytes,
     trace: Option<TraceContext>,
+    qos: u8,
+    seq: u64,
 ) {
     // Count the publish against its shard before the subscriber check:
     // the per-shard counters measure routing pressure, not fan-out.
@@ -627,11 +677,34 @@ async fn deliver_locally(
         headers: headers_json.to_string(),
         payload: payload.clone(),
         trace,
+        qos,
+        seq,
+        retained: false,
     };
-    let targets = recipients
+    let targets: Vec<SubEntry> = recipients
         .into_iter()
         .filter(|(_, entry)| entry.filter.matches(&headers))
-        .map(|(_, entry)| entry.outbound);
+        .map(|(_, entry)| entry)
+        .collect();
+    // A QoS 1 delivery to a QoS 1 subscription is tracked **before** the
+    // queue push: if the push fails or a slow-consumer policy evicts the
+    // subscriber, the entry survives for redelivery on reconnect —
+    // eviction means redelivery, not loss.
+    let track = |entry: &SubEntry| {
+        if qos == 1 && entry.qos == 1 {
+            shared.qos.track_unacked(
+                entry.client_id,
+                topic,
+                UnackedDelivery {
+                    publisher,
+                    seq,
+                    publish_micros,
+                    headers: headers_json.to_string(),
+                    payload: payload.clone(),
+                },
+            );
+        }
+    };
     let mut delivered = 0u64;
     if shared.zero_copy {
         // Zero-copy fan-out: encode once, hand every queue a refcounted
@@ -639,8 +712,9 @@ async fn deliver_locally(
         // (each slice reports the full encoded length).
         let encoded = encode_to_bytes(&frame);
         let mut fanout_bytes = 0u64;
-        for outbound in targets {
-            if outbound.send_data_encoded(encoded.clone()).await.queued() {
+        for entry in &targets {
+            track(entry);
+            if entry.outbound.send_data_encoded(encoded.clone()).await.queued() {
                 delivered += 1;
                 fanout_bytes += encoded.len() as u64;
             }
@@ -649,11 +723,16 @@ async fn deliver_locally(
     } else {
         // Reference path (single shard): per-subscriber encode, exactly
         // the seed broker's fan-out cost model.
-        for outbound in targets {
-            if outbound.send_data(&frame).await.queued() {
+        for entry in &targets {
+            track(entry);
+            if entry.outbound.send_data(&frame).await.queued() {
                 delivered += 1;
             }
         }
+    }
+    if qos == 1 {
+        multipub_obs::gauge!(multipub_obs::metrics::BROKER_UNACKED_DEPTH)
+            .set(shared.qos.unacked_depth());
     }
     if delivered > 0 {
         multipub_obs::counter!(multipub_obs::metrics::BROKER_DELIVERIES_TOTAL).add(delivered);
@@ -681,6 +760,9 @@ async fn handle_publish_from_client(
     headers: String,
     payload: Bytes,
     trace: Option<TraceContext>,
+    qos: u8,
+    seq: u64,
+    retain: bool,
 ) {
     multipub_obs::counter!(multipub_obs::metrics::BROKER_PUBLISHES_TOTAL).inc();
     if single_target {
@@ -689,7 +771,21 @@ async fn handle_publish_from_client(
         multipub_obs::counter!(multipub_obs::metrics::BROKER_PUBLISH_DIRECT_TOTAL).inc();
     }
     record_publish(shared, &topic, publisher, payload.len());
-    deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload, trace).await;
+    if retain {
+        shared.qos.store_retained(
+            &topic,
+            RetainedMessage {
+                publisher,
+                seq,
+                qos,
+                publish_micros,
+                headers: headers.clone(),
+                payload: payload.clone(),
+            },
+        );
+    }
+    deliver_locally(shared, &topic, publisher, publish_micros, &headers, &payload, trace, qos, seq)
+        .await;
 
     // Forward to the topic's other serving regions when (a) the publisher
     // sent to us alone (routed delivery, or a stale routed view during the
@@ -714,6 +810,9 @@ async fn handle_publish_from_client(
         headers,
         payload,
         trace,
+        qos,
+        seq,
+        retain,
     };
     // Zero-copy mode shares one encoding across all peer links too;
     // lazily, so a single-region mask never pays for an unused encode.
@@ -868,7 +967,7 @@ async fn connection_loop(
 ) -> Result<(), BrokerError> {
     while let Some(frame) = read_frame_idle(shared, read_half, buf).await? {
         match frame {
-            Frame::Subscribe { topic, filter } => {
+            Frame::Subscribe { topic, filter, qos } => {
                 // An unparseable filter falls back to match-all: the
                 // client library validates before sending, so this only
                 // triggers for foreign clients — better to over-deliver
@@ -878,12 +977,77 @@ async fn connection_loop(
                 } else {
                     Predicate::parse(&filter).unwrap_or(Predicate::True)
                 };
+                let predicate = Arc::new(predicate);
                 multipub_obs::counter!(multipub_obs::metrics::BROKER_SUBSCRIBES_TOTAL).inc();
                 shared.shards.insert(
                     &topic,
                     conn_id,
-                    SubEntry { client_id, filter: Arc::new(predicate), outbound: outbound.clone() },
+                    SubEntry {
+                        client_id,
+                        filter: Arc::clone(&predicate),
+                        qos,
+                        outbound: outbound.clone(),
+                    },
                 );
+                // Retained last value first, so a late subscriber's
+                // snapshot precedes any live deliveries on this
+                // subscription (market-data pattern, DESIGN.md §13).
+                if let Some(msg) = shared.qos.retained(&topic) {
+                    let matches = if *predicate == Predicate::True {
+                        true
+                    } else {
+                        let headers = if msg.headers.is_empty() {
+                            Headers::new()
+                        } else {
+                            Headers::from_json(&msg.headers).unwrap_or_default()
+                        };
+                        predicate.matches(&headers)
+                    };
+                    if matches {
+                        let replay = Frame::Deliver {
+                            topic: topic.clone(),
+                            publisher: msg.publisher,
+                            publish_micros: msg.publish_micros,
+                            headers: msg.headers,
+                            payload: msg.payload,
+                            trace: None,
+                            qos: msg.qos,
+                            seq: msg.seq,
+                            retained: true,
+                        };
+                        if outbound.send_data(&replay).await.queued() {
+                            multipub_obs::counter!(
+                                multipub_obs::metrics::BROKER_RETAINED_REPLAYS_TOTAL
+                            )
+                            .inc();
+                        }
+                    }
+                }
+                // A QoS 1 (re)subscribe replays every delivery this
+                // client never acked — a slow-consumer eviction or a
+                // dropped connection means redelivery, not loss. Entries
+                // stay tracked until the subscriber's DeliverAck.
+                if qos == 1 {
+                    for unacked in shared.qos.unacked_snapshot(client_id, &topic) {
+                        let redelivery = Frame::Deliver {
+                            topic: topic.clone(),
+                            publisher: unacked.publisher,
+                            publish_micros: unacked.publish_micros,
+                            headers: unacked.headers,
+                            payload: unacked.payload,
+                            trace: None,
+                            qos: 1,
+                            seq: unacked.seq,
+                            retained: false,
+                        };
+                        if outbound.send_data(&redelivery).await.queued() {
+                            multipub_obs::counter!(
+                                multipub_obs::metrics::BROKER_REDELIVERIES_TOTAL
+                            )
+                            .inc();
+                        }
+                    }
+                }
             }
             Frame::Unsubscribe { topic } => {
                 shared.shards.remove(&topic, conn_id);
@@ -896,6 +1060,9 @@ async fn connection_loop(
                 headers,
                 payload,
                 trace,
+                qos,
+                seq,
+                retain,
             } => {
                 // Admission control (DESIGN.md §10): shed load with an
                 // explicit NACK instead of queueing into an overloaded
@@ -923,7 +1090,17 @@ async fn connection_loop(
                         topic = topic,
                         retry_after_ms = retry_after_ms,
                     );
-                    outbound.send(&Frame::Busy { topic, retry_after_ms });
+                    outbound.send(&Frame::Busy { topic, retry_after_ms, seq });
+                    continue;
+                }
+                // Dedup runs **after** admission so a Busy-shed publish
+                // is never recorded as seen (its retransmit must fan
+                // out, not be swallowed as a duplicate). A retransmit of
+                // an already-accepted QoS 1 publish is re-acked without
+                // re-fanning out — retransmits are idempotent.
+                if qos == 1 && !shared.qos.observe(publisher, seq) {
+                    multipub_obs::counter!(multipub_obs::metrics::BROKER_DEDUP_HITS_TOTAL).inc();
+                    outbound.send(&Frame::PubAck { topic, seq });
                     continue;
                 }
                 // Admission passed: stamp the `admission` stage on
@@ -946,6 +1123,7 @@ async fn connection_loop(
                     }
                     ctx
                 });
+                let ack_topic = if qos == 1 { Some(topic.clone()) } else { None };
                 handle_publish_from_client(
                     shared,
                     topic,
@@ -955,13 +1133,53 @@ async fn connection_loop(
                     headers,
                     payload,
                     trace,
+                    qos,
+                    seq,
+                    retain,
                 )
                 .await;
+                // Ack after the local fan-out and peer forwards have
+                // been queued: the publisher stops retransmitting `seq`.
+                // Under direct delivery every serving region acks; the
+                // first PubAck clears the entry (at-least-once).
+                if let Some(topic) = ack_topic {
+                    outbound.send(&Frame::PubAck { topic, seq });
+                }
             }
             Frame::Forward {
-                topic, publisher, publish_micros, headers, payload, trace, ..
+                topic,
+                publisher,
+                publish_micros,
+                headers,
+                payload,
+                trace,
+                qos,
+                seq,
+                retain,
+                ..
             } => {
                 // Second hop of routed delivery: local fan-out only.
+                // Dedup is keyed on the **origin publisher**, so a
+                // duplicate arriving over a different mesh path (or a
+                // retransmitted first hop re-forwarded by its ingress
+                // region) cannot double-deliver.
+                if qos == 1 && !shared.qos.observe(publisher, seq) {
+                    multipub_obs::counter!(multipub_obs::metrics::BROKER_DEDUP_HITS_TOTAL).inc();
+                    continue;
+                }
+                if retain {
+                    shared.qos.store_retained(
+                        &topic,
+                        RetainedMessage {
+                            publisher,
+                            seq,
+                            qos,
+                            publish_micros,
+                            headers: headers.clone(),
+                            payload: payload.clone(),
+                        },
+                    );
+                }
                 deliver_locally(
                     shared,
                     &topic,
@@ -970,8 +1188,17 @@ async fn connection_loop(
                     &headers,
                     &payload,
                     trace,
+                    qos,
+                    seq,
                 )
                 .await;
+            }
+            Frame::DeliverAck { topic, publisher, seq } => {
+                // Subscriber acked a QoS 1 delivery: trim it from the
+                // unacked buffer so it is not redelivered on reconnect.
+                shared.qos.ack(client_id, &topic, publisher, seq);
+                multipub_obs::gauge!(multipub_obs::metrics::BROKER_UNACKED_DEPTH)
+                    .set(shared.qos.unacked_depth());
             }
             Frame::StatsRequest => {
                 let report = take_report(shared);
@@ -1013,6 +1240,7 @@ async fn connection_loop(
             | Frame::StatsReport { .. }
             | Frame::StatsSnapshot { .. }
             | Frame::Busy { .. }
+            | Frame::PubAck { .. }
             | Frame::Pong { .. } => {}
         }
     }

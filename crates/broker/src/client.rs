@@ -36,12 +36,13 @@ use crate::conn::{read_frame, BrokerError};
 use crate::delay::{duration_from_ms, Outbound};
 use crate::flow::SlowConsumerPolicy;
 use crate::frame::{Frame, Role, TraceContext, WireMode};
+use crate::qos::{DedupWindow, DEFAULT_DEDUP_WINDOW};
 use crate::session::{Backoff, PendingPublish, PendingQueue, ReconnectPolicy};
 use bytes::{Bytes, BytesMut};
 use multipub_core::ids::RegionId;
 use multipub_filter::{Headers, Predicate};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -80,6 +81,12 @@ pub struct ClientConfig {
     /// [`TraceContext`] on the wire and every hop records per-stage spans
     /// into the process-local trace ring.
     pub trace_sample: f64,
+    /// Topics carried with at-least-once (QoS 1) delivery. Publications
+    /// on these topics are sequenced, acked by the broker and
+    /// retransmitted until acked; subscriptions on them request
+    /// broker-side redelivery buffering. Everything else is
+    /// fire-and-forget (QoS 0).
+    pub qos1_topics: Vec<String>,
 }
 
 impl ClientConfig {
@@ -97,7 +104,14 @@ impl ClientConfig {
             publish_buffer: 1024,
             slow_consumer: None,
             trace_sample: 0.0,
+            qos1_topics: Vec::new(),
         }
+    }
+
+    /// The delivery QoS configured for `topic`: `1` when listed in
+    /// [`ClientConfig::qos1_topics`], else `0`.
+    pub fn qos_for(&self, topic: &str) -> u8 {
+        u8::from(self.qos1_topics.iter().any(|t| t == topic))
     }
 
     fn latency(&self, region: usize) -> f64 {
@@ -130,6 +144,13 @@ pub struct Delivery {
     /// Trace context the delivery arrived with (`None` when the
     /// publication was not sampled).
     pub trace: Option<TraceContext>,
+    /// Delivery QoS the publication was sent with (`1` = at-least-once).
+    pub qos: u8,
+    /// Per-publisher sequence number (`0` for unsequenced QoS 0 traffic).
+    pub seq: u64,
+    /// `true` when this is a retained last-value replay rather than a
+    /// live publication.
+    pub retained: bool,
 }
 
 impl Delivery {
@@ -156,6 +177,12 @@ enum Event {
     /// The broker refused a publication with a [`Frame::Busy`] NACK.
     Busy {
         retry_after_ms: u32,
+        /// Sequence of the refused QoS 1 publication (`0` for QoS 0).
+        seq: u64,
+    },
+    /// The broker acked a QoS 1 publication.
+    PubAck {
+        seq: u64,
     },
 }
 
@@ -291,6 +318,7 @@ impl Links {
         // client's event queue.
         let events_tx = self.events_tx.clone();
         let topic_configs = Arc::clone(&self.topic_configs);
+        let acker = outbound.clone();
         tokio::spawn(async move {
             let mut buf = BytesMut::new();
             loop {
@@ -302,6 +330,9 @@ impl Links {
                         headers,
                         payload,
                         trace,
+                        qos,
+                        seq,
+                        retained,
                     })) => {
                         let headers = if headers.is_empty() {
                             Headers::new()
@@ -328,6 +359,13 @@ impl Links {
                                 });
                             }
                         }
+                        // QoS 1 deliveries are acked on receipt so the
+                        // broker can trim its redelivery buffer;
+                        // duplicates are re-acked too (the ack may have
+                        // been lost with the previous connection).
+                        if qos == 1 {
+                            acker.send(&Frame::DeliverAck { topic: topic.clone(), publisher, seq });
+                        }
                         let delivery = Delivery {
                             topic,
                             publisher,
@@ -336,6 +374,9 @@ impl Links {
                             headers,
                             payload,
                             trace,
+                            qos,
+                            seq,
+                            retained,
                         };
                         if events_tx.send(Event::Delivery(delivery)).await.is_err() {
                             break;
@@ -347,7 +388,7 @@ impl Links {
                             break;
                         }
                     }
-                    Ok(Some(Frame::Busy { topic, retry_after_ms })) => {
+                    Ok(Some(Frame::Busy { topic, retry_after_ms, seq })) => {
                         multipub_obs::counter!(multipub_obs::metrics::CLIENT_BUSY_RECEIVED_TOTAL)
                             .inc();
                         multipub_obs::event!(
@@ -358,7 +399,12 @@ impl Links {
                             topic = topic,
                             retry_after_ms = retry_after_ms,
                         );
-                        if events_tx.send(Event::Busy { retry_after_ms }).await.is_err() {
+                        if events_tx.send(Event::Busy { retry_after_ms, seq }).await.is_err() {
+                            break;
+                        }
+                    }
+                    Ok(Some(Frame::PubAck { seq, .. })) => {
+                        if events_tx.send(Event::PubAck { seq }).await.is_err() {
                             break;
                         }
                     }
@@ -388,6 +434,7 @@ enum Command {
     Subscribe {
         topic: String,
         filter: String,
+        qos: u8,
         ack: tokio::sync::oneshot::Sender<Result<(), BrokerError>>,
     },
     Unsubscribe {
@@ -408,9 +455,9 @@ enum Command {
 pub struct SubscriberClient {
     commands_tx: mpsc::Sender<Command>,
     deliveries_rx: mpsc::Receiver<Delivery>,
-    /// topic → (region currently subscribed at, filter source) — shared
-    /// with the actor.
-    subscriptions: Arc<Mutex<HashMap<String, (u16, String)>>>,
+    /// topic → (region currently subscribed at, filter source, qos) —
+    /// shared with the actor.
+    subscriptions: Arc<Mutex<HashMap<String, (u16, String, u8)>>>,
 }
 
 impl SubscriberClient {
@@ -434,6 +481,7 @@ impl SubscriberClient {
             deliveries_tx,
             subscriptions: Arc::clone(&subscriptions),
             backoffs: HashMap::new(),
+            dedup: HashMap::new(),
         };
         tokio::spawn(actor.run());
         Ok(SubscriberClient { commands_tx, deliveries_rx, subscriptions })
@@ -445,7 +493,19 @@ impl SubscriberClient {
     ///
     /// Returns a connection error if the serving broker is unreachable.
     pub async fn subscribe(&mut self, topic: &str) -> Result<(), BrokerError> {
-        self.send_subscribe(topic, String::new()).await
+        self.send_subscribe(topic, String::new(), 0).await
+    }
+
+    /// Subscribes to `topic` with at-least-once (QoS 1) delivery: the
+    /// broker buffers unacked deliveries and replays them when this
+    /// client resubscribes after a disconnect, and the client filters
+    /// the resulting duplicates by per-publisher sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns a connection error if the serving broker is unreachable.
+    pub async fn subscribe_qos1(&mut self, topic: &str) -> Result<(), BrokerError> {
+        self.send_subscribe(topic, String::new(), 1).await
     }
 
     /// Subscribes to `topic` restricted by a content filter (the
@@ -463,13 +523,18 @@ impl SubscriberClient {
         filter: &str,
     ) -> Result<(), BrokerError> {
         Predicate::parse(filter).map_err(|e| BrokerError::BadFilter { message: e.to_string() })?;
-        self.send_subscribe(topic, filter.to_string()).await
+        self.send_subscribe(topic, filter.to_string(), 0).await
     }
 
-    async fn send_subscribe(&mut self, topic: &str, filter: String) -> Result<(), BrokerError> {
+    async fn send_subscribe(
+        &mut self,
+        topic: &str,
+        filter: String,
+        qos: u8,
+    ) -> Result<(), BrokerError> {
         let (ack, done) = tokio::sync::oneshot::channel();
         self.commands_tx
-            .send(Command::Subscribe { topic: topic.to_string(), filter, ack })
+            .send(Command::Subscribe { topic: topic.to_string(), filter, qos, ack })
             .await
             .map_err(|_| BrokerError::ConnectionClosed)?;
         done.await.map_err(|_| BrokerError::ConnectionClosed)?
@@ -491,7 +556,7 @@ impl SubscriberClient {
 
     /// The region a topic is currently subscribed at, if any.
     pub fn subscribed_region(&self, topic: &str) -> Option<RegionId> {
-        self.subscriptions.lock().get(topic).map(|&(r, _)| RegionId(r as u8))
+        self.subscriptions.lock().get(topic).map(|&(r, _, _)| RegionId(r as u8))
     }
 
     /// Waits for the next delivery.
@@ -510,9 +575,14 @@ struct SubscriberActor {
     events_rx: mpsc::Receiver<Event>,
     commands_rx: mpsc::Receiver<Command>,
     deliveries_tx: mpsc::Sender<Delivery>,
-    subscriptions: Arc<Mutex<HashMap<String, (u16, String)>>>,
+    subscriptions: Arc<Mutex<HashMap<String, (u16, String, u8)>>>,
     /// In-flight reconnect episodes, one per dead region.
     backoffs: HashMap<u16, Backoff>,
+    /// Per-publisher duplicate filter for QoS 1 traffic, mirroring the
+    /// broker's dedup discipline: redeliveries (reconnect replay, mesh
+    /// double-path, broker retransmit) are dropped before they reach
+    /// the application.
+    dedup: HashMap<u64, DedupWindow>,
 }
 
 impl SubscriberActor {
@@ -520,8 +590,8 @@ impl SubscriberActor {
         loop {
             tokio::select! {
                 command = self.commands_rx.recv() => match command {
-                    Some(Command::Subscribe { topic, filter, ack }) => {
-                        let _ = ack.send(self.subscribe(&topic, filter).await);
+                    Some(Command::Subscribe { topic, filter, qos, ack }) => {
+                        let _ = ack.send(self.subscribe(&topic, filter, qos).await);
                     }
                     Some(Command::Unsubscribe { topic, ack }) => {
                         let _ = ack.send(self.unsubscribe(&topic).await);
@@ -530,7 +600,12 @@ impl SubscriberActor {
                 },
                 event = self.events_rx.recv() => match event {
                     Some(Event::Delivery(delivery)) => {
-                        if self.deliveries_tx.send(delivery).await.is_err() {
+                        if self.is_duplicate(&delivery) {
+                            multipub_obs::counter!(
+                                multipub_obs::metrics::CLIENT_DEDUP_HITS_TOTAL
+                            )
+                            .inc();
+                        } else if self.deliveries_tx.send(delivery).await.is_err() {
                             break;
                         }
                     }
@@ -547,18 +622,32 @@ impl SubscriberActor {
                     Some(Event::ReconnectDue { region }) => {
                         self.try_reconnect(region).await;
                     }
-                    // Busy NACKs only concern publishers.
-                    Some(Event::Busy { .. }) => {}
+                    // Busy NACKs and publish acks only concern publishers.
+                    Some(Event::Busy { .. }) | Some(Event::PubAck { .. }) => {}
                     None => break,
                 },
             }
         }
     }
 
+    /// Client-side duplicate filter: QoS 1 deliveries are tracked in a
+    /// per-publisher sequence window; a sequence already observed is a
+    /// redelivery and must not reach the application twice.
+    fn is_duplicate(&mut self, delivery: &Delivery) -> bool {
+        if delivery.qos != 1 || delivery.seq == 0 {
+            return false;
+        }
+        !self
+            .dedup
+            .entry(delivery.publisher)
+            .or_insert_with(|| DedupWindow::new(DEFAULT_DEDUP_WINDOW))
+            .observe(delivery.seq)
+    }
+
     /// Starts a backoff episode for `region` if any subscription is homed
     /// there and no episode is already running.
     fn begin_reconnect(&mut self, region: u16) {
-        let needed = self.subscriptions.lock().values().any(|&(r, _)| r == region);
+        let needed = self.subscriptions.lock().values().any(|&(r, _, _)| r == region);
         if !needed {
             self.backoffs.remove(&region);
             return;
@@ -588,12 +677,12 @@ impl SubscriberActor {
     /// at `region` (the broker lost it with the connection); on failure,
     /// re-arm the next backoff delay until the policy gives up.
     async fn try_reconnect(&mut self, region: u16) {
-        let to_replay: Vec<(String, String)> = self
+        let to_replay: Vec<(String, String, u8)> = self
             .subscriptions
             .lock()
             .iter()
-            .filter(|(_, (r, _))| *r == region)
-            .map(|(topic, (_, filter))| (topic.clone(), filter.clone()))
+            .filter(|(_, (r, _, _))| *r == region)
+            .map(|(topic, (_, filter, qos))| (topic.clone(), filter.clone(), *qos))
             .collect();
         if to_replay.is_empty() {
             // Everything re-steered elsewhere while we were backing off.
@@ -603,8 +692,8 @@ impl SubscriberActor {
         match self.links.connect(region).await {
             Ok(outbound) => {
                 self.backoffs.remove(&region);
-                for (topic, filter) in to_replay {
-                    outbound.send(&Frame::Subscribe { topic, filter });
+                for (topic, filter, qos) in to_replay {
+                    outbound.send(&Frame::Subscribe { topic, filter, qos });
                 }
             }
             Err(_) => {
@@ -626,18 +715,20 @@ impl SubscriberActor {
         }
     }
 
-    async fn subscribe(&mut self, topic: &str, filter: String) -> Result<(), BrokerError> {
+    async fn subscribe(&mut self, topic: &str, filter: String, qos: u8) -> Result<(), BrokerError> {
+        // A topic listed in `qos1_topics` upgrades any plain subscribe.
+        let qos = qos.max(self.links.config.qos_for(topic));
         let config = self.links.config_for(topic);
         let region = self.links.closest_serving(config.mask);
         let outbound = self.links.connect(region).await?;
-        outbound.send(&Frame::Subscribe { topic: topic.to_string(), filter: filter.clone() });
-        self.subscriptions.lock().insert(topic.to_string(), (region, filter));
+        outbound.send(&Frame::Subscribe { topic: topic.to_string(), filter: filter.clone(), qos });
+        self.subscriptions.lock().insert(topic.to_string(), (region, filter, qos));
         Ok(())
     }
 
     async fn unsubscribe(&mut self, topic: &str) -> Result<(), BrokerError> {
         let entry = self.subscriptions.lock().remove(topic);
-        if let Some((region, _)) = entry {
+        if let Some((region, _, _)) = entry {
             let outbound = self.links.connect(region).await?;
             outbound.send(&Frame::Unsubscribe { topic: topic.to_string() });
         }
@@ -645,8 +736,8 @@ impl SubscriberActor {
     }
 
     async fn handle_config_update(&mut self, topic: &str) -> Result<(), BrokerError> {
-        let (current, filter) = match self.subscriptions.lock().get(topic) {
-            Some((region, filter)) => (*region, filter.clone()),
+        let (current, filter, qos) = match self.subscriptions.lock().get(topic) {
+            Some((region, filter, qos)) => (*region, filter.clone(), *qos),
             None => return Ok(()), // not subscribed to this topic
         };
         let config = self.links.config_for(topic);
@@ -655,13 +746,17 @@ impl SubscriberActor {
             return Ok(());
         }
         // Make before break: subscribe at the new region first, carrying
-        // the same content filter.
+        // the same content filter and QoS.
         let new_outbound = self.links.connect(target).await?;
-        new_outbound.send(&Frame::Subscribe { topic: topic.to_string(), filter: filter.clone() });
+        new_outbound.send(&Frame::Subscribe {
+            topic: topic.to_string(),
+            filter: filter.clone(),
+            qos,
+        });
         if let Ok(old_outbound) = self.links.connect(current).await {
             old_outbound.send(&Frame::Unsubscribe { topic: topic.to_string() });
         }
-        self.subscriptions.lock().insert(topic.to_string(), (target, filter));
+        self.subscriptions.lock().insert(topic.to_string(), (target, filter, qos));
         Ok(())
     }
 }
@@ -687,6 +782,27 @@ pub struct PublisherClient {
     /// Deterministic 1-in-N trace sampler built from
     /// [`ClientConfig::trace_sample`].
     sampler: multipub_obs::trace::Sampler,
+    /// Next QoS 1 sequence number. Per-publisher and global across
+    /// topics, starting at 1 — sequence 0 marks unsequenced QoS 0
+    /// traffic on the wire.
+    next_seq: u64,
+    /// QoS 1 publications not yet acked by a broker, keyed by sequence.
+    /// Each is retransmitted on its own decorrelated-jitter schedule
+    /// until a [`Frame::PubAck`] arrives — including across reconnects,
+    /// since every send re-resolves and re-dials the serving set.
+    unacked: BTreeMap<u64, UnackedPublish>,
+}
+
+/// A QoS 1 publication awaiting its broker ack.
+#[derive(Debug)]
+struct UnackedPublish {
+    entry: PendingPublish,
+    /// Retransmit schedule for this publication.
+    backoff: Backoff,
+    /// Earliest instant the next retransmit may go out.
+    next_retry: tokio::time::Instant,
+    /// Wire-send attempts so far.
+    attempts: u32,
 }
 
 impl PublisherClient {
@@ -709,6 +825,8 @@ impl PublisherClient {
             busy_until: None,
             busy_backoff,
             sampler,
+            next_seq: 1,
+            unacked: BTreeMap::new(),
         })
     }
 
@@ -747,7 +865,44 @@ impl PublisherClient {
         headers: &Headers,
         payload: impl Into<Bytes>,
     ) -> Result<usize, BrokerError> {
+        self.publish_inner(topic, headers, payload.into(), false).await
+    }
+
+    /// Publishes `payload` on `topic` and asks the broker to **retain**
+    /// it as the topic's last value, replayed to every future subscriber
+    /// (the market-data snapshot pattern). An empty payload clears the
+    /// retained value. Requires the broker to run with retention
+    /// enabled; otherwise the flag is ignored and this behaves like a
+    /// plain publish.
+    ///
+    /// # Errors
+    ///
+    /// As [`PublisherClient::publish_with_headers`].
+    pub async fn publish_retained(
+        &mut self,
+        topic: &str,
+        headers: &Headers,
+        payload: impl Into<Bytes>,
+    ) -> Result<usize, BrokerError> {
+        self.publish_inner(topic, headers, payload.into(), true).await
+    }
+
+    async fn publish_inner(
+        &mut self,
+        topic: &str,
+        headers: &Headers,
+        payload: Bytes,
+        retain: bool,
+    ) -> Result<usize, BrokerError> {
         self.drain_events();
+        let qos = self.links.config.qos_for(topic);
+        let seq = if qos == 1 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            seq
+        } else {
+            0
+        };
         let trace = self
             .sampler
             .should_sample()
@@ -755,10 +910,16 @@ impl PublisherClient {
         let entry = PendingPublish {
             topic: topic.to_string(),
             headers: if headers.is_empty() { String::new() } else { headers.to_json() },
-            payload: payload.into().to_vec(),
+            payload: payload.to_vec(),
             publish_micros: now_micros(),
             trace,
+            qos,
+            seq,
+            retain,
         };
+        if qos == 1 {
+            return Ok(self.publish_qos1(entry).await);
+        }
         // Inside a Busy window the broker asked us to back off: buffer
         // without attempting, exactly like an unreachable region.
         if self.in_busy_window() {
@@ -779,6 +940,110 @@ impl PublisherClient {
                 Ok(0)
             }
         }
+    }
+
+    /// QoS 1 send path. The publication is tracked as unacked *before*
+    /// the first wire attempt, so a send failure, a Busy NACK or a
+    /// broker crash all leave it scheduled for retransmission rather
+    /// than lost.
+    async fn publish_qos1(&mut self, entry: PendingPublish) -> usize {
+        let seq = entry.seq;
+        let backoff = self.links.config.reconnect.backoff(self.links.config.client_id ^ seq);
+        self.unacked.insert(
+            seq,
+            UnackedPublish { entry, backoff, next_retry: tokio::time::Instant::now(), attempts: 0 },
+        );
+        if self.in_busy_window() {
+            // Honour the broker's backoff request; the publication waits
+            // in the unacked set until the window passes.
+            if let (Some(pending), Some(until)) = (self.unacked.get_mut(&seq), self.busy_until) {
+                pending.next_retry = until;
+            }
+            return 0;
+        }
+        self.send_unacked(seq).await
+    }
+
+    /// One wire attempt for an unacked publication; reschedules its next
+    /// retransmit regardless of outcome.
+    async fn send_unacked(&mut self, seq: u64) -> usize {
+        let Some(mut pending) = self.unacked.remove(&seq) else {
+            return 0; // acked concurrently
+        };
+        let sent = self.try_send(&pending.entry).await.unwrap_or(0);
+        pending.attempts += 1;
+        if pending.attempts > 1 {
+            multipub_obs::counter!(multipub_obs::metrics::CLIENT_RETRANSMITS_TOTAL).inc();
+        }
+        let delay = pending.backoff.next_delay().unwrap_or(self.links.config.reconnect.cap);
+        pending.next_retry = tokio::time::Instant::now() + delay;
+        self.unacked.insert(seq, pending);
+        // The ack may already be queued; apply it before reporting.
+        self.drain_events();
+        sent
+    }
+
+    /// Retransmits every unacked QoS 1 publication whose retry deadline
+    /// has passed (unless a Busy window holds sends back). Returns the
+    /// number of publications attempted. [`PublisherClient::await_acked`]
+    /// calls this in a loop; callers driving their own schedule can
+    /// invoke it directly.
+    pub async fn flush_retransmits(&mut self) -> usize {
+        self.drain_events();
+        if self.in_busy_window() {
+            return 0;
+        }
+        let now = tokio::time::Instant::now();
+        let due: Vec<u64> =
+            self.unacked.iter().filter(|(_, p)| p.next_retry <= now).map(|(&s, _)| s).collect();
+        let mut attempted = 0;
+        for seq in due {
+            if self.unacked.contains_key(&seq) {
+                self.send_unacked(seq).await;
+                attempted += 1;
+            }
+            if self.in_busy_window() {
+                break;
+            }
+        }
+        attempted
+    }
+
+    /// Drives retransmission until every outstanding QoS 1 publication
+    /// is acked or `timeout` elapses. Returns `true` when the unacked
+    /// set drained in time.
+    pub async fn await_acked(&mut self, timeout: Duration) -> bool {
+        let deadline = tokio::time::Instant::now() + timeout;
+        loop {
+            self.flush_retransmits().await;
+            if self.unacked.is_empty() {
+                return true;
+            }
+            let now = tokio::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            // Sleep until the earliest retry (pushed past any Busy
+            // window), waking early for inbound acks.
+            let mut wake = self.unacked.values().map(|p| p.next_retry).min().unwrap_or(deadline);
+            if let Some(until) = self.busy_until {
+                wake = wake.max(until);
+            }
+            let wake = wake.min(deadline);
+            tokio::select! {
+                event = self.events_rx.recv() => match event {
+                    Some(event) => self.apply_event(event),
+                    None => return false,
+                },
+                _ = tokio::time::sleep_until(wake) => {}
+            }
+        }
+    }
+
+    /// Number of QoS 1 publications sent (or buffered behind a Busy
+    /// window) but not yet acked by a broker.
+    pub fn unacked_count(&self) -> usize {
+        self.unacked.len()
     }
 
     /// Whether a broker [`Frame::Busy`] NACK currently holds publishing
@@ -816,6 +1081,9 @@ impl PublisherClient {
             headers: entry.headers.clone(),
             payload: Bytes::from(entry.payload.clone()),
             trace: entry.trace,
+            qos: entry.qos,
+            seq: entry.seq,
+            retain: entry.retain,
         };
         let mut serving: Vec<u16> = (0..self.links.n_regions() as u16)
             .filter(|&r| config.mask & (1u32 << r) != 0)
@@ -911,16 +1179,36 @@ impl PublisherClient {
         (config.mask, config.mode)
     }
 
-    /// Applies any queued configuration updates without blocking.
+    /// Applies any queued configuration updates, acks and NACKs without
+    /// blocking.
     pub fn drain_events(&mut self) {
         while let Ok(event) = self.events_rx.try_recv() {
-            // Config updates already landed in the shared map; Delivery
-            // events cannot occur on a publisher connection.
-            match event {
-                Event::Disconnected { region } => self.links.mark_disconnected(region),
-                Event::Busy { retry_after_ms } => self.note_busy(retry_after_ms),
-                _ => {}
+            self.apply_event(event);
+        }
+    }
+
+    fn apply_event(&mut self, event: Event) {
+        // Config updates already landed in the shared map; Delivery
+        // events cannot occur on a publisher connection.
+        match event {
+            Event::Disconnected { region } => self.links.mark_disconnected(region),
+            Event::Busy { retry_after_ms, seq } => {
+                self.note_busy(retry_after_ms);
+                // A NACKed QoS 1 publish stays pending for retry: push
+                // its next attempt past the broker's hint instead of
+                // shedding it (the broker never recorded it as seen).
+                if seq != 0 {
+                    if let (Some(pending), Some(until)) =
+                        (self.unacked.get_mut(&seq), self.busy_until)
+                    {
+                        pending.next_retry = pending.next_retry.max(until);
+                    }
+                }
             }
+            Event::PubAck { seq } => {
+                self.unacked.remove(&seq);
+            }
+            _ => {}
         }
     }
 
@@ -987,6 +1275,9 @@ mod tests {
             headers: Headers::new(),
             payload: Bytes::new(),
             trace: None,
+            qos: 0,
+            seq: 0,
+            retained: false,
         };
         assert!((delivery.latency_ms() - 42.5).abs() < 1e-9);
         // Clock skew never yields negative latency.

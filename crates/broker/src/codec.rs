@@ -210,9 +210,10 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
         Frame::ConnectAck { region } => {
             buf.put_u16(*region);
         }
-        Frame::Subscribe { topic, filter } => {
+        Frame::Subscribe { topic, filter, qos } => {
             put_string(buf, topic);
             put_long_string(buf, filter);
+            buf.put_u8(*qos);
         }
         Frame::Unsubscribe { topic } => {
             put_string(buf, topic);
@@ -225,6 +226,9 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
             headers,
             payload,
             trace,
+            qos,
+            seq,
+            retain,
         } => {
             put_trace(buf, trace);
             put_string(buf, topic);
@@ -233,14 +237,32 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
             buf.put_u8(u8::from(*single_target));
             put_long_string(buf, headers);
             put_payload(buf, payload);
+            // QoS fields are appended after the original body so the
+            // trace block keeps its fixed offset near the frame start.
+            buf.put_u8(*qos);
+            buf.put_u64(*seq);
+            buf.put_u8(u8::from(*retain));
         }
-        Frame::Deliver { topic, publisher, publish_micros, headers, payload, trace } => {
+        Frame::Deliver {
+            topic,
+            publisher,
+            publish_micros,
+            headers,
+            payload,
+            trace,
+            qos,
+            seq,
+            retained,
+        } => {
             put_trace(buf, trace);
             put_string(buf, topic);
             buf.put_u64(*publisher);
             buf.put_u64(*publish_micros);
             put_long_string(buf, headers);
             put_payload(buf, payload);
+            buf.put_u8(*qos);
+            buf.put_u64(*seq);
+            buf.put_u8(u8::from(*retained));
         }
         Frame::Forward {
             topic,
@@ -250,6 +272,9 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
             headers,
             payload,
             trace,
+            qos,
+            seq,
+            retain,
         } => {
             put_trace(buf, trace);
             put_string(buf, topic);
@@ -258,6 +283,9 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
             buf.put_u16(*origin_region);
             put_long_string(buf, headers);
             put_payload(buf, payload);
+            buf.put_u8(*qos);
+            buf.put_u64(*seq);
+            buf.put_u8(u8::from(*retain));
         }
         Frame::StatsRequest => {}
         Frame::StatsReport { json } => {
@@ -275,9 +303,19 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
         Frame::StatsSnapshot { json } => {
             put_long_string(buf, json);
         }
-        Frame::Busy { topic, retry_after_ms } => {
+        Frame::Busy { topic, retry_after_ms, seq } => {
             put_string(buf, topic);
             buf.put_u32(*retry_after_ms);
+            buf.put_u64(*seq);
+        }
+        Frame::PubAck { topic, seq } => {
+            put_string(buf, topic);
+            buf.put_u64(*seq);
+        }
+        Frame::DeliverAck { topic, publisher, seq } => {
+            put_string(buf, topic);
+            buf.put_u64(*publisher);
+            buf.put_u64(*seq);
         }
     }
     let body_len = (buf.len() - start - 4) as u32;
@@ -399,7 +437,8 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
         0x03 => {
             let topic = reader.string()?;
             let filter = reader.long_string()?;
-            Frame::Subscribe { topic, filter }
+            let qos = reader.u8()?;
+            Frame::Subscribe { topic, filter, qos }
         }
         0x04 => Frame::Unsubscribe { topic: reader.string()? },
         0x05 => {
@@ -410,6 +449,9 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
             let single_target = reader.u8()? != 0;
             let headers = reader.long_string()?;
             let payload = reader.payload()?;
+            let qos = reader.u8()?;
+            let seq = reader.u64()?;
+            let retain = reader.u8()? != 0;
             Frame::Publish {
                 topic,
                 publisher,
@@ -418,6 +460,9 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
                 headers,
                 payload,
                 trace,
+                qos,
+                seq,
+                retain,
             }
         }
         0x07 => {
@@ -427,7 +472,20 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
             let publish_micros = reader.u64()?;
             let headers = reader.long_string()?;
             let payload = reader.payload()?;
-            Frame::Deliver { topic, publisher, publish_micros, headers, payload, trace }
+            let qos = reader.u8()?;
+            let seq = reader.u64()?;
+            let retained = reader.u8()? != 0;
+            Frame::Deliver {
+                topic,
+                publisher,
+                publish_micros,
+                headers,
+                payload,
+                trace,
+                qos,
+                seq,
+                retained,
+            }
         }
         0x06 => {
             let trace = read_trace(&mut reader)?;
@@ -437,6 +495,9 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
             let origin_region = reader.u16()?;
             let headers = reader.long_string()?;
             let payload = reader.payload()?;
+            let qos = reader.u8()?;
+            let seq = reader.u64()?;
+            let retain = reader.u8()? != 0;
             Frame::Forward {
                 topic,
                 publisher,
@@ -445,6 +506,9 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
                 headers,
                 payload,
                 trace,
+                qos,
+                seq,
+                retain,
             }
         }
         0x08 => Frame::StatsRequest,
@@ -464,7 +528,19 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
         0x0F => {
             let topic = reader.string()?;
             let retry_after_ms = reader.u32()?;
-            Frame::Busy { topic, retry_after_ms }
+            let seq = reader.u64()?;
+            Frame::Busy { topic, retry_after_ms, seq }
+        }
+        0x10 => {
+            let topic = reader.string()?;
+            let seq = reader.u64()?;
+            Frame::PubAck { topic, seq }
+        }
+        0x11 => {
+            let topic = reader.string()?;
+            let publisher = reader.u64()?;
+            let seq = reader.u64()?;
+            Frame::DeliverAck { topic, publisher, seq }
         }
         other => return Err(CodecError::UnknownTag { tag: other }),
     };
@@ -494,7 +570,8 @@ mod tests {
                 }),
             },
             Frame::ConnectAck { region: 9 },
-            Frame::Subscribe { topic: "games/eu/chat".into(), filter: "price < 10".into() },
+            Frame::Subscribe { topic: "games/eu/chat".into(), filter: "price < 10".into(), qos: 0 },
+            Frame::Subscribe { topic: "ticks".into(), filter: String::new(), qos: 1 },
             Frame::Unsubscribe { topic: "t".into() },
             Frame::Publish {
                 topic: "scores".into(),
@@ -504,6 +581,9 @@ mod tests {
                 headers: "{\"price\":9.5}".into(),
                 payload: Bytes::from_static(b"hello world"),
                 trace: None,
+                qos: 0,
+                seq: 0,
+                retain: false,
             },
             Frame::Publish {
                 topic: "scores".into(),
@@ -513,6 +593,9 @@ mod tests {
                 headers: String::new(),
                 payload: Bytes::from_static(b"traced"),
                 trace: Some(TraceContext::new(0xDEAD_BEEF_0000_0001)),
+                qos: 1,
+                seq: 7,
+                retain: true,
             },
             Frame::Forward {
                 topic: "scores".into(),
@@ -522,6 +605,9 @@ mod tests {
                 headers: String::new(),
                 payload: Bytes::from_static(&[0, 1, 2, 255]),
                 trace: None,
+                qos: 0,
+                seq: 0,
+                retain: false,
             },
             Frame::Forward {
                 topic: "scores".into(),
@@ -538,6 +624,9 @@ mod tests {
                     queue_micros: 300,
                     write_micros: 400,
                 }),
+                qos: 1,
+                seq: u64::MAX,
+                retain: false,
             },
             Frame::Deliver {
                 topic: "scores".into(),
@@ -546,6 +635,9 @@ mod tests {
                 headers: String::new(),
                 payload: Bytes::new(),
                 trace: None,
+                qos: 0,
+                seq: 0,
+                retained: false,
             },
             Frame::Deliver {
                 topic: "scores".into(),
@@ -561,6 +653,9 @@ mod tests {
                     queue_micros: 0,
                     write_micros: 0,
                 }),
+                qos: 1,
+                seq: 9,
+                retained: true,
             },
             Frame::StatsRequest,
             Frame::StatsReport { json: "{\"topics\":{}}".into() },
@@ -569,7 +664,9 @@ mod tests {
             Frame::Pong { nonce: 0 },
             Frame::StatsSnapshotRequest,
             Frame::StatsSnapshot { json: "{\"counters\":{}}".into() },
-            Frame::Busy { topic: "scores".into(), retry_after_ms: 125 },
+            Frame::Busy { topic: "scores".into(), retry_after_ms: 125, seq: 3 },
+            Frame::PubAck { topic: "ticks".into(), seq: 41 },
+            Frame::DeliverAck { topic: "ticks".into(), publisher: 12, seq: 41 },
         ]
     }
 
@@ -607,6 +704,9 @@ mod tests {
             headers: String::new(),
             payload: Bytes::from_static(b"abc"),
             trace: Some(TraceContext::new(9)),
+            qos: 1,
+            seq: 5,
+            retain: false,
         };
         let full = encode_to_bytes(&frame);
         for cut in 0..full.len() {
@@ -675,6 +775,9 @@ mod tests {
             headers: String::new(),
             payload: Bytes::from_static(b"p"),
             trace,
+            qos: 0,
+            seq: 0,
+            retained: false,
         }
     }
 
@@ -700,6 +803,9 @@ mod tests {
             headers: String::new(),
             payload: Bytes::new(),
             trace: Some(ctx),
+            qos: 0,
+            seq: 0,
+            retain: false,
         };
         assert_eq!(peek_trace(&encode_to_bytes(&forward)), Some((0xAB, 777)));
     }
@@ -711,7 +817,7 @@ mod tests {
         let control = [
             Frame::Connect { client_id: 1, role: Role::Publisher, policy: None },
             Frame::ConnectAck { region: 0 },
-            Frame::Subscribe { topic: "t".into(), filter: String::new() },
+            Frame::Subscribe { topic: "t".into(), filter: String::new(), qos: 1 },
             Frame::Unsubscribe { topic: "t".into() },
             Frame::StatsRequest,
             Frame::StatsReport { json: "{}".into() },
@@ -720,7 +826,9 @@ mod tests {
             Frame::Pong { nonce: 1 },
             Frame::StatsSnapshotRequest,
             Frame::StatsSnapshot { json: "{}".into() },
-            Frame::Busy { topic: "t".into(), retry_after_ms: 5 },
+            Frame::Busy { topic: "t".into(), retry_after_ms: 5, seq: 2 },
+            Frame::PubAck { topic: "t".into(), seq: 1 },
+            Frame::DeliverAck { topic: "t".into(), publisher: 1, seq: 1 },
         ];
         for frame in control {
             assert!(frame.is_control(), "{frame:?} must be control traffic");
@@ -736,6 +844,9 @@ mod tests {
             headers: String::new(),
             payload: Bytes::new(),
             trace: Some(TraceContext::new(3)),
+            qos: 0,
+            seq: 0,
+            retain: false,
         };
         assert!(!publish.is_control());
         assert_eq!(peek_trace(&encode_to_bytes(&publish)), None);

@@ -132,7 +132,7 @@ mod tests {
         let mut client = TcpStream::connect(addr).await.unwrap();
         let (mut server, _) = listener.accept().await.unwrap();
 
-        let frame = Frame::Subscribe { topic: "abc".into(), filter: String::new() };
+        let frame = Frame::Subscribe { topic: "abc".into(), filter: String::new(), qos: 0 };
         let bytes = encode_to_bytes(&frame);
         // Write in two pieces with a flush between them.
         client.write_all(&bytes[..3]).await.unwrap();

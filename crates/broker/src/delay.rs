@@ -407,6 +407,9 @@ mod tests {
             headers: String::new(),
             payload: Bytes::from_static(b"x"),
             trace: Some(ctx),
+            qos: 0,
+            seq: 0,
+            retained: false,
         };
         let before = multipub_obs::trace::now_micros();
         assert!(outbound.send_data_encoded(encode_to_bytes(&frame)).await.queued());
@@ -435,6 +438,9 @@ mod tests {
             headers: String::new(),
             payload: Bytes::new(),
             trace: Some(unsampled),
+            qos: 0,
+            seq: 0,
+            retained: false,
         };
         assert!(outbound.send_data_encoded(encode_to_bytes(&quiet)).await.queued());
         let received = loop {

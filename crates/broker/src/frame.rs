@@ -166,6 +166,10 @@ pub enum Frame {
         topic: String,
         /// Content filter source, empty for plain topic subscription.
         filter: String,
+        /// Requested delivery quality of service: `0` = at-most-once,
+        /// `1` = at-least-once (the broker tracks unacked deliveries
+        /// for this subscription and redelivers on reconnect).
+        qos: u8,
     },
     /// Removes interest in a topic.
     Unsubscribe {
@@ -195,6 +199,19 @@ pub enum Frame {
         payload: Bytes,
         /// Optional trace context; `None` for unsampled messages.
         trace: Option<TraceContext>,
+        /// Delivery quality of service: `0` = at-most-once (fire and
+        /// forget), `1` = at-least-once (the broker answers with a
+        /// [`Frame::PubAck`] and the publisher retransmits until acked).
+        qos: u8,
+        /// Per-publisher sequence number for QoS 1 publications
+        /// (monotonic, starting at 1); `0` on QoS 0 traffic. Together
+        /// with `publisher` this keys the broker's dedup window so
+        /// retransmits are idempotent.
+        seq: u64,
+        /// When `true` the broker stores this message as the topic's
+        /// retained last value (replayed to new subscribers); an empty
+        /// payload clears the retained value.
+        retain: bool,
     },
     /// A publication forwarded between brokers (routed delivery).
     Forward {
@@ -212,6 +229,15 @@ pub enum Frame {
         payload: Bytes,
         /// Optional trace context; `None` for unsampled messages.
         trace: Option<TraceContext>,
+        /// Delivery quality of service of the originating publish.
+        qos: u8,
+        /// Origin publisher's sequence number (`0` on QoS 0 traffic).
+        /// Dedup at the receiving broker is keyed on the **origin**
+        /// publisher so a star-topology mesh cannot double-deliver.
+        seq: u64,
+        /// Whether the receiving broker should also store this message
+        /// as the topic's retained last value.
+        retain: bool,
     },
     /// A publication delivered to a subscriber.
     Deliver {
@@ -227,6 +253,16 @@ pub enum Frame {
         payload: Bytes,
         /// Optional trace context; `None` for unsampled messages.
         trace: Option<TraceContext>,
+        /// Delivery quality of service of the originating publish. On
+        /// QoS 1 the subscriber answers with a [`Frame::DeliverAck`] so
+        /// the broker can trim its unacked-delivery buffer.
+        qos: u8,
+        /// Origin publisher's sequence number (`0` on QoS 0 traffic);
+        /// subscribers filter duplicate `(publisher, seq)` pairs.
+        seq: u64,
+        /// `true` when this is a retained last-value replay triggered by
+        /// a subscription rather than a live publication.
+        retained: bool,
     },
     /// Controller → broker: asks the region manager for its statistics.
     StatsRequest,
@@ -282,6 +318,32 @@ pub enum Frame {
         topic: String,
         /// Broker's hint for when to retry, in milliseconds.
         retry_after_ms: u32,
+        /// Sequence number of the refused publication (`0` for QoS 0).
+        /// A NACKed QoS 1 publish stays pending at the publisher and is
+        /// retransmitted after the hinted delay rather than shed.
+        seq: u64,
+    },
+    /// Broker → publisher: acknowledges a QoS 1 [`Frame::Publish`]. The
+    /// broker has accepted the message (fanned it out locally and
+    /// forwarded it to peer regions as required) or recognized it as a
+    /// duplicate retransmit; either way the publisher stops
+    /// retransmitting `seq`.
+    PubAck {
+        /// Topic of the acknowledged publication.
+        topic: String,
+        /// The acknowledged publisher sequence number.
+        seq: u64,
+    },
+    /// Subscriber → broker: acknowledges a QoS 1 [`Frame::Deliver`],
+    /// letting the broker trim the matching entry from its bounded
+    /// per-(topic, client) unacked-delivery buffer.
+    DeliverAck {
+        /// Topic of the acknowledged delivery.
+        topic: String,
+        /// Origin publisher id of the acknowledged delivery.
+        publisher: u64,
+        /// Origin publisher sequence number of the acknowledged delivery.
+        seq: u64,
     },
 }
 
@@ -291,8 +353,10 @@ pub enum Frame {
 /// cross-checks it against [`Frame::tag`] and the codec's encode/decode
 /// arms, and the codec property tests drive the decoder with each entry
 /// to prove no declared tag can panic it.
-pub const KNOWN_TAGS: [u8; 15] =
-    [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F];
+pub const KNOWN_TAGS: [u8; 17] = [
+    0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F, 0x10,
+    0x11,
+];
 
 impl Frame {
     /// The discriminant byte used on the wire.
@@ -313,6 +377,8 @@ impl Frame {
             Frame::StatsSnapshotRequest => 0x0D,
             Frame::StatsSnapshot { .. } => 0x0E,
             Frame::Busy { .. } => 0x0F,
+            Frame::PubAck { .. } => 0x10,
+            Frame::DeliverAck { .. } => 0x11,
         }
     }
 
@@ -359,7 +425,7 @@ mod tests {
         let frames = [
             Frame::Connect { client_id: 1, role: Role::Publisher, policy: None },
             Frame::ConnectAck { region: 0 },
-            Frame::Subscribe { topic: "t".into(), filter: String::new() },
+            Frame::Subscribe { topic: "t".into(), filter: String::new(), qos: 0 },
             Frame::Unsubscribe { topic: "t".into() },
             Frame::Publish {
                 topic: "t".into(),
@@ -369,6 +435,9 @@ mod tests {
                 headers: String::new(),
                 payload: Bytes::new(),
                 trace: None,
+                qos: 0,
+                seq: 0,
+                retain: false,
             },
             Frame::Forward {
                 topic: "t".into(),
@@ -378,6 +447,9 @@ mod tests {
                 headers: String::new(),
                 payload: Bytes::new(),
                 trace: None,
+                qos: 0,
+                seq: 0,
+                retain: false,
             },
             Frame::Deliver {
                 topic: "t".into(),
@@ -386,6 +458,9 @@ mod tests {
                 headers: String::new(),
                 payload: Bytes::new(),
                 trace: None,
+                qos: 0,
+                seq: 0,
+                retained: false,
             },
             Frame::StatsRequest,
             Frame::StatsReport { json: "{}".into() },
@@ -394,7 +469,9 @@ mod tests {
             Frame::Pong { nonce: 0 },
             Frame::StatsSnapshotRequest,
             Frame::StatsSnapshot { json: "{}".into() },
-            Frame::Busy { topic: "t".into(), retry_after_ms: 100 },
+            Frame::Busy { topic: "t".into(), retry_after_ms: 100, seq: 0 },
+            Frame::PubAck { topic: "t".into(), seq: 1 },
+            Frame::DeliverAck { topic: "t".into(), publisher: 1, seq: 1 },
         ];
         let tags: HashSet<u8> = frames.iter().map(Frame::tag).collect();
         assert_eq!(tags.len(), frames.len());

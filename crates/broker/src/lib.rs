@@ -26,6 +26,9 @@
 //! * [`session`] — fault-tolerance primitives: reconnect backoff with
 //!   decorrelated jitter and the bounded publication buffer clients use
 //!   to ride out broker outages.
+//! * [`qos`] — at-least-once delivery state: per-publisher dedup
+//!   windows, retained last-value messages and bounded unacked-delivery
+//!   buffers (DESIGN.md §13).
 //! * [`shard`] — the topic-sharded subscription registry behind the
 //!   publish hot path: FNV-1a topic→shard routing, per-shard locks and
 //!   publish counters (DESIGN.md §11).
@@ -68,6 +71,7 @@ pub mod delay;
 pub mod flow;
 pub mod frame;
 pub mod probe;
+pub mod qos;
 pub mod session;
 pub mod shard;
 mod sync;

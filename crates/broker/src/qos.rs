@@ -1,0 +1,487 @@
+//! At-least-once delivery state: per-publisher dedup windows, the
+//! retained last-value store and the per-(client, topic) unacked
+//! delivery buffers.
+//!
+//! QoS 1 publishes carry a `(publisher, seq)` pair. The broker's
+//! [`DedupWindow`] makes retransmits idempotent: the first sighting of a
+//! sequence number fans out and is acked, every later sighting is
+//! answered with a fresh `PubAck` but dropped before the fan-out. On the
+//! subscriber side [`QosState`] records each QoS 1 delivery until the
+//! subscriber's `DeliverAck` trims it; a reconnecting subscriber gets
+//! the surviving entries replayed (see DESIGN.md §13). All of this state
+//! is in-memory and bounded — the dedup window and unacked buffers are
+//! capped at the configured window size per key.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Default dedup-window span (sequence numbers remembered per
+/// publisher) and unacked-delivery bound per `(client, topic)`.
+pub const DEFAULT_DEDUP_WINDOW: usize = 1024;
+
+/// A bounded sliding bitmap over one publisher's sequence numbers.
+///
+/// Tracks which of the most recent `window` sequence numbers have been
+/// seen. Sequence numbers start at 1 and are expected to be roughly
+/// monotonic; anything older than `highest - window` is conservatively
+/// treated as a duplicate (at-least-once permits the false positive
+/// only for messages long since acked, since a publisher never has more
+/// than `window` unacked sequences outstanding when sized accordingly).
+#[derive(Debug, Clone)]
+pub struct DedupWindow {
+    /// Highest sequence number observed so far (0 = none yet).
+    highest: u64,
+    /// Ring bitmap: bit `seq % capacity` records whether `seq` was seen,
+    /// valid for `highest - capacity < seq <= highest`.
+    bits: Vec<u64>,
+    /// Number of sequence slots in `bits` (multiple of 64).
+    capacity: u64,
+}
+
+impl DedupWindow {
+    /// Creates a window remembering at least `window` recent sequence
+    /// numbers (rounded up to a multiple of 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "dedup window must be at least 1");
+        let words = window.div_ceil(64);
+        DedupWindow { highest: 0, bits: vec![0; words], capacity: (words * 64) as u64 }
+    }
+
+    /// Number of sequence slots this window tracks.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Records a sighting of `seq`; returns `true` when this is the
+    /// first time it has been seen (the caller should process the
+    /// message) and `false` for duplicates. `seq == 0` marks
+    /// unsequenced traffic and is always fresh.
+    pub fn observe(&mut self, seq: u64) -> bool {
+        if seq == 0 {
+            return true;
+        }
+        if seq > self.highest {
+            // Advancing: clear the slots for every skipped sequence so
+            // stale bits from `capacity` generations ago cannot alias.
+            let gap = seq - self.highest;
+            if gap >= self.capacity || self.highest == 0 {
+                self.bits.fill(0);
+            } else {
+                for s in (self.highest + 1)..=seq {
+                    self.clear(s);
+                }
+            }
+            self.highest = seq;
+            self.set(seq);
+            return true;
+        }
+        if self.highest - seq >= self.capacity {
+            // Fell off the window: too old to distinguish, treat as dup.
+            return false;
+        }
+        if self.get(seq) {
+            return false;
+        }
+        self.set(seq);
+        true
+    }
+
+    fn slot(&self, seq: u64) -> (usize, u64) {
+        let bit = seq % self.capacity;
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    fn get(&self, seq: u64) -> bool {
+        let (word, mask) = self.slot(seq);
+        self.bits.get(word).is_some_and(|w| w & mask != 0)
+    }
+
+    fn set(&mut self, seq: u64) {
+        let (word, mask) = self.slot(seq);
+        if let Some(w) = self.bits.get_mut(word) {
+            *w |= mask;
+        }
+    }
+
+    fn clear(&mut self, seq: u64) {
+        let (word, mask) = self.slot(seq);
+        if let Some(w) = self.bits.get_mut(word) {
+            *w &= !mask;
+        }
+    }
+}
+
+/// A topic's retained last value, replayed to new subscribers.
+#[derive(Debug, Clone)]
+pub struct RetainedMessage {
+    /// Origin publisher id.
+    pub publisher: u64,
+    /// Origin publisher sequence number (`0` for QoS 0 retains).
+    pub seq: u64,
+    /// QoS of the originating publish.
+    pub qos: u8,
+    /// Publisher-side timestamp (microseconds).
+    pub publish_micros: u64,
+    /// JSON-encoded content headers, empty when none.
+    pub headers: String,
+    /// Message payload (never empty — an empty payload clears).
+    pub payload: Bytes,
+}
+
+/// One QoS 1 delivery awaiting a subscriber's `DeliverAck`.
+#[derive(Debug, Clone)]
+pub struct UnackedDelivery {
+    /// Origin publisher id.
+    pub publisher: u64,
+    /// Origin publisher sequence number.
+    pub seq: u64,
+    /// Publisher-side timestamp (microseconds).
+    pub publish_micros: u64,
+    /// JSON-encoded content headers, empty when none.
+    pub headers: String,
+    /// Message payload.
+    pub payload: Bytes,
+}
+
+/// Broker-side at-least-once state: dedup windows keyed by origin
+/// publisher, the retained store keyed by topic, and unacked QoS 1
+/// deliveries keyed by `(subscriber client id, topic)`.
+#[derive(Debug)]
+pub struct QosState {
+    window: usize,
+    retain_enabled: bool,
+    dedup: Mutex<HashMap<u64, DedupWindow>>,
+    retained: Mutex<HashMap<String, RetainedMessage>>,
+    unacked: Mutex<HashMap<(u64, String), VecDeque<UnackedDelivery>>>,
+    /// Total unacked deliveries across all keys, mirrored into the
+    /// `multipub_broker_unacked_depth` gauge by the broker.
+    depth: AtomicI64,
+}
+
+impl QosState {
+    /// Creates the state with the given per-key window bound and
+    /// whether retained messages are stored at all.
+    #[must_use]
+    pub fn new(window: usize, retain_enabled: bool) -> Self {
+        assert!(window > 0, "dedup window must be at least 1");
+        QosState {
+            window,
+            retain_enabled,
+            dedup: Mutex::new(HashMap::new()),
+            retained: Mutex::new(HashMap::new()),
+            unacked: Mutex::new(HashMap::new()),
+            depth: AtomicI64::new(0),
+        }
+    }
+
+    /// The configured window size (dedup span and unacked bound).
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Whether this broker stores retained messages.
+    #[must_use]
+    pub fn retain_enabled(&self) -> bool {
+        self.retain_enabled
+    }
+
+    /// Records a `(publisher, seq)` sighting; `true` means first
+    /// sighting (process the message), `false` means duplicate.
+    pub fn observe(&self, publisher: u64, seq: u64) -> bool {
+        if seq == 0 {
+            return true;
+        }
+        self.dedup
+            .lock()
+            .entry(publisher)
+            .or_insert_with(|| DedupWindow::new(self.window))
+            .observe(seq)
+    }
+
+    /// Stores (or, for an empty payload, clears) a topic's retained
+    /// value. No-op unless retention is enabled.
+    pub fn store_retained(&self, topic: &str, message: RetainedMessage) {
+        if !self.retain_enabled {
+            return;
+        }
+        let mut retained = self.retained.lock();
+        if message.payload.is_empty() {
+            retained.remove(topic);
+        } else {
+            retained.insert(topic.to_string(), message);
+        }
+    }
+
+    /// The topic's retained value, if retention is enabled and one is
+    /// stored.
+    #[must_use]
+    pub fn retained(&self, topic: &str) -> Option<RetainedMessage> {
+        self.retained.lock().get(topic).cloned()
+    }
+
+    /// Records a QoS 1 delivery to `client_id` pending its ack. The
+    /// per-key buffer is bounded by the window size: the oldest entry is
+    /// dropped when full (matching the dedup window's span — a slower
+    /// subscriber's redelivery horizon is the same as the dedup
+    /// horizon).
+    pub fn track_unacked(&self, client_id: u64, topic: &str, delivery: UnackedDelivery) {
+        let mut unacked = self.unacked.lock();
+        let queue = unacked.entry((client_id, topic.to_string())).or_default();
+        if queue.len() >= self.window {
+            queue.pop_front();
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        queue.push_back(delivery);
+        self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Trims the entry matching a subscriber's `DeliverAck`.
+    pub fn ack(&self, client_id: u64, topic: &str, publisher: u64, seq: u64) {
+        let mut unacked = self.unacked.lock();
+        let Some(queue) = unacked.get_mut(&(client_id, topic.to_string())) else {
+            return;
+        };
+        let before = queue.len();
+        queue.retain(|d| !(d.publisher == publisher && d.seq == seq));
+        let removed = before - queue.len();
+        if removed > 0 {
+            self.depth.fetch_sub(removed as i64, Ordering::Relaxed);
+        }
+        if queue.is_empty() {
+            unacked.remove(&(client_id, topic.to_string()));
+        }
+    }
+
+    /// A snapshot of `client_id`'s unacked deliveries on `topic`, oldest
+    /// first, for redelivery on (re)subscribe. Entries stay tracked
+    /// until acked.
+    #[must_use]
+    pub fn unacked_snapshot(&self, client_id: u64, topic: &str) -> Vec<UnackedDelivery> {
+        self.unacked
+            .lock()
+            .get(&(client_id, topic.to_string()))
+            .map(|queue| queue.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total unacked deliveries across every `(client, topic)` key.
+    #[must_use]
+    pub fn unacked_depth(&self) -> i64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_sighting_is_fresh_then_duplicate() {
+        let mut window = DedupWindow::new(16);
+        assert!(window.observe(1));
+        assert!(!window.observe(1));
+        assert!(window.observe(2));
+        assert!(!window.observe(2));
+        assert!(!window.observe(1));
+    }
+
+    #[test]
+    fn seq_zero_is_always_fresh() {
+        let mut window = DedupWindow::new(16);
+        assert!(window.observe(0));
+        assert!(window.observe(0));
+    }
+
+    #[test]
+    fn out_of_order_arrivals_within_window_are_fresh_once() {
+        let mut window = DedupWindow::new(64);
+        assert!(window.observe(10));
+        assert!(window.observe(3));
+        assert!(window.observe(7));
+        assert!(!window.observe(3));
+        assert!(!window.observe(10));
+        assert!(window.observe(5));
+    }
+
+    #[test]
+    fn sequences_older_than_the_window_count_as_duplicates() {
+        let mut window = DedupWindow::new(64);
+        assert!(window.observe(1));
+        assert!(window.observe(100));
+        // 100 - 64 = 36: anything at or below is out of the window.
+        assert!(!window.observe(36));
+        assert!(!window.observe(1));
+        assert!(window.observe(37));
+    }
+
+    #[test]
+    fn large_jumps_clear_stale_bits() {
+        let mut window = DedupWindow::new(64);
+        assert!(window.observe(1));
+        // Jump by many multiples of the capacity: slot 1's ring position
+        // aliases, but the skipped range must have been cleared.
+        let aliased = 1 + 64 * 10;
+        assert!(window.observe(aliased), "aliased slot must not read the stale bit");
+        assert!(!window.observe(aliased));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_words() {
+        assert_eq!(DedupWindow::new(1).capacity(), 64);
+        assert_eq!(DedupWindow::new(64).capacity(), 64);
+        assert_eq!(DedupWindow::new(65).capacity(), 128);
+        assert_eq!(DedupWindow::new(1000).capacity(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "dedup window must be at least 1")]
+    fn zero_window_panics() {
+        let _ = DedupWindow::new(0);
+    }
+
+    proptest! {
+        /// The bitmap agrees with an exact seen-set for every sequence
+        /// inside the live window; outside it everything is a duplicate.
+        #[test]
+        fn window_matches_reference_model(
+            seqs in proptest::collection::vec(1u64..500, 1..200),
+        ) {
+            let mut window = DedupWindow::new(128);
+            let mut seen = std::collections::HashSet::new();
+            let mut highest = 0u64;
+            for seq in seqs {
+                let fresh = window.observe(seq);
+                highest = highest.max(seq);
+                let in_window = highest - seq < window.capacity() as u64;
+                if in_window {
+                    prop_assert_eq!(fresh, seen.insert(seq), "seq {} (hi {})", seq, highest);
+                } else {
+                    prop_assert!(!fresh, "seq {} below window of {} must be dup", seq, highest);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retained_store_roundtrip_and_clear() {
+        let state = QosState::new(8, true);
+        assert!(state.retained("ticks").is_none());
+        state.store_retained(
+            "ticks",
+            RetainedMessage {
+                publisher: 7,
+                seq: 3,
+                qos: 1,
+                publish_micros: 1,
+                headers: String::new(),
+                payload: Bytes::from_static(b"px=101"),
+            },
+        );
+        let got = state.retained("ticks").expect("stored");
+        assert_eq!((got.publisher, got.seq), (7, 3));
+        // Empty payload clears.
+        state.store_retained(
+            "ticks",
+            RetainedMessage {
+                publisher: 7,
+                seq: 4,
+                qos: 1,
+                publish_micros: 2,
+                headers: String::new(),
+                payload: Bytes::new(),
+            },
+        );
+        assert!(state.retained("ticks").is_none());
+    }
+
+    #[test]
+    fn retained_store_disabled_is_a_no_op() {
+        let state = QosState::new(8, false);
+        state.store_retained(
+            "ticks",
+            RetainedMessage {
+                publisher: 7,
+                seq: 3,
+                qos: 1,
+                publish_micros: 1,
+                headers: String::new(),
+                payload: Bytes::from_static(b"x"),
+            },
+        );
+        assert!(state.retained("ticks").is_none());
+    }
+
+    fn delivery(publisher: u64, seq: u64) -> UnackedDelivery {
+        UnackedDelivery {
+            publisher,
+            seq,
+            publish_micros: 0,
+            headers: String::new(),
+            payload: Bytes::from_static(b"m"),
+        }
+    }
+
+    #[test]
+    fn unacked_tracked_until_acked() {
+        let state = QosState::new(8, false);
+        state.track_unacked(1, "t", delivery(9, 1));
+        state.track_unacked(1, "t", delivery(9, 2));
+        assert_eq!(state.unacked_depth(), 2);
+        assert_eq!(state.unacked_snapshot(1, "t").len(), 2);
+        state.ack(1, "t", 9, 1);
+        let rest = state.unacked_snapshot(1, "t");
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].seq, 2);
+        state.ack(1, "t", 9, 2);
+        assert_eq!(state.unacked_depth(), 0);
+        assert!(state.unacked_snapshot(1, "t").is_empty());
+        // Acking something unknown is harmless.
+        state.ack(1, "t", 9, 99);
+        state.ack(2, "other", 9, 1);
+        assert_eq!(state.unacked_depth(), 0);
+    }
+
+    #[test]
+    fn unacked_buffer_is_bounded_oldest_dropped() {
+        let state = QosState::new(4, false);
+        for seq in 1..=10 {
+            state.track_unacked(1, "t", delivery(9, seq));
+        }
+        let kept = state.unacked_snapshot(1, "t");
+        assert_eq!(kept.len(), 4);
+        assert_eq!(kept.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
+        assert_eq!(state.unacked_depth(), 4);
+    }
+
+    #[test]
+    fn unacked_keys_are_per_client_and_topic() {
+        let state = QosState::new(8, false);
+        state.track_unacked(1, "a", delivery(9, 1));
+        state.track_unacked(2, "a", delivery(9, 1));
+        state.track_unacked(1, "b", delivery(9, 1));
+        assert_eq!(state.unacked_depth(), 3);
+        state.ack(1, "a", 9, 1);
+        assert_eq!(state.unacked_depth(), 2);
+        assert_eq!(state.unacked_snapshot(2, "a").len(), 1);
+        assert_eq!(state.unacked_snapshot(1, "b").len(), 1);
+    }
+
+    #[test]
+    fn observe_dedups_per_publisher() {
+        let state = QosState::new(8, false);
+        assert!(state.observe(1, 1));
+        assert!(state.observe(2, 1), "publisher keys are independent");
+        assert!(!state.observe(1, 1));
+        assert!(state.observe(1, 0), "seq 0 is unsequenced traffic");
+    }
+}

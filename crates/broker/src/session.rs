@@ -144,6 +144,15 @@ pub struct PendingPublish {
     /// and reconnect replay so a sampled publication keeps its trace id
     /// end to end. `None` for unsampled publications.
     pub trace: Option<TraceContext>,
+    /// Delivery quality of service: `0` fire-and-forget, `1`
+    /// at-least-once (acked by the broker, retransmitted until a
+    /// [`crate::frame::Frame::PubAck`] arrives).
+    pub qos: u8,
+    /// Per-publisher sequence number; `0` for unsequenced QoS 0 traffic.
+    pub seq: u64,
+    /// Whether the broker should retain this publication as the topic's
+    /// last value, replayed to future subscribers.
+    pub retain: bool,
 }
 
 /// A bounded FIFO of publications buffered during an outage.
@@ -217,6 +226,9 @@ mod tests {
             payload: vec![n],
             publish_micros: n as u64,
             trace: None,
+            qos: 0,
+            seq: 0,
+            retain: false,
         }
     }
 
@@ -323,6 +335,9 @@ mod proptests {
             payload: Vec::new(),
             publish_micros: n,
             trace: None,
+            qos: 0,
+            seq: 0,
+            retain: false,
         }
     }
 

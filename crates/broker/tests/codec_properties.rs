@@ -59,6 +59,11 @@ fn arb_policy() -> impl Strategy<Value = Option<SlowConsumerPolicy>> {
     ]
 }
 
+/// `(qos, seq, retain)` triple appended to the publish-path frames.
+fn arb_qos() -> impl Strategy<Value = (u8, u64, bool)> {
+    (any::<u8>(), any::<u64>(), any::<bool>())
+}
+
 fn arb_trace() -> impl Strategy<Value = Option<TraceContext>> {
     prop_oneof![
         Just(None),
@@ -80,8 +85,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (any::<u64>(), arb_role(), arb_policy())
             .prop_map(|(client_id, role, policy)| Frame::Connect { client_id, role, policy }),
         any::<u16>().prop_map(|region| Frame::ConnectAck { region }),
-        (arb_topic(), "[a-z <>=0-9&|!()._\"^-]{0,40}")
-            .prop_map(|(topic, filter)| Frame::Subscribe { topic, filter }),
+        (arb_topic(), "[a-z <>=0-9&|!()._\"^-]{0,40}", any::<u8>())
+            .prop_map(|(topic, filter, qos)| Frame::Subscribe { topic, filter, qos }),
         arb_topic().prop_map(|topic| Frame::Unsubscribe { topic }),
         (
             arb_topic(),
@@ -91,9 +96,10 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             "[ -~]{0,64}",
             arb_payload(),
             arb_trace(),
+            arb_qos(),
         )
             .prop_map(
-                |(topic, publisher, publish_micros, single_target, headers, payload, trace)| {
+                |(topic, publisher, publish_micros, single_target, headers, payload, trace, q)| {
                     Frame::Publish {
                         topic,
                         publisher,
@@ -102,6 +108,9 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                         headers,
                         payload,
                         trace,
+                        qos: q.0,
+                        seq: q.1,
+                        retain: q.2,
                     }
                 },
             ),
@@ -113,9 +122,10 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             "[ -~]{0,64}",
             arb_payload(),
             arb_trace(),
+            arb_qos(),
         )
             .prop_map(
-                |(topic, publisher, publish_micros, origin_region, headers, payload, trace)| {
+                |(topic, publisher, publish_micros, origin_region, headers, payload, trace, q)| {
                     Frame::Forward {
                         topic,
                         publisher,
@@ -124,12 +134,33 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                         headers,
                         payload,
                         trace,
+                        qos: q.0,
+                        seq: q.1,
+                        retain: q.2,
                     }
                 },
             ),
-        (arb_topic(), any::<u64>(), any::<u64>(), "[ -~]{0,64}", arb_payload(), arb_trace())
-            .prop_map(|(topic, publisher, publish_micros, headers, payload, trace)| {
-                Frame::Deliver { topic, publisher, publish_micros, headers, payload, trace }
+        (
+            arb_topic(),
+            any::<u64>(),
+            any::<u64>(),
+            "[ -~]{0,64}",
+            arb_payload(),
+            arb_trace(),
+            arb_qos(),
+        )
+            .prop_map(|(topic, publisher, publish_micros, headers, payload, trace, q)| {
+                Frame::Deliver {
+                    topic,
+                    publisher,
+                    publish_micros,
+                    headers,
+                    payload,
+                    trace,
+                    qos: q.0,
+                    seq: q.1,
+                    retained: q.2,
+                }
             }),
         Just(Frame::StatsRequest),
         "[ -~]{0,128}".prop_map(|json| Frame::StatsReport { json }),
@@ -139,8 +170,11 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         any::<u64>().prop_map(|nonce| Frame::Pong { nonce }),
         Just(Frame::StatsSnapshotRequest),
         "[ -~]{0,128}".prop_map(|json| Frame::StatsSnapshot { json }),
-        (arb_topic(), any::<u32>())
-            .prop_map(|(topic, retry_after_ms)| Frame::Busy { topic, retry_after_ms }),
+        (arb_topic(), any::<u32>(), any::<u64>())
+            .prop_map(|(topic, retry_after_ms, seq)| Frame::Busy { topic, retry_after_ms, seq }),
+        (arb_topic(), any::<u64>()).prop_map(|(topic, seq)| Frame::PubAck { topic, seq }),
+        (arb_topic(), any::<u64>(), any::<u64>())
+            .prop_map(|(topic, publisher, seq)| Frame::DeliverAck { topic, publisher, seq }),
     ]
 }
 

@@ -295,10 +295,17 @@ async fn idle_connections_are_reaped_but_keepalive_clients_survive() {
 
 /// The full acceptance scenario: kill one region's broker under load,
 /// restart it, and assert that (a) its subscribers automatically
-/// resubscribe, (b) publications buffered during the outage are
-/// delivered after reconnect, and (c) the controller's next round
-/// re-optimizes over the surviving regions. Slow by construction (real
-/// backoff schedules); runs in the CI chaos job via `--include-ignored`.
+/// resubscribe, (b) **zero** QoS 1 publications are lost across the
+/// outage — everything published into the dead region is retransmitted
+/// after reconnect and arrives exactly once (seq audit) — and (c) the
+/// controller's next round re-optimizes over the surviving regions.
+/// Earlier revisions of this test ran the topic at QoS 0 and could only
+/// assert that *explicitly buffered* messages survived; publishes
+/// in-flight when the socket died were silently lost. At QoS 1 the
+/// publisher tracks every publish until its `PubAck`, so the loss
+/// budget is exactly zero (see EXPERIMENTS.md). Slow by construction
+/// (real backoff schedules); runs in the CI chaos job via
+/// `--include-ignored`.
 #[tokio::test]
 #[ignore = "chaos test (seconds of real backoff); run with --include-ignored"]
 async fn region_outage_reconverges_end_to_end() {
@@ -322,13 +329,16 @@ async fn region_outage_reconverges_end_to_end() {
     controller.register_client(80, vec![70.0, 5.0]);
     controller.register_client(81, vec![75.0, 6.0]);
 
+    // The "game" stream runs at QoS 1: the outage must not lose a
+    // single message.
     let mut sub0 = SubscriberClient::new(ClientConfig {
         latencies_ms: vec![6.0, 75.0],
         reconnect: fast_reconnect(),
+        qos1_topics: vec!["game".to_string()],
         ..ClientConfig::new(71, addrs.clone())
     })
     .unwrap();
-    sub0.subscribe("game").await.unwrap();
+    sub0.subscribe_qos1("game").await.unwrap();
     assert_eq!(sub0.subscribed_region("game"), Some(RegionId(0)));
     let mut sub1 = SubscriberClient::new(ClientConfig {
         latencies_ms: vec![75.0, 6.0],
@@ -342,6 +352,7 @@ async fn region_outage_reconverges_end_to_end() {
     let mut pub0 = PublisherClient::new(ClientConfig {
         latencies_ms: vec![5.0, 70.0],
         reconnect: fast_reconnect(),
+        qos1_topics: vec!["game".to_string()],
         ..ClientConfig::new(70, addrs.clone())
     })
     .unwrap();
@@ -352,8 +363,9 @@ async fn region_outage_reconverges_end_to_end() {
     })
     .unwrap();
 
-    // Healthy baseline: both topics deliver.
+    // Healthy baseline: both topics deliver (and the QoS 1 stream acks).
     pub0.publish("game", &b"healthy-game"[..]).await.unwrap();
+    assert!(pub0.await_acked(TICK).await, "healthy publish acked");
     assert_eq!(&recv(&mut sub0).await.payload[..], b"healthy-game");
     pub1.publish("side", &b"healthy-side"[..]).await.unwrap();
     assert_eq!(&recv(&mut sub1).await.payload[..], b"healthy-side");
@@ -376,10 +388,19 @@ async fn region_outage_reconverges_end_to_end() {
     let addr0 = addrs[0];
     broker0.shutdown();
 
-    // pub0 publishes until the outage is noticed, then buffers five more.
+    // pub0 publishes until the outage is noticed, then five more into
+    // the dead region. At QoS 1 *every* publish in this phase — even
+    // ones whose socket write falsely succeeded against the dying
+    // connection — stays in the unacked set until a broker acks it, so
+    // the audit below can demand zero loss rather than "buffered
+    // messages survived".
+    let mut outage_bodies = Vec::new();
     let mut noticed = false;
     for i in 0..100u32 {
-        if pub0.publish("game", format!("during-{i}").into_bytes()).await.unwrap() == 0 {
+        let body = format!("during-{i}");
+        let sent = pub0.publish("game", body.clone().into_bytes()).await.unwrap();
+        outage_bodies.push(body);
+        if sent == 0 {
             noticed = true;
             break;
         }
@@ -387,9 +408,15 @@ async fn region_outage_reconverges_end_to_end() {
     }
     assert!(noticed, "pub0 never noticed the region-0 outage");
     for i in 0..5u32 {
-        assert_eq!(pub0.publish("game", format!("buffered-{i}").into_bytes()).await.unwrap(), 0);
+        let body = format!("buffered-{i}");
+        assert_eq!(pub0.publish("game", body.clone().into_bytes()).await.unwrap(), 0);
+        outage_bodies.push(body);
     }
-    assert!(pub0.pending_count() >= 6);
+    assert_eq!(
+        pub0.unacked_count(),
+        outage_bodies.len(),
+        "every outage-phase publish awaits its ack"
+    );
 
     // Region-1 traffic continues during the outage.
     for i in 0..3u32 {
@@ -433,16 +460,24 @@ async fn region_outage_reconverges_end_to_end() {
     assert!(resubscribed, "sub0 never reconnected to the restarted broker");
     tokio::time::sleep(Duration::from_millis(100)).await;
 
-    // (b) The buffered backlog flushes and reaches the resubscribed sub0.
-    let flushed = pub0.flush_pending().await;
-    assert!(flushed >= 6, "backlog flushes after restart (flushed {flushed})");
-    assert_eq!(pub0.pending_count(), 0);
+    // (b) Zero-loss gate: retransmission drains the unacked set, and
+    // every outage-phase publish reaches the resubscribed sub0 exactly
+    // once (sequence audit; client-side dedup absorbs retransmit
+    // overlap).
+    assert!(
+        pub0.await_acked(Duration::from_secs(20)).await,
+        "outage backlog fully acked after restart ({} unacked)",
+        pub0.unacked_count()
+    );
     let mut got = Vec::new();
-    for _ in 0..flushed {
-        got.push(String::from_utf8(recv(&mut sub0).await.payload.to_vec()).unwrap());
+    let mut seqs = std::collections::HashSet::new();
+    while got.len() < outage_bodies.len() {
+        let delivery = recv(&mut sub0).await;
+        assert!(seqs.insert(delivery.seq), "sequence {} delivered twice", delivery.seq);
+        got.push(String::from_utf8(delivery.payload.to_vec()).unwrap());
     }
-    for i in 0..5u32 {
-        assert!(got.contains(&format!("buffered-{i}")), "missing buffered-{i} in {got:?}");
+    for body in &outage_bodies {
+        assert!(got.contains(body), "lost {body:?} across the outage; received {got:?}");
     }
     assert_eq!(sub0.subscribed_region("game"), Some(RegionId(0)));
 

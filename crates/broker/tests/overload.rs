@@ -73,8 +73,11 @@ async fn raw_subscriber(
     stream.set_nodelay(true).ok();
     let connect = encode_to_bytes(&Frame::Connect { client_id, role: Role::Subscriber, policy });
     stream.write_all(&connect).await.unwrap();
-    let subscribe =
-        encode_to_bytes(&Frame::Subscribe { topic: topic.to_string(), filter: String::new() });
+    let subscribe = encode_to_bytes(&Frame::Subscribe {
+        topic: topic.to_string(),
+        filter: String::new(),
+        qos: 0,
+    });
     stream.write_all(&subscribe).await.unwrap();
     stream
 }

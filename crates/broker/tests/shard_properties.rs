@@ -47,6 +47,9 @@ fn arb_deliver() -> impl Strategy<Value = Frame> {
             headers,
             payload,
             trace,
+            qos: 0,
+            seq: 0,
+            retained: false,
         },
     )
 }

@@ -11,6 +11,8 @@
 //!     [--publish-rate 1000] \             # per-publisher admission (msgs/s)
 //!     [--inflight-budget 67108864] \      # global queued-bytes budget
 //!     [--shards 8] \                      # subscription-map shards (1 = reference path)
+//!     [--dedup-window 1024] \             # QoS 1 per-publisher dedup window (seqs)
+//!     [--retain true] \                   # retain last value per topic for late subscribers
 //!     [--metrics-addr 0.0.0.0:9464]       # Prometheus scrape endpoint
 //! ```
 //!
@@ -33,7 +35,8 @@ const USAGE: &str = "usage: multipub-broker --region <idx> [--bind <addr>] \
                      [--keepalive <ms>] [--outbound-queue <frames>] \
                      [--slow-consumer block:<ms>|drop-oldest|drop-newest|disconnect] \
                      [--publish-rate <msgs_per_sec>] [--inflight-budget <bytes>] \
-                     [--shards <n>] [--metrics-addr <addr>]";
+                     [--shards <n>] [--dedup-window <seqs>] [--retain true|false] \
+                     [--metrics-addr <addr>]";
 
 async fn run() -> Result<(), String> {
     let args = Args::from_env()?;
@@ -84,6 +87,17 @@ async fn run() -> Result<(), String> {
     if let Some(shards) = args.get("shards") {
         let shards: usize = shards.parse().map_err(|_| "bad --shards (count)".to_string())?;
         builder = builder.shards(shards);
+    }
+    if let Some(window) = args.get("dedup-window") {
+        let window: usize = window.parse().map_err(|_| "bad --dedup-window (seqs)".to_string())?;
+        if window == 0 {
+            return Err("--dedup-window must be at least 1".to_string());
+        }
+        builder = builder.dedup_window(window);
+    }
+    if let Some(retain) = args.get("retain") {
+        let retain: bool = retain.parse().map_err(|_| "bad --retain (true|false)".to_string())?;
+        builder = builder.retain(retain);
     }
     for spec in args.get_all("peer") {
         let (peer_region, addr) = parse_pair::<u8>(spec)?;

@@ -22,9 +22,11 @@
 //! an outage window kills the message copy (the broker is "down"), and
 //! active link degradations stretch inter-region forwards. Publications
 //! emitted inside a publish-burst window are multiplied, and deliveries
-//! arriving at a stalled subscriber queue until the stall ends. All fault
-//! draws come from their own RNG stream, so a quiet plan reproduces
-//! fault-free runs bit for bit.
+//! arriving at a stalled subscriber queue until the stall ends.
+//! Duplicate-delivery windows fan each delivery into several independent
+//! copies, and reorder windows stretch deliveries by a seeded uniform
+//! draw that shuffles arrival order. All fault draws come from their own
+//! RNG streams, so a quiet plan reproduces fault-free runs bit for bit.
 
 // lint:allow-file(indexing) discrete-event hot loop: every topic/publisher/subscriber/region index is minted from the validated `Scenario` at pre-schedule time and only round-trips through the event queue, so all slice accesses are in bounds by construction
 
@@ -335,24 +337,35 @@ impl Engine {
         }
 
         // Deliver to the subscribers homed at this region, billing
-        // Internet egress at this region's β rate.
+        // Internet egress at this region's β rate. A duplicate-delivery
+        // window fans each delivery into several copies — an
+        // at-least-once redelivery storm — and each copy is billed,
+        // lost and delayed independently.
         let locals = self.routing[topic].local_subscribers[region.index()].clone();
+        let copies = self.faults.plan().duplicate_copies(now);
         for subscriber in locals {
             debug_assert_eq!(self.routing[topic].subscriber_region[subscriber], region);
-            self.ledger.record_internet(region, size);
-            if self.faults.drop_packet() {
-                self.lose_copy();
-                continue;
+            for _ in 0..copies {
+                self.ledger.record_internet(region, size);
+                if self.faults.drop_packet() {
+                    self.lose_copy();
+                    continue;
+                }
+                let latency = self.scenario.topics()[topic].subscribers()[subscriber].latencies()
+                    [region.index()]
+                    + self.jitter.sample()
+                    // An active reorder window stretches this copy by a
+                    // seeded uniform draw, shuffling arrival order.
+                    + self.faults.reorder_extra_ms(now);
+                // A stalled subscriber queues the delivery until its stall
+                // window ends — the simulated slow consumer.
+                let client = self.scenario.topics()[topic].subscribers()[subscriber].client();
+                let lands_at = self.faults.stall_release(client, now + latency);
+                self.queue.schedule(
+                    lands_at,
+                    Event::Deliver { topic, subscriber, publisher, published_at },
+                );
             }
-            let latency = self.scenario.topics()[topic].subscribers()[subscriber].latencies()
-                [region.index()]
-                + self.jitter.sample();
-            // A stalled subscriber queues the delivery until its stall
-            // window ends — the simulated slow consumer.
-            let client = self.scenario.topics()[topic].subscribers()[subscriber].client();
-            let lands_at = self.faults.stall_release(client, now + latency);
-            self.queue
-                .schedule(lands_at, Event::Deliver { topic, subscriber, publisher, published_at });
         }
     }
 }
@@ -768,6 +781,73 @@ mod tests {
                 _ => unreachable!(),
             }
         }
+    }
+
+    #[test]
+    fn duplicate_window_fans_out_and_bills_every_copy() {
+        // All 10 publications × 2 subscribers, tripled by the window.
+        let scenario = two_region_scenario(DeliveryMode::Direct).with_fault_plan(
+            crate::faults::FaultPlan::none()
+                .with_duplicate(crate::faults::DuplicateDelivery::new(3, 0.0, 2000.0)),
+        );
+        let report = Engine::new(scenario, Jitter::disabled(), 0).run(1000.0);
+        assert_eq!(report.delivery_count(), 60);
+        assert_eq!(report.lost_count(), 0);
+        // Duplicates are not free: each copy bills Internet egress.
+        assert_eq!(report.ledger().internet_bytes(RegionId(0)), 30_000);
+        assert_eq!(report.ledger().internet_bytes(RegionId(1)), 30_000);
+        // Copies share their original's timing, so latency is untouched.
+        for d in report.deliveries() {
+            let expected = match d.subscriber {
+                ClientId(1) => 5.0 + 4.0,
+                ClientId(2) => 60.0 + 6.0,
+                _ => unreachable!(),
+            };
+            assert!((d.latency_ms() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reorder_window_delays_within_span_and_loses_nothing() {
+        let run = || {
+            let scenario = two_region_scenario(DeliveryMode::Direct).with_fault_plan(
+                crate::faults::FaultPlan::none()
+                    .with_reorder(crate::faults::ReorderWindow::new(20.0, 0.0, 2000.0)),
+            );
+            Engine::new(scenario, Jitter::disabled(), 5).run(1000.0)
+        };
+        let report = run();
+        assert_eq!(report, run(), "reorder scenario must be deterministic");
+        assert_eq!(report.delivery_count(), 20);
+        assert_eq!(report.lost_count(), 0);
+        for d in report.deliveries() {
+            let base = match d.subscriber {
+                ClientId(1) => 5.0 + 4.0,
+                ClientId(2) => 60.0 + 6.0,
+                _ => unreachable!(),
+            };
+            let extra = d.latency_ms() - base;
+            assert!((0.0..20.0).contains(&extra), "extra delay {extra} outside the span");
+        }
+    }
+
+    #[test]
+    fn duplicates_and_reorder_leave_loss_pattern_unchanged() {
+        // The loss stream must be independent of the new fault shapes:
+        // with full duplication the per-copy loss draws change which
+        // *copies* die, but a loss-only run and a loss+reorder run make
+        // identical draws.
+        let run = |plan: crate::faults::FaultPlan| {
+            let scenario = two_region_scenario(DeliveryMode::Routed).with_fault_plan(plan);
+            Engine::new(scenario, Jitter::disabled(), 11).run(1000.0)
+        };
+        let loss_only = crate::faults::FaultPlan::none().with_loss_rate(0.4);
+        let with_reorder =
+            loss_only.clone().with_reorder(crate::faults::ReorderWindow::new(15.0, 0.0, 2000.0));
+        let a = run(loss_only);
+        let b = run(with_reorder);
+        assert_eq!(a.lost_count(), b.lost_count());
+        assert_eq!(a.delivery_count(), b.delivery_count());
     }
 
     #[test]

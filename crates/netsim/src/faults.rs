@@ -16,11 +16,19 @@
 //!   outbound queue holding frames for a slow consumer;
 //! * **publish bursts** — every publication emitted inside the window is
 //!   multiplied, modelling a load spike (e.g. a 10× flash crowd) against
-//!   the broker's admission-control layer.
+//!   the broker's admission-control layer;
+//! * **duplicate-delivery windows** — every delivery scheduled inside
+//!   the window is fanned out in multiple copies, modelling an
+//!   at-least-once redelivery storm against subscriber-side dedup;
+//! * **reorder windows** — deliveries scheduled inside the window pick
+//!   up an extra seeded uniform delay, shuffling arrival order without
+//!   losing anything.
 //!
 //! The engine consults a [`FaultInjector`] (plan + RNG) at every hop.
 //! With the default quiet plan no RNG draws happen at all, so existing
 //! fault-free runs remain bit-for-bit identical to previous releases.
+//! Reorder delays come from their own RNG stream, so adding a reorder
+//! window never changes *which* messages the loss stream drops.
 
 use crate::time::SimTime;
 use multipub_core::ids::{ClientId, RegionId};
@@ -221,10 +229,110 @@ impl PublishBurst {
     }
 }
 
+/// A duplicate-delivery window: every delivery scheduled inside
+/// `[start_ms, end_ms)` is fanned out as `copies` independent copies —
+/// the simulated analogue of an at-least-once redelivery storm (broker
+/// retransmits, mesh double-paths) that subscriber-side dedup must
+/// absorb. Each copy is billed, lost and delayed independently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DuplicateDelivery {
+    copies: u64,
+    start_ms: f64,
+    end_ms: f64,
+}
+
+impl DuplicateDelivery {
+    /// Creates a window fanning each delivery into `copies` copies over
+    /// `[start_ms, end_ms)` (`copies == 1` is a no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies` is zero or the window bounds are invalid (see
+    /// [`RegionOutage::new`]).
+    pub fn new(copies: u64, start_ms: f64, end_ms: f64) -> Self {
+        assert!(copies >= 1, "duplicate copies must be at least 1");
+        assert!(
+            start_ms.is_finite() && end_ms.is_finite() && 0.0 <= start_ms && start_ms < end_ms,
+            "duplicate window must satisfy 0 <= start < end"
+        );
+        DuplicateDelivery { copies, start_ms, end_ms }
+    }
+
+    /// Copies per delivery while active.
+    pub fn copies(&self) -> u64 {
+        self.copies
+    }
+
+    /// Window start (inclusive), in milliseconds.
+    pub fn start_ms(&self) -> f64 {
+        self.start_ms
+    }
+
+    /// Window end (exclusive), in milliseconds.
+    pub fn end_ms(&self) -> f64 {
+        self.end_ms
+    }
+
+    /// Whether the window is active at simulated time `at`.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start_ms <= at.as_ms() && at.as_ms() < self.end_ms
+    }
+}
+
+/// A reorder window: deliveries scheduled inside `[start_ms, end_ms)`
+/// pick up an extra uniform delay in `[0, span_ms)`, drawn from a
+/// dedicated seeded RNG stream. Arrival *order* is shuffled; nothing is
+/// lost — the simulated counterpart of retransmit-induced reordering
+/// that sequence-number discipline must tolerate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderWindow {
+    span_ms: f64,
+    start_ms: f64,
+    end_ms: f64,
+}
+
+impl ReorderWindow {
+    /// Creates a reorder window of up to `span_ms` extra delay over
+    /// `[start_ms, end_ms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span_ms` is not finite and positive, or the window
+    /// bounds are invalid (see [`RegionOutage::new`]).
+    pub fn new(span_ms: f64, start_ms: f64, end_ms: f64) -> Self {
+        assert!(span_ms.is_finite() && span_ms > 0.0, "reorder span must be positive");
+        assert!(
+            start_ms.is_finite() && end_ms.is_finite() && 0.0 <= start_ms && start_ms < end_ms,
+            "reorder window must satisfy 0 <= start < end"
+        );
+        ReorderWindow { span_ms, start_ms, end_ms }
+    }
+
+    /// Maximum extra delay while active, in milliseconds.
+    pub fn span_ms(&self) -> f64 {
+        self.span_ms
+    }
+
+    /// Window start (inclusive), in milliseconds.
+    pub fn start_ms(&self) -> f64 {
+        self.start_ms
+    }
+
+    /// Window end (exclusive), in milliseconds.
+    pub fn end_ms(&self) -> f64 {
+        self.end_ms
+    }
+
+    /// Whether the window is active at simulated time `at`.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start_ms <= at.as_ms() && at.as_ms() < self.end_ms
+    }
+}
+
 /// A complete fault schedule for one simulation run.
 ///
 /// The default plan is quiet: no loss, no outages, no degradations, no
-/// stalls, no bursts.
+/// stalls, no bursts, no duplicates, no reordering.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     loss_rate: f64,
@@ -232,6 +340,8 @@ pub struct FaultPlan {
     degradations: Vec<LinkDegradation>,
     stalls: Vec<SubscriberStall>,
     bursts: Vec<PublishBurst>,
+    duplicates: Vec<DuplicateDelivery>,
+    reorders: Vec<ReorderWindow>,
 }
 
 impl FaultPlan {
@@ -275,6 +385,18 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a duplicate-delivery window.
+    pub fn with_duplicate(mut self, duplicate: DuplicateDelivery) -> Self {
+        self.duplicates.push(duplicate);
+        self
+    }
+
+    /// Adds a reorder window.
+    pub fn with_reorder(mut self, reorder: ReorderWindow) -> Self {
+        self.reorders.push(reorder);
+        self
+    }
+
     /// The per-hop loss probability.
     pub fn loss_rate(&self) -> f64 {
         self.loss_rate
@@ -300,6 +422,16 @@ impl FaultPlan {
         &self.bursts
     }
 
+    /// The scheduled duplicate-delivery windows.
+    pub fn duplicates(&self) -> &[DuplicateDelivery] {
+        &self.duplicates
+    }
+
+    /// The scheduled reorder windows.
+    pub fn reorders(&self) -> &[ReorderWindow] {
+        &self.reorders
+    }
+
     /// `true` when the plan injects no faults at all.
     pub fn is_quiet(&self) -> bool {
         self.loss_rate == 0.0
@@ -307,6 +439,8 @@ impl FaultPlan {
             && self.degradations.is_empty()
             && self.stalls.is_empty()
             && self.bursts.is_empty()
+            && self.duplicates.is_empty()
+            && self.reorders.is_empty()
     }
 
     /// Whether `region` is inside any outage window at time `at`.
@@ -346,6 +480,23 @@ impl FaultPlan {
             .map(|b| b.multiplier)
             .fold(1u64, u64::saturating_mul)
     }
+
+    /// How many copies of a delivery scheduled at `at` are fanned out:
+    /// the product of all active duplicate windows, at least 1.
+    pub fn duplicate_copies(&self, at: SimTime) -> u64 {
+        self.duplicates
+            .iter()
+            .filter(|d| d.contains(at))
+            .map(|d| d.copies)
+            .fold(1u64, u64::saturating_mul)
+    }
+
+    /// The maximum extra reorder delay for a delivery scheduled at `at`:
+    /// the sum of all active reorder-window spans, 0 outside every
+    /// window.
+    pub fn reorder_span_ms(&self, at: SimTime) -> f64 {
+        self.reorders.iter().filter(|r| r.contains(at)).map(|r| r.span_ms).sum()
+    }
 }
 
 /// A [`FaultPlan`] paired with its own seeded RNG for loss sampling.
@@ -357,6 +508,9 @@ impl FaultPlan {
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: StdRng,
+    /// Dedicated stream for reorder delays, so adding a reorder window
+    /// leaves the loss stream's draw sequence byte-identical.
+    reorder_rng: StdRng,
 }
 
 impl FaultInjector {
@@ -365,7 +519,8 @@ impl FaultInjector {
         // Decorrelate from the jitter stream, which is seeded with the raw
         // engine seed.
         let rng = StdRng::seed_from_u64(seed ^ 0xFA17_7013_u64);
-        FaultInjector { plan, rng }
+        let reorder_rng = StdRng::seed_from_u64(seed ^ 0x2E02_DE21_u64);
+        FaultInjector { plan, rng, reorder_rng }
     }
 
     /// The underlying plan.
@@ -395,6 +550,18 @@ impl FaultInjector {
     /// [`FaultPlan::stall_release`]).
     pub fn stall_release(&self, client: ClientId, at: SimTime) -> SimTime {
         self.plan.stall_release(client, at)
+    }
+
+    /// Extra delay for a delivery scheduled at `at`: a uniform draw in
+    /// `[0, span)` where `span` is the active reorder-window total.
+    /// Draws from the dedicated reorder RNG only when a window is
+    /// active, so quiet plans make no draws at all.
+    pub fn reorder_extra_ms(&mut self, at: SimTime) -> f64 {
+        let span = self.plan.reorder_span_ms(at);
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.reorder_rng.random::<f64>() * span
     }
 }
 
@@ -519,6 +686,78 @@ mod tests {
     #[should_panic(expected = "burst multiplier must be at least 1")]
     fn zero_burst_multiplier_rejected() {
         let _ = PublishBurst::new(0, 0.0, 100.0);
+    }
+
+    #[test]
+    fn duplicate_copies_are_windowed_and_multiplicative() {
+        let plan = FaultPlan::none()
+            .with_duplicate(DuplicateDelivery::new(3, 100.0, 400.0))
+            .with_duplicate(DuplicateDelivery::new(2, 300.0, 500.0));
+        assert!(!plan.is_quiet());
+        let at = |ms| plan.duplicate_copies(SimTime::from_ms(ms));
+        assert_eq!(at(50.0), 1);
+        assert_eq!(at(100.0), 3);
+        assert_eq!(at(350.0), 6); // overlap multiplies
+        assert_eq!(at(450.0), 2);
+        assert_eq!(at(500.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate copies must be at least 1")]
+    fn zero_duplicate_copies_rejected() {
+        let _ = DuplicateDelivery::new(0, 0.0, 100.0);
+    }
+
+    #[test]
+    fn reorder_span_is_windowed_and_additive() {
+        let plan = FaultPlan::none()
+            .with_reorder(ReorderWindow::new(20.0, 100.0, 400.0))
+            .with_reorder(ReorderWindow::new(5.0, 300.0, 500.0));
+        assert!(!plan.is_quiet());
+        let at = |ms| plan.reorder_span_ms(SimTime::from_ms(ms));
+        assert_eq!(at(50.0), 0.0);
+        assert_eq!(at(100.0), 20.0);
+        assert_eq!(at(350.0), 25.0); // overlap adds
+        assert_eq!(at(450.0), 5.0);
+        assert_eq!(at(500.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder span must be positive")]
+    fn nonpositive_reorder_span_rejected() {
+        let _ = ReorderWindow::new(0.0, 0.0, 100.0);
+    }
+
+    #[test]
+    fn reorder_draws_are_seeded_bounded_and_quiet_outside_windows() {
+        let plan = FaultPlan::none().with_reorder(ReorderWindow::new(20.0, 100.0, 400.0));
+        let draws = |seed: u64| {
+            let mut injector = FaultInjector::new(plan.clone(), seed);
+            // Outside a window: no draw at all, zero delay.
+            assert_eq!(injector.reorder_extra_ms(SimTime::from_ms(50.0)), 0.0);
+            (0..32).map(|_| injector.reorder_extra_ms(SimTime::from_ms(200.0))).collect::<Vec<_>>()
+        };
+        let a = draws(9);
+        assert_eq!(a, draws(9), "reorder draws must be reproducible per seed");
+        assert_ne!(a, draws(10));
+        assert!(a.iter().all(|&d| (0.0..20.0).contains(&d)), "delays must stay within the span");
+    }
+
+    #[test]
+    fn reorder_stream_does_not_disturb_loss_stream() {
+        // Same seed, same loss rate; the reorder window must leave the
+        // loss draw sequence byte-identical.
+        let loss_only = FaultPlan::none().with_loss_rate(0.5);
+        let with_reorder = loss_only.clone().with_reorder(ReorderWindow::new(10.0, 0.0, 1000.0));
+        let mut a = FaultInjector::new(loss_only, 3);
+        let mut b = FaultInjector::new(with_reorder, 3);
+        for i in 0..64 {
+            // Interleave reorder draws on one side only.
+            if i % 2 == 0 {
+                b.reorder_extra_ms(SimTime::from_ms(500.0));
+            }
+            assert_eq!(a.drop_packet(), b.drop_packet(), "loss draw {i} diverged");
+        }
     }
 
     #[test]

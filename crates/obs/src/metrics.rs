@@ -108,6 +108,15 @@ pub const BROKER_STAGE_WRITE_MS: &str = "multipub_broker_stage_write_ms";
 /// Traced-message time from write start to client-side receipt
 /// (includes broker→subscriber network transit).
 pub const BROKER_STAGE_DELIVER_MS: &str = "multipub_broker_stage_deliver_ms";
+/// QoS 1 publishes recognized as duplicate retransmits by the
+/// per-publisher dedup window (re-acked, not re-fanned-out).
+pub const BROKER_DEDUP_HITS_TOTAL: &str = "multipub_broker_dedup_hits_total";
+/// Retained last-value messages replayed to new subscribers.
+pub const BROKER_RETAINED_REPLAYS_TOTAL: &str = "multipub_broker_retained_replays_total";
+/// Unacked QoS 1 deliveries replayed to a (re)subscribing client.
+pub const BROKER_REDELIVERIES_TOTAL: &str = "multipub_broker_redeliveries_total";
+/// QoS 1 deliveries currently awaiting a subscriber ack.
+pub const BROKER_UNACKED_DEPTH: &str = "multipub_broker_unacked_depth";
 
 // --- obs (tracing) ------------------------------------------------------
 
@@ -126,6 +135,10 @@ pub const CLIENT_FRAMES_BUFFERED_TOTAL: &str = "multipub_client_frames_buffered_
 pub const CLIENT_FRAMES_DROPPED_TOTAL: &str = "multipub_client_frames_dropped_total";
 /// `Busy` NACKs received from brokers (publish refused, retry later).
 pub const CLIENT_BUSY_RECEIVED_TOTAL: &str = "multipub_client_busy_received_total";
+/// QoS 1 publishes retransmitted because no PubAck arrived in time.
+pub const CLIENT_RETRANSMITS_TOTAL: &str = "multipub_client_retransmits_total";
+/// Duplicate QoS 1 deliveries filtered client-side by `(publisher, seq)`.
+pub const CLIENT_DEDUP_HITS_TOTAL: &str = "multipub_client_dedup_hits_total";
 
 // --- controller ---------------------------------------------------------
 
@@ -344,6 +357,26 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Traced write-to-client-receipt time",
     },
     MetricDef {
+        name: BROKER_DEDUP_HITS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Duplicate QoS 1 retransmits re-acked",
+    },
+    MetricDef {
+        name: BROKER_RETAINED_REPLAYS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Retained messages replayed on subscribe",
+    },
+    MetricDef {
+        name: BROKER_REDELIVERIES_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Unacked deliveries replayed on reconnect",
+    },
+    MetricDef {
+        name: BROKER_UNACKED_DEPTH,
+        kind: MetricKind::Gauge,
+        help: "QoS 1 deliveries awaiting a subscriber ack",
+    },
+    MetricDef {
         name: OBS_TRACE_SPANS_TOTAL,
         kind: MetricKind::Counter,
         help: "Stage spans recorded into the trace ring",
@@ -372,6 +405,16 @@ pub const CATALOG: &[MetricDef] = &[
         name: CLIENT_BUSY_RECEIVED_TOTAL,
         kind: MetricKind::Counter,
         help: "Busy NACKs received from brokers",
+    },
+    MetricDef {
+        name: CLIENT_RETRANSMITS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "QoS 1 publishes retransmitted awaiting ack",
+    },
+    MetricDef {
+        name: CLIENT_DEDUP_HITS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Duplicate QoS 1 deliveries filtered client-side",
     },
     MetricDef {
         name: CONTROLLER_ROUNDS_TOTAL,

@@ -7,6 +7,11 @@
 //! matching ticks, while the controller still optimizes the topic's
 //! region placement underneath.
 //!
+//! The feed also demonstrates the at-least-once extensions (DESIGN.md
+//! §13): the end-of-session snapshot is published at QoS 1 **retained**,
+//! so the broker acks it and replays it to any trader who connects
+//! after the fact — the market-data snapshot pattern.
+//!
 //! Run with `cargo run --release --example market_data`.
 
 use multipub_broker::broker::Broker;
@@ -29,8 +34,10 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     let inter = InterRegionMatrix::from_rows(vec![vec![0.0, 60.0], vec![60.0, 0.0]])?;
 
-    let broker_ny = Broker::builder(RegionId(0)).spawn().await?;
-    let broker_sp = Broker::builder(RegionId(1)).spawn().await?;
+    // Retention on: the brokers keep each topic's last retained value
+    // for late subscribers.
+    let broker_ny = Broker::builder(RegionId(0)).retain(true).spawn().await?;
+    let broker_sp = Broker::builder(RegionId(1)).retain(true).spawn().await?;
     broker_ny.add_peer(RegionId(1), broker_sp.local_addr());
     broker_sp.add_peer(RegionId(0), broker_ny.local_addr());
     let addrs: Vec<SocketAddr> = vec![broker_ny.local_addr(), broker_sp.local_addr()];
@@ -57,11 +64,15 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     analyst.subscribe("ticks/latam").await?;
     tokio::time::sleep(Duration::from_millis(100)).await;
 
+    // The session-close snapshot topic runs at QoS 1: the feed keeps
+    // retransmitting until a broker acks, so the snapshot cannot be
+    // lost to a flaky socket.
     let mut feed = PublisherClient::new(ClientConfig {
         client_id: 1,
         region_addrs: addrs.clone(),
         latencies_ms: vec![5.0, 78.0],
         emulate_wan: false,
+        qos1_topics: vec!["ticks/latam/close".to_string()],
         ..ClientConfig::new(0, Vec::new())
     })?;
 
@@ -98,6 +109,33 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
             d.headers.get("price").expect("price header")
         );
     }
+
+    // Session close: publish the closing prices as a retained QoS 1
+    // snapshot. The broker acks it (at-least-once) and stores it as the
+    // topic's last value.
+    let mut close = Headers::new();
+    close.set("session", "2016-06-14").set("exchange", "B3");
+    feed.publish_retained("ticks/latam/close", &close, &b"PETR4=38.20 VALE3=61.90"[..]).await?;
+    if feed.await_acked(Duration::from_secs(5)).await {
+        println!("\nClosing snapshot published, retained and acked by the broker.");
+    }
+
+    // A latecomer connecting *after* the close still gets the snapshot:
+    // the broker replays the retained value on subscribe.
+    let mut latecomer = SubscriberClient::new(ClientConfig {
+        client_id: 4,
+        region_addrs: addrs.clone(),
+        latencies_ms: vec![70.0, 9.0],
+        emulate_wan: false,
+        ..ClientConfig::new(0, Vec::new())
+    })?;
+    latecomer.subscribe("ticks/latam/close").await?;
+    let replay = tokio::time::timeout(Duration::from_secs(5), latecomer.next_delivery()).await??;
+    println!(
+        "Latecomer receives the snapshot (retained replay = {}): {}",
+        replay.retained,
+        String::from_utf8_lossy(&replay.payload)
+    );
 
     // The controller optimizes the topic placement underneath the filters.
     let mut controller =
