@@ -24,10 +24,11 @@ use multipub_broker::frame::{Frame, Role, TraceContext};
 use multipub_broker::read_frame;
 use multipub_core::ids::RegionId;
 use multipub_obs::trace::{next_trace_id, Sampler, Span};
+use multipub_sync::Mutex;
 use serde::{Deserialize, Serialize};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use tokio::io::AsyncWriteExt;
 use tokio::net::TcpStream;
@@ -56,13 +57,23 @@ pub fn now_micros() -> u64 {
 }
 
 /// Delivery counters for one raw subscriber connection.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SubscriberStats {
     /// `Deliver` frames received.
     pub delivered: AtomicU64,
     /// Trip-time samples in microseconds (empty unless this subscriber
-    /// is one of the [`TRIP_SAMPLERS`]).
+    /// is one of the [`TRIP_SAMPLERS`]). Leaf lock, ranked above every
+    /// broker/obs lock. lock:rank(bench.trips, 100)
     pub trips: Mutex<Vec<u64>>,
+}
+
+impl Default for SubscriberStats {
+    fn default() -> Self {
+        SubscriberStats {
+            delivered: AtomicU64::new(0),
+            trips: Mutex::new(100, "bench.trips", Vec::new()),
+        }
+    }
 }
 
 impl SubscriberStats {
@@ -70,7 +81,7 @@ impl SubscriberStats {
         self.delivered.fetch_add(1, Ordering::Relaxed);
         if record_trips {
             let trip = now_micros().saturating_sub(publish_micros);
-            let mut trips = self.trips.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut trips = self.trips.lock();
             if trips.len() < MAX_TRIP_SAMPLES {
                 trips.push(trip);
             }
@@ -79,7 +90,7 @@ impl SubscriberStats {
 
     /// Drains and returns the recorded trip samples.
     pub fn take_trips(&self) -> Vec<u64> {
-        std::mem::take(&mut *self.trips.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+        std::mem::take(&mut *self.trips.lock())
     }
 }
 
@@ -710,7 +721,9 @@ mod tests {
     /// Serializes the live-scenario tests: [`run_scenario_with_spans`]
     /// drains the process-global trace ring, so concurrent scenarios in
     /// one test binary would steal each other's spans.
-    static LIVE_SCENARIO_LOCK: Mutex<()> = Mutex::new(());
+    // Deliberately a plain std mutex: test-only, never nested, and the
+    // ranked wrappers are for library locks the witness should watch.
+    static LIVE_SCENARIO_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[tokio::test]
     async fn tiny_live_scenario_delivers() {

@@ -23,10 +23,10 @@ use crate::flow::{FlowConfig, GlobalBudget, SlowConsumerPolicy, TokenBucket};
 use crate::frame::{Frame, Role, TraceContext, WireMode};
 use crate::qos::{QosState, RetainedMessage, UnackedDelivery, DEFAULT_DEDUP_WINDOW};
 use crate::shard::{resolve_shard_count, ShardedTopics};
+use crate::sync::Mutex;
 use bytes::{Bytes, BytesMut};
 use multipub_core::ids::RegionId;
 use multipub_filter::{Headers, Predicate};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
@@ -111,17 +111,20 @@ struct Shared {
     region: RegionId,
     delays: DelayTable,
     /// Addresses of peer brokers by region index.
-    peer_addrs: Mutex<HashMap<u16, SocketAddr>>,
+    peer_addrs: Mutex<HashMap<u16, SocketAddr>>, // lock:rank(broker.peer_addrs, 30)
     /// Known-region bitmask (self + peers), kept in lockstep with
     /// `peer_addrs` so the publish hot path derives default topic
     /// configurations without taking that lock.
     peer_mask: AtomicU32,
-    /// Established outbound connections to peer brokers.
-    peer_conns: tokio::sync::Mutex<HashMap<u16, Outbound>>,
+    /// Established outbound connections to peer brokers. Async mutex —
+    /// its guard is held across the `.await`s of a peer dial, so it is
+    /// outside the runtime witness; the rank below is enforced by the
+    /// static pass (L6) only.
+    peer_conns: tokio::sync::Mutex<HashMap<u16, Outbound>>, // lock:rank(broker.peer_conns, 20)
     /// Connected clients by connection id — the control plane's view
     /// (config fan-out and replay, `client_count`). The publish hot path
     /// never touches it; fan-out works entirely from `shards`.
-    clients: Mutex<HashMap<u64, ConnectedClient>>,
+    clients: Mutex<HashMap<u64, ConnectedClient>>, // lock:rank(broker.clients, 40)
     /// Local subscription state, sharded by topic hash (DESIGN.md §11):
     /// concurrent publishes to topics on different shards never contend.
     shards: ShardedTopics<SubEntry>,
@@ -132,14 +135,14 @@ struct Shared {
     /// frame-at-a-time writes as the benchmark reference path.
     zero_copy: bool,
     /// Installed configurations per topic.
-    configs: Mutex<HashMap<String, InstalledConfig>>,
+    configs: Mutex<HashMap<String, InstalledConfig>>, // lock:rank(broker.configs, 50)
     /// Interval statistics per topic.
-    stats: Mutex<HashMap<String, TopicStats>>,
+    stats: Mutex<HashMap<String, TopicStats>>, // lock:rank(broker.stats, 55)
     next_conn_id: AtomicU64,
     /// Live connection tasks, so shutdown can sever established
     /// connections (not just stop accepting) and clients fail over
     /// promptly instead of talking to a zombie.
-    conn_tasks: Mutex<Vec<JoinHandle<()>>>,
+    conn_tasks: Mutex<Vec<JoinHandle<()>>>, // lock:rank(broker.conn_tasks, 10)
     /// Reap a connection after this much inbound silence (`None` never
     /// reaps — the pre-fault-tolerance behaviour).
     idle_timeout: Option<Duration>,
@@ -328,17 +331,19 @@ impl BrokerBuilder {
             region: self.region,
             delays: self.delays,
             peer_addrs: Mutex::new(
+                30,
+                "broker.peer_addrs",
                 self.peers.into_iter().map(|(r, a)| (u16::from(r.0), a)).collect(),
             ),
             peer_mask: AtomicU32::new(peer_mask),
             peer_conns: tokio::sync::Mutex::new(HashMap::new()),
-            clients: Mutex::new(HashMap::new()),
+            clients: Mutex::new(40, "broker.clients", HashMap::new()),
             shards: ShardedTopics::new(shard_count),
             zero_copy,
-            configs: Mutex::new(HashMap::new()),
-            stats: Mutex::new(HashMap::new()),
+            configs: Mutex::new(50, "broker.configs", HashMap::new()),
+            stats: Mutex::new(55, "broker.stats", HashMap::new()),
             next_conn_id: AtomicU64::new(1),
-            conn_tasks: Mutex::new(Vec::new()),
+            conn_tasks: Mutex::new(10, "broker.conn_tasks", Vec::new()),
             idle_timeout: self.idle_timeout,
             peer_keepalive: self.peer_keepalive.or_else(|| self.idle_timeout.map(|t| t / 3)),
             flow,

@@ -38,10 +38,10 @@ use crate::flow::SlowConsumerPolicy;
 use crate::frame::{Frame, Role, TraceContext, WireMode};
 use crate::qos::{DedupWindow, DEFAULT_DEDUP_WINDOW};
 use crate::session::{Backoff, PendingPublish, PendingQueue, ReconnectPolicy};
+use crate::sync::Mutex;
 use bytes::{Bytes, BytesMut};
 use multipub_core::ids::RegionId;
 use multipub_filter::{Headers, Predicate};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -201,7 +201,7 @@ struct Links {
     config: ClientConfig,
     role: Role,
     conns: HashMap<u16, Outbound>,
-    topic_configs: Arc<Mutex<HashMap<String, InstalledConfig>>>,
+    topic_configs: Arc<Mutex<HashMap<String, InstalledConfig>>>, // lock:rank(client.topic_configs, 60)
     events_tx: mpsc::Sender<Event>,
     /// Regions connected at least once — a later connect is a *re*connect.
     ever_connected: std::collections::HashSet<u16>,
@@ -216,7 +216,7 @@ impl Links {
             config,
             role,
             conns: HashMap::new(),
-            topic_configs: Arc::new(Mutex::new(HashMap::new())),
+            topic_configs: Arc::new(Mutex::new(60, "client.topic_configs", HashMap::new())),
             events_tx,
             ever_connected: std::collections::HashSet::new(),
             disconnected_at: HashMap::new(),
@@ -457,7 +457,7 @@ pub struct SubscriberClient {
     deliveries_rx: mpsc::Receiver<Delivery>,
     /// topic → (region currently subscribed at, filter source, qos) —
     /// shared with the actor.
-    subscriptions: Arc<Mutex<HashMap<String, (u16, String, u8)>>>,
+    subscriptions: Arc<Mutex<HashMap<String, (u16, String, u8)>>>, // lock:rank(client.subscriptions, 62)
 }
 
 impl SubscriberClient {
@@ -473,7 +473,7 @@ impl SubscriberClient {
         let (events_tx, events_rx) = mpsc::channel(EVENT_CHANNEL_CAPACITY);
         let (commands_tx, commands_rx) = mpsc::channel(COMMAND_CHANNEL_CAPACITY);
         let (deliveries_tx, deliveries_rx) = mpsc::channel(EVENT_CHANNEL_CAPACITY);
-        let subscriptions = Arc::new(Mutex::new(HashMap::new()));
+        let subscriptions = Arc::new(Mutex::new(62, "client.subscriptions", HashMap::new()));
         let actor = SubscriberActor {
             links: Links::new(config, Role::Subscriber, events_tx),
             events_rx,
@@ -575,6 +575,8 @@ struct SubscriberActor {
     events_rx: mpsc::Receiver<Event>,
     commands_rx: mpsc::Receiver<Command>,
     deliveries_tx: mpsc::Sender<Delivery>,
+    /// Shared with the [`SubscriberClient`] handle; same lock as the
+    /// handle's field. lock:rank(client.subscriptions, 62)
     subscriptions: Arc<Mutex<HashMap<String, (u16, String, u8)>>>,
     /// In-flight reconnect episodes, one per dead region.
     backoffs: HashMap<u16, Backoff>,

@@ -20,8 +20,8 @@
 //! backlog drains below the low watermark — hysteresis, so the state
 //! does not flap at the boundary.
 
+use crate::sync::Mutex;
 use bytes::Bytes;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -258,7 +258,7 @@ impl QueueState {
 #[derive(Debug)]
 pub(crate) struct FlowQueue {
     config: FlowConfig,
-    state: Mutex<QueueState>,
+    state: Mutex<QueueState>, // lock:rank(flow.state, 80)
     /// Signals the single consumer that an entry (or close) is pending.
     readable: Notify,
     /// Wakes `Block`-policy senders once the queue drains to the low
@@ -279,12 +279,11 @@ impl FlowQueue {
     pub(crate) fn new(config: FlowConfig, budget: Option<Arc<GlobalBudget>>) -> FlowQueue {
         FlowQueue {
             config,
-            state: Mutex::new(QueueState {
-                entries: VecDeque::new(),
-                data_len: 0,
-                bytes: 0,
-                closed: false,
-            }),
+            state: Mutex::new(
+                80,
+                "flow.state",
+                QueueState { entries: VecDeque::new(), data_len: 0, bytes: 0, closed: false },
+            ),
             readable: Notify::new(),
             writable: Notify::new(),
             killed: Notify::new(),

@@ -12,8 +12,8 @@
 //! is in-memory and bounded — the dedup window and unacked buffers are
 //! capped at the configured window size per key.
 
+use crate::sync::Mutex;
 use bytes::Bytes;
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicI64, Ordering};
 
@@ -158,9 +158,9 @@ pub struct UnackedDelivery {
 pub struct QosState {
     window: usize,
     retain_enabled: bool,
-    dedup: Mutex<HashMap<u64, DedupWindow>>,
-    retained: Mutex<HashMap<String, RetainedMessage>>,
-    unacked: Mutex<HashMap<(u64, String), VecDeque<UnackedDelivery>>>,
+    dedup: Mutex<HashMap<u64, DedupWindow>>, // lock:rank(qos.dedup, 74)
+    retained: Mutex<HashMap<String, RetainedMessage>>, // lock:rank(qos.retained, 75)
+    unacked: Mutex<HashMap<(u64, String), VecDeque<UnackedDelivery>>>, // lock:rank(qos.unacked, 76)
     /// Total unacked deliveries across all keys, mirrored into the
     /// `multipub_broker_unacked_depth` gauge by the broker.
     depth: AtomicI64,
@@ -175,9 +175,9 @@ impl QosState {
         QosState {
             window,
             retain_enabled,
-            dedup: Mutex::new(HashMap::new()),
-            retained: Mutex::new(HashMap::new()),
-            unacked: Mutex::new(HashMap::new()),
+            dedup: Mutex::new(74, "qos.dedup", HashMap::new()),
+            retained: Mutex::new(75, "qos.retained", HashMap::new()),
+            unacked: Mutex::new(76, "qos.unacked", HashMap::new()),
             depth: AtomicI64::new(0),
         }
     }

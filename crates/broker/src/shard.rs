@@ -94,14 +94,20 @@ fn default_shard_count() -> usize {
 /// a publish counter updated without taking the map lock.
 #[derive(Debug)]
 struct Shard<E> {
-    /// topic → (connection id → subscriber entry).
+    /// topic → (connection id → subscriber entry). All shards share one
+    /// rank: a thread never holds two shard guards at once (the sweeps
+    /// visit shards one at a time), and the equal rank makes the witness
+    /// enforce exactly that. lock:rank(broker.shard_topics, 70)
     topics: Mutex<HashMap<String, HashMap<u64, E>>>,
     publishes: AtomicU64,
 }
 
 impl<E> Shard<E> {
     fn new() -> Self {
-        Shard { topics: Mutex::new(HashMap::new()), publishes: AtomicU64::new(0) }
+        Shard {
+            topics: Mutex::new(70, "broker.shard_topics", HashMap::new()),
+            publishes: AtomicU64::new(0),
+        }
     }
 }
 

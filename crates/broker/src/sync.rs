@@ -1,52 +1,22 @@
-//! Synchronization primitives for the sharded data path, switchable
-//! between `parking_lot`/`std` and `loom`.
+//! Synchronization primitives for the broker, re-exported from
+//! [`multipub_sync`].
 //!
-//! The per-shard subscription maps in [`crate::shard`] go through these
-//! re-exports so the loom models in `tests/loom_models.rs` can
-//! exhaustively check subscriber registration racing a concurrent
-//! publish under `RUSTFLAGS="--cfg loom"`. The `loom` crate is
+//! Every lock in this crate is a rank-carrying [`multipub_sync::Mutex`]
+//! (DESIGN.md §14): `cargo xtask lint` pass L6 checks the declared
+//! `// lock:rank(name, N)` order statically, and debug builds with
+//! `MULTIPUB_LOCK_WITNESS=1` enforce it at runtime. The broker enables
+//! the crate's `parking_lot` feature, so the data path keeps the same
+//! non-poisoning backend it always had; under `RUSTFLAGS="--cfg loom"`
+//! the same types switch to `loom::sync` so `tests/loom_models.rs` can
+//! exhaustively check the per-shard maps. The `loom` crate is
 //! deliberately **not** declared in `Cargo.toml` — the workspace must
 //! build on a bare toolchain; the CI loom job appends the dependency
 //! transiently before testing (see `.github/workflows/ci.yml` and
 //! DESIGN.md §9).
 //!
-//! Everything *outside* the shard map (flow queues, peer tables, the
-//! clients registry) stays on `parking_lot`/tokio directly: those paths
-//! involve async notification primitives loom cannot model, and TSan
-//! covers them over real threads instead.
+//! The one lock *not* from here is `Shared::peer_conns`
+//! (`tokio::sync::Mutex`): its guard is held across `.await` while
+//! dialing, which the per-OS-thread witness cannot model. It carries a
+//! `lock:rank` annotation for the static pass only.
 
-#[cfg(loom)]
-mod imp {
-    /// Facade over `loom::sync::Mutex` matching `parking_lot`'s
-    /// non-poisoning `lock()` signature, so [`crate::shard`] reads the
-    /// same under both configurations.
-    pub(crate) struct Mutex<T>(loom::sync::Mutex<T>);
-
-    impl<T> std::fmt::Debug for Mutex<T> {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            f.pad("Mutex { .. }")
-        }
-    }
-
-    impl<T> Mutex<T> {
-        pub(crate) fn new(value: T) -> Self {
-            Mutex(loom::sync::Mutex::new(value))
-        }
-
-        pub(crate) fn lock(&self) -> loom::sync::MutexGuard<'_, T> {
-            // A panicked holder aborts the loom model anyway; recover
-            // the guard rather than double-panicking.
-            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-        }
-    }
-
-    pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
-}
-
-#[cfg(not(loom))]
-mod imp {
-    pub(crate) use parking_lot::Mutex;
-    pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
-}
-
-pub(crate) use imp::{AtomicU64, Mutex, Ordering};
+pub(crate) use multipub_sync::{AtomicU64, Mutex, Ordering};

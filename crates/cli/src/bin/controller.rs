@@ -62,8 +62,10 @@ async fn run() -> Result<(), String> {
 
     let (regions, inter) = match (args.get("regions-csv"), args.get("inter-csv")) {
         (Some(regions_path), Some(inter_path)) => {
-            let regions_text = std::fs::read_to_string(regions_path).map_err(|e| e.to_string())?;
-            let inter_text = std::fs::read_to_string(inter_path).map_err(|e| e.to_string())?;
+            let regions_text =
+                tokio::fs::read_to_string(regions_path).await.map_err(|e| e.to_string())?;
+            let inter_text =
+                tokio::fs::read_to_string(inter_path).await.map_err(|e| e.to_string())?;
             (
                 multipub_data::csv::parse_region_set(&regions_text).map_err(|e| e.to_string())?,
                 multipub_data::csv::parse_inter_region_matrix(&inter_text)

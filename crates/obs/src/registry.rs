@@ -94,12 +94,15 @@ fn kind_name(metric: &Metric) -> &'static str {
 /// via [`registry`]; tests can build private ones.
 #[derive(Debug)]
 pub struct Registry {
+    /// One rank shared by every `Registry` instance (the global one
+    /// and test-private ones): no code path locks two registries at
+    /// once. lock:rank(obs.registry, 95)
     metrics: RwLock<BTreeMap<String, Metric>>,
 }
 
 impl Default for Registry {
     fn default() -> Self {
-        Registry { metrics: RwLock::new(BTreeMap::new()) }
+        Registry { metrics: RwLock::new(95, "obs.registry", BTreeMap::new()) }
     }
 }
 
@@ -115,14 +118,10 @@ impl Registry {
     ///
     /// Panics if `name` is already registered as a different kind.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        if let Some(Metric::Counter(counter)) =
-            // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
-            self.metrics.read().expect("metrics lock").get(name).cloned()
-        {
+        if let Some(Metric::Counter(counter)) = self.metrics.read().get(name).cloned() {
             return counter;
         }
-        // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
-        let mut metrics = self.metrics.write().expect("metrics lock");
+        let mut metrics = self.metrics.write();
         let entry = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
@@ -142,14 +141,10 @@ impl Registry {
     ///
     /// Panics if `name` is already registered as a different kind.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        if let Some(Metric::Gauge(gauge)) =
-            // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
-            self.metrics.read().expect("metrics lock").get(name).cloned()
-        {
+        if let Some(Metric::Gauge(gauge)) = self.metrics.read().get(name).cloned() {
             return gauge;
         }
-        // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
-        let mut metrics = self.metrics.write().expect("metrics lock");
+        let mut metrics = self.metrics.write();
         let entry = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
@@ -169,14 +164,10 @@ impl Registry {
     ///
     /// Panics if `name` is already registered as a different kind.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        if let Some(Metric::Histogram(histogram)) =
-            // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
-            self.metrics.read().expect("metrics lock").get(name).cloned()
-        {
+        if let Some(Metric::Histogram(histogram)) = self.metrics.read().get(name).cloned() {
             return histogram;
         }
-        // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
-        let mut metrics = self.metrics.write().expect("metrics lock");
+        let mut metrics = self.metrics.write();
         let entry = metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
@@ -192,8 +183,7 @@ impl Registry {
 
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        // lint:allow(panic) lock poisoning is unrecoverable; metrics must not silently stop
-        let metrics = self.metrics.read().expect("metrics lock");
+        let metrics = self.metrics.read();
         let mut snapshot = RegistrySnapshot::default();
         for (name, metric) in metrics.iter() {
             match metric {

@@ -1,13 +1,20 @@
-//! Synchronization primitives, switchable between `std` and `loom`.
+//! Synchronization primitives, re-exported from [`multipub_sync`].
 //!
-//! Everything concurrency-relevant in this crate (registry lock,
-//! counter/gauge/histogram atomics) goes through these re-exports so
-//! the loom models in `tests/loom_models.rs` can exhaustively check
-//! the lock-free paths under `RUSTFLAGS="--cfg loom"`. The `loom`
-//! crate is deliberately **not** declared in `Cargo.toml` — the
-//! workspace must build on a bare toolchain; the CI loom job appends
-//! the dependency transiently before testing (see
-//! `.github/workflows/ci.yml` and DESIGN.md §9).
+//! Everything concurrency-relevant in this crate (registry lock, trace
+//! ring slots, counter/gauge/histogram atomics) goes through these
+//! re-exports. The lock types carry a rank (DESIGN.md §14): `cargo
+//! xtask lint` pass L6 checks the declared `// lock:rank(name, N)`
+//! order statically, and debug builds with `MULTIPUB_LOCK_WITNESS=1`
+//! enforce it at runtime. Under `RUSTFLAGS="--cfg loom"` the same types
+//! switch to `loom::sync` so `tests/loom_models.rs` can exhaustively
+//! check the lock-free paths. The `loom` crate is deliberately **not**
+//! declared in `Cargo.toml` — the workspace must build on a bare
+//! toolchain; the CI loom job appends the dependency transiently before
+//! testing (see `.github/workflows/ci.yml` and DESIGN.md §9).
+//!
+//! Standalone builds of this crate stay dependency-free: the default
+//! `multipub-sync` backend is `std::sync` with poison recovery, so a
+//! panicked holder cannot wedge the metrics pipeline.
 //!
 //! Deliberately left on `std` in both configurations:
 //!
@@ -16,14 +23,4 @@
 //! * `Instant` in [`crate::HistogramTimer`] — loom does not model
 //!   time.
 
-#[cfg(loom)]
-pub(crate) use loom::sync::{
-    atomic::{AtomicI64, AtomicU64, Ordering},
-    Arc, RwLock,
-};
-
-#[cfg(not(loom))]
-pub(crate) use std::sync::{
-    atomic::{AtomicI64, AtomicU64, Ordering},
-    Arc, RwLock,
-};
+pub(crate) use multipub_sync::{Arc, AtomicI64, AtomicU64, Mutex, Ordering, RwLock};

@@ -28,13 +28,19 @@
 //! Export is Chrome trace-event JSON ([`render_chrome_trace`]), served
 //! by the CLI's `/trace` endpoint next to the Prometheus scrape.
 //!
-//! Like the histogram timer's `Instant`, this module deliberately uses
-//! `std` primitives in both configurations: loom does not model time,
-//! and span recording is a single indexed slot write — not an
-//! interleaving of interest.
+//! Like the histogram timer's `Instant`, the wall clock here stays on
+//! `std` in both configurations (loom does not model time); the slot
+//! locks are rank-carrying [`crate::sync::Mutex`]es like every other
+//! lock in the workspace (DESIGN.md §14).
 
+// Wall-clock ids and ring cursors stay on `std` atomics in both
+// configurations: `next_trace_id`'s counter lives in a `static`, which
+// loom atomics (non-const constructors) cannot initialize, and these
+// relaxed counters are not an interleaving of interest anyway.
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+#[cfg(not(loom))]
+use std::sync::OnceLock;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Pipeline stage names in hop order. The per-stage broker histograms
@@ -131,6 +137,9 @@ impl Sampler {
 /// contents out ([`Self::drain`]).
 #[derive(Debug)]
 pub struct SpanRing {
+    /// One rank for every slot of every ring: a writer touches exactly
+    /// one slot, and the equal rank makes the witness enforce that.
+    /// lock:rank(obs.trace_slot, 90)
     slots: Box<[Mutex<Option<Span>>]>,
     next: AtomicU64,
     recorded: AtomicU64,
@@ -140,8 +149,9 @@ impl SpanRing {
     /// Creates a ring holding at most `capacity` spans (floored at 1).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        // lock:rank(obs.trace_slot, 90)
         let slots: Vec<Mutex<Option<Span>>> =
-            (0..capacity.max(1)).map(|_| Mutex::new(None)).collect();
+            (0..capacity.max(1)).map(|_| Mutex::new(90, "obs.trace_slot", None)).collect();
         SpanRing {
             slots: slots.into_boxed_slice(),
             next: AtomicU64::new(0),
@@ -154,9 +164,7 @@ impl SpanRing {
         let idx = (self.next.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
         self.recorded.fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = self.slots.get(idx) {
-            if let Ok(mut guard) = slot.lock() {
-                *guard = Some(span);
-            }
+            *slot.lock() = Some(span);
         }
     }
 
@@ -171,18 +179,12 @@ impl SpanRing {
     /// ring across tests.
     #[must_use]
     pub fn snapshot(&self) -> Vec<Span> {
-        self.slots
-            .iter()
-            .filter_map(|slot| slot.lock().ok().and_then(|guard| guard.clone()))
-            .collect()
+        self.slots.iter().filter_map(|slot| slot.lock().clone()).collect()
     }
 
     /// Moves the current contents out, leaving the ring empty.
     pub fn drain(&self) -> Vec<Span> {
-        self.slots
-            .iter()
-            .filter_map(|slot| slot.lock().ok().and_then(|mut guard| guard.take()))
-            .collect()
+        self.slots.iter().filter_map(|slot| slot.lock().take()).collect()
     }
 }
 

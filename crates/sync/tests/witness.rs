@@ -1,0 +1,167 @@
+//! Runtime lock-order witness: behavioural tests, including the seeded
+//! inversion that the CI witness job relies on (DESIGN.md §14).
+//!
+//! The witness only exists in debug builds (`debug_assertions`), which
+//! is the profile `cargo test` uses; under `--release` or `--cfg loom`
+//! this file compiles to an empty test binary.
+//!
+//! Tests serialize on [`WITNESS_GATE`]: `witness::set_enabled` flips a
+//! process-global flag, so concurrent tests would race each other's
+//! arming state.
+
+#![cfg(all(debug_assertions, not(loom)))]
+
+use multipub_sync::{witness, Mutex, RwLock};
+
+static WITNESS_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_witness<R: Send>(armed: bool, body: impl FnOnce() -> R + Send) -> R {
+    let _gate = WITNESS_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Run the body on a fresh thread so the witness's thread-local held
+    // stack starts empty even after a previous test panicked mid-hold.
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(move || {
+            witness::set_enabled(armed);
+            let result = body();
+            witness::set_enabled(false);
+            result
+        });
+        match handle.join() {
+            Ok(result) => result,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Panic payload of `body` run on its own thread, `None` if it returned.
+fn panic_message(body: impl FnOnce() + Send) -> Option<String> {
+    std::thread::scope(|scope| {
+        // Silence the default panic hook for the expected panic; restore
+        // it before returning so real failures still print.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = scope.spawn(body).join();
+        std::panic::set_hook(prev_hook);
+        outcome.err().map(|payload| {
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string())
+        })
+    })
+}
+
+#[test]
+fn increasing_ranks_pass() {
+    with_witness(true, || {
+        let low = Mutex::new(10, "test.low", ());
+        let high = Mutex::new(20, "test.high", ());
+        let _g1 = low.lock();
+        let _g2 = high.lock();
+        assert_eq!(witness::held(), vec![(10, "test.low"), (20, "test.high")]);
+    });
+}
+
+/// The seeded inversion: rank 20 then rank 10 must panic with both lock
+/// names, both ranks, and both acquisition backtraces. CI's witness job
+/// runs this test armed; it failing to panic means the witness is dead.
+#[test]
+fn seeded_inversion_is_caught() {
+    with_witness(true, || {
+        let low = Mutex::new(10, "test.low", ());
+        let high = Mutex::new(20, "test.high", ());
+        let message = panic_message(|| {
+            let _outer = high.lock();
+            let _inner = low.lock(); // rank 10 under rank 20: the seeded inversion
+        })
+        .expect("witness must panic on the seeded rank-20 -> rank-10 inversion");
+        assert!(message.contains("lock-order violation"), "message: {message}");
+        assert!(message.contains("`test.low` (rank 10)"), "message: {message}");
+        assert!(message.contains("`test.high` (rank 20)"), "message: {message}");
+        assert!(message.contains("was acquired at"), "missing holder backtrace: {message}");
+        assert!(message.contains("violating acquisition"), "missing acquire backtrace: {message}");
+    });
+}
+
+#[test]
+fn equal_ranks_are_a_violation() {
+    with_witness(true, || {
+        let a = Mutex::new(70, "test.shard", 0u8);
+        let b = Mutex::new(70, "test.shard", 0u8);
+        let message = panic_message(|| {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        })
+        .expect("same-rank nesting must panic: equal ranks mean never-nested families");
+        assert!(message.contains("rank 70"), "message: {message}");
+    });
+}
+
+#[test]
+fn rwlock_reads_count_against_the_order() {
+    with_witness(true, || {
+        let table = RwLock::new(50, "test.table", 1u32);
+        let index = Mutex::new(40, "test.index", ());
+        // read (50) then mutex (40) is an inversion even without writers.
+        let message = panic_message(|| {
+            let _r = table.read();
+            let _m = index.lock();
+        })
+        .expect("a read guard must still pin its rank");
+        assert!(message.contains("`test.table` (rank 50)"), "message: {message}");
+    });
+}
+
+#[test]
+fn release_order_does_not_matter() {
+    with_witness(true, || {
+        let low = Mutex::new(10, "test.low", ());
+        let high = Mutex::new(20, "test.high", ());
+        let g1 = low.lock();
+        let g2 = high.lock();
+        drop(g1); // release the *outer* lock first: legal, only acquisition order ranks
+        drop(g2);
+        let _again = low.lock(); // and rank 10 is fine once nothing is held
+        assert_eq!(witness::held(), vec![(10, "test.low")]);
+    });
+}
+
+#[test]
+fn sequential_reacquisition_passes() {
+    with_witness(true, || {
+        let shard = Mutex::new(70, "test.shard", 0u64);
+        for _ in 0..3 {
+            *shard.lock() += 1; // guard dropped each iteration: no nesting
+        }
+        assert_eq!(*shard.lock(), 3);
+    });
+}
+
+#[test]
+fn disarmed_witness_ignores_inversions() {
+    with_witness(false, || {
+        let low = Mutex::new(10, "test.low", ());
+        let high = Mutex::new(20, "test.high", ());
+        let _outer = high.lock();
+        let _inner = low.lock(); // inverted, but the witness is off
+        assert!(witness::held().is_empty(), "disarmed witness must not track locks");
+    });
+}
+
+#[test]
+fn per_thread_stacks_are_independent() {
+    with_witness(true, || {
+        let low = Mutex::new(10, "test.low", ());
+        let high = Mutex::new(20, "test.high", ());
+        let _outer = high.lock();
+        // Another thread holds nothing, so taking rank 10 there is fine
+        // even while this thread sits on rank 20.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _inner = low.lock();
+                assert_eq!(witness::held(), vec![(10, "test.low")]);
+            });
+        });
+    });
+}

@@ -1,10 +1,13 @@
-//! Pass L2 — no blocking calls inside async fns (broker and cli crates).
+//! Pass L2 — no blocking calls inside async fns, workspace-wide (every
+//! library crate's sources, not just the broker and cli).
 //!
 //! Flags, inside `async fn` bodies / `async` blocks outside test code:
 //!
 //! * `std::thread::sleep` (use `tokio::time::sleep`),
 //! * blocking `std::net` socket types (`TcpStream`, `TcpListener`,
 //!   `UdpSocket`) — use the `tokio::net` equivalents,
+//! * blocking `std::fs` filesystem calls (`fs::read`, `fs::File::open`,
+//!   …) — use `tokio::fs` or move the I/O to `spawn_blocking`,
 //! * `block_on(…)` (nested runtimes deadlock),
 //! * a synchronous mutex guard (`.lock()` / `.read()` / `.write()` with
 //!   no arguments, i.e. `std::sync` or `parking_lot`) held across an
@@ -78,6 +81,18 @@ pub fn check(path: &str, tokens: &[Token], facts: &FileFacts, findings: &mut Vec
                     ));
                 }
             }
+            // `fs::<anything>` (`std::fs::read`, `fs::File::open` via the
+            // `File` segment…) — `tokio::fs` is exempted by its prefix.
+            _ if path_prefix(1, "fs") && !path_prefix(2, "tokio") => {
+                if facts.allowed("blocking", token.line).is_none() {
+                    findings.push(finding(
+                        path,
+                        token.line,
+                        "blocking `std::fs` call in async code; use `tokio::fs` or \
+                         `spawn_blocking`",
+                    ));
+                }
+            }
             t if GUARD_METHODS.contains(&t) => {
                 check_guard_across_await(path, tokens, facts, i, findings);
             }
@@ -126,8 +141,6 @@ fn check_guard_across_await(
     if facts.allowed("blocking", line).is_some() {
         return;
     }
-    let stmt_start = statement_start(tokens, i);
-    let first = tokens.get(stmt_start);
     let span_end = facts
         .async_spans
         .iter()
@@ -135,36 +148,7 @@ fn check_guard_across_await(
         .map(|s| s.end)
         .min()
         .unwrap_or(tokens.len());
-
-    // Region in which the guard temporary is live.
-    let region_end = if first.is_some_and(|t| t.is_ident("let")) && binds_guard(tokens, i) {
-        // A named guard lives to the end of the enclosing block — unless
-        // it is dropped or shadowed, which the heuristic does not track;
-        // annotate those sites.
-        enclosing_block_end(tokens, i, span_end)
-    } else if first.is_some_and(|t| t.is_ident("let")) {
-        // `let x = m.lock().clone();` — the guard is a temporary dropped
-        // at the end of the let statement, only the clone is bound.
-        expression_statement_end(tokens, i, span_end)
-    } else {
-        match first.map(|t| t.text.as_str()) {
-            Some("for") | Some("match") | Some("loop") => {
-                block_statement_end(tokens, stmt_start, span_end)
-            }
-            Some("if") | Some("while") => {
-                let is_let = tokens.get(stmt_start + 1).is_some_and(|t| t.is_ident("let"));
-                if is_let {
-                    // `if let`/`while let` scrutinee temporaries live
-                    // through the body (and else-chain).
-                    block_statement_end(tokens, stmt_start, span_end)
-                } else {
-                    // Plain condition: temporary dropped at the body `{`.
-                    first_depth0_brace(tokens, stmt_start, span_end)
-                }
-            }
-            _ => expression_statement_end(tokens, i, span_end),
-        }
-    };
+    let region_end = guard_live_region(tokens, i, span_end);
     // Scan for a `.await` after the acquisition within the live region.
     let mut k = i + 3;
     while k < region_end.min(span_end) {
@@ -183,12 +167,61 @@ fn check_guard_across_await(
     }
 }
 
+/// End (exclusive) of the token region in which the guard acquired by
+/// the zero-argument `.lock()`/`.read()`/`.write()` call at `i` is live,
+/// bounded by `limit`. Token-level heuristic over Rust's
+/// temporary-lifetime rules, shared by L2 (guard across `.await`) and
+/// L6 (nested acquisition while held):
+///
+/// * `let g = m.lock();` (incl. `.unwrap()`/`.expect(…)`/`.await`
+///   chains) — guard named, lives to the end of the enclosing block,
+/// * `let x = m.lock().clone();` — guard is a temporary dropped at the
+///   end of the `let` statement,
+/// * `for`/`match`/`if let`/`while let` scrutinee temporaries live
+///   through the body (and `else` chain),
+/// * plain `if`/`while` condition temporaries drop at the body `{`,
+/// * anything else — temporary dropped at the end of its statement.
+pub(crate) fn guard_live_region(tokens: &[Token], i: usize, limit: usize) -> usize {
+    let stmt_start = statement_start(tokens, i);
+    let first = tokens.get(stmt_start);
+    if first.is_some_and(|t| t.is_ident("let")) && binds_guard(tokens, i) {
+        // A named guard lives to the end of the enclosing block — unless
+        // it is dropped or shadowed, which the heuristic does not track;
+        // annotate those sites.
+        enclosing_block_end(tokens, i, limit)
+    } else if first.is_some_and(|t| t.is_ident("let")) {
+        expression_statement_end(tokens, i, limit)
+    } else {
+        match first.map(|t| t.text.as_str()) {
+            Some("for") | Some("match") | Some("loop") => {
+                block_statement_end(tokens, stmt_start, limit)
+            }
+            Some("if") | Some("while") => {
+                let is_let = tokens.get(stmt_start + 1).is_some_and(|t| t.is_ident("let"));
+                if is_let {
+                    block_statement_end(tokens, stmt_start, limit)
+                } else {
+                    first_depth0_brace(tokens, stmt_start, limit)
+                }
+            }
+            _ => expression_statement_end(tokens, i, limit),
+        }
+    }
+}
+
 /// Is the value bound by a `let … = ….lock…;` statement the guard itself?
-/// True for `….lock();` and the std form `….lock().unwrap();` /
-/// `….lock().expect("…");` — false when further method calls consume the
-/// guard before binding (`….lock().clone();`).
+/// True for `….lock();`, the std form `….lock().unwrap();` /
+/// `….lock().expect("…");`, and the async form `….lock().await;` —
+/// false when further method calls consume the guard before binding
+/// (`….lock().clone();`).
 fn binds_guard(tokens: &[Token], i: usize) -> bool {
     if tokens.get(i + 3).is_some_and(|t| t.is_punct(b';')) {
+        return true;
+    }
+    let via_await = tokens.get(i + 3).is_some_and(|t| t.is_punct(b'.'))
+        && tokens.get(i + 4).is_some_and(|t| t.is_ident("await"))
+        && tokens.get(i + 5).is_some_and(|t| t.is_punct(b';'));
+    if via_await {
         return true;
     }
     let via_unwrap = tokens.get(i + 3).is_some_and(|t| t.is_punct(b'.'))
@@ -219,7 +252,9 @@ fn binds_guard(tokens: &[Token], i: usize) -> bool {
 
 /// Walks backwards from `i` to the first token of the enclosing
 /// statement (just past the previous `;`, `{`, `}` or depth-0 `,`).
-fn statement_start(tokens: &[Token], i: usize) -> usize {
+/// Shared with L6, which uses it to find the binding a lock type
+/// annotates.
+pub(crate) fn statement_start(tokens: &[Token], i: usize) -> usize {
     let mut depth = 0i32;
     let mut j = i;
     while j > 0 {

@@ -1,0 +1,736 @@
+//! Pass L6 — lock-order discipline (DESIGN.md §14).
+//!
+//! Deadlock-freedom across the workspace's ~15 locks is a checked
+//! property: every lock carries a numeric rank, and ranks must be
+//! strictly increasing in acquisition order on any one thread. This
+//! pass proves the visible half of that statically; the runtime witness
+//! in `multipub-sync` (armed with `MULTIPUB_LOCK_WITNESS=1`) catches
+//! the nestings that thread through function calls and closures.
+//!
+//! Per file ([`scan_file`]):
+//!
+//! * every `Mutex<…>` / `RwLock<…>` declaration in non-test library
+//!   code must carry a `// lock:rank(name, N)` annotation on the same
+//!   line or in the comment block directly above (a missing rank is a
+//!   finding),
+//! * ranked constructor calls `Mutex::new(N, "name", …)` are collected
+//!   so their literals can be checked against the annotations,
+//! * every zero-argument `.lock()`/`.read()`/`.write()` acquisition
+//!   whose receiver field is a declared lock is collected, together
+//!   with any further acquisitions inside the guard's live region
+//!   (the same temporary-lifetime heuristic L2 uses for its
+//!   guard-across-await check).
+//!
+//! Across the workspace ([`check_workspace`]):
+//!
+//! * one lock name must always have one rank (declarations and
+//!   constructors must agree),
+//! * a nested acquisition of rank ≤ a held rank is a finding — equal
+//!   ranks are reserved for never-nested families (per-shard maps,
+//!   trace-ring slots), so nesting them is exactly the violation,
+//! * edges excused with `// lint:allow(lockorder) <reason>` are then
+//!   checked for cycles: two individually-excused edges that close a
+//!   loop are reported even though each one was allowed.
+//!
+//! Receivers are resolved per crate by field name (`self.state.lock()`
+//! resolves through the crate's `state: Mutex<…>` declaration);
+//! acquisitions through unresolvable receivers (`stdout().lock()`,
+//! locals) are skipped — the runtime witness covers those.
+//!
+//! `crates/sync/src` is exempt: it defines the ranked wrappers
+//! themselves, so its `Mutex<T>` mentions are the primitives, not lock
+//! instances.
+
+use crate::l2_blocking::guard_live_region;
+use crate::lexer::{Comment, Kind, Lexed, Token};
+use crate::spans::FileFacts;
+use crate::Finding;
+
+/// One ranked lock declaration (`field: Mutex<…>, // lock:rank(name, N)`).
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Binding the lock is declared under (struct field, `let`, `static`).
+    pub field: String,
+    /// The annotation's lock name (workspace-unique per rank).
+    pub name: String,
+    /// The annotation's rank.
+    pub rank: u16,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// One ranked constructor call (`Mutex::new(N, "name", …)`).
+#[derive(Debug, Clone)]
+pub struct CtorSite {
+    /// The constructor's name literal.
+    pub name: String,
+    /// The constructor's rank literal.
+    pub rank: u16,
+    /// 1-based call line.
+    pub line: u32,
+}
+
+/// One lexically nested acquisition: `inner_field` acquired while the
+/// guard of `outer_field` is still live.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Receiver field of the lock already held.
+    pub outer_field: String,
+    /// Receiver field of the lock being acquired under it.
+    pub inner_field: String,
+    /// 1-based line of the inner acquisition.
+    pub line: u32,
+}
+
+/// Everything L6 extracts from one file.
+#[derive(Debug, Default, Clone)]
+pub struct FileLockFacts {
+    /// Crate the file belongs to (`crates/<name>/…` → `<name>`).
+    pub crate_name: String,
+    /// Ranked declarations.
+    pub decls: Vec<LockDecl>,
+    /// Ranked constructor calls.
+    pub ctors: Vec<CtorSite>,
+    /// Nested acquisitions.
+    pub edges: Vec<LockEdge>,
+}
+
+const LOCK_TYPES: [&str; 2] = ["Mutex", "RwLock"];
+const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Crate name of a workspace-relative path (`crates/obs/src/… → obs`),
+/// or the first path segment (`xtask/src/… → xtask`).
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_string(),
+        Some(first) => first.to_string(),
+        None => String::new(),
+    }
+}
+
+/// Scans one file for lock declarations, ranked constructors and nested
+/// acquisitions. Missing-annotation findings are reported here; rank
+/// consistency and ordering are checked later in [`check_workspace`].
+pub fn scan_file(
+    path: &str,
+    lexed: &Lexed,
+    facts: &FileFacts,
+    findings: &mut Vec<Finding>,
+) -> FileLockFacts {
+    let mut out = FileLockFacts { crate_name: crate_of(path), ..FileLockFacts::default() };
+    if out.crate_name == "sync" {
+        // The ranked primitives themselves; see module docs.
+        return out;
+    }
+    let tokens = &lexed.tokens;
+    let annotations = collect_rank_annotations(&lexed.comments);
+    let comment_lines: std::collections::BTreeSet<u32> =
+        lexed.comments.iter().map(|c| c.line).collect();
+
+    for (i, token) in tokens.iter().enumerate() {
+        if facts.in_test.get(i).copied().unwrap_or(false)
+            || facts.in_attr.get(i).copied().unwrap_or(false)
+            || token.kind != Kind::Ident
+        {
+            continue;
+        }
+        match token.text.as_str() {
+            t if LOCK_TYPES.contains(&t) && tokens.get(i + 1).is_some_and(|p| p.is_punct(b'<')) => {
+                scan_decl(
+                    path,
+                    tokens,
+                    i,
+                    token,
+                    &annotations,
+                    &comment_lines,
+                    facts,
+                    &mut out,
+                    findings,
+                );
+            }
+            "new" if is_ranked_ctor(tokens, i) => {
+                if let Some(ctor) = parse_ctor(tokens, i) {
+                    out.ctors.push(ctor);
+                }
+            }
+            t if GUARD_METHODS.contains(&t) => {
+                scan_acquisition(tokens, facts, i, &mut out);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Handles one `Mutex<`/`RwLock<` type occurrence at token `i`: find the
+/// covering `lock:rank` annotation and the declared binding name.
+#[allow(clippy::too_many_arguments)]
+fn scan_decl(
+    path: &str,
+    tokens: &[Token],
+    i: usize,
+    token: &Token,
+    annotations: &[(u32, String, u16)],
+    comment_lines: &std::collections::BTreeSet<u32>,
+    facts: &FileFacts,
+    out: &mut FileLockFacts,
+    findings: &mut Vec<Finding>,
+) {
+    let line = token.line;
+    let Some((name, rank)) = covering_annotation(annotations, comment_lines, line) else {
+        if facts.allowed("lockorder", line).is_none() {
+            findings.push(l6(
+                path,
+                line,
+                &format!(
+                    "`{}` declaration has no `// lock:rank(name, N)` annotation (same line or \
+                     the comment block above); see DESIGN.md §14 for how to pick a rank",
+                    token.text
+                ),
+            ));
+        }
+        return;
+    };
+    let field = binding_name(tokens, i).unwrap_or_default();
+    out.decls.push(LockDecl { field, name, rank, line });
+}
+
+/// The `(name, rank)` of the annotation covering a declaration at
+/// `line`: on the same line, or in the contiguous run of comment lines
+/// directly above it. Nearest annotation wins.
+fn covering_annotation(
+    annotations: &[(u32, String, u16)],
+    comment_lines: &std::collections::BTreeSet<u32>,
+    line: u32,
+) -> Option<(String, u16)> {
+    let mut best: Option<&(u32, String, u16)> = None;
+    for ann in annotations {
+        let covers = ann.0 == line
+            || (ann.0 < line && ((ann.0 + 1)..line).all(|l| comment_lines.contains(&l)));
+        if covers && best.is_none_or(|b| ann.0 > b.0) {
+            best = Some(ann);
+        }
+    }
+    best.map(|(_, name, rank)| (name.clone(), *rank))
+}
+
+/// Walks back to the start of the declaration statement and returns the
+/// binding ident: the first ident followed by a single `:` (a struct
+/// field or `let`/`static` type ascription).
+fn binding_name(tokens: &[Token], i: usize) -> Option<String> {
+    let start = crate::l2_blocking::statement_start(tokens, i);
+    let mut j = start;
+    while j < i {
+        let is_binding = tokens.get(j).is_some_and(|t| t.kind == Kind::Ident)
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct(b':'))
+            && !tokens.get(j + 2).is_some_and(|t| t.is_punct(b':'));
+        if is_binding {
+            return tokens.get(j).map(|t| t.text.clone());
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Is token `i` (`new`) a ranked constructor — `Mutex::new(` /
+/// `RwLock::new(` with a number literal then a string literal?
+fn is_ranked_ctor(tokens: &[Token], i: usize) -> bool {
+    i >= 3
+        && tokens.get(i - 1).is_some_and(|t| t.is_punct(b':'))
+        && tokens.get(i - 2).is_some_and(|t| t.is_punct(b':'))
+        && tokens
+            .get(i - 3)
+            .is_some_and(|t| t.kind == Kind::Ident && LOCK_TYPES.contains(&t.text.as_str()))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(b'('))
+        && tokens.get(i + 2).is_some_and(|t| t.kind == Kind::Number)
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct(b','))
+        && tokens.get(i + 4).is_some_and(|t| t.kind == Kind::Str)
+}
+
+fn parse_ctor(tokens: &[Token], i: usize) -> Option<CtorSite> {
+    let rank = tokens.get(i + 2)?.text.replace('_', "").parse::<u16>().ok()?;
+    let name = tokens.get(i + 4)?.text.clone();
+    let line = tokens.get(i)?.line;
+    Some(CtorSite { name, rank, line })
+}
+
+/// Handles one `lock`/`read`/`write` ident: when it is a zero-argument
+/// guard acquisition with a resolvable receiver field, records every
+/// further resolvable acquisition inside the guard's live region.
+fn scan_acquisition(tokens: &[Token], facts: &FileFacts, i: usize, out: &mut FileLockFacts) {
+    let Some(outer_field) = acquisition_receiver(tokens, i) else { return };
+    let region_end = guard_live_region(tokens, i, tokens.len());
+    let mut k = i + 3;
+    while k < region_end {
+        if let Some(token) = tokens.get(k) {
+            if token.kind == Kind::Ident
+                && GUARD_METHODS.contains(&token.text.as_str())
+                && !facts.in_test.get(k).copied().unwrap_or(false)
+            {
+                if let Some(inner_field) = acquisition_receiver(tokens, k) {
+                    out.edges.push(LockEdge {
+                        outer_field: outer_field.clone(),
+                        inner_field,
+                        line: token.line,
+                    });
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// The receiver field ident of a zero-argument `.lock()`/`.read()`/
+/// `.write()` method call at token `i`, or `None` when the call shape
+/// does not match or the receiver is not a plain ident.
+fn acquisition_receiver(tokens: &[Token], i: usize) -> Option<String> {
+    let is_call = i >= 2
+        && tokens.get(i - 1).is_some_and(|t| t.is_punct(b'.'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(b'('))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(b')'));
+    if !is_call {
+        return None;
+    }
+    tokens.get(i - 2).filter(|t| t.kind == Kind::Ident).map(|t| t.text.clone())
+}
+
+/// Parses `lock:rank(name, N)` annotations out of comments (any comment
+/// flavour — rank annotations are documentation as much as directives).
+fn collect_rank_annotations(comments: &[Comment]) -> Vec<(u32, String, u16)> {
+    let mut out = Vec::new();
+    for comment in comments {
+        let mut rest = comment.text.as_str();
+        while let Some(pos) = rest.find("lock:rank(") {
+            rest = rest.get(pos + "lock:rank(".len()..).unwrap_or_default();
+            let Some(close) = rest.find(')') else { break };
+            let inner = rest.get(..close).unwrap_or_default();
+            if let Some((name, rank)) = inner.split_once(',') {
+                let name = name.trim();
+                let rank = rank.trim().replace('_', "");
+                let name_ok = !name.is_empty()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.');
+                if let (true, Ok(rank)) = (name_ok, rank.parse::<u16>()) {
+                    out.push((comment.line, name.to_string(), rank));
+                }
+            }
+            rest = rest.get(close..).unwrap_or_default();
+        }
+    }
+    out
+}
+
+/// Cross-file checks over every scanned file: rank-map consistency,
+/// constructor drift, nested-acquisition order, and cycles through
+/// excused edges. `files` pairs each file's lock facts with its path and
+/// structural facts (for `lint:allow(lockorder)` lookups).
+pub fn check_workspace(files: &[(String, FileLockFacts, &FileFacts)], findings: &mut Vec<Finding>) {
+    // Workspace rank map: one name, one rank.
+    let mut rank_map: std::collections::BTreeMap<&str, (u16, &str, u32)> =
+        std::collections::BTreeMap::new();
+    for (path, facts, _) in files {
+        for decl in &facts.decls {
+            match rank_map.get(decl.name.as_str()) {
+                Some((rank, first_path, first_line)) if *rank != decl.rank => {
+                    findings.push(l6(
+                        path,
+                        decl.line,
+                        &format!(
+                            "lock `{}` re-declared with rank {} but has rank {rank} at \
+                             {first_path}:{first_line}",
+                            decl.name, decl.rank
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    rank_map.insert(&decl.name, (decl.rank, path, decl.line));
+                }
+            }
+        }
+    }
+
+    // Constructor drift: `Mutex::new(N, "name", …)` literals must match
+    // the declared annotation.
+    for (path, facts, _) in files {
+        for ctor in &facts.ctors {
+            match rank_map.get(ctor.name.as_str()) {
+                Some((rank, _, _)) if *rank != ctor.rank => {
+                    findings.push(l6(
+                        path,
+                        ctor.line,
+                        &format!(
+                            "constructor ranks `{}` at {} but its `lock:rank` annotation says \
+                             {rank}",
+                            ctor.name, ctor.rank
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    findings.push(l6(
+                        path,
+                        ctor.line,
+                        &format!(
+                            "constructor names lock `{}` (rank {}) but no declaration carries \
+                             that `lock:rank` annotation",
+                            ctor.name, ctor.rank
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Per-crate receiver resolution: field ident → lock name. A field
+    // name mapping to two different locks in one crate is unresolvable;
+    // skip its edges rather than guess.
+    let mut field_maps: std::collections::BTreeMap<&str, std::collections::BTreeMap<&str, &str>> =
+        std::collections::BTreeMap::new();
+    let mut ambiguous: std::collections::BTreeSet<(&str, &str)> = std::collections::BTreeSet::new();
+    for (_, facts, _) in files {
+        for decl in &facts.decls {
+            if decl.field.is_empty() {
+                continue;
+            }
+            let map = field_maps.entry(facts.crate_name.as_str()).or_default();
+            match map.get(decl.field.as_str()) {
+                Some(existing) if **existing != *decl.name => {
+                    ambiguous.insert((facts.crate_name.as_str(), decl.field.as_str()));
+                }
+                _ => {
+                    map.insert(&decl.field, &decl.name);
+                }
+            }
+        }
+    }
+
+    // Order check per edge; excused edges go into the cycle graph.
+    let mut excused: std::collections::BTreeSet<(&str, &str)> = std::collections::BTreeSet::new();
+    let mut legal: std::collections::BTreeSet<(&str, &str)> = std::collections::BTreeSet::new();
+    for (path, lock_facts, file_facts) in files {
+        let Some(map) = field_maps.get(lock_facts.crate_name.as_str()) else { continue };
+        for edge in &lock_facts.edges {
+            let crate_name = lock_facts.crate_name.as_str();
+            if ambiguous.contains(&(crate_name, edge.outer_field.as_str()))
+                || ambiguous.contains(&(crate_name, edge.inner_field.as_str()))
+            {
+                continue;
+            }
+            let (Some(outer), Some(inner)) =
+                (map.get(edge.outer_field.as_str()), map.get(edge.inner_field.as_str()))
+            else {
+                continue;
+            };
+            let (Some((outer_rank, ..)), Some((inner_rank, ..))) =
+                (rank_map.get(*outer), rank_map.get(*inner))
+            else {
+                continue;
+            };
+            if inner_rank > outer_rank {
+                legal.insert((outer, inner));
+                continue;
+            }
+            if file_facts.allowed("lockorder", edge.line).is_some() {
+                excused.insert((outer, inner));
+                continue;
+            }
+            let detail = if inner_rank == outer_rank && inner == outer {
+                "two locks of one never-nested family on one thread".to_string()
+            } else {
+                format!("rank {inner_rank} must exceed every held rank")
+            };
+            findings.push(l6(
+                path,
+                edge.line,
+                &format!(
+                    "`{inner}` (rank {inner_rank}) acquired while `{outer}` (rank {outer_rank}) \
+                     is held — {detail}",
+                ),
+            ));
+        }
+    }
+
+    // Cycles: legal edges strictly increase rank, so any cycle must pass
+    // through an excused edge — report those loops even though each edge
+    // was individually allowed.
+    if !excused.is_empty() {
+        let mut graph: std::collections::BTreeMap<&str, Vec<&str>> =
+            std::collections::BTreeMap::new();
+        for (from, to) in legal.iter().chain(excused.iter()) {
+            graph.entry(from).or_default().push(to);
+        }
+        for cycle in find_cycles(&graph) {
+            findings.push(l6(
+                "workspace",
+                0,
+                &format!(
+                    "lock-order cycle through `lint:allow(lockorder)` edges: {}",
+                    cycle.join(" -> ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Elementary cycles reachable in the edge graph, each reported once
+/// from its lexicographically smallest node.
+fn find_cycles(graph: &std::collections::BTreeMap<&str, Vec<&str>>) -> Vec<Vec<String>> {
+    let mut cycles: std::collections::BTreeSet<Vec<String>> = std::collections::BTreeSet::new();
+    for start in graph.keys() {
+        let mut stack: Vec<&str> = vec![start];
+        dfs(graph, start, start, &mut stack, &mut cycles);
+    }
+    cycles.into_iter().collect()
+}
+
+fn dfs<'a>(
+    graph: &std::collections::BTreeMap<&'a str, Vec<&'a str>>,
+    start: &'a str,
+    node: &'a str,
+    stack: &mut Vec<&'a str>,
+    cycles: &mut std::collections::BTreeSet<Vec<String>>,
+) {
+    for next in graph.get(node).map(Vec::as_slice).unwrap_or_default() {
+        if *next == start {
+            // Canonicalize: only record the rotation starting at the
+            // smallest node, so each cycle is reported once.
+            if stack.iter().min() == Some(&start) {
+                let mut cycle: Vec<String> = stack.iter().map(|s| (*s).to_string()).collect();
+                cycle.push(start.to_string());
+                cycles.insert(cycle);
+            }
+        } else if !stack.contains(next) && *next > start {
+            stack.push(next);
+            dfs(graph, start, next, stack, cycles);
+            stack.pop();
+        }
+    }
+}
+
+fn l6(path: &str, line: u32, message: &str) -> Finding {
+    Finding {
+        file: path.to_string(),
+        line,
+        pass: "L6",
+        category: "lockorder",
+        message: format!(
+            "{message}; annotate `// lint:allow(lockorder) <reason>` if the order is safe"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::spans::analyze;
+
+    fn scan(path: &str, source: &str) -> (FileLockFacts, Vec<Finding>) {
+        let lexed = lex(source);
+        let facts = analyze(&lexed);
+        let mut findings = Vec::new();
+        let lock_facts = scan_file(path, &lexed, &facts, &mut findings);
+        (lock_facts, findings)
+    }
+
+    fn check(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let analyzed: Vec<_> = sources
+            .iter()
+            .map(|(path, source)| {
+                let lexed = lex(source);
+                let facts = analyze(&lexed);
+                (path.to_string(), lexed, facts)
+            })
+            .collect();
+        let files: Vec<_> = analyzed
+            .iter()
+            .map(|(path, lexed, facts)| {
+                let lock_facts = scan_file(path, lexed, facts, &mut findings);
+                (path.clone(), lock_facts, facts)
+            })
+            .collect();
+        check_workspace(&files, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unannotated_declaration_flagged() {
+        let (_, findings) = scan("crates/a/src/lib.rs", "struct S { state: Mutex<u32>, }");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("lock:rank"));
+    }
+
+    #[test]
+    fn annotated_declaration_parsed() {
+        let (facts, findings) = scan(
+            "crates/a/src/lib.rs",
+            "struct S { state: Mutex<u32>, // lock:rank(a.state, 10)\n }",
+        );
+        assert!(findings.is_empty());
+        assert_eq!(facts.decls.len(), 1);
+        assert_eq!(facts.decls[0].field, "state");
+        assert_eq!(facts.decls[0].name, "a.state");
+        assert_eq!(facts.decls[0].rank, 10);
+    }
+
+    #[test]
+    fn doc_comment_block_above_covers() {
+        let source =
+            "struct S {\n/// The queue.\n/// lock:rank(a.q, 7)\n/// More docs.\nq: Mutex<u32>,\n}";
+        let (facts, findings) = scan("crates/a/src/lib.rs", source);
+        assert!(findings.is_empty());
+        assert_eq!(facts.decls[0].name, "a.q");
+    }
+
+    #[test]
+    fn allow_suppresses_missing_annotation() {
+        let source = "struct S {\n// lint:allow(lockorder) third-party type we cannot annotate\nstate: Mutex<u32>,\n}";
+        let (_, findings) = scan("crates/a/src/lib.rs", source);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn test_code_and_sync_crate_exempt() {
+        let (_, findings) =
+            scan("crates/a/src/lib.rs", "#[cfg(test)]\nmod tests { struct S { m: Mutex<u32>, } }");
+        assert!(findings.is_empty());
+        let (_, findings) = scan("crates/sync/src/lib.rs", "struct S { m: Mutex<u32>, }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn ranked_ctor_collected_and_drift_flagged() {
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "struct S { state: Mutex<u32>, // lock:rank(a.state, 10)\n }\n\
+             fn f() -> S { S { state: Mutex::new(11, \"a.state\", 0) } }",
+        )]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("annotation says 10"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn ctor_matching_annotation_clean() {
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "struct S { state: Mutex<u32>, // lock:rank(a.state, 10)\n }\n\
+             fn f() -> S { S { state: Mutex::new(10, \"a.state\", 0) } }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn increasing_nested_acquisition_clean() {
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "struct S { low: Mutex<u32>, // lock:rank(a.low, 10)\n\
+             high: Mutex<u32>, // lock:rank(a.high, 20)\n }\n\
+             impl S { fn f(&self) { let g = self.low.lock(); let h = self.high.lock(); } }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn inverted_nested_acquisition_flagged() {
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "struct S { low: Mutex<u32>, // lock:rank(a.low, 10)\n\
+             high: Mutex<u32>, // lock:rank(a.high, 20)\n }\n\
+             impl S { fn f(&self) { let g = self.high.lock(); let h = self.low.lock(); } }",
+        )]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0]
+            .message
+            .contains("`a.low` (rank 10) acquired while `a.high` (rank 20)"));
+    }
+
+    #[test]
+    fn same_rank_family_nesting_flagged() {
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "struct S { topics: Mutex<u32>, // lock:rank(a.shard, 70)\n }\n\
+             fn f(a: &S, b: &S) { let g = a.topics.lock(); let h = b.topics.lock(); }",
+        )]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("never-nested family"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn scoped_guard_produces_no_edge() {
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "struct S { low: Mutex<u32>, // lock:rank(a.low, 10)\n\
+             high: Mutex<u32>, // lock:rank(a.high, 20)\n }\n\
+             impl S { fn f(&self) { { let g = self.high.lock(); } let h = self.low.lock(); } }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_excuses_an_edge() {
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "struct S { low: Mutex<u32>, // lock:rank(a.low, 10)\n\
+             high: Mutex<u32>, // lock:rank(a.high, 20)\n }\n\
+             impl S { fn f(&self) { let g = self.high.lock();\n\
+             // lint:allow(lockorder) a.low is only probed under try_lock here\n\
+             let h = self.low.lock(); } }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn excused_cycle_still_reported() {
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "struct S { low: Mutex<u32>, // lock:rank(a.low, 10)\n\
+             high: Mutex<u32>, // lock:rank(a.high, 20)\n }\n\
+             impl S { fn f(&self) { let g = self.low.lock(); let h = self.high.lock(); }\n\
+             fn g(&self) { let g = self.high.lock();\n\
+             // lint:allow(lockorder) reversed probe, protected by a try_lock upstream\n\
+             let h = self.low.lock(); } }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("cycle"), "{}", findings[0].message);
+        assert!(
+            findings[0].message.contains("a.high -> a.low -> a.high"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn conflicting_ranks_for_one_name_flagged() {
+        let findings = check(&[
+            ("crates/a/src/lib.rs", "struct S { q: Mutex<u32>, // lock:rank(a.q, 10)\n }"),
+            ("crates/a/src/other.rs", "struct T { q2: Mutex<u32>, // lock:rank(a.q, 11)\n }"),
+        ]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("re-declared with rank 11"));
+    }
+
+    #[test]
+    fn unresolvable_receivers_are_skipped() {
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "fn f() { let out = stdout().lock(); let x = local.lock(); }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn tokio_annotation_only_lock_participates_statically() {
+        // `.lock().await` acquisitions still resolve and order-check.
+        let findings = check(&[(
+            "crates/a/src/lib.rs",
+            "struct S { conns: Mutex<u32>, // lock:rank(a.conns, 20)\n\
+             addrs: Mutex<u32>, // lock:rank(a.addrs, 10)\n }\n\
+             impl S { async fn f(&self) { let g = self.conns.lock().await; \
+             let a = self.addrs.lock(); } }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`a.addrs` (rank 10)"));
+    }
+}

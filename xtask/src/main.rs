@@ -1,267 +1,38 @@
-//! `cargo xtask` — workspace automation.
-//!
-//! `cargo xtask lint` runs the MultiPub-specific static analysis passes
-//! over every library crate (see DESIGN.md §9):
-//!
-//! * **L1** panic-freedom: no `unwrap`/`expect`/`panic!`/indexing in
-//!   non-test library code without a justified annotation,
-//! * **L2** no blocking calls inside async fns (executor stalls),
-//! * **L3** frame-tag exhaustiveness: `Frame::tag()`, `KNOWN_TAGS`,
-//!   encode arms and decode arms must all agree,
-//! * **L4** metric-name catalog: every name passed to `multipub_obs`
-//!   comes from `crates/obs/src/metrics.rs`, and the README table
-//!   matches it,
-//! * **L5** bounded channels: no `unbounded_channel` in non-test
-//!   library code (slow consumers must hit backpressure, not OOM).
-//!
-//! Escape hatch: `// lint:allow(<category>) <reason>` on the same or
-//! previous line (`panic`, `indexing`, `blocking`, `metric`, `channel`), or
-//! `// lint:allow-file(<category>) <reason>` for a whole file. The
-//! reason is mandatory; empty justifications are themselves findings.
+//! `cargo xtask` CLI entry point. All the actual work lives in the
+//! `xtask` library crate so the golden-corpus integration tests can
+//! drive the passes without spawning a process.
 
-mod l1_panics;
-mod l2_blocking;
-mod l3_frames;
-mod l4_metrics;
-mod l5_channels;
-mod lexer;
-mod spans;
-
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// One lint finding.
-#[derive(Debug)]
-pub struct Finding {
-    /// Workspace-relative file path.
-    pub file: String,
-    /// 1-based line number.
-    pub line: u32,
-    /// Pass identifier (`L1`…`L5`).
-    pub pass: &'static str,
-    /// Finding category (matches the `lint:allow` category).
-    pub category: &'static str,
-    /// Human-readable description.
-    pub message: String,
-}
-
-const VALID_ALLOW_CATEGORIES: [&str; 5] = ["panic", "indexing", "blocking", "metric", "channel"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => {
+            let mut json = false;
+            for flag in args.iter().skip(1) {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    other => {
+                        eprintln!("unknown lint flag `{other}`; try `cargo xtask help`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            xtask::lint(json)
+        }
         Some("help") | None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint [--json]");
             eprintln!();
             eprintln!("subcommands:");
-            eprintln!("  lint   run the L1–L5 static analysis passes (DESIGN.md §9)");
+            eprintln!("  lint   run the L1–L6 static analysis passes (DESIGN.md §9, §14)");
+            eprintln!();
+            eprintln!("flags:");
+            eprintln!("  --json   print findings as a JSON array instead of text");
             ExitCode::SUCCESS
         }
         Some(other) => {
             eprintln!("unknown subcommand `{other}`; try `cargo xtask help`");
             ExitCode::FAILURE
         }
-    }
-}
-
-/// Workspace root: the parent of this crate's manifest dir, falling back
-/// to the current directory.
-fn workspace_root() -> PathBuf {
-    std::env::var_os("CARGO_MANIFEST_DIR")
-        .map(PathBuf::from)
-        .and_then(|dir| dir.parent().map(Path::to_path_buf))
-        .or_else(|| std::env::current_dir().ok())
-        .unwrap_or_else(|| PathBuf::from("."))
-}
-
-/// All `.rs` files under the workspace's library source trees
-/// (`crates/*/src/**` and `xtask/src/**`), sorted for stable output.
-fn source_files(root: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
-        for entry in entries.flatten() {
-            walk_rs(&entry.path().join("src"), &mut files);
-        }
-    }
-    walk_rs(&root.join("xtask").join("src"), &mut files);
-    files.sort();
-    files
-}
-
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            walk_rs(&path, out);
-        } else if path.extension().is_some_and(|ext| ext == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn rel(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root).unwrap_or(path).display().to_string()
-}
-
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let files = source_files(&root);
-    if files.is_empty() {
-        eprintln!("xtask lint: no source files found under {}", root.display());
-        return ExitCode::FAILURE;
-    }
-
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut warnings: Vec<String> = Vec::new();
-    let mut frame_tokens = None;
-    let mut codec_tokens = None;
-    let mut trace_tokens = None;
-    let mut catalog_lexed = None;
-    let mut analyzed = Vec::new();
-
-    for path in &files {
-        let Ok(source) = std::fs::read_to_string(path) else {
-            warnings.push(format!("could not read {}", rel(&root, path)));
-            continue;
-        };
-        let lexed = lexer::lex(&source);
-        let name = rel(&root, path);
-        if name.ends_with("broker/src/frame.rs") {
-            frame_tokens = Some((name.clone(), lexed.tokens.clone()));
-        }
-        if name.ends_with("broker/src/codec.rs") {
-            codec_tokens = Some((name.clone(), lexed.tokens.clone()));
-        }
-        if name.ends_with("obs/src/trace.rs") {
-            trace_tokens = Some((name.clone(), lexed.tokens.clone()));
-        }
-        if name.ends_with("obs/src/metrics.rs") {
-            catalog_lexed = Some((name.clone(), lexer::lex(&source)));
-        }
-        analyzed.push((name, lexed));
-    }
-
-    // L4 needs the catalog before the per-file sweep.
-    let catalog = match &catalog_lexed {
-        Some((name, lexed)) => Some(l4_metrics::parse_catalog(name, lexed, &mut findings)),
-        None => {
-            findings.push(Finding {
-                file: "crates/obs/src/metrics.rs".to_string(),
-                line: 1,
-                pass: "L4",
-                category: "metric",
-                message: "metric catalog file is missing".to_string(),
-            });
-            None
-        }
-    };
-
-    for (name, lexed) in &analyzed {
-        let facts = spans::analyze(lexed);
-
-        // Annotation hygiene: unknown categories and missing reasons are
-        // findings in their own right.
-        for allow in facts.allows.iter().chain(facts.file_allows.iter()) {
-            if !VALID_ALLOW_CATEGORIES.contains(&allow.category.as_str()) {
-                findings.push(Finding {
-                    file: name.clone(),
-                    line: allow.line,
-                    pass: "meta",
-                    category: "annotation",
-                    message: format!(
-                        "unknown lint:allow category `{}` (valid: {})",
-                        allow.category,
-                        VALID_ALLOW_CATEGORIES.join(", ")
-                    ),
-                });
-            }
-        }
-        for allow in facts.unjustified() {
-            findings.push(Finding {
-                file: name.clone(),
-                line: allow.line,
-                pass: "meta",
-                category: "annotation",
-                message: format!(
-                    "lint:allow({}) needs a real justification after the parentheses",
-                    allow.category
-                ),
-            });
-        }
-
-        l1_panics::check(name, &lexed.tokens, &facts, &mut findings);
-        l2_blocking::check(name, &lexed.tokens, &facts, &mut findings);
-        l5_channels::check(name, &lexed.tokens, &facts, &mut findings);
-        if let Some(catalog) = &catalog {
-            // The catalog file itself declares, it does not consume.
-            if !name.ends_with("obs/src/metrics.rs") {
-                l4_metrics::check_file(name, &lexed.tokens, &facts, catalog, &mut findings);
-            }
-        }
-
-        for allow in facts.allows.iter().chain(facts.file_allows.iter()) {
-            if !allow.used.get() && VALID_ALLOW_CATEGORIES.contains(&allow.category.as_str()) {
-                warnings.push(format!(
-                    "{name}:{}: unused lint:allow({}) annotation",
-                    allow.line, allow.category
-                ));
-            }
-        }
-    }
-
-    match (&frame_tokens, &codec_tokens) {
-        (Some((frame_name, frame)), Some((codec_name, codec))) => {
-            l3_frames::check(frame_name, frame, codec_name, codec, &mut findings);
-        }
-        _ => {
-            findings.push(Finding {
-                file: "crates/broker/src".to_string(),
-                line: 1,
-                pass: "L3",
-                category: "frame",
-                message: "frame.rs / codec.rs not found; cannot check tag exhaustiveness"
-                    .to_string(),
-            });
-        }
-    }
-
-    if let Some(catalog) = &catalog {
-        // Trace stages must each have their per-stage latency histogram.
-        match &trace_tokens {
-            Some((trace_path, tokens)) => {
-                l4_metrics::check_stage_metrics(trace_path, tokens, catalog, &mut findings);
-            }
-            None => warnings.push("obs/src/trace.rs not found; skipping stage check".to_string()),
-        }
-        let readme_path = root.join("README.md");
-        match std::fs::read_to_string(&readme_path) {
-            Ok(readme) => l4_metrics::check_readme("README.md", &readme, catalog, &mut findings),
-            Err(_) => warnings.push("README.md not readable; skipping drift check".to_string()),
-        }
-    }
-
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    for finding in &findings {
-        println!(
-            "{}:{}: [{}.{}] {}",
-            finding.file, finding.line, finding.pass, finding.category, finding.message
-        );
-    }
-    for warning in &warnings {
-        eprintln!("warning: {warning}");
-    }
-    let checked = analyzed.len();
-    if findings.is_empty() {
-        eprintln!(
-            "xtask lint: {checked} files clean (L1 panics, L2 blocking, L3 frames, L4 metrics, \
-             L5 channels)"
-        );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("xtask lint: {} finding(s) across {checked} files", findings.len());
-        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,9 @@
+//! Golden fixture: the same panics as `l1_bad.rs`, each silenced by a
+//! justified `lint:allow` annotation.
+
+pub fn first_byte(buf: &[u8], fallback: Option<u8>) -> u8 {
+    // lint:allow(indexing) caller guarantees the buffer is non-empty by construction
+    let head = buf[0];
+    // lint:allow(panic) fallback is always Some here; validated by the dispatcher
+    head.checked_add(fallback.unwrap()).unwrap_or(head)
+}

@@ -1,0 +1,6 @@
+//! Golden fixture: L1 must flag the `unwrap` and the slice indexing.
+
+pub fn first_byte(buf: &[u8], fallback: Option<u8>) -> u8 {
+    let head = buf[0];
+    head.checked_add(fallback.unwrap()).unwrap_or(head)
+}

@@ -1,0 +1,13 @@
+//! Golden fixture: the same blocking sites as `l2_bad.rs`, each
+//! silenced by a justified `lint:allow(blocking)` annotation.
+
+pub async fn startup(state: &std::sync::Mutex<Vec<u8>>) {
+    // lint:allow(blocking) one-shot startup path, runtime has no other tasks yet
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    // lint:allow(blocking) tiny config file read once before serving begins
+    let config = std::fs::read_to_string("config.toml");
+    // lint:allow(blocking) guard covers only a yield, never real I/O latency
+    let mut guard = state.lock().unwrap();
+    tokio::task::yield_now().await;
+    guard.extend(config.into_iter().flat_map(String::into_bytes));
+}

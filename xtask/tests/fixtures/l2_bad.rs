@@ -1,0 +1,10 @@
+//! Golden fixture: L2 must flag the blocking sleep, the blocking
+//! filesystem read, and the sync guard held across an `.await`.
+
+pub async fn startup(state: &std::sync::Mutex<Vec<u8>>) {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let config = std::fs::read_to_string("config.toml");
+    let mut guard = state.lock().unwrap();
+    tokio::task::yield_now().await;
+    guard.extend(config.into_iter().flat_map(String::into_bytes));
+}

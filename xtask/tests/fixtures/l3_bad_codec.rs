@@ -1,0 +1,20 @@
+//! Golden fixture: codec missing the `Ping` encode arm and the `0x03`
+//! decode arm, plus a decode arm for an undeclared tag.
+
+use super::Frame;
+
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Publish => vec![0x01],
+        Frame::Subscribe => vec![0x02],
+    }
+}
+
+pub fn decode_inner(tag: u8) -> Option<Frame> {
+    match tag {
+        0x01 => Some(Frame::Publish),
+        0x02 => Some(Frame::Subscribe),
+        0x7F => None,
+        _ => None,
+    }
+}

@@ -1,0 +1,20 @@
+//! Golden fixture: a frame declaration whose `KNOWN_TAGS` misses a tag
+//! and whose codec (see `l3_bad_codec.rs`) drops arms.
+
+pub enum Frame {
+    Publish,
+    Subscribe,
+    Ping,
+}
+
+impl Frame {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Publish => 0x01,
+            Frame::Subscribe => 0x02,
+            Frame::Ping => 0x03,
+        }
+    }
+}
+
+pub const KNOWN_TAGS: [u8; 2] = [0x01, 0x02];

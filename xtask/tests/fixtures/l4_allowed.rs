@@ -1,0 +1,9 @@
+//! Golden fixture: the same off-catalog metric names as `l4_bad.rs`,
+//! each silenced by a justified `lint:allow(metric)` annotation.
+
+pub fn record(publishes: u64) {
+    // lint:allow(metric) experimental name, graduates to the catalog next release
+    counter!("multipub_broker_raw_total", publishes);
+    // lint:allow(metric) declared by the embedding application, not this crate
+    counter!(UNDECLARED_METRIC, 1);
+}

@@ -1,0 +1,8 @@
+//! Golden fixture: L4 must flag the raw string-literal metric name and
+//! the const that is not in the catalog.
+
+pub fn record(publishes: u64) {
+    counter!("multipub_broker_raw_total", publishes);
+    counter!(UNDECLARED_METRIC, 1);
+    counter!(BROKER_PUBLISHES, publishes);
+}

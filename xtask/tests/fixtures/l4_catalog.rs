@@ -1,0 +1,5 @@
+//! Golden fixture: stands in for `crates/obs/src/metrics.rs` — the
+//! metric-name catalog the L4 fixtures resolve against.
+
+pub const BROKER_PUBLISHES: &str = "multipub_broker_publishes_total";
+pub const BROKER_DELIVERIES: &str = "multipub_broker_deliveries_total";

@@ -1,0 +1,9 @@
+//! Golden fixture: the same unbounded channel as `l5_bad.rs`, silenced
+//! by a file-wide `lint:allow-file(channel)` annotation — this fixture
+//! doubles as the allow-file form's regression test.
+
+// lint:allow-file(channel) control-plane plumbing with a statically bounded sender set
+
+pub fn wire() -> (tokio::sync::mpsc::UnboundedSender<u8>, tokio::sync::mpsc::UnboundedReceiver<u8>) {
+    tokio::sync::mpsc::unbounded_channel()
+}

@@ -1,0 +1,5 @@
+//! Golden fixture: L5 must flag the unbounded channel.
+
+pub fn wire() -> (tokio::sync::mpsc::UnboundedSender<u8>, tokio::sync::mpsc::UnboundedReceiver<u8>) {
+    tokio::sync::mpsc::unbounded_channel()
+}

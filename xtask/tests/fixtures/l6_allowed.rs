@@ -1,0 +1,18 @@
+//! Golden fixture: a rank-annotated lock pair whose reversed probe is
+//! excused with `lint:allow(lockorder)` — L6 must stay silent.
+
+use multipub_sync::Mutex;
+
+pub struct State {
+    low: Mutex<u32>,  // lock:rank(fixture.low, 10)
+    high: Mutex<u32>, // lock:rank(fixture.high, 20)
+}
+
+impl State {
+    pub fn probe(&self) {
+        let high = self.high.lock();
+        // lint:allow(lockorder) reversed probe; the caller serializes on fixture.gate first
+        let low = self.low.lock();
+        drop((high, low));
+    }
+}

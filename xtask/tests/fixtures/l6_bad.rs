@@ -1,0 +1,23 @@
+//! Golden fixture: L6 must flag the unannotated declaration, the
+//! inverted nested acquisition, and the constructor whose rank drifted
+//! from its annotation.
+
+use multipub_sync::Mutex;
+
+pub struct State {
+    low: Mutex<u32>,  // lock:rank(fixture.low, 10)
+    high: Mutex<u32>, // lock:rank(fixture.high, 20)
+    naked: Mutex<u32>,
+}
+
+impl State {
+    pub fn inverted(&self) {
+        let high = self.high.lock();
+        let low = self.low.lock();
+        drop((high, low));
+    }
+}
+
+pub fn drifted() -> Mutex<u32> {
+    Mutex::new(15, "fixture.low", 0)
+}

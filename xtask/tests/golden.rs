@@ -1,0 +1,133 @@
+//! Golden known-bad corpus: every lint pass must fire on its bad
+//! fixture, and every `lint:allow` form must suppress it. The fixtures
+//! live under `tests/fixtures/` (outside the `src/` trees the real
+//! sweep scans) and are fed to [`xtask::run_passes`] as a synthetic
+//! workspace, so these tests exercise the same driver `cargo xtask
+//! lint` uses — catalog gating, parallel sweep, cross-file passes and
+//! all.
+
+use xtask::{run_passes, Finding, LintOutcome};
+
+/// Runs the full pass battery over `(workspace-relative name, source)`
+/// pairs.
+fn run(files: &[(&str, &str)]) -> LintOutcome {
+    let inputs: Vec<(String, String)> =
+        files.iter().map(|(name, source)| (name.to_string(), source.to_string())).collect();
+    run_passes(&inputs, None)
+}
+
+/// The outcome's findings for one pass, ignoring the structural noise a
+/// synthetic workspace always produces (missing frame.rs / metric
+/// catalog for the passes under test elsewhere).
+fn findings_for<'a>(outcome: &'a LintOutcome, pass: &str) -> Vec<&'a Finding> {
+    outcome.findings.iter().filter(|f| f.pass == pass).collect()
+}
+
+#[test]
+fn l1_fires_on_bad_and_allow_suppresses() {
+    let bad = run(&[("crates/fixture/src/lib.rs", include_str!("fixtures/l1_bad.rs"))]);
+    let flagged = findings_for(&bad, "L1");
+    assert_eq!(flagged.len(), 2, "{flagged:?}");
+    assert!(flagged.iter().any(|f| f.category == "indexing"));
+    assert!(flagged.iter().any(|f| f.category == "panic"));
+
+    let ok = run(&[("crates/fixture/src/lib.rs", include_str!("fixtures/l1_allowed.rs"))]);
+    assert!(findings_for(&ok, "L1").is_empty(), "{:?}", ok.findings);
+    assert!(findings_for(&ok, "meta").is_empty(), "allow reasons must be accepted");
+}
+
+#[test]
+fn l2_fires_on_bad_and_allow_suppresses() {
+    let bad = run(&[("crates/fixture/src/lib.rs", include_str!("fixtures/l2_bad.rs"))]);
+    let flagged = findings_for(&bad, "L2");
+    assert_eq!(flagged.len(), 3, "{flagged:?}");
+    assert!(flagged.iter().any(|f| f.message.contains("thread::sleep")));
+    assert!(flagged.iter().any(|f| f.message.contains("std::fs")));
+    assert!(flagged.iter().any(|f| f.message.contains("across `.await`")));
+
+    let ok = run(&[("crates/fixture/src/lib.rs", include_str!("fixtures/l2_allowed.rs"))]);
+    assert!(findings_for(&ok, "L2").is_empty(), "{:?}", ok.findings);
+    assert!(findings_for(&ok, "meta").is_empty(), "allow reasons must be accepted");
+}
+
+#[test]
+fn l3_fires_on_mismatched_frame_and_codec() {
+    let bad = run(&[
+        ("crates/broker/src/frame.rs", include_str!("fixtures/l3_bad_frame.rs")),
+        ("crates/broker/src/codec.rs", include_str!("fixtures/l3_bad_codec.rs")),
+    ]);
+    let flagged = findings_for(&bad, "L3");
+    assert_eq!(flagged.len(), 4, "{flagged:?}");
+    assert!(flagged.iter().any(|f| f.message.contains("not listed in `KNOWN_TAGS`")));
+    assert!(flagged.iter().any(|f| f.message.contains("no arm in the `encode` match")));
+    assert!(flagged.iter().any(|f| f.message.contains("no arm in the decode match")));
+    assert!(flagged.iter().any(|f| f.message.contains("no matching variant")));
+}
+
+#[test]
+fn l4_fires_on_bad_and_allow_suppresses() {
+    let catalog = ("crates/obs/src/metrics.rs", include_str!("fixtures/l4_catalog.rs"));
+    let bad = run(&[catalog, ("crates/fixture/src/lib.rs", include_str!("fixtures/l4_bad.rs"))]);
+    let flagged = findings_for(&bad, "L4");
+    assert_eq!(flagged.len(), 2, "{flagged:?}");
+    assert!(flagged.iter().any(|f| f.message.contains("string literal")));
+    assert!(flagged.iter().any(|f| f.message.contains("UNDECLARED_METRIC")));
+
+    let ok = run(&[catalog, ("crates/fixture/src/lib.rs", include_str!("fixtures/l4_allowed.rs"))]);
+    assert!(findings_for(&ok, "L4").is_empty(), "{:?}", ok.findings);
+    assert!(findings_for(&ok, "meta").is_empty(), "allow reasons must be accepted");
+}
+
+#[test]
+fn l5_fires_on_bad_and_allow_file_suppresses() {
+    let bad = run(&[("crates/fixture/src/lib.rs", include_str!("fixtures/l5_bad.rs"))]);
+    let flagged = findings_for(&bad, "L5");
+    assert_eq!(flagged.len(), 1, "{flagged:?}");
+    assert!(flagged[0].message.contains("unbounded channel"));
+
+    // `l5_allowed.rs` uses the file-wide `lint:allow-file` form.
+    let ok = run(&[("crates/fixture/src/lib.rs", include_str!("fixtures/l5_allowed.rs"))]);
+    assert!(findings_for(&ok, "L5").is_empty(), "{:?}", ok.findings);
+    assert!(findings_for(&ok, "meta").is_empty(), "allow reasons must be accepted");
+}
+
+#[test]
+fn l6_fires_on_bad_and_allow_suppresses() {
+    let bad = run(&[("crates/fixture/src/lib.rs", include_str!("fixtures/l6_bad.rs"))]);
+    let flagged = findings_for(&bad, "L6");
+    assert_eq!(flagged.len(), 3, "{flagged:?}");
+    assert!(flagged.iter().any(|f| f.message.contains("no `// lock:rank(name, N)` annotation")));
+    assert!(flagged
+        .iter()
+        .any(|f| f.message.contains("`fixture.low` (rank 10) acquired while `fixture.high`")));
+    assert!(flagged.iter().any(|f| f.message.contains("constructor ranks `fixture.low` at 15")));
+
+    let ok = run(&[("crates/fixture/src/lib.rs", include_str!("fixtures/l6_allowed.rs"))]);
+    assert!(findings_for(&ok, "L6").is_empty(), "{:?}", ok.findings);
+    assert!(findings_for(&ok, "meta").is_empty(), "allow reasons must be accepted");
+}
+
+#[test]
+fn unknown_allow_category_is_a_finding() {
+    let outcome = run(&[(
+        "crates/fixture/src/lib.rs",
+        "// lint:allow(racecondition) not a category the linter knows about\npub fn f() {}\n",
+    )]);
+    let flagged = findings_for(&outcome, "meta");
+    assert_eq!(flagged.len(), 1, "{flagged:?}");
+    assert!(flagged[0].message.contains("unknown lint:allow category"));
+    assert!(flagged[0].message.contains("lockorder"), "valid-category list must include L6's");
+}
+
+#[test]
+fn unused_allow_is_warned() {
+    let outcome = run(&[(
+        "crates/fixture/src/lib.rs",
+        "// lint:allow(lockorder) nothing here actually locks anything at all\npub fn f() {}\n",
+    )]);
+    assert!(
+        outcome.warnings.iter().any(|w| w.contains("unused lint:allow(lockorder)")),
+        "{:?}",
+        outcome.warnings
+    );
+}
