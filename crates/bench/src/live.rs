@@ -267,6 +267,7 @@ impl RawPublisher {
             qos: self.qos,
             seq,
             retain: false,
+            epoch: 0,
         };
         self.write_half
             .write_all(&encode_to_bytes(&frame))

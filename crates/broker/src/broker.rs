@@ -76,6 +76,34 @@ pub struct InstalledConfig {
     pub mask: u32,
     /// Delivery mode.
     pub mode: WireMode,
+    /// The committed configuration epoch (`0` for the bootstrap
+    /// default). Updates carrying an older epoch are rejected so a
+    /// delayed or replayed `ConfigUpdate` can never roll the topic's
+    /// view backwards (DESIGN.md §15).
+    pub epoch: u64,
+}
+
+/// A topic's in-flight handover as a participating broker tracks it
+/// between `HandoverPrepare` and the end of the post-commit drain
+/// window (DESIGN.md §15). While an entry exists the publish path
+/// bridge-forwards to the union of the committed, pending and prior
+/// serving sets so no side of the transition misses a message.
+#[derive(Debug, Clone, Copy)]
+struct HandoverState {
+    /// Pending assignment bitmask.
+    mask: u32,
+    /// Pending delivery mode.
+    mode: WireMode,
+    /// The epoch being handed over to.
+    epoch: u64,
+    /// `None` while prepared (the handover can still be aborted);
+    /// `Some(deadline)` once committed — the entry is lazily dropped by
+    /// the publish path after the drain deadline passes.
+    drain_until: Option<std::time::Instant>,
+    /// The committed mask at prepare time, bridged to during drain so
+    /// not-yet-re-steered subscribers in retiring regions keep
+    /// receiving.
+    prior_mask: u32,
 }
 
 #[derive(Debug)]
@@ -136,6 +164,10 @@ struct Shared {
     zero_copy: bool,
     /// Installed configurations per topic.
     configs: Mutex<HashMap<String, InstalledConfig>>, // lock:rank(broker.configs, 50)
+    /// In-flight make-before-break handovers per topic (prepared or
+    /// draining). Entries are inserted by `HandoverPrepare`, promoted by
+    /// `HandoverCommit`, removed by `HandoverAbort` or lazy drain expiry.
+    handovers: Mutex<HashMap<String, HandoverState>>, // lock:rank(broker.handovers, 52)
     /// Interval statistics per topic.
     stats: Mutex<HashMap<String, TopicStats>>, // lock:rank(broker.stats, 55)
     next_conn_id: AtomicU64,
@@ -169,11 +201,31 @@ impl Shared {
     /// yet: every known region (self + peers), routed delivery. Reads
     /// the atomic region mask — no lock on the publish hot path.
     fn default_config(&self) -> InstalledConfig {
-        InstalledConfig { mask: self.peer_mask.load(Ordering::Relaxed), mode: WireMode::Routed }
+        InstalledConfig {
+            mask: self.peer_mask.load(Ordering::Relaxed),
+            mode: WireMode::Routed,
+            epoch: 0,
+        }
     }
 
     fn config_for(&self, topic: &str) -> InstalledConfig {
         self.configs.lock().get(topic).copied().unwrap_or_else(|| self.default_config())
+    }
+
+    /// Regions beyond the committed serving set that the publish path
+    /// must bridge to while `topic` has an active handover (prepared or
+    /// draining); `0` otherwise. Lazily expires a drained handover the
+    /// first time a publish arrives past its deadline.
+    fn bridge_extra(&self, topic: &str) -> u32 {
+        let mut handovers = self.handovers.lock();
+        let Some(state) = handovers.get(topic) else { return 0 };
+        if let Some(deadline) = state.drain_until {
+            if std::time::Instant::now() >= deadline {
+                handovers.remove(topic);
+                return 0;
+            }
+        }
+        state.mask | state.prior_mask
     }
 }
 
@@ -341,6 +393,7 @@ impl BrokerBuilder {
             shards: ShardedTopics::new(shard_count),
             zero_copy,
             configs: Mutex::new(50, "broker.configs", HashMap::new()),
+            handovers: Mutex::new(52, "broker.handovers", HashMap::new()),
             stats: Mutex::new(55, "broker.stats", HashMap::new()),
             next_conn_id: AtomicU64::new(1),
             conn_tasks: Mutex::new(10, "broker.conn_tasks", Vec::new()),
@@ -434,9 +487,20 @@ impl Broker {
     }
 
     /// Installs a topic configuration locally, exactly as a controller
-    /// [`Frame::ConfigUpdate`] would, including the client fan-out.
+    /// [`Frame::ConfigUpdate`] would, including the client fan-out. The
+    /// new configuration is minted at the next epoch after whatever is
+    /// currently in force.
     pub fn install_config(&self, topic: &str, mask: u32, mode: WireMode) {
-        apply_config_update(&self.shared, topic, mask, mode);
+        let epoch = self.shared.config_for(topic).epoch + 1;
+        apply_config_update(&self.shared, topic, mask, mode, epoch);
+    }
+
+    /// Installs a topic configuration at an **explicit** epoch, exactly
+    /// as a (possibly lagging) controller replay would: updates carrying
+    /// an epoch older than the one in force are rejected and counted in
+    /// `multipub_broker_stale_config_updates_total`.
+    pub fn install_config_at(&self, topic: &str, mask: u32, mode: WireMode, epoch: u64) {
+        apply_config_update(&self.shared, topic, mask, mode, epoch);
     }
 
     /// The topic configuration currently in force (installed or default).
@@ -536,7 +600,30 @@ fn take_report(shared: &Shared) -> RegionReport {
     RegionReport { region: u16::from(shared.region.0), topics }
 }
 
-fn apply_config_update(shared: &Shared, topic: &str, mask: u32, mode: WireMode) {
+fn apply_config_update(shared: &Shared, topic: &str, mask: u32, mode: WireMode, epoch: u64) {
+    // Epoch gating: a delayed or replayed update carrying an older
+    // epoch must never roll the topic's view backwards. Equal epochs
+    // are re-applied so the degraded-mode redial replay stays
+    // idempotent.
+    {
+        let configs = shared.configs.lock();
+        if let Some(existing) = configs.get(topic) {
+            if epoch < existing.epoch {
+                multipub_obs::counter!(multipub_obs::metrics::BROKER_STALE_CONFIG_UPDATES_TOTAL)
+                    .inc();
+                multipub_obs::event!(
+                    Debug,
+                    "broker",
+                    msg = "stale config update rejected",
+                    region = shared.region.0,
+                    topic = topic,
+                    epoch = epoch,
+                    installed_epoch = existing.epoch,
+                );
+                return;
+            }
+        }
+    }
     multipub_obs::counter!(multipub_obs::metrics::BROKER_CONFIG_UPDATES_TOTAL).inc();
     multipub_obs::event!(
         Debug,
@@ -546,13 +633,25 @@ fn apply_config_update(shared: &Shared, topic: &str, mask: u32, mode: WireMode) 
         topic = topic,
         mask = format!("{mask:#b}"),
         mode = format!("{mode:?}"),
+        epoch = epoch,
     );
-    shared.configs.lock().insert(topic.to_string(), InstalledConfig { mask, mode });
+    shared.configs.lock().insert(topic.to_string(), InstalledConfig { mask, mode, epoch });
+    // A pending handover targeting an older epoch is obsolete once a
+    // newer configuration commits; one at the same epoch is the commit
+    // of this very handover and stays for its drain window.
+    {
+        let mut handovers = shared.handovers.lock();
+        if let Some(state) = handovers.get(topic) {
+            if state.epoch < epoch {
+                handovers.remove(topic);
+            }
+        }
+    }
     // Fan the update out to every connected client so publishers and
     // subscribers can re-steer. (The paper narrows this to the clients
     // closest to this region; broadcasting is correct and simpler — remote
     // clients ignore updates for topics they do not use.)
-    let update = Frame::ConfigUpdate { topic: topic.to_string(), mask, mode };
+    let update = Frame::ConfigUpdate { topic: topic.to_string(), mask, mode, epoch };
     let clients = shared.clients.lock();
     for client in clients.values() {
         if matches!(client.role, Role::Publisher | Role::Subscriber) {
@@ -768,6 +867,7 @@ async fn handle_publish_from_client(
     qos: u8,
     seq: u64,
     retain: bool,
+    epoch: u64,
 ) {
     multipub_obs::counter!(multipub_obs::metrics::BROKER_PUBLISHES_TOTAL).inc();
     if single_target {
@@ -800,8 +900,29 @@ async fn handle_publish_from_client(
     // view, decides the serving set; transient duplicates during a
     // reconfiguration are accepted (at-least-once across config changes).
     let config = shared.config_for(&topic);
-    let self_serving = config.mask & (1u32 << shared.region.0) != 0;
-    if !single_target && self_serving {
+    let self_bit = 1u32 << shared.region.0;
+    let self_serving = config.mask & self_bit != 0;
+    if epoch < config.epoch {
+        // The publisher steered by a configuration this broker has
+        // already superseded — expected during a handover's commit
+        // window, and the bridge below (not a drop) is what makes the
+        // transition lossless.
+        multipub_obs::counter!(multipub_obs::metrics::BROKER_STALE_EPOCH_PUBLISHES_TOTAL).inc();
+    }
+    // While a handover is active (prepared or draining) the forward set
+    // widens to the union of the committed, pending and prior serving
+    // regions so both sides of the transition see every publish
+    // (make-before-break, DESIGN.md §15). Forward frames are never
+    // re-forwarded, so the widened set cannot loop.
+    let bridge_extra = shared.bridge_extra(&topic) & !config.mask;
+    let targets = if !single_target && self_serving {
+        // The publisher's direct fan-out already reached every committed
+        // serving region; bridge only the regions it missed.
+        bridge_extra & !self_bit
+    } else {
+        (config.mask | bridge_extra) & !self_bit
+    };
+    if targets == 0 {
         return;
     }
     // The peer hop inherits the admission stamp; the remote broker's
@@ -824,7 +945,7 @@ async fn handle_publish_from_client(
     let mut encoded: Option<Bytes> = None;
     for region in 0..32u16 {
         let bit = 1u32 << region;
-        if config.mask & bit == 0 || region == u16::from(shared.region.0) {
+        if targets & bit == 0 {
             continue;
         }
         if let Some(outbound) = peer_outbound(shared, region).await {
@@ -836,6 +957,10 @@ async fn handle_publish_from_client(
             };
             if queued {
                 multipub_obs::counter!(multipub_obs::metrics::BROKER_FORWARDS_TOTAL).inc();
+                if config.mask & bit == 0 {
+                    multipub_obs::counter!(multipub_obs::metrics::BROKER_BRIDGED_FORWARDS_TOTAL)
+                        .inc();
+                }
             }
         }
     }
@@ -926,7 +1051,12 @@ async fn handle_connection(shared: Arc<Shared>, stream: TcpStream) -> Result<(),
         let configs: Vec<(String, InstalledConfig)> =
             shared.configs.lock().iter().map(|(topic, config)| (topic.clone(), *config)).collect();
         for (topic, config) in configs {
-            outbound.send(&Frame::ConfigUpdate { topic, mask: config.mask, mode: config.mode });
+            outbound.send(&Frame::ConfigUpdate {
+                topic,
+                mask: config.mask,
+                mode: config.mode,
+                epoch: config.epoch,
+            });
         }
     }
 
@@ -1068,6 +1198,7 @@ async fn connection_loop(
                 qos,
                 seq,
                 retain,
+                epoch,
             } => {
                 // Admission control (DESIGN.md §10): shed load with an
                 // explicit NACK instead of queueing into an overloaded
@@ -1141,6 +1272,7 @@ async fn connection_loop(
                     qos,
                     seq,
                     retain,
+                    epoch,
                 )
                 .await;
                 // Ack after the local fan-out and peer forwards have
@@ -1229,9 +1361,98 @@ async fn connection_loop(
                 let json = multipub_obs::registry().render_json();
                 outbound.send(&Frame::StatsSnapshot { json });
             }
-            Frame::ConfigUpdate { topic, mask, mode } => {
+            Frame::ConfigUpdate { topic, mask, mode, epoch } => {
                 if matches!(role, Role::Controller) {
-                    apply_config_update(shared, &topic, mask, mode);
+                    apply_config_update(shared, &topic, mask, mode, epoch);
+                }
+            }
+            Frame::HandoverPrepare { topic, mask, mode, epoch } => {
+                // Phase one of a make-before-break handover: record the
+                // pending configuration (invisible to clients) so the
+                // publish path starts bridging to the union of the old
+                // and new serving sets. Stale prepares (epoch not ahead
+                // of the committed view) are ignored but still acked —
+                // replays must stay idempotent.
+                if matches!(role, Role::Controller) {
+                    let committed = shared.config_for(&topic);
+                    if epoch > committed.epoch {
+                        shared.handovers.lock().insert(
+                            topic.clone(),
+                            HandoverState {
+                                mask,
+                                mode,
+                                epoch,
+                                drain_until: None,
+                                prior_mask: committed.mask,
+                            },
+                        );
+                        multipub_obs::event!(
+                            Debug,
+                            "broker",
+                            msg = "handover prepared",
+                            region = shared.region.0,
+                            topic = topic,
+                            mask = format!("{mask:#b}"),
+                            epoch = epoch,
+                        );
+                    }
+                    outbound.send(&Frame::HandoverAck { topic, epoch, phase: 0 });
+                }
+            }
+            Frame::HandoverCommit { topic, epoch, grace_ms } => {
+                // Phase two: promote the pending configuration to
+                // committed (fanning the new epoch to clients so they
+                // re-steer) and keep the handover entry for a bounded
+                // drain window, during which stragglers steering by the
+                // old epoch are still bridged.
+                if matches!(role, Role::Controller) {
+                    let pending = shared.handovers.lock().get(&topic).copied();
+                    if let Some(state) = pending {
+                        if state.epoch == epoch {
+                            apply_config_update(shared, &topic, state.mask, state.mode, epoch);
+                            let deadline = std::time::Instant::now()
+                                + Duration::from_millis(u64::from(grace_ms));
+                            if let Some(entry) = shared.handovers.lock().get_mut(&topic) {
+                                entry.drain_until = Some(deadline);
+                            }
+                            multipub_obs::event!(
+                                Debug,
+                                "broker",
+                                msg = "handover committed",
+                                region = shared.region.0,
+                                topic = topic,
+                                epoch = epoch,
+                                grace_ms = grace_ms,
+                            );
+                        }
+                    }
+                    outbound.send(&Frame::HandoverAck { topic, epoch, phase: 1 });
+                }
+            }
+            Frame::HandoverAbort { topic, epoch } => {
+                // A participant died or timed out during prepare:
+                // discard the pending epoch and fall back to the last
+                // committed configuration. A handover already committed
+                // (draining) is past the point of no return and keeps
+                // its drain window.
+                if matches!(role, Role::Controller) {
+                    {
+                        let mut handovers = shared.handovers.lock();
+                        if let Some(state) = handovers.get(&topic) {
+                            if state.epoch == epoch && state.drain_until.is_none() {
+                                handovers.remove(&topic);
+                                multipub_obs::event!(
+                                    Info,
+                                    "broker",
+                                    msg = "handover aborted",
+                                    region = shared.region.0,
+                                    topic = topic,
+                                    epoch = epoch,
+                                );
+                            }
+                        }
+                    }
+                    outbound.send(&Frame::HandoverAck { topic, epoch, phase: 2 });
                 }
             }
             Frame::Ping { nonce } => {
@@ -1246,6 +1467,7 @@ async fn connection_loop(
             | Frame::StatsSnapshot { .. }
             | Frame::Busy { .. }
             | Frame::PubAck { .. }
+            | Frame::HandoverAck { .. }
             | Frame::Pong { .. } => {}
         }
     }

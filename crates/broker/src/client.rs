@@ -241,6 +241,7 @@ impl Links {
         self.topic_configs.lock().get(topic).copied().unwrap_or(InstalledConfig {
             mask: if self.n_regions() >= 32 { u32::MAX } else { (1u32 << self.n_regions()) - 1 },
             mode: WireMode::Routed,
+            epoch: 0,
         })
     }
 
@@ -382,9 +383,22 @@ impl Links {
                             break;
                         }
                     }
-                    Ok(Some(Frame::ConfigUpdate { topic, mask, mode })) => {
-                        topic_configs.lock().insert(topic.clone(), InstalledConfig { mask, mode });
-                        if events_tx.send(Event::Config { topic }).await.is_err() {
+                    Ok(Some(Frame::ConfigUpdate { topic, mask, mode, epoch })) => {
+                        // Epoch-gate the install: during a handover both
+                        // old and new regions replay configs, and a stale
+                        // region's replay must not un-steer the client.
+                        let installed = {
+                            let mut configs = topic_configs.lock();
+                            let stale = configs
+                                .get(&topic)
+                                .is_some_and(|current: &InstalledConfig| epoch < current.epoch);
+                            if !stale {
+                                configs
+                                    .insert(topic.clone(), InstalledConfig { mask, mode, epoch });
+                            }
+                            !stale
+                        };
+                        if installed && events_tx.send(Event::Config { topic }).await.is_err() {
                             break;
                         }
                     }
@@ -1086,6 +1100,7 @@ impl PublisherClient {
             qos: entry.qos,
             seq: entry.seq,
             retain: entry.retain,
+            epoch: config.epoch,
         };
         let mut serving: Vec<u16> = (0..self.links.n_regions() as u16)
             .filter(|&r| config.mask & (1u32 << r) != 0)

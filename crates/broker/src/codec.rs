@@ -229,6 +229,7 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
             qos,
             seq,
             retain,
+            epoch,
         } => {
             put_trace(buf, trace);
             put_string(buf, topic);
@@ -242,6 +243,7 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
             buf.put_u8(*qos);
             buf.put_u64(*seq);
             buf.put_u8(u8::from(*retain));
+            buf.put_u64(*epoch);
         }
         Frame::Deliver {
             topic,
@@ -291,10 +293,11 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
         Frame::StatsReport { json } => {
             put_long_string(buf, json);
         }
-        Frame::ConfigUpdate { topic, mask, mode } => {
+        Frame::ConfigUpdate { topic, mask, mode, epoch } => {
             put_string(buf, topic);
             buf.put_u32(*mask);
             buf.put_u8(mode.to_u8());
+            buf.put_u64(*epoch);
         }
         Frame::Ping { nonce } | Frame::Pong { nonce } => {
             buf.put_u64(*nonce);
@@ -316,6 +319,26 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
             put_string(buf, topic);
             buf.put_u64(*publisher);
             buf.put_u64(*seq);
+        }
+        Frame::HandoverPrepare { topic, mask, mode, epoch } => {
+            put_string(buf, topic);
+            buf.put_u32(*mask);
+            buf.put_u8(mode.to_u8());
+            buf.put_u64(*epoch);
+        }
+        Frame::HandoverCommit { topic, epoch, grace_ms } => {
+            put_string(buf, topic);
+            buf.put_u64(*epoch);
+            buf.put_u32(*grace_ms);
+        }
+        Frame::HandoverAbort { topic, epoch } => {
+            put_string(buf, topic);
+            buf.put_u64(*epoch);
+        }
+        Frame::HandoverAck { topic, epoch, phase } => {
+            put_string(buf, topic);
+            buf.put_u64(*epoch);
+            buf.put_u8(*phase);
         }
     }
     let body_len = (buf.len() - start - 4) as u32;
@@ -452,6 +475,7 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
             let qos = reader.u8()?;
             let seq = reader.u64()?;
             let retain = reader.u8()? != 0;
+            let epoch = reader.u64()?;
             Frame::Publish {
                 topic,
                 publisher,
@@ -463,6 +487,7 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
                 qos,
                 seq,
                 retain,
+                epoch,
             }
         }
         0x07 => {
@@ -519,7 +544,8 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
             let mode_byte = reader.u8()?;
             let mode =
                 WireMode::from_u8(mode_byte).ok_or(CodecError::InvalidEnum { value: mode_byte })?;
-            Frame::ConfigUpdate { topic, mask, mode }
+            let epoch = reader.u64()?;
+            Frame::ConfigUpdate { topic, mask, mode, epoch }
         }
         0x0B => Frame::Ping { nonce: reader.u64()? },
         0x0C => Frame::Pong { nonce: reader.u64()? },
@@ -541,6 +567,32 @@ fn decode_inner(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
             let publisher = reader.u64()?;
             let seq = reader.u64()?;
             Frame::DeliverAck { topic, publisher, seq }
+        }
+        0x12 => {
+            let topic = reader.string()?;
+            let mask = reader.u32()?;
+            let mode_byte = reader.u8()?;
+            let mode =
+                WireMode::from_u8(mode_byte).ok_or(CodecError::InvalidEnum { value: mode_byte })?;
+            let epoch = reader.u64()?;
+            Frame::HandoverPrepare { topic, mask, mode, epoch }
+        }
+        0x13 => {
+            let topic = reader.string()?;
+            let epoch = reader.u64()?;
+            let grace_ms = reader.u32()?;
+            Frame::HandoverCommit { topic, epoch, grace_ms }
+        }
+        0x14 => {
+            let topic = reader.string()?;
+            let epoch = reader.u64()?;
+            Frame::HandoverAbort { topic, epoch }
+        }
+        0x15 => {
+            let topic = reader.string()?;
+            let epoch = reader.u64()?;
+            let phase = reader.u8()?;
+            Frame::HandoverAck { topic, epoch, phase }
         }
         other => return Err(CodecError::UnknownTag { tag: other }),
     };
@@ -584,6 +636,7 @@ mod tests {
                 qos: 0,
                 seq: 0,
                 retain: false,
+                epoch: 0,
             },
             Frame::Publish {
                 topic: "scores".into(),
@@ -596,6 +649,7 @@ mod tests {
                 qos: 1,
                 seq: 7,
                 retain: true,
+                epoch: 3,
             },
             Frame::Forward {
                 topic: "scores".into(),
@@ -659,7 +713,12 @@ mod tests {
             },
             Frame::StatsRequest,
             Frame::StatsReport { json: "{\"topics\":{}}".into() },
-            Frame::ConfigUpdate { topic: "scores".into(), mask: 0b1011, mode: WireMode::Routed },
+            Frame::ConfigUpdate {
+                topic: "scores".into(),
+                mask: 0b1011,
+                mode: WireMode::Routed,
+                epoch: 4,
+            },
             Frame::Ping { nonce: u64::MAX },
             Frame::Pong { nonce: 0 },
             Frame::StatsSnapshotRequest,
@@ -667,6 +726,15 @@ mod tests {
             Frame::Busy { topic: "scores".into(), retry_after_ms: 125, seq: 3 },
             Frame::PubAck { topic: "ticks".into(), seq: 41 },
             Frame::DeliverAck { topic: "ticks".into(), publisher: 12, seq: 41 },
+            Frame::HandoverPrepare {
+                topic: "scores".into(),
+                mask: 0b0110,
+                mode: WireMode::Routed,
+                epoch: 5,
+            },
+            Frame::HandoverCommit { topic: "scores".into(), epoch: 5, grace_ms: 750 },
+            Frame::HandoverAbort { topic: "scores".into(), epoch: 5 },
+            Frame::HandoverAck { topic: "scores".into(), epoch: 5, phase: 1 },
         ]
     }
 
@@ -707,6 +775,7 @@ mod tests {
             qos: 1,
             seq: 5,
             retain: false,
+            epoch: 2,
         };
         let full = encode_to_bytes(&frame);
         for cut in 0..full.len() {
@@ -719,7 +788,8 @@ mod tests {
 
     #[test]
     fn byte_by_byte_feed() {
-        let frame = Frame::ConfigUpdate { topic: "x".into(), mask: 7, mode: WireMode::Direct };
+        let frame =
+            Frame::ConfigUpdate { topic: "x".into(), mask: 7, mode: WireMode::Direct, epoch: 1 };
         let full = encode_to_bytes(&frame);
         let mut buf = BytesMut::new();
         let mut decoded = None;
@@ -821,7 +891,7 @@ mod tests {
             Frame::Unsubscribe { topic: "t".into() },
             Frame::StatsRequest,
             Frame::StatsReport { json: "{}".into() },
-            Frame::ConfigUpdate { topic: "t".into(), mask: 1, mode: WireMode::Direct },
+            Frame::ConfigUpdate { topic: "t".into(), mask: 1, mode: WireMode::Direct, epoch: 0 },
             Frame::Ping { nonce: 1 },
             Frame::Pong { nonce: 1 },
             Frame::StatsSnapshotRequest,
@@ -829,6 +899,10 @@ mod tests {
             Frame::Busy { topic: "t".into(), retry_after_ms: 5, seq: 2 },
             Frame::PubAck { topic: "t".into(), seq: 1 },
             Frame::DeliverAck { topic: "t".into(), publisher: 1, seq: 1 },
+            Frame::HandoverPrepare { topic: "t".into(), mask: 2, mode: WireMode::Direct, epoch: 1 },
+            Frame::HandoverCommit { topic: "t".into(), epoch: 1, grace_ms: 100 },
+            Frame::HandoverAbort { topic: "t".into(), epoch: 1 },
+            Frame::HandoverAck { topic: "t".into(), epoch: 1, phase: 2 },
         ];
         for frame in control {
             assert!(frame.is_control(), "{frame:?} must be control traffic");
@@ -847,6 +921,7 @@ mod tests {
             qos: 0,
             seq: 0,
             retain: false,
+            epoch: 0,
         };
         assert!(!publish.is_control());
         assert_eq!(peek_trace(&encode_to_bytes(&publish)), None);

@@ -29,7 +29,7 @@ use crate::conn::{read_frame, BrokerError};
 use crate::delay::Outbound;
 use crate::frame::{Frame, Role};
 use bytes::BytesMut;
-use multipub_core::assignment::{AssignmentVector, Configuration};
+use multipub_core::assignment::{AssignmentVector, Configuration, Epoch, VersionedConfiguration};
 use multipub_core::constraint::DeliveryConstraint;
 use multipub_core::ids::RegionId;
 use multipub_core::latency::InterRegionMatrix;
@@ -80,6 +80,9 @@ struct BrokerLink {
     outbound: Outbound,
     reports_rx: mpsc::Receiver<RegionReport>,
     snapshots_rx: mpsc::Receiver<String>,
+    /// Handover acks as `(topic, epoch, phase)` triples, consumed by the
+    /// per-topic handover state machine.
+    acks_rx: mpsc::Receiver<(String, u64, u8)>,
 }
 
 impl std::fmt::Debug for BrokerLink {
@@ -136,9 +139,15 @@ pub struct Controller {
     client_latencies: HashMap<u64, Vec<f64>>,
     constraints: HashMap<String, DeliveryConstraint>,
     default_constraint: DeliveryConstraint,
-    installed: HashMap<String, Configuration>,
+    installed: HashMap<String, VersionedConfiguration>,
     report_timeout: Duration,
     connect_timeout: Duration,
+    /// Post-commit drain window: how long retiring regions keep
+    /// bridge-forwarding stragglers before dropping the topic.
+    handover_grace: Duration,
+    /// Per-phase ack deadline; a phase that misses it aborts the
+    /// handover and rolls back to the last committed epoch.
+    handover_timeout: Duration,
     /// Backoff schedule between redial attempts on a dead broker link.
     redial_policy: crate::session::ReconnectPolicy,
     mitigation: Option<MitigationPolicy>,
@@ -160,6 +169,7 @@ async fn dial(addr: SocketAddr, connect_timeout: Duration) -> Result<BrokerLink,
     outbound.send(&Frame::Connect { client_id: 0, role: Role::Controller, policy: None });
     let (reports_tx, reports_rx) = mpsc::channel(LINK_CHANNEL_CAPACITY);
     let (snapshots_tx, snapshots_rx) = mpsc::channel(LINK_CHANNEL_CAPACITY);
+    let (acks_tx, acks_rx) = mpsc::channel(LINK_CHANNEL_CAPACITY);
     tokio::spawn(async move {
         let mut buf = BytesMut::new();
         loop {
@@ -191,12 +201,24 @@ async fn dial(addr: SocketAddr, connect_timeout: Duration) -> Result<BrokerLink,
                     }
                     Err(mpsc::error::TrySendError::Closed(_)) => break,
                 },
+                Ok(Some(Frame::HandoverAck { topic, epoch, phase })) => {
+                    match acks_tx.try_send((topic, epoch, phase)) {
+                        Ok(()) => {}
+                        Err(mpsc::error::TrySendError::Full(_)) => {
+                            multipub_obs::counter!(
+                                multipub_obs::metrics::CONTROLLER_REPORTS_DROPPED_TOTAL
+                            )
+                            .inc();
+                        }
+                        Err(mpsc::error::TrySendError::Closed(_)) => break,
+                    }
+                }
                 Ok(Some(_)) => {}
                 Ok(None) | Err(_) => break,
             }
         }
     });
-    Ok(BrokerLink { outbound, reports_rx, snapshots_rx })
+    Ok(BrokerLink { outbound, reports_rx, snapshots_rx, acks_rx })
 }
 
 impl Controller {
@@ -263,6 +285,8 @@ impl Controller {
             installed: HashMap::new(),
             report_timeout: Duration::from_secs(5),
             connect_timeout,
+            handover_grace: Duration::from_millis(500),
+            handover_timeout: Duration::from_secs(2),
             redial_policy: crate::session::ReconnectPolicy::default(),
             mitigation: None,
             forced: HashMap::new(),
@@ -308,14 +332,18 @@ impl Controller {
             multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_LINK_REDIALS_TOTAL).inc();
             match dial(link.addr, self.connect_timeout).await {
                 Ok(state) => {
-                    // Replay every installed configuration: the broker may
-                    // have restarted empty, or missed deployments while
-                    // unreachable.
-                    for (topic, configuration) in &self.installed {
+                    // Replay every installed configuration at its
+                    // **committed** epoch — never a half-applied one; a
+                    // handover that aborted mid-prepare left `installed`
+                    // untouched, so the replay is exactly the rollback
+                    // target (DESIGN.md §15).
+                    for (topic, versioned) in &self.installed {
+                        let configuration = versioned.configuration();
                         state.outbound.send(&Frame::ConfigUpdate {
                             topic: topic.clone(),
                             mask: configuration.assignment().mask(),
                             mode: configuration.mode().into(),
+                            epoch: versioned.epoch().get(),
                         });
                     }
                     link.state = Some(state);
@@ -380,9 +408,29 @@ impl Controller {
         self.connect_timeout = timeout;
     }
 
+    /// Adjusts the post-commit drain window during which retiring
+    /// regions keep bridge-forwarding stragglers (default 500 ms).
+    pub fn set_handover_grace(&mut self, grace: Duration) {
+        self.handover_grace = grace;
+    }
+
+    /// Adjusts the per-phase ack deadline; a handover phase that misses
+    /// it aborts and rolls back to the last committed epoch (default
+    /// 2 s).
+    pub fn set_handover_timeout(&mut self, timeout: Duration) {
+        self.handover_timeout = timeout;
+    }
+
     /// The configuration currently installed for a topic, if any.
     pub fn installed(&self, topic: &str) -> Option<Configuration> {
-        self.installed.get(topic).copied()
+        self.installed.get(topic).map(|versioned| versioned.configuration())
+    }
+
+    /// The committed epoch of a topic's installed configuration, if any.
+    /// Epochs minted by aborted handovers never appear here — `installed`
+    /// only ever advances at a commit point.
+    pub fn installed_epoch(&self, topic: &str) -> Option<u64> {
+        self.installed.get(topic).map(|versioned| versioned.epoch().get())
     }
 
     /// Requests and gathers one interval report from every live region
@@ -551,12 +599,24 @@ impl Controller {
             if !forced_regions.is_empty() {
                 multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_MITIGATIONS_TOTAL).inc();
             }
-            let deployed = self.installed.get(&topic) != Some(&configuration);
-            if deployed {
-                self.deploy(&topic, configuration);
-                multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_RECONFIGURATIONS_TOTAL)
+            let changed =
+                self.installed.get(&topic).map(|v| v.configuration()) != Some(configuration);
+            let deployed = if changed {
+                // Live traffic may be steering by the old configuration:
+                // run the make-before-break handover rather than a
+                // fire-and-forget broadcast. A rolled-back handover
+                // leaves the committed configuration in force.
+                let committed = self.handover(&topic, configuration).await;
+                if committed {
+                    multipub_obs::counter!(
+                        multipub_obs::metrics::CONTROLLER_RECONFIGURATIONS_TOTAL
+                    )
                     .inc();
-            }
+                }
+                committed
+            } else {
+                false
+            };
             multipub_obs::event!(
                 Debug,
                 "controller",
@@ -590,23 +650,237 @@ impl Controller {
         decisions
     }
 
+    /// The epoch the next configuration change of `topic` would commit
+    /// at: one past the installed epoch, or `1` for a first install.
+    fn next_versioned(&self, topic: &str, configuration: Configuration) -> VersionedConfiguration {
+        match self.installed.get(topic) {
+            Some(current) => current.succeeded_by(configuration),
+            None => VersionedConfiguration::new(configuration, Epoch::INITIAL.next()),
+        }
+    }
+
     /// Pushes a configuration to every *live* broker (which fan it out to
-    /// their clients) and records it as installed. Brokers that are down
-    /// pick the configuration up on their next controller round after
-    /// recovery — until then their clients keep steering by the previous
-    /// one, which is safe (at-least-once across config changes).
+    /// their clients) and records it as installed, minting the next
+    /// epoch. Brokers whose link is down at deploy time are **deferred**:
+    /// counted in `multipub_controller_config_deferred_total` and logged,
+    /// and they pick the configuration up via the redial replay — until
+    /// then their clients keep steering by the previous one, which is
+    /// safe (at-least-once across config changes).
+    ///
+    /// This is the single-shot path, kept for embedders that manage
+    /// their own traffic windows; [`Controller::optimize_once`] uses the
+    /// make-before-break [`Controller::handover`] instead.
     pub fn deploy(&mut self, topic: &str, configuration: Configuration) {
+        let versioned = self.next_versioned(topic, configuration);
         let update = Frame::ConfigUpdate {
             topic: topic.to_string(),
             mask: configuration.assignment().mask(),
             mode: configuration.mode().into(),
+            epoch: versioned.epoch().get(),
         };
-        for link in &self.links {
-            if let Some(state) = &link.state {
-                state.outbound.send(&update);
+        for (region, link) in self.links.iter().enumerate() {
+            let sent = match &link.state {
+                Some(state) => state.outbound.send(&update),
+                None => false,
+            };
+            if !sent {
+                multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_CONFIG_DEFERRED_TOTAL)
+                    .inc();
+                multipub_obs::event!(
+                    Warn,
+                    "controller",
+                    msg = "config install deferred: broker link down",
+                    region = region,
+                    topic = topic,
+                    epoch = versioned.epoch().get(),
+                );
             }
         }
-        self.installed.insert(topic.to_string(), configuration);
+        self.installed.insert(topic.to_string(), versioned);
+    }
+
+    /// Runs the three-phase make-before-break handover for one topic
+    /// (DESIGN.md §15): **prepare** every participating broker (old and
+    /// new serving regions) so both sides bridge traffic, **commit**
+    /// once all prepare acks are in (brokers fan the new epoch to
+    /// clients, who re-steer), then let retiring regions **drain**
+    /// stragglers for the grace window. A phase that misses its ack
+    /// deadline — or a dead broker in the *new* serving set — aborts the
+    /// handover and rolls back to the last committed epoch.
+    ///
+    /// Returns `true` when the new configuration committed, `false` when
+    /// it was aborted (the previously committed configuration stays in
+    /// force and `installed` is untouched).
+    pub async fn handover(&mut self, topic: &str, configuration: Configuration) -> bool {
+        multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_HANDOVERS_TOTAL).inc();
+        let versioned = self.next_versioned(topic, configuration);
+        let epoch = versioned.epoch().get();
+        let new_mask = configuration.assignment().mask();
+        let old_mask =
+            self.installed.get(topic).map(|v| v.configuration().assignment().mask()).unwrap_or(0);
+        let participants = new_mask | old_mask;
+
+        // Phase 1: prepare. New serving regions must all be reachable —
+        // they are about to carry the topic. A dead *retiring* region is
+        // skipped (deferred): it cannot lose messages it will never
+        // receive, and the redial replay brings it to the committed
+        // epoch when it returns.
+        let prepare = Frame::HandoverPrepare {
+            topic: topic.to_string(),
+            mask: new_mask,
+            mode: configuration.mode().into(),
+            epoch,
+        };
+        let mut awaiting = 0u32;
+        let mut dead_new_region = false;
+        for (region, link) in self.links.iter().enumerate() {
+            let bit = 1u32 << region;
+            if participants & bit == 0 {
+                continue;
+            }
+            let sent = match &link.state {
+                Some(state) => state.outbound.send(&prepare),
+                None => false,
+            };
+            if sent {
+                awaiting |= bit;
+            } else if new_mask & bit != 0 {
+                dead_new_region = true;
+                multipub_obs::event!(
+                    Warn,
+                    "controller",
+                    msg = "handover target region unreachable",
+                    region = region,
+                    topic = topic,
+                    epoch = epoch,
+                );
+            } else {
+                multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_CONFIG_DEFERRED_TOTAL)
+                    .inc();
+                multipub_obs::event!(
+                    Warn,
+                    "controller",
+                    msg = "retiring region skipped in handover: broker link down",
+                    region = region,
+                    topic = topic,
+                    epoch = epoch,
+                );
+            }
+        }
+        if dead_new_region {
+            self.abort_handover(topic, epoch);
+            return false;
+        }
+        let prepare_started = std::time::Instant::now();
+        let acked = self.await_acks(topic, epoch, 0, awaiting).await;
+        multipub_obs::histogram!(multipub_obs::metrics::CONTROLLER_HANDOVER_PREPARE_MS)
+            .record(prepare_started.elapsed().as_secs_f64() * 1000.0);
+        if acked != awaiting {
+            // A participant died or timed out mid-prepare: no client has
+            // re-steered yet, so rolling back is free.
+            self.abort_handover(topic, epoch);
+            return false;
+        }
+
+        // Commit point — irrevocable from here on. Record the committed
+        // epoch first so a redial replay always carries the new
+        // configuration, even to a broker that misses the commit frame.
+        self.installed.insert(topic.to_string(), versioned);
+        let grace_ms = self.handover_grace.as_millis().min(u128::from(u32::MAX)) as u32;
+        let commit = Frame::HandoverCommit { topic: topic.to_string(), epoch, grace_ms };
+        let mut commit_awaiting = 0u32;
+        for (region, link) in self.links.iter().enumerate() {
+            let bit = 1u32 << region;
+            if awaiting & bit == 0 {
+                continue;
+            }
+            if let Some(state) = &link.state {
+                if state.outbound.send(&commit) {
+                    commit_awaiting |= bit;
+                }
+            }
+        }
+        let commit_started = std::time::Instant::now();
+        let commit_acked = self.await_acks(topic, epoch, 1, commit_awaiting).await;
+        multipub_obs::histogram!(multipub_obs::metrics::CONTROLLER_HANDOVER_COMMIT_MS)
+            .record(commit_started.elapsed().as_secs_f64() * 1000.0);
+        // Missing commit acks are diagnostic only: the handover is
+        // committed, and stragglers recover via the redial replay.
+        if commit_acked != commit_awaiting {
+            multipub_obs::event!(
+                Warn,
+                "controller",
+                msg = "handover committed with missing commit acks",
+                topic = topic,
+                epoch = epoch,
+                awaited = format!("{commit_awaiting:#b}"),
+                acked = format!("{commit_acked:#b}"),
+            );
+        }
+        multipub_obs::event!(
+            Info,
+            "controller",
+            msg = "handover committed",
+            topic = topic,
+            epoch = epoch,
+            mask = format!("{new_mask:#b}"),
+        );
+        true
+    }
+
+    /// Broadcasts a [`Frame::HandoverAbort`] for `(topic, epoch)` and
+    /// counts the rollback. `installed` is deliberately untouched: the
+    /// redial replay path then replays the *committed* epoch, never the
+    /// half-applied one.
+    fn abort_handover(&mut self, topic: &str, epoch: u64) {
+        multipub_obs::counter!(multipub_obs::metrics::CONTROLLER_HANDOVER_ROLLBACKS_TOTAL).inc();
+        let abort = Frame::HandoverAbort { topic: topic.to_string(), epoch };
+        for link in &self.links {
+            if let Some(state) = &link.state {
+                state.outbound.send(&abort);
+            }
+        }
+        multipub_obs::event!(
+            Warn,
+            "controller",
+            msg = "handover aborted; committed epoch stays in force",
+            topic = topic,
+            epoch = epoch,
+        );
+    }
+
+    /// Waits for a `(topic, epoch, phase)` handover ack from every
+    /// region in `awaiting`, bounded by the handover timeout shared
+    /// across the whole phase. Returns the mask of regions that acked.
+    /// Acks from older handovers or other phases are drained and
+    /// discarded — handovers run one at a time.
+    async fn await_acks(&mut self, topic: &str, epoch: u64, phase: u8, awaiting: u32) -> u32 {
+        let deadline = tokio::time::Instant::now() + self.handover_timeout;
+        let mut acked = 0u32;
+        for (region, link) in self.links.iter_mut().enumerate() {
+            let bit = 1u32 << region;
+            if awaiting & bit == 0 {
+                continue;
+            }
+            let Some(state) = &mut link.state else { continue };
+            loop {
+                let now = tokio::time::Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match tokio::time::timeout(deadline - now, state.acks_rx.recv()).await {
+                    Ok(Some((t, e, p))) => {
+                        if t == topic && e == epoch && p == phase {
+                            acked |= bit;
+                            break;
+                        }
+                    }
+                    // Reader exited (broker hung up) or deadline passed.
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+        acked
     }
 
     /// Builds the analytic workload for one topic from the merged report,

@@ -212,6 +212,11 @@ pub enum Frame {
         /// retained last value (replayed to new subscribers); an empty
         /// payload clears the retained value.
         retain: bool,
+        /// The topic epoch of the configuration the publisher steered
+        /// by (`0` before any reconfiguration). Retiring brokers use a
+        /// stale epoch to recognize — and bridge, not drop — traffic
+        /// from publishers that have not yet re-steered (DESIGN.md §15).
+        epoch: u64,
     },
     /// A publication forwarded between brokers (routed delivery).
     Forward {
@@ -281,6 +286,11 @@ pub enum Frame {
         mask: u32,
         /// Delivery mode.
         mode: WireMode,
+        /// Monotonically-increasing per-topic configuration epoch.
+        /// Receivers ignore updates whose epoch is older than what they
+        /// already hold, so a delayed or replayed update can never roll
+        /// a topic's view backwards (DESIGN.md §15).
+        epoch: u64,
     },
     /// Latency probe — and keepalive. [`crate::probe`] times Ping/Pong
     /// round trips; clients with
@@ -345,6 +355,60 @@ pub enum Frame {
         /// Origin publisher sequence number of the acknowledged delivery.
         seq: u64,
     },
+    /// Controller → broker: phase one of a make-before-break handover
+    /// (DESIGN.md §15). Every participating broker — new serving
+    /// regions and retiring ones alike — records the pending
+    /// configuration and starts bridge-forwarding publish traffic to
+    /// the **union** of the committed and pending serving sets, so both
+    /// sets see every message before any client re-steers. Clients are
+    /// not told about the pending epoch; the update stays invisible
+    /// until [`Frame::HandoverCommit`].
+    HandoverPrepare {
+        /// Topic name.
+        topic: String,
+        /// Pending assignment bitmask, bit `i` ↔ region `i`.
+        mask: u32,
+        /// Pending delivery mode.
+        mode: WireMode,
+        /// The epoch being prepared (committed epoch + 1).
+        epoch: u64,
+    },
+    /// Controller → broker: phase two — all participants acked the
+    /// prepare, the handover is now irrevocable. Brokers promote the
+    /// pending configuration to committed, fan the new epoch to
+    /// affected clients (who re-steer make-before-break), and keep
+    /// bridging stale-epoch traffic to the retired regions' replacement
+    /// set for `grace_ms` before dropping their pending state.
+    HandoverCommit {
+        /// Topic name.
+        topic: String,
+        /// The epoch being committed (must match the prepared epoch).
+        epoch: u64,
+        /// Drain window in milliseconds: how long retiring regions keep
+        /// bridge-forwarding stragglers after commit.
+        grace_ms: u32,
+    },
+    /// Controller → broker: a participant died or timed out during
+    /// prepare; discard the pending epoch and fall back to the last
+    /// committed configuration. Aborts are idempotent — a broker that
+    /// never saw the prepare ignores the abort.
+    HandoverAbort {
+        /// Topic name.
+        topic: String,
+        /// The epoch being abandoned.
+        epoch: u64,
+    },
+    /// Broker → controller: acknowledges a handover phase frame so the
+    /// controller's state machine can advance (or abort on timeout).
+    HandoverAck {
+        /// Topic name.
+        topic: String,
+        /// The epoch the ack refers to.
+        epoch: u64,
+        /// Which phase is being acked: `0` = prepare, `1` = commit,
+        /// `2` = abort.
+        phase: u8,
+    },
 }
 
 /// Every tag byte the wire protocol declares, in ascending order.
@@ -353,9 +417,9 @@ pub enum Frame {
 /// cross-checks it against [`Frame::tag`] and the codec's encode/decode
 /// arms, and the codec property tests drive the decoder with each entry
 /// to prove no declared tag can panic it.
-pub const KNOWN_TAGS: [u8; 17] = [
+pub const KNOWN_TAGS: [u8; 21] = [
     0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F, 0x10,
-    0x11,
+    0x11, 0x12, 0x13, 0x14, 0x15,
 ];
 
 impl Frame {
@@ -379,6 +443,10 @@ impl Frame {
             Frame::Busy { .. } => 0x0F,
             Frame::PubAck { .. } => 0x10,
             Frame::DeliverAck { .. } => 0x11,
+            Frame::HandoverPrepare { .. } => 0x12,
+            Frame::HandoverCommit { .. } => 0x13,
+            Frame::HandoverAbort { .. } => 0x14,
+            Frame::HandoverAck { .. } => 0x15,
         }
     }
 
@@ -438,6 +506,7 @@ mod tests {
                 qos: 0,
                 seq: 0,
                 retain: false,
+                epoch: 0,
             },
             Frame::Forward {
                 topic: "t".into(),
@@ -464,7 +533,7 @@ mod tests {
             },
             Frame::StatsRequest,
             Frame::StatsReport { json: "{}".into() },
-            Frame::ConfigUpdate { topic: "t".into(), mask: 1, mode: WireMode::Direct },
+            Frame::ConfigUpdate { topic: "t".into(), mask: 1, mode: WireMode::Direct, epoch: 0 },
             Frame::Ping { nonce: 0 },
             Frame::Pong { nonce: 0 },
             Frame::StatsSnapshotRequest,
@@ -472,6 +541,10 @@ mod tests {
             Frame::Busy { topic: "t".into(), retry_after_ms: 100, seq: 0 },
             Frame::PubAck { topic: "t".into(), seq: 1 },
             Frame::DeliverAck { topic: "t".into(), publisher: 1, seq: 1 },
+            Frame::HandoverPrepare { topic: "t".into(), mask: 3, mode: WireMode::Routed, epoch: 1 },
+            Frame::HandoverCommit { topic: "t".into(), epoch: 1, grace_ms: 500 },
+            Frame::HandoverAbort { topic: "t".into(), epoch: 1 },
+            Frame::HandoverAck { topic: "t".into(), epoch: 1, phase: 0 },
         ];
         let tags: HashSet<u8> = frames.iter().map(Frame::tag).collect();
         assert_eq!(tags.len(), frames.len());

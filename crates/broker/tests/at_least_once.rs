@@ -122,6 +122,7 @@ async fn broker_dedups_retransmits_and_reacks_them() {
         qos: 1,
         seq: 1,
         retain: false,
+        epoch: 0,
     };
     // The "original" and a verbatim retransmit of the same sequence.
     write_half.write_all(&encode_to_bytes(&publish)).await.unwrap();

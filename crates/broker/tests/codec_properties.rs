@@ -97,9 +97,20 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             arb_payload(),
             arb_trace(),
             arb_qos(),
+            any::<u64>(),
         )
             .prop_map(
-                |(topic, publisher, publish_micros, single_target, headers, payload, trace, q)| {
+                |(
+                    topic,
+                    publisher,
+                    publish_micros,
+                    single_target,
+                    headers,
+                    payload,
+                    trace,
+                    q,
+                    epoch,
+                )| {
                     Frame::Publish {
                         topic,
                         publisher,
@@ -111,6 +122,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                         qos: q.0,
                         seq: q.1,
                         retain: q.2,
+                        epoch,
                     }
                 },
             ),
@@ -164,8 +176,18 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             }),
         Just(Frame::StatsRequest),
         "[ -~]{0,128}".prop_map(|json| Frame::StatsReport { json }),
-        (arb_topic(), any::<u32>(), prop_oneof![Just(WireMode::Direct), Just(WireMode::Routed)])
-            .prop_map(|(topic, mask, mode)| Frame::ConfigUpdate { topic, mask, mode }),
+        (
+            arb_topic(),
+            any::<u32>(),
+            prop_oneof![Just(WireMode::Direct), Just(WireMode::Routed)],
+            any::<u64>(),
+        )
+            .prop_map(|(topic, mask, mode, epoch)| Frame::ConfigUpdate {
+                topic,
+                mask,
+                mode,
+                epoch,
+            }),
         any::<u64>().prop_map(|nonce| Frame::Ping { nonce }),
         any::<u64>().prop_map(|nonce| Frame::Pong { nonce }),
         Just(Frame::StatsSnapshotRequest),
@@ -175,6 +197,24 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (arb_topic(), any::<u64>()).prop_map(|(topic, seq)| Frame::PubAck { topic, seq }),
         (arb_topic(), any::<u64>(), any::<u64>())
             .prop_map(|(topic, publisher, seq)| Frame::DeliverAck { topic, publisher, seq }),
+        (
+            arb_topic(),
+            any::<u32>(),
+            prop_oneof![Just(WireMode::Direct), Just(WireMode::Routed)],
+            any::<u64>(),
+        )
+            .prop_map(|(topic, mask, mode, epoch)| Frame::HandoverPrepare {
+                topic,
+                mask,
+                mode,
+                epoch,
+            }),
+        (arb_topic(), any::<u64>(), any::<u32>())
+            .prop_map(|(topic, epoch, grace_ms)| Frame::HandoverCommit { topic, epoch, grace_ms }),
+        (arb_topic(), any::<u64>())
+            .prop_map(|(topic, epoch)| Frame::HandoverAbort { topic, epoch }),
+        (arb_topic(), any::<u64>(), any::<u8>())
+            .prop_map(|(topic, epoch, phase)| Frame::HandoverAck { topic, epoch, phase }),
     ]
 }
 

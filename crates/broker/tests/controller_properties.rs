@@ -1,0 +1,134 @@
+//! Property tests of the controller's report aggregation
+//! ([`merge_reports`]): publisher statistics are deduplicated by
+//! maximum and subscriber lists are unioned, for arbitrary overlapping
+//! per-region reports — including a subscriber that appears in two
+//! regions' reports mid-resubscription.
+
+use multipub_broker::broker::{PublisherStats, RegionReport, TopicReport};
+use multipub_broker::controller::merge_reports;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A small closed pool of topic names so generated reports overlap.
+fn arb_topic_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["alpha".to_string(), "beta".to_string(), "gamma".to_string()])
+}
+
+fn arb_topic_report() -> impl Strategy<Value = TopicReport> {
+    (
+        proptest::collection::btree_map(
+            0u64..5,
+            (0u64..100, 0u64..10_000)
+                .prop_map(|(messages, bytes)| PublisherStats { messages, bytes }),
+            0..4,
+        ),
+        // Small id pool so the same subscriber shows up in several
+        // regions' reports (the reconfiguration window).
+        proptest::collection::vec(0u64..8, 0..5),
+    )
+        .prop_map(|(publishers, subscribers)| TopicReport { publishers, subscribers })
+}
+
+fn arb_reports() -> impl Strategy<Value = Vec<RegionReport>> {
+    proptest::collection::vec(
+        proptest::collection::btree_map(arb_topic_name(), arb_topic_report(), 0..3),
+        1..5,
+    )
+    .prop_map(|maps| {
+        maps.into_iter()
+            .enumerate()
+            .map(|(region, topics)| RegionReport { region: region as u16, topics })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Publisher dedup-by-max: for every `(topic, publisher)` pair the
+    /// merged message count is the maximum over all region reports, and
+    /// the merged `(messages, bytes)` pair was observed verbatim by some
+    /// region — the merge never fabricates statistics.
+    #[test]
+    fn publisher_stats_are_deduplicated_by_max(reports in arb_reports()) {
+        let merged = merge_reports(&reports);
+        for (topic, topic_report) in &merged {
+            for (&publisher, stats) in &topic_report.publishers {
+                let observed: Vec<PublisherStats> = reports
+                    .iter()
+                    .filter_map(|r| r.topics.get(topic))
+                    .filter_map(|t| t.publishers.get(&publisher))
+                    .copied()
+                    .collect();
+                let max_messages =
+                    observed.iter().map(|s| s.messages).max().expect("publisher came from a report");
+                prop_assert_eq!(
+                    stats.messages, max_messages,
+                    "merged count for {}/{} must be the per-region max", topic, publisher
+                );
+                prop_assert!(
+                    observed.contains(stats),
+                    "merged stats for {}/{} must match some region's observation", topic, publisher
+                );
+            }
+        }
+    }
+
+    /// Subscriber union: the merged subscriber list for every topic is
+    /// exactly the sorted, duplicate-free union of the per-region lists.
+    #[test]
+    fn subscribers_are_unioned_sorted_and_deduplicated(reports in arb_reports()) {
+        let merged = merge_reports(&reports);
+        let mut expected: BTreeMap<&String, BTreeSet<u64>> = BTreeMap::new();
+        for report in &reports {
+            for (topic, topic_report) in &report.topics {
+                expected.entry(topic).or_default().extend(topic_report.subscribers.iter().copied());
+            }
+        }
+        for (topic, subs) in &expected {
+            let merged_subs = &merged[*topic].subscribers;
+            let union: Vec<u64> = subs.iter().copied().collect();
+            prop_assert_eq!(
+                merged_subs, &union,
+                "merged subscribers of {} must be the sorted union", topic
+            );
+        }
+        // No topic appears from thin air.
+        prop_assert_eq!(merged.len(), expected.len());
+    }
+
+    /// The reconfiguration window: a subscriber attached to one region
+    /// while still listed by another (it appears in **two** regions'
+    /// reports) is merged to a single entry.
+    #[test]
+    fn subscriber_in_two_regions_is_merged_once(
+        subscriber in 0u64..1000,
+        extra_a in proptest::collection::vec(1000u64..1008, 0..4),
+        extra_b in proptest::collection::vec(1000u64..1008, 0..4),
+    ) {
+        let topic_report = |subs: Vec<u64>| TopicReport {
+            publishers: BTreeMap::new(),
+            subscribers: subs,
+        };
+        let mut subs_a = extra_a.clone();
+        subs_a.push(subscriber);
+        let mut subs_b = extra_b.clone();
+        subs_b.push(subscriber);
+        let reports = vec![
+            RegionReport {
+                region: 0,
+                topics: [("t".to_string(), topic_report(subs_a))].into_iter().collect(),
+            },
+            RegionReport {
+                region: 1,
+                topics: [("t".to_string(), topic_report(subs_b))].into_iter().collect(),
+            },
+        ];
+        let merged = merge_reports(&reports);
+        let count =
+            merged["t"].subscribers.iter().filter(|&&s| s == subscriber).count();
+        prop_assert_eq!(count, 1, "the twice-reported subscriber appears exactly once");
+        // And the union still covers every extra.
+        for s in extra_a.iter().chain(extra_b.iter()) {
+            prop_assert!(merged["t"].subscribers.contains(s));
+        }
+    }
+}

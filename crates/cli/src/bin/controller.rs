@@ -11,6 +11,7 @@
 //!     --interval 30 --rounds 0 --mitigate true \
 //!     --connect-timeout 2000 \                           # per-broker dial timeout (ms)
 //!     --reconnect-backoff 100:10000 \                    # redial backoff base:cap (ms)
+//!     --handover-grace 500 --handover-timeout 2000 \     # reconfiguration drain / phase bound (ms)
 //!     --metrics-addr 0.0.0.0:9465
 //! ```
 //!
@@ -23,6 +24,12 @@
 //! Unreachable brokers no longer abort startup: they are reported,
 //! excluded from optimization, and re-dialed in the background (with the
 //! `--reconnect-backoff` schedule) until they answer.
+//!
+//! Re-deployments run the epoch-based make-before-break handover:
+//! `--handover-grace` sets how long retiring regions keep bridging
+//! already-routed traffic after commit, and `--handover-timeout` bounds
+//! each prepare/commit phase before the controller rolls back to the
+//! last committed epoch.
 
 use multipub_broker::controller::Controller;
 use multipub_cli::{parse_f64_list, parse_pair, Args};
@@ -38,6 +45,7 @@ const USAGE: &str = "usage: multipub-controller --broker <addr>... \
                      [--client <id>=<ms,ms,...>]... \
                      [--interval <secs>] [--rounds <n>] [--mitigate true] \
                      [--connect-timeout <ms>] [--reconnect-backoff <base_ms>:<cap_ms>] \
+                     [--handover-grace <ms>] [--handover-timeout <ms>] \
                      [--metrics-addr <addr>]";
 
 fn parse_constraint(text: &str) -> Result<DeliveryConstraint, String> {
@@ -110,6 +118,14 @@ async fn run() -> Result<(), String> {
             Duration::from_millis(base),
             Duration::from_millis(cap),
         ));
+    }
+    if let Some(ms) = args.get("handover-grace") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --handover-grace (ms)".to_string())?;
+        controller.set_handover_grace(Duration::from_millis(ms));
+    }
+    if let Some(ms) = args.get("handover-timeout") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --handover-timeout (ms)".to_string())?;
+        controller.set_handover_timeout(Duration::from_millis(ms));
     }
 
     for spec in args.get_all("constraint") {

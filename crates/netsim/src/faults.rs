@@ -22,7 +22,10 @@
 //!   at-least-once redelivery storm against subscriber-side dedup;
 //! * **reorder windows** — deliveries scheduled inside the window pick
 //!   up an extra seeded uniform delay, shuffling arrival order without
-//!   losing anything.
+//!   losing anything;
+//! * **reconnect storms** — one region's whole client population drops
+//!   for a window and mass-reconnects at its end, the thundering herd
+//!   the session layer's jittered backoff must absorb.
 //!
 //! The engine consults a [`FaultInjector`] (plan + RNG) at every hop.
 //! With the default quiet plan no RNG draws happen at all, so existing
@@ -329,10 +332,63 @@ impl ReorderWindow {
     }
 }
 
+/// A reconnect storm: the entire client population of one region is
+/// disconnected over `[start_ms, end_ms)` and *mass-reconnects* at the
+/// window's end — the thundering-herd counterpart of a broker restart
+/// or LB failover. While the window is open the region's clients are
+/// off the wire (publishes and deliveries to them are dropped, exactly
+/// like a per-client outage); at `end_ms` every one of them re-dials at
+/// once, which is what the session layer's decorrelated-jitter backoff
+/// must spread out to meet the reconvergence SLO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconnectStorm {
+    region: RegionId,
+    start_ms: f64,
+    end_ms: f64,
+}
+
+impl ReconnectStorm {
+    /// Creates a storm disconnecting `region`'s clients over
+    /// `[start_ms, end_ms)`, with the mass reconnect at `end_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite, negative, or out of order.
+    pub fn new(region: RegionId, start_ms: f64, end_ms: f64) -> Self {
+        assert!(
+            start_ms.is_finite() && end_ms.is_finite() && 0.0 <= start_ms && start_ms < end_ms,
+            "storm window must satisfy 0 <= start < end"
+        );
+        ReconnectStorm { region, start_ms, end_ms }
+    }
+
+    /// The region whose client population storms.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Window start (inclusive), in milliseconds — when the clients drop.
+    pub fn start_ms(&self) -> f64 {
+        self.start_ms
+    }
+
+    /// Window end (exclusive), in milliseconds — the mass-reconnect
+    /// instant.
+    pub fn end_ms(&self) -> f64 {
+        self.end_ms
+    }
+
+    /// Whether the region's clients are disconnected at simulated time
+    /// `at`.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start_ms <= at.as_ms() && at.as_ms() < self.end_ms
+    }
+}
+
 /// A complete fault schedule for one simulation run.
 ///
 /// The default plan is quiet: no loss, no outages, no degradations, no
-/// stalls, no bursts, no duplicates, no reordering.
+/// stalls, no bursts, no duplicates, no reordering, no reconnect storms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     loss_rate: f64,
@@ -342,6 +398,7 @@ pub struct FaultPlan {
     bursts: Vec<PublishBurst>,
     duplicates: Vec<DuplicateDelivery>,
     reorders: Vec<ReorderWindow>,
+    storms: Vec<ReconnectStorm>,
 }
 
 impl FaultPlan {
@@ -397,6 +454,12 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a reconnect-storm window.
+    pub fn with_reconnect_storm(mut self, storm: ReconnectStorm) -> Self {
+        self.storms.push(storm);
+        self
+    }
+
     /// The per-hop loss probability.
     pub fn loss_rate(&self) -> f64 {
         self.loss_rate
@@ -432,6 +495,11 @@ impl FaultPlan {
         &self.reorders
     }
 
+    /// The scheduled reconnect storms.
+    pub fn storms(&self) -> &[ReconnectStorm] {
+        &self.storms
+    }
+
     /// `true` when the plan injects no faults at all.
     pub fn is_quiet(&self) -> bool {
         self.loss_rate == 0.0
@@ -441,6 +509,13 @@ impl FaultPlan {
             && self.bursts.is_empty()
             && self.duplicates.is_empty()
             && self.reorders.is_empty()
+            && self.storms.is_empty()
+    }
+
+    /// Whether `region`'s client population is storm-disconnected at
+    /// time `at`.
+    pub fn clients_stormed(&self, region: RegionId, at: SimTime) -> bool {
+        self.storms.iter().any(|s| s.region == region && s.contains(at))
     }
 
     /// Whether `region` is inside any outage window at time `at`.
@@ -764,5 +839,26 @@ mod tests {
     #[should_panic(expected = "stall window must satisfy")]
     fn inverted_stall_window_rejected() {
         let _ = SubscriberStall::new(ClientId(0), 500.0, 100.0);
+    }
+
+    #[test]
+    fn reconnect_storm_window_is_half_open_and_per_region() {
+        let storm = ReconnectStorm::new(RegionId(1), 200.0, 600.0);
+        let plan = FaultPlan::none().with_reconnect_storm(storm);
+        assert!(!plan.is_quiet());
+        assert_eq!(plan.storms(), &[storm]);
+        assert!(!plan.clients_stormed(RegionId(1), SimTime::from_ms(199.9)));
+        assert!(plan.clients_stormed(RegionId(1), SimTime::from_ms(200.0)));
+        assert!(plan.clients_stormed(RegionId(1), SimTime::from_ms(599.9)));
+        // The mass reconnect happens at end_ms: clients are back.
+        assert!(!plan.clients_stormed(RegionId(1), SimTime::from_ms(600.0)));
+        // Other regions' populations are untouched.
+        assert!(!plan.clients_stormed(RegionId(0), SimTime::from_ms(300.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "storm window must satisfy")]
+    fn inverted_storm_window_rejected() {
+        let _ = ReconnectStorm::new(RegionId(0), 600.0, 200.0);
     }
 }

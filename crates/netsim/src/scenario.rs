@@ -268,8 +268,8 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics if an outage or degradation references a region outside the
-    /// deployment.
+    /// Panics if an outage, degradation, or reconnect storm references a
+    /// region outside the deployment.
     pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
         self.set_fault_plan(faults);
         self
@@ -279,8 +279,8 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics if an outage or degradation references a region outside the
-    /// deployment.
+    /// Panics if an outage, degradation, or reconnect storm references a
+    /// region outside the deployment.
     pub fn set_fault_plan(&mut self, faults: FaultPlan) {
         let n = self.regions.len();
         for outage in faults.outages() {
@@ -293,6 +293,9 @@ impl Scenario {
                 degradation.from(),
                 degradation.to()
             );
+        }
+        for storm in faults.storms() {
+            assert!(storm.region().index() < n, "storm region {} out of range", storm.region());
         }
         self.faults = faults;
     }

@@ -117,6 +117,15 @@ pub const BROKER_RETAINED_REPLAYS_TOTAL: &str = "multipub_broker_retained_replay
 pub const BROKER_REDELIVERIES_TOTAL: &str = "multipub_broker_redeliveries_total";
 /// QoS 1 deliveries currently awaiting a subscriber ack.
 pub const BROKER_UNACKED_DEPTH: &str = "multipub_broker_unacked_depth";
+/// Forwards sent to regions outside the committed serving set because a
+/// handover (prepared or draining) widened the bridge mask.
+pub const BROKER_BRIDGED_FORWARDS_TOTAL: &str = "multipub_broker_bridged_forwards_total";
+/// Publishes arriving with a configuration epoch older than the
+/// broker's committed view (bridged, never dropped).
+pub const BROKER_STALE_EPOCH_PUBLISHES_TOTAL: &str = "multipub_broker_stale_epoch_publishes_total";
+/// Config updates rejected because they carried an older epoch than the
+/// installed configuration.
+pub const BROKER_STALE_CONFIG_UPDATES_TOTAL: &str = "multipub_broker_stale_config_updates_total";
 
 // --- obs (tracing) ------------------------------------------------------
 
@@ -162,6 +171,18 @@ pub const CONTROLLER_RECONFIGURATIONS_TOTAL: &str = "multipub_controller_reconfi
 pub const CONTROLLER_LINK_REDIALS_TOTAL: &str = "multipub_controller_link_redials_total";
 /// Stats reports/snapshots discarded because a controller channel was full.
 pub const CONTROLLER_REPORTS_DROPPED_TOTAL: &str = "multipub_controller_reports_dropped_total";
+/// Config installs deferred because the target broker's link was dead at
+/// deploy time (installed on redial instead).
+pub const CONTROLLER_CONFIG_DEFERRED_TOTAL: &str = "multipub_controller_config_deferred_total";
+/// Make-before-break handovers started.
+pub const CONTROLLER_HANDOVERS_TOTAL: &str = "multipub_controller_handovers_total";
+/// Handovers aborted and rolled back to the last committed epoch.
+pub const CONTROLLER_HANDOVER_ROLLBACKS_TOTAL: &str =
+    "multipub_controller_handover_rollbacks_total";
+/// Wall-time of a handover's prepare phase (send to all acks in).
+pub const CONTROLLER_HANDOVER_PREPARE_MS: &str = "multipub_controller_handover_prepare_ms";
+/// Wall-time of a handover's commit phase (send to all acks in).
+pub const CONTROLLER_HANDOVER_COMMIT_MS: &str = "multipub_controller_handover_commit_ms";
 
 // --- simulation ---------------------------------------------------------
 
@@ -377,6 +398,21 @@ pub const CATALOG: &[MetricDef] = &[
         help: "QoS 1 deliveries awaiting a subscriber ack",
     },
     MetricDef {
+        name: BROKER_BRIDGED_FORWARDS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Forwards bridged beyond the committed serving set",
+    },
+    MetricDef {
+        name: BROKER_STALE_EPOCH_PUBLISHES_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Publishes steered by a superseded epoch",
+    },
+    MetricDef {
+        name: BROKER_STALE_CONFIG_UPDATES_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Config updates rejected for an older epoch",
+    },
+    MetricDef {
         name: OBS_TRACE_SPANS_TOTAL,
         kind: MetricKind::Counter,
         help: "Stage spans recorded into the trace ring",
@@ -465,6 +501,31 @@ pub const CATALOG: &[MetricDef] = &[
         name: CONTROLLER_REPORTS_DROPPED_TOTAL,
         kind: MetricKind::Counter,
         help: "Reports discarded on full controller channels",
+    },
+    MetricDef {
+        name: CONTROLLER_CONFIG_DEFERRED_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Config installs deferred past a dead broker link",
+    },
+    MetricDef {
+        name: CONTROLLER_HANDOVERS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Make-before-break handovers started",
+    },
+    MetricDef {
+        name: CONTROLLER_HANDOVER_ROLLBACKS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Handovers aborted and rolled back",
+    },
+    MetricDef {
+        name: CONTROLLER_HANDOVER_PREPARE_MS,
+        kind: MetricKind::Histogram,
+        help: "Handover prepare-phase wall-time",
+    },
+    MetricDef {
+        name: CONTROLLER_HANDOVER_COMMIT_MS,
+        kind: MetricKind::Histogram,
+        help: "Handover commit-phase wall-time",
     },
     MetricDef {
         name: SIM_TOPICS_SOLVED_TOTAL,

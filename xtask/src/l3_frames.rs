@@ -115,6 +115,101 @@ pub fn check(
             ));
         }
     }
+
+    // `ConfigUpdate` is epoch-gated (make-before-break reconfiguration):
+    // an encode or decode arm that drops the `epoch` field silently
+    // reverts brokers to last-writer-wins config installs, so every
+    // codec site must carry it.
+    if let Some((_, tag, line)) = decl.tags.iter().find(|(v, _, _)| v == "ConfigUpdate") {
+        if encode_arm_mentions(codec_tokens, "ConfigUpdate", "epoch") == Some(false) {
+            findings.push(l3(
+                codec_path,
+                *line,
+                "`Frame::ConfigUpdate` encode arm does not carry the `epoch` field",
+            ));
+        }
+        if decode_arm_mentions(codec_tokens, *tag, "epoch") == Some(false) {
+            findings.push(l3(
+                codec_path,
+                *line,
+                "`Frame::ConfigUpdate` decode arm does not read the `epoch` field",
+            ));
+        }
+    }
+}
+
+/// Whether `Frame::<variant>`'s arm in the `encode` match mentions
+/// `ident` anywhere (pattern destructure or body). Returns `None` when
+/// the arm does not exist — the missing-encode-arm check reports that
+/// case.
+fn encode_arm_mentions(tokens: &[Token], variant: &str, ident: &str) -> Option<bool> {
+    let (open, close) = fn_body(tokens, "encode")?;
+    let mut i = open;
+    while i < close {
+        let is_frame_path = tokens.get(i).is_some_and(|t| t.is_ident("Frame"))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(b':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(b':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident(variant));
+        if is_frame_path {
+            // Scan this arm: up to the next `Frame::` path (the next
+            // arm's pattern) or the end of the match body.
+            let mut j = i + 4;
+            while j < close {
+                if tokens.get(j).is_some_and(|t| t.is_ident("Frame")) {
+                    return Some(false);
+                }
+                if tokens.get(j).is_some_and(|t| t.is_ident(ident)) {
+                    return Some(true);
+                }
+                j += 1;
+            }
+            return Some(false);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether the decode arm for `tag` mentions `ident`. The arm spans
+/// from its `0xNN =>` pattern to the next number-pattern arm at the
+/// same brace depth (numbers inside nested braces — e.g. an inner
+/// `match` on a mode byte — do not terminate the scan). Returns `None`
+/// when no arm matches the tag — the missing-decode-arm check reports
+/// that case.
+fn decode_arm_mentions(tokens: &[Token], tag: u64, ident: &str) -> Option<bool> {
+    let (open, close) = fn_body(tokens, "decode_inner").or_else(|| fn_body(tokens, "decode"))?;
+    let mut i = open;
+    while i < close {
+        let is_arm = tokens.get(i).is_some_and(|t| t.kind == Kind::Number)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(b'='))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(b'>'))
+            && tokens.get(i).and_then(|t| parse_int(&t.text)) == Some(tag);
+        if is_arm {
+            let mut depth = 0i32;
+            let mut j = i + 3;
+            while j < close {
+                let Some(token) = tokens.get(j) else { break };
+                match token.kind {
+                    Kind::Punct(b'{') | Kind::Punct(b'(') | Kind::Punct(b'[') => depth += 1,
+                    Kind::Punct(b'}') | Kind::Punct(b')') | Kind::Punct(b']') => depth -= 1,
+                    Kind::Number if depth == 0 => {
+                        // The next same-level arm's tag pattern.
+                        let next_is_arrow = tokens.get(j + 1).is_some_and(|t| t.is_punct(b'='))
+                            && tokens.get(j + 2).is_some_and(|t| t.is_punct(b'>'));
+                        if next_is_arrow {
+                            return Some(false);
+                        }
+                    }
+                    Kind::Ident if token.text == ident => return Some(true),
+                    _ => {}
+                }
+                j += 1;
+            }
+            return Some(false);
+        }
+        i += 1;
+    }
+    None
 }
 
 fn l3(path: &str, line: u32, message: &str) -> Finding {
@@ -274,20 +369,43 @@ fn match_variants_in_fn(tokens: &[Token], name: &str) -> Vec<(String, u32)> {
 }
 
 /// Tag-byte literals used as match-arm patterns (`0xNN => …`) in the
-/// decode function.
+/// decode function. Only arms at the top level of the decode `match`
+/// count: an arm body may itself match on payload bytes (a mode
+/// discriminant, say), and those inner numeric arms are not tags.
 fn decode_arm_tags(tokens: &[Token]) -> Vec<(u64, u32)> {
     let mut tags = Vec::new();
     let body = fn_body(tokens, "decode_inner").or_else(|| fn_body(tokens, "decode"));
     if let Some((open, close)) = body {
+        // The tag match is the first `match` in the body; its arms live
+        // at brace depth 1 relative to its opening brace.
         let mut i = open;
+        while i < close && !tokens.get(i).is_some_and(|t| t.is_ident("match")) {
+            i += 1;
+        }
+        while i < close && !tokens.get(i).is_some_and(|t| t.is_punct(b'{')) {
+            i += 1;
+        }
+        let mut depth = 0i32;
         while i < close {
-            let is_arm = tokens.get(i).is_some_and(|t| t.kind == Kind::Number)
+            let token = match tokens.get(i) {
+                Some(token) => token,
+                None => break,
+            };
+            if token.is_punct(b'{') {
+                depth += 1;
+            } else if token.is_punct(b'}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            let is_arm = depth == 1
+                && token.kind == Kind::Number
                 && tokens.get(i + 1).is_some_and(|t| t.is_punct(b'='))
                 && tokens.get(i + 2).is_some_and(|t| t.is_punct(b'>'));
             if is_arm {
-                if let Some(value) = tokens.get(i).and_then(|t| parse_int(&t.text)) {
-                    let line = tokens.get(i).map(|t| t.line).unwrap_or(1);
-                    tags.push((value, line));
+                if let Some(value) = parse_int(&token.text) {
+                    tags.push((value, token.line));
                 }
             }
             i += 1;
@@ -363,5 +481,35 @@ mod tests {
         let frame = "impl Frame { pub fn tag(&self) -> u8 { match self { Frame::A { .. } => 0x01, } } }\npub const KNOWN_TAGS: [u8; 2] = [0x01, 0x02];";
         let findings = run(frame, CODEC_OK);
         assert!(findings.iter().any(|f| f.message.contains("no variant maps")));
+    }
+
+    const FRAME_CONFIG: &str = "impl Frame { pub fn tag(&self) -> u8 { match self { Frame::ConfigUpdate { .. } => 0x0A, } } }\npub const KNOWN_TAGS: [u8; 1] = [0x0A];";
+
+    #[test]
+    fn epochless_config_update_arms_flagged() {
+        // Neither the encode arm nor the decode arm touches `epoch`; the
+        // decode arm's inner match on the mode byte must not fool the
+        // arm-boundary scan.
+        let codec = "fn encode(f: &Frame) { match f { Frame::ConfigUpdate { topic, mask, mode } => go(topic, mask, mode), } }\nfn decode_inner(tag: u8) { match tag { 0x0A => { let mode = match r.u8() { 0 => d(), 1 => rt(), }; cfg(mode) } other => err(other), } }";
+        let findings = run(FRAME_CONFIG, codec);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("encode arm does not carry")));
+        assert!(findings.iter().any(|f| f.message.contains("decode arm does not read")));
+    }
+
+    #[test]
+    fn epoch_carrying_config_update_passes() {
+        let codec = "fn encode(f: &Frame) { match f { Frame::ConfigUpdate { topic, mask, mode, epoch } => go(topic, mask, mode, epoch), } }\nfn decode_inner(tag: u8) { match tag { 0x0A => { let mode = match r.u8() { 0 => d(), 1 => rt(), }; let epoch = r.u64(); cfg(mode, epoch) } other => err(other), } }";
+        let findings = run(FRAME_CONFIG, codec);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn decode_only_epoch_omission_flagged() {
+        // The encode side carries the field; only decode dropped it.
+        let codec = "fn encode(f: &Frame) { match f { Frame::ConfigUpdate { topic, mask, mode, epoch } => go(topic, mask, mode, epoch), } }\nfn decode_inner(tag: u8) { match tag { 0x0A => cfg(r.u32()), other => err(other), } }";
+        let findings = run(FRAME_CONFIG, codec);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings.first().is_some_and(|f| f.message.contains("decode arm does not read")));
     }
 }

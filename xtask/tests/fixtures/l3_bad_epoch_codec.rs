@@ -1,0 +1,27 @@
+//! Golden fixture: every variant has its encode and decode arm, but the
+//! `ConfigUpdate` arms are epoch-less — a lagging deploy would silently
+//! fall back to last-writer-wins config installs. The inner match on
+//! the mode byte checks that nested arms do not confuse the scan.
+
+use super::Frame;
+
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Publish => vec![0x01],
+        Frame::ConfigUpdate { topic, mask, mode } => config_bytes(topic, mask, mode),
+    }
+}
+
+pub fn decode_inner(tag: u8) -> Option<Frame> {
+    match tag {
+        0x01 => Some(Frame::Publish),
+        0x0A => {
+            let mode = match read_u8() {
+                0 => direct(),
+                _ => routed(),
+            };
+            Some(config_update(mode))
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,20 @@
+//! Golden fixture: a frame declaration with a `ConfigUpdate` variant
+//! whose codec (see `l3_bad_epoch_codec.rs`) drops the `epoch` field
+//! from both the encode and the decode arm — the wire-level regression
+//! the L3 epoch check exists to catch.
+
+pub enum Frame {
+    Publish,
+    ConfigUpdate,
+}
+
+impl Frame {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Publish => 0x01,
+            Frame::ConfigUpdate => 0x0A,
+        }
+    }
+}
+
+pub const KNOWN_TAGS: [u8; 2] = [0x01, 0x0A];

@@ -65,6 +65,18 @@ fn l3_fires_on_mismatched_frame_and_codec() {
 }
 
 #[test]
+fn l3_fires_on_epochless_config_update_codec() {
+    let bad = run(&[
+        ("crates/broker/src/frame.rs", include_str!("fixtures/l3_bad_epoch_frame.rs")),
+        ("crates/broker/src/codec.rs", include_str!("fixtures/l3_bad_epoch_codec.rs")),
+    ]);
+    let flagged = findings_for(&bad, "L3");
+    assert_eq!(flagged.len(), 2, "{flagged:?}");
+    assert!(flagged.iter().any(|f| f.message.contains("encode arm does not carry the `epoch`")));
+    assert!(flagged.iter().any(|f| f.message.contains("decode arm does not read the `epoch`")));
+}
+
+#[test]
 fn l4_fires_on_bad_and_allow_suppresses() {
     let catalog = ("crates/obs/src/metrics.rs", include_str!("fixtures/l4_catalog.rs"));
     let bad = run(&[catalog, ("crates/fixture/src/lib.rs", include_str!("fixtures/l4_bad.rs"))]);
